@@ -1,0 +1,51 @@
+//! Figure 1 / Figure 12 / Table 3 kernels: data-parallel iteration
+//! simulation with wait-free backpropagation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipedream_hw::{Precision, ServerKind};
+use pipedream_model::zoo;
+use pipedream_sim::simulate_dp;
+
+fn bench_fig1_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_dp_stall");
+    for model in [zoo::vgg16(), zoo::resnet50(), zoo::awd_lm()] {
+        let kind = ServerKind::PcieV100x4;
+        let topo = kind.cluster(8); // 32 GPUs
+        let costs = model.costs(&kind.device(), model.default_batch, Precision::Fp32);
+        g.bench_with_input(
+            BenchmarkId::new("32gpu", model.name.clone()),
+            &costs,
+            |b, costs| b.iter(|| std::hint::black_box(simulate_dp(costs, &topo, 32))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_fig12_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_precision");
+    let model = zoo::gnmt8();
+    let kind = ServerKind::NvlinkV100x8;
+    let topo = kind.cluster(2);
+    for precision in [Precision::Fp32, Precision::Fp16] {
+        let costs = model.costs(&kind.device(), model.default_batch, precision);
+        g.bench_function(format!("{precision:?}"), |b| {
+            b.iter(|| std::hint::black_box(simulate_dp(&costs, &topo, 16)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_table1_fig1_full(c: &mut Criterion) {
+    // Whole Figure-1 regeneration (all servers × models × GPU counts).
+    c.bench_function("fig1_full", |b| {
+        b.iter(|| std::hint::black_box(pipedream_bench::fig1::run()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig1_kernel,
+    bench_fig12_kernel,
+    bench_table1_fig1_full
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 16/17 kernels: communication-volume and memory-footprint
+//! estimators, plus schedule generation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipedream_core::estimates::{dp_bytes_per_sample, memory_footprint, pp_bytes_per_sample};
+use pipedream_core::schedule::Schedule;
+use pipedream_core::PipelineConfig;
+use pipedream_hw::{Device, Precision};
+use pipedream_model::zoo;
+
+fn bench_fig17_estimators(c: &mut Criterion) {
+    let model = zoo::vgg16();
+    let costs = model.costs(&Device::v100(), 64, Precision::Fp32);
+    let config = PipelineConfig::from_counts(&[(13, 3), (3, 1)]);
+    let mut g = c.benchmark_group("fig17_bytes_per_sample");
+    g.bench_function("dp", |b| {
+        b.iter(|| std::hint::black_box(dp_bytes_per_sample(&costs, 4)))
+    });
+    g.bench_function("pipeline", |b| {
+        b.iter(|| std::hint::black_box(pp_bytes_per_sample(&costs, &config)))
+    });
+    g.finish();
+}
+
+fn bench_fig16_memory(c: &mut Criterion) {
+    let model = zoo::gnmt16();
+    let costs = model.costs(&Device::v100(), 64, Precision::Fp32);
+    let config = PipelineConfig::straight(model.num_layers(), &[4, 9, 14]);
+    c.bench_function("fig16_memory_footprint", |b| {
+        b.iter(|| std::hint::black_box(memory_footprint(&costs, &config)))
+    });
+}
+
+fn bench_schedule_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule_generation");
+    let straight = PipelineConfig::straight(16, &(0..15).collect::<Vec<_>>());
+    g.bench_function("1f1b_straight16_256mb", |b| {
+        b.iter(|| std::hint::black_box(Schedule::one_f_one_b(&straight, 256)))
+    });
+    let replicated = PipelineConfig::from_counts(&[(8, 15), (8, 1)]);
+    g.bench_function("1f1b_rr_15-1_256mb", |b| {
+        b.iter(|| std::hint::black_box(Schedule::one_f_one_b(&replicated, 256)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig17_estimators,
+    bench_fig16_memory,
+    bench_schedule_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Pipeline-simulation kernels behind Figures 2–5, 8, 14, 18, Table 1 and
+//! the §5.4 GPipe comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipedream_core::schedule::Schedule;
+use pipedream_core::{PipelineConfig, Planner};
+use pipedream_hw::{ClusterPreset, Precision};
+use pipedream_model::zoo;
+use pipedream_sim::simulate_pipeline;
+
+fn bench_schedules(c: &mut Criterion) {
+    // Figure 2/3/4 kernels: simulate the three schedule families over the
+    // same 4-stage pipeline.
+    let model = zoo::uniform(4, 2e9, 10_000, 10_000);
+    let topo = ClusterPreset::B.with_servers(1);
+    let costs = model.costs(&topo.device, model.default_batch, Precision::Fp32);
+    let config = PipelineConfig::straight(4, &[0, 1, 2]);
+    let mut g = c.benchmark_group("schedule_sim_64mb");
+    let cases: [(&str, Schedule); 3] = [
+        ("fig2_model_parallel", Schedule::model_parallel(&config, 64)),
+        ("fig3_gpipe", Schedule::gpipe(&config, 64, 4)),
+        ("fig4_1f1b", Schedule::one_f_one_b(&config, 64)),
+    ];
+    for (name, schedule) in cases {
+        g.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(simulate_pipeline(&costs, &topo, &schedule)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_table1_cell(c: &mut Criterion) {
+    // One Table-1 cell: plan + simulate VGG-16 on 4×4 Cluster-A.
+    let model = zoo::vgg16();
+    let topo = ClusterPreset::A.with_servers(4);
+    c.bench_function("table1_vgg_4x4A", |b| {
+        b.iter(|| {
+            let plan = Planner::new(&model, &topo).plan_flat();
+            let costs = model.costs(&topo.device, model.default_batch, Precision::Fp32);
+            let schedule = Schedule::one_f_one_b(&plan.config, 48);
+            std::hint::black_box(simulate_pipeline(&costs, &topo, &schedule))
+        })
+    });
+}
+
+fn bench_fig18_depth_sweep(c: &mut Criterion) {
+    let model = zoo::gnmt8();
+    let topo = ClusterPreset::A.with_servers(1);
+    let costs = model.costs(&topo.device, model.default_batch, Precision::Fp32);
+    let planner = Planner::new(&model, &topo);
+    let config =
+        PipelineConfig::straight(model.num_layers(), &planner.balanced_boundaries(4).unwrap());
+    let mut g = c.benchmark_group("fig18_depth");
+    for depth in [1usize, 4, 7] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            let schedule = Schedule::with_depth(&config, 64, d);
+            b.iter(|| std::hint::black_box(simulate_pipeline(&costs, &topo, &schedule)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gpipe_comparison(c: &mut Criterion) {
+    // §5.4 kernel: GNMT-16 straight-16 under 1F1B vs GPipe.
+    let model = zoo::gnmt16();
+    let topo = ClusterPreset::B.with_servers(2);
+    let costs = model.costs(&topo.device, model.default_batch, Precision::Fp32);
+    let planner = Planner::new(&model, &topo);
+    let config = PipelineConfig::straight(
+        model.num_layers(),
+        &planner.balanced_boundaries(16).unwrap(),
+    );
+    let mut g = c.benchmark_group("gpipe_vs_1f1b_192mb");
+    g.bench_function("1f1b", |b| {
+        let s = Schedule::one_f_one_b(&config, 192);
+        b.iter(|| std::hint::black_box(simulate_pipeline(&costs, &topo, &s)))
+    });
+    g.bench_function("gpipe_noam", |b| {
+        let s = Schedule::gpipe(&config, 192, config.noam() as u64);
+        b.iter(|| std::hint::black_box(simulate_pipeline(&costs, &topo, &s)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schedules,
+    bench_table1_cell,
+    bench_fig18_depth_sweep,
+    bench_gpipe_comparison
+);
+criterion_main!(benches);

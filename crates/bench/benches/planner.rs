@@ -1,0 +1,42 @@
+//! §5.5 "Optimizer" benchmark: the partitioner must produce a plan for
+//! every (model, cluster) pair in well under the paper's 8-second bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipedream_core::Planner;
+use pipedream_hw::ClusterPreset;
+use pipedream_model::zoo;
+
+fn bench_planner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("planner");
+    for model in zoo::all_models() {
+        for (cluster, servers) in [(ClusterPreset::A, 4usize), (ClusterPreset::B, 2)] {
+            let topo = cluster.with_servers(servers);
+            let id = BenchmarkId::new(model.name.clone(), cluster.name());
+            g.bench_with_input(id, &topo, |b, topo| {
+                b.iter(|| {
+                    let planner = Planner::new(&model, topo);
+                    std::hint::black_box(planner.plan());
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_planner_flat(c: &mut Criterion) {
+    // The flat DP scales with total worker count — the heavier variant.
+    let mut g = c.benchmark_group("planner_flat_16_workers");
+    for model in [zoo::vgg16(), zoo::gnmt16(), zoo::resnet50()] {
+        let topo = ClusterPreset::A.with_servers(4);
+        g.bench_function(model.name.clone(), |b| {
+            b.iter(|| {
+                let planner = Planner::new(&model, &topo);
+                std::hint::black_box(planner.plan_flat());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_planner, bench_planner_flat);
+criterion_main!(benches);

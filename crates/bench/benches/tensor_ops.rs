@@ -1,0 +1,46 @@
+//! Micro-benchmarks for the tensor substrate (the runtime's compute cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipedream_tensor::init::{normal, rng};
+use pipedream_tensor::layers::{Conv2d, Linear};
+use pipedream_tensor::{Layer, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    for n in [32usize, 128] {
+        let a = normal(&[n, n], 1.0, &mut rng(1));
+        let b_ = normal(&[n, n], 1.0, &mut rng(2));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b_)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_linear_fwd_bwd(c: &mut Criterion) {
+    let mut layer = Linear::new(128, 128, &mut rng(3));
+    let x = normal(&[32, 128], 1.0, &mut rng(4));
+    c.bench_function("linear_128x128_fwd_bwd", |b| {
+        b.iter(|| {
+            let y = layer.forward(&x, 0);
+            std::hint::black_box(layer.backward(&y, 0));
+        })
+    });
+}
+
+fn bench_conv_fwd(c: &mut Criterion) {
+    let mut conv = Conv2d::new(8, 16, 3, 1, 1, &mut rng(5));
+    let x = Tensor::zeros(&[4, 8, 16, 16]);
+    c.bench_function("conv8x16k3_fwd", |b| {
+        let mut slot = 0u64;
+        b.iter(|| {
+            slot += 1;
+            let y = conv.forward(&x, slot);
+            conv.clear_slots();
+            std::hint::black_box(y)
+        })
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_linear_fwd_bwd, bench_conv_fwd);
+criterion_main!(benches);

@@ -1,0 +1,299 @@
+//! `repro` — regenerate the PipeDream paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <experiment>…           # one or more of the ids below
+//! repro all                     # everything, in paper order
+//! repro all --save out/         # also write per-experiment .txt (and .csv
+//!                               # for the data figures) into out/
+//! repro list                    # list available experiments
+//! ```
+//!
+//! Experiment ids: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
+//! fig12 fig13 fig14 fig15 fig16 fig17 fig18 table1 table2 table3 asp gpipe
+//! opt ablations.
+
+use pipedream_bench::experiments as e;
+use std::fs;
+use std::path::PathBuf;
+
+const ALL: &[&str] = &[
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table1",
+    "table2",
+    "table3",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "asp",
+    "gpipe",
+    "opt",
+    "ablations",
+    "trend",
+    "verify",
+    "sensitivity",
+];
+
+/// Run one experiment; returns `(title, rendered text, optional CSV,
+/// optional SVG)`.
+#[allow(clippy::type_complexity)]
+fn run_one(id: &str) -> Option<(&'static str, String, Option<String>, Option<String>)> {
+    let out = match id {
+        "fig1" => {
+            let r = e::fig1::run();
+            (
+                "Figure 1: DP communication overhead",
+                r.to_string(),
+                Some(r.to_csv()),
+                None,
+            )
+        }
+        "fig2" => {
+            let f = e::timelines::fig2();
+            (
+                "Figure 2: model-parallel timeline",
+                f.to_string(),
+                None,
+                Some(f.to_svg()),
+            )
+        }
+        "fig3" => {
+            let f = e::timelines::fig3();
+            (
+                "Figure 3: GPipe timeline",
+                f.to_string(),
+                None,
+                Some(f.to_svg()),
+            )
+        }
+        "fig4" => {
+            let f = e::timelines::fig4();
+            (
+                "Figure 4: PipeDream 1F1B timeline",
+                f.to_string(),
+                None,
+                Some(f.to_svg()),
+            )
+        }
+        "fig5" => (
+            "Figure 5: compute/communication overlap",
+            e::timelines::fig5().to_string(),
+            None,
+            None,
+        ),
+        "fig6" => (
+            "Figure 6: PipeDream's automated workflow (executed)",
+            e::fig6_7::fig6().to_string(),
+            None,
+            None,
+        ),
+        "fig7" => (
+            "Figure 7: hierarchical hardware topology",
+            e::fig6_7::fig7().to_string(),
+            None,
+            None,
+        ),
+        "fig8" => {
+            let f = e::timelines::fig8();
+            (
+                "Figure 8: 1F1B-RR on a 2-1 configuration",
+                f.to_string(),
+                None,
+                Some(f.to_svg()),
+            )
+        }
+        "fig9" => (
+            "Figure 9: weight stashing versions (real runtime)",
+            e::fig9::run().to_string(),
+            None,
+            None,
+        ),
+        "table1" => (
+            "Table 1: PipeDream vs data parallelism",
+            e::table1::run(64).to_string(),
+            None,
+            None,
+        ),
+        "table2" => (
+            "Table 2: cluster characteristics",
+            e::table2::run().to_string(),
+            None,
+            None,
+        ),
+        "table3" => (
+            "Table 3: cloud vs dedicated DP slowdown",
+            e::table3::run().to_string(),
+            None,
+            None,
+        ),
+        "fig10" => {
+            let r = e::fig10::run();
+            (
+                "Figure 10: VGG-16 accuracy vs time",
+                r.to_string(),
+                Some(r.to_csv()),
+                None,
+            )
+        }
+        "fig11" => (
+            "Figure 11: accuracy vs epoch (statistical efficiency)",
+            e::fig11::run(16).to_string(),
+            None,
+            None,
+        ),
+        "fig12" => {
+            let r = e::fig12::run();
+            (
+                "Figure 12: fp16 vs fp32 DP overhead",
+                r.to_string(),
+                Some(r.to_csv()),
+                None,
+            )
+        }
+        "fig13" => (
+            "Figure 13: large minibatches + LARS",
+            e::fig13::run().to_string(),
+            None,
+            None,
+        ),
+        "fig14" => (
+            "Figure 14: vs model/hybrid parallelism",
+            e::fig14::run().to_string(),
+            None,
+            None,
+        ),
+        "fig15" => {
+            let r = e::fig15::run();
+            (
+                "Figure 15: predicted vs simulated throughput",
+                r.to_string(),
+                Some(r.to_csv()),
+                None,
+            )
+        }
+        "fig16" => (
+            "Figure 16: memory footprint",
+            e::fig16::run().to_string(),
+            None,
+            None,
+        ),
+        "fig17" => (
+            "Figure 17: bytes per sample",
+            e::fig17::run().to_string(),
+            None,
+            None,
+        ),
+        "fig18" => {
+            let r = e::fig18::run();
+            (
+                "Figure 18: pipeline depth sweep",
+                r.to_string(),
+                Some(r.to_csv()),
+                None,
+            )
+        }
+        "asp" => (
+            "§5.2: ASP comparison",
+            e::asp::run().to_string(),
+            None,
+            None,
+        ),
+        "gpipe" => (
+            "§5.4: GPipe comparison",
+            e::gpipe::run().to_string(),
+            None,
+            None,
+        ),
+        "opt" => (
+            "§5.5: optimizer runtime",
+            e::opt::run().to_string(),
+            None,
+            None,
+        ),
+        "sensitivity" => (
+            "Calibration sensitivity sweep",
+            e::sensitivity::run().to_string(),
+            None,
+            None,
+        ),
+        "trend" => (
+            "Intro claim: faster GPUs shift the bottleneck to communication",
+            e::trend::run().to_string(),
+            None,
+            None,
+        ),
+        "verify" => (
+            "Paper-shape verification",
+            e::verify::run().to_string(),
+            None,
+            None,
+        ),
+        "ablations" => (
+            "Ablations: 1F1B priority rule, CoW stashing, NOAM",
+            e::ablations::run().to_string(),
+            None,
+            None,
+        ),
+        _ => return None,
+    };
+    Some(out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "list" {
+        println!("available experiments: {}", ALL.join(" "));
+        println!("usage: repro <id>… | all | list  [--save <dir>]");
+        return;
+    }
+    let save_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--save")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        ALL.to_vec()
+    } else {
+        args.iter()
+            .take_while(|a| *a != "--save")
+            .map(String::as_str)
+            .collect()
+    };
+    if let Some(dir) = &save_dir {
+        fs::create_dir_all(dir).expect("create save dir");
+    }
+    for id in ids {
+        let Some((title, text, csv, svg)) = run_one(id) else {
+            eprintln!("unknown experiment '{id}'; try `repro list`");
+            std::process::exit(1);
+        };
+        println!("{}", "=".repeat(78));
+        println!("[{id}] {title}");
+        println!("{}", "=".repeat(78));
+        println!("{text}");
+        if let Some(dir) = &save_dir {
+            fs::write(dir.join(format!("{id}.txt")), &text).expect("write txt");
+            if let Some(csv) = csv {
+                fs::write(dir.join(format!("{id}.csv")), csv).expect("write csv");
+            }
+            if let Some(svg) = svg {
+                fs::write(dir.join(format!("{id}.svg")), svg).expect("write svg");
+            }
+        }
+    }
+}

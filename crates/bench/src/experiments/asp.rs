@@ -1,0 +1,89 @@
+//! §5.2 "Comparison to Asynchronous Parallelism": ASP removes all
+//! synchronization stalls but pays so much statistical efficiency that it
+//! takes ~7.4× longer than PipeDream to reach even 48% accuracy on VGG-16
+//! (4 Cluster-B servers), and never reaches the 68% target.
+
+use crate::util::best_plan;
+use pipedream_convergence::{vgg16 as vgg_task, Mode};
+use pipedream_hw::{ClusterPreset, Precision};
+use pipedream_model::zoo;
+use pipedream_sim::simulate_asp_iteration;
+use std::fmt;
+
+/// The comparison's numbers.
+#[derive(Debug, Clone)]
+pub struct AspComparison {
+    /// ASP epochs to 48% accuracy.
+    pub asp_epochs_to_48: f64,
+    /// PipeDream (weight stashing) epochs to 48%.
+    pub pd_epochs_to_48: f64,
+    /// ASP time to 48% divided by PipeDream time to 48%.
+    pub slowdown_to_48: f64,
+    /// Whether ASP ever reaches the 68% target.
+    pub asp_reaches_target: bool,
+}
+
+/// Run the comparison on 4 Cluster-B servers (32 GPUs).
+pub fn run() -> AspComparison {
+    let model = zoo::vgg16();
+    let task = vgg_task();
+    let topo = ClusterPreset::B.with_servers(4);
+    let costs = model.costs(&topo.device, model.default_batch, Precision::Fp32);
+
+    // Throughputs: ASP is pure compute; PipeDream from its best config.
+    let asp_sps = simulate_asp_iteration(&costs, topo.total_workers()).samples_per_sec;
+    let (_, pd_sim) = best_plan(&model, &topo, 48);
+    let pd_sps = pd_sim.samples_per_sec;
+
+    // Epochs to 48% under each statistical model.
+    let asp_curve = Mode::Asp.apply(task.curve);
+    let pd_curve = Mode::WeightStashing.apply(task.curve);
+    let asp_epochs = asp_curve
+        .epochs_to(0.48)
+        .expect("ASP reaches 48% eventually");
+    let pd_epochs = pd_curve.epochs_to(0.48).expect("stashing reaches 48%");
+
+    let asp_time = asp_epochs / asp_sps;
+    let pd_time = pd_epochs / pd_sps;
+    AspComparison {
+        asp_epochs_to_48: asp_epochs,
+        pd_epochs_to_48: pd_epochs,
+        slowdown_to_48: asp_time / pd_time,
+        asp_reaches_target: Mode::Asp.apply(task.curve).epochs_to(task.target).is_some(),
+    }
+}
+
+impl fmt::Display for AspComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "§5.2 ASP comparison (VGG-16, 4 Cluster-B servers)\n")?;
+        writeln!(
+            f,
+            "epochs to 48%: ASP {:.0}, PipeDream {:.0}",
+            self.asp_epochs_to_48, self.pd_epochs_to_48
+        )?;
+        writeln!(
+            f,
+            "ASP is {:.1}x slower than PipeDream to 48% (paper: 7.4x)",
+            self.slowdown_to_48
+        )?;
+        writeln!(
+            f,
+            "ASP reaches the 68% target: {} (paper: no)",
+            self.asp_reaches_target
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asp_is_much_slower_and_never_converges() {
+        let c = super::run();
+        assert!(!c.asp_reaches_target);
+        assert!(
+            c.slowdown_to_48 > 3.0,
+            "ASP slowdown to 48%: {:.1}",
+            c.slowdown_to_48
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Figure 1: communication overhead of data-parallel training.
+//!
+//! Three server types (8×1080Ti/PCIe, 4×V100/PCIe, 8×V100/NVLink), five
+//! models, weak scaling from 1 to 32 GPUs; y-axis is the fraction of
+//! training time spent in communication stalls.
+
+use crate::util::format_table;
+use pipedream_hw::{Precision, ServerKind};
+use pipedream_model::zoo;
+use pipedream_sim::simulate_dp;
+use std::fmt;
+
+/// GPU counts swept (weak scaling, per-GPU minibatch constant).
+pub const GPU_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// One (server type, model) series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Server type (Figure 1a/1b/1c).
+    pub server: ServerKind,
+    /// Model name.
+    pub model: String,
+    /// `(gpus, stall_fraction)` points.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// All series, grouped by server type.
+    pub series: Vec<Series>,
+}
+
+/// Run the experiment.
+pub fn run() -> Fig1 {
+    let servers = [
+        ServerKind::Pcie1080Ti8,
+        ServerKind::PcieV100x4,
+        ServerKind::NvlinkV100x8,
+    ];
+    let models = [
+        zoo::vgg16(),
+        zoo::resnet50(),
+        zoo::alexnet(),
+        zoo::gnmt8(),
+        zoo::awd_lm(),
+    ];
+    let mut series = Vec::new();
+    for server in servers {
+        for model in &models {
+            let costs = model.costs(&server.device(), model.default_batch, Precision::Fp32);
+            let mut points = Vec::new();
+            for &gpus in &GPU_COUNTS {
+                let servers_needed = gpus.div_ceil(server.gpus_per_server());
+                let topo = server.cluster(servers_needed.max(1));
+                let r = simulate_dp(&costs, &topo, gpus);
+                points.push((gpus, r.stall_fraction));
+            }
+            series.push(Series {
+                server,
+                model: model.name.clone(),
+                points,
+            });
+        }
+    }
+    Fig1 { series }
+}
+
+impl Fig1 {
+    /// Stall fraction for a given server/model/GPU count.
+    pub fn stall(&self, server: ServerKind, model: &str, gpus: usize) -> f64 {
+        self.series
+            .iter()
+            .find(|s| s.server == server && s.model == model)
+            .and_then(|s| s.points.iter().find(|p| p.0 == gpus))
+            .map(|p| p.1)
+            .unwrap_or(f64::NAN)
+    }
+}
+
+impl Fig1 {
+    /// CSV: `server,model,gpus,stall_fraction` rows.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("server,model,gpus,stall_fraction\n");
+        for s in &self.series {
+            for (gpus, stall) in &s.points {
+                out.push_str(&format!("{:?},{},{gpus},{stall:.4}\n", s.server, s.model));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Fig1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 1: DP communication overhead (fraction of time in comm stalls)\n"
+        )?;
+        for server in [
+            ServerKind::Pcie1080Ti8,
+            ServerKind::PcieV100x4,
+            ServerKind::NvlinkV100x8,
+        ] {
+            writeln!(f, "{server:?}:")?;
+            let mut header = vec!["model"];
+            let count_labels: Vec<String> =
+                GPU_COUNTS.iter().map(|c| format!("{c} GPUs")).collect();
+            header.extend(count_labels.iter().map(|s| s.as_str()));
+            let rows: Vec<Vec<String>> = self
+                .series
+                .iter()
+                .filter(|s| s.server == server)
+                .map(|s| {
+                    let mut row = vec![s.model.clone()];
+                    row.extend(s.points.iter().map(|(_, v)| format!("{:.0}%", v * 100.0)));
+                    row
+                })
+                .collect();
+            writeln!(f, "{}", format_table(&header, &rows))?;
+        }
+        Ok(())
+    }
+}

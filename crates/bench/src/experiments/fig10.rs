@@ -1,0 +1,134 @@
+//! Figure 10: top-1 accuracy vs training time for VGG-16 on 16 GPUs,
+//! Cluster-A and Cluster-B — PipeDream vs data parallelism.
+//!
+//! Time axis comes from the simulator (seconds/epoch over ImageNet-1K's
+//! 1.28 M images); accuracy comes from the calibrated convergence curve,
+//! identical for both systems (Figure 11's point).
+
+use crate::util::{best_plan, dp_throughput, format_table};
+use pipedream_convergence::{vgg16 as vgg_task, Mode};
+use pipedream_hw::{ClusterPreset, Precision};
+use pipedream_model::zoo;
+use std::fmt;
+
+/// ImageNet-1K training-set size.
+pub const IMAGENET_SAMPLES: f64 = 1_281_167.0;
+
+/// One accuracy-vs-time series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Label, e.g. `"Cluster-A PipeDream"`.
+    pub label: String,
+    /// Hours per epoch.
+    pub hours_per_epoch: f64,
+    /// `(hours, accuracy)` points.
+    pub points: Vec<(f64, f64)>,
+    /// Hours to the 68% target.
+    pub tta_hours: f64,
+}
+
+/// The figure: four series (2 clusters × 2 systems).
+#[derive(Debug, Clone)]
+pub struct Fig10 {
+    /// All series.
+    pub series: Vec<Series>,
+}
+
+/// Run the experiment.
+pub fn run() -> Fig10 {
+    let model = zoo::vgg16();
+    let task = vgg_task();
+    let epochs_to_target = task.epochs_to_target(Mode::Bsp).expect("vgg converges");
+    let mut series = Vec::new();
+    for (cluster, servers) in [(ClusterPreset::A, 4usize), (ClusterPreset::B, 2usize)] {
+        let topo = cluster.with_servers(servers);
+        let costs = model.costs(&topo.device, model.default_batch, Precision::Fp32);
+        let dp_sps = dp_throughput(&costs, &topo);
+        let (_, pd_sim) = best_plan(&model, &topo, 48);
+        let pd_sps = pd_sim.samples_per_sec.max(dp_sps);
+        for (system, sps) in [("PipeDream", pd_sps), ("DP", dp_sps)] {
+            let hours_per_epoch = IMAGENET_SAMPLES / sps / 3600.0;
+            let total_epochs = epochs_to_target * 1.2;
+            let points = task
+                .curve
+                .sample(total_epochs, 12)
+                .into_iter()
+                .map(|(e, acc)| (e * hours_per_epoch, acc))
+                .collect();
+            series.push(Series {
+                label: format!("{} {}", cluster.name(), system),
+                hours_per_epoch,
+                points,
+                tta_hours: epochs_to_target * hours_per_epoch,
+            });
+        }
+    }
+    Fig10 { series }
+}
+
+impl Fig10 {
+    /// CSV: `series,hours,accuracy` rows.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,hours,accuracy\n");
+        for s in &self.series {
+            for (h, a) in &s.points {
+                out.push_str(&format!("{},{h:.3},{a:.4}\n", s.label));
+            }
+        }
+        out
+    }
+
+    /// TTA hours for a series label substring.
+    pub fn tta(&self, label_contains: &str) -> f64 {
+        self.series
+            .iter()
+            .find(|s| s.label.contains(label_contains))
+            .map(|s| s.tta_hours)
+            .unwrap_or(f64::NAN)
+    }
+}
+
+impl fmt::Display for Fig10 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 10: VGG-16 accuracy vs time, 16 GPUs (target 68% top-1)\n"
+        )?;
+        let header = ["series", "hours/epoch", "hours to 68%"];
+        let rows: Vec<Vec<String>> = self
+            .series
+            .iter()
+            .map(|s| {
+                vec![
+                    s.label.clone(),
+                    format!("{:.2}", s.hours_per_epoch),
+                    format!("{:.1}", s.tta_hours),
+                ]
+            })
+            .collect();
+        writeln!(f, "{}", format_table(&header, &rows))?;
+        writeln!(f, "accuracy-vs-time samples (hours, top-1):")?;
+        for s in &self.series {
+            let pts: Vec<String> = s
+                .points
+                .iter()
+                .step_by(3)
+                .map(|(h, a)| format!("({h:.0}h, {:.0}%)", a * 100.0))
+                .collect();
+            writeln!(f, "  {:<24} {}", s.label, pts.join(" "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pipedream_reaches_target_first_on_both_clusters() {
+        let f = super::run();
+        assert!(f.tta("Cluster-A PipeDream") < f.tta("Cluster-A DP"));
+        assert!(f.tta("Cluster-B PipeDream") < f.tta("Cluster-B DP"));
+        // Cluster-B (faster interconnects) beats Cluster-A for both systems.
+        assert!(f.tta("Cluster-B DP") < f.tta("Cluster-A DP"));
+    }
+}

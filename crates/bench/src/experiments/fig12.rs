@@ -1,0 +1,85 @@
+//! Figure 12: DP communication overhead for GNMT-8, fp16 vs fp32.
+//!
+//! Mixed precision halves the bytes on the wire but speeds compute up even
+//! more, so the *relative* stall fraction grows — the paper's argument that
+//! PipeDream's speedups carry over (or improve) under mixed precision.
+
+use crate::util::format_table;
+use pipedream_hw::{Precision, ServerKind};
+use pipedream_model::zoo;
+use pipedream_sim::simulate_dp;
+use std::fmt;
+
+/// `(gpus, fp32 stall fraction, fp16 stall fraction)` points.
+#[derive(Debug, Clone)]
+pub struct Fig12 {
+    /// Swept points.
+    pub points: Vec<(usize, f64, f64)>,
+}
+
+/// Run the experiment on 8×V100 NVLink servers (the paper's Cluster-B
+/// hardware, matching Figure 12's setup).
+pub fn run() -> Fig12 {
+    let model = zoo::gnmt8();
+    let kind = ServerKind::NvlinkV100x8;
+    let points = [4usize, 8, 16, 32]
+        .into_iter()
+        .map(|gpus| {
+            let topo = kind.cluster(gpus.div_ceil(8).max(1));
+            let c32 = model.costs(&kind.device(), model.default_batch, Precision::Fp32);
+            let c16 = model.costs(&kind.device(), model.default_batch, Precision::Fp16);
+            (
+                gpus,
+                simulate_dp(&c32, &topo, gpus).stall_fraction,
+                simulate_dp(&c16, &topo, gpus).stall_fraction,
+            )
+        })
+        .collect();
+    Fig12 { points }
+}
+
+impl Fig12 {
+    /// CSV: `gpus,fp32_stall,fp16_stall` rows.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("gpus,fp32_stall,fp16_stall\n");
+        for (g, a, b) in &self.points {
+            out.push_str(&format!("{g},{a:.4},{b:.4}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Fig12 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 12: GNMT-8 DP communication overhead, fp32 vs fp16\n"
+        )?;
+        let header = ["GPUs", "fp32 stall", "fp16 stall"];
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|(g, s32, s16)| {
+                vec![
+                    g.to_string(),
+                    format!("{:.0}%", s32 * 100.0),
+                    format!("{:.0}%", s16 * 100.0),
+                ]
+            })
+            .collect();
+        write!(f, "{}", format_table(&header, &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fp16_overhead_exceeds_fp32_at_scale() {
+        let f = super::run();
+        for (gpus, s32, s16) in &f.points {
+            if *gpus >= 16 {
+                assert!(s16 > s32, "{gpus} GPUs: fp16 {s16} vs fp32 {s32}");
+            }
+        }
+    }
+}

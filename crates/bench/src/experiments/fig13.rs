@@ -1,0 +1,133 @@
+//! Figure 13: large-minibatch data parallelism with LARS vs PipeDream
+//! (VGG-16, 8 GPUs on Cluster-C).
+//!
+//! Large minibatches amortize communication but hurt statistical
+//! efficiency: BS 1024 (with LARS) converges, 4096 and 8192 never reach
+//! the target; PipeDream still beats the best LARS option on
+//! time-to-accuracy.
+
+use crate::util::{best_plan, format_table};
+use pipedream_convergence::{vgg16 as vgg_task, Mode};
+use pipedream_hw::{Precision, ServerKind};
+use pipedream_model::zoo;
+use pipedream_sim::simulate_dp;
+use std::fmt;
+
+/// ImageNet-1K training-set size.
+const IMAGENET_SAMPLES: f64 = 1_281_167.0;
+
+/// One large-batch DP option.
+#[derive(Debug, Clone)]
+pub struct BatchOption {
+    /// Global minibatch size.
+    pub global_batch: usize,
+    /// Epochs to the 68% target (None = never converges).
+    pub epochs_to_target: Option<f64>,
+    /// Hours per epoch.
+    pub hours_per_epoch: f64,
+    /// Hours to target (None = never).
+    pub tta_hours: Option<f64>,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Fig13 {
+    /// DP + LARS options at increasing batch size.
+    pub options: Vec<BatchOption>,
+    /// PipeDream's hours to target on the same 8 workers.
+    pub pipedream_tta_hours: f64,
+    /// PipeDream speedup over the best converging LARS option.
+    pub speedup_over_best_lars: f64,
+}
+
+/// Run the experiment on 8 single-GPU Cluster-C servers.
+pub fn run() -> Fig13 {
+    let model = zoo::vgg16();
+    let task = vgg_task();
+    let workers = 8usize;
+    let topo = ServerKind::TitanX1.cluster(workers);
+
+    let options: Vec<BatchOption> = [1024usize, 4096, 8192]
+        .into_iter()
+        .map(|global_batch| {
+            let per_gpu = global_batch / workers;
+            let costs = model.costs(&topo.device, per_gpu, Precision::Fp32);
+            let sps = simulate_dp(&costs, &topo, workers).samples_per_sec;
+            let hours_per_epoch = IMAGENET_SAMPLES / sps / 3600.0;
+            let epochs = task.epochs_to_target(Mode::LargeBatch {
+                global_batch,
+                lars: true,
+            });
+            BatchOption {
+                global_batch,
+                epochs_to_target: epochs,
+                hours_per_epoch,
+                tta_hours: epochs.map(|e| e * hours_per_epoch),
+            }
+        })
+        .collect();
+
+    // PipeDream on the same 8 workers, default per-GPU batch.
+    let (_, sim) = best_plan(&model, &topo, 48);
+    let pd_hours_per_epoch = IMAGENET_SAMPLES / sim.samples_per_sec / 3600.0;
+    let pd_epochs = task.epochs_to_target(Mode::WeightStashing).unwrap();
+    let pipedream_tta_hours = pd_epochs * pd_hours_per_epoch;
+    let best_lars = options
+        .iter()
+        .filter_map(|o| o.tta_hours)
+        .fold(f64::INFINITY, f64::min);
+    Fig13 {
+        options,
+        pipedream_tta_hours,
+        speedup_over_best_lars: best_lars / pipedream_tta_hours,
+    }
+}
+
+impl fmt::Display for Fig13 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 13: large minibatches + LARS vs PipeDream (VGG-16, 8 GPUs)\n"
+        )?;
+        let header = ["global batch", "epochs to 68%", "hours/epoch", "TTA hours"];
+        let rows: Vec<Vec<String>> = self
+            .options
+            .iter()
+            .map(|o| {
+                vec![
+                    o.global_batch.to_string(),
+                    o.epochs_to_target
+                        .map(|e| format!("{e:.0}"))
+                        .unwrap_or_else(|| "never".into()),
+                    format!("{:.2}", o.hours_per_epoch),
+                    o.tta_hours
+                        .map(|h| format!("{h:.1}"))
+                        .unwrap_or_else(|| "∞".into()),
+                ]
+            })
+            .collect();
+        writeln!(f, "{}", format_table(&header, &rows))?;
+        writeln!(
+            f,
+            "PipeDream TTA: {:.1} h — {:.1}x faster than the best LARS option \
+             (paper: >2.4x)",
+            self.pipedream_tta_hours, self.speedup_over_best_lars
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn only_1024_converges_and_pipedream_wins() {
+        let f = super::run();
+        assert!(f.options[0].tta_hours.is_some(), "1024 converges");
+        assert!(f.options[1].tta_hours.is_none(), "4096 fails");
+        assert!(f.options[2].tta_hours.is_none(), "8192 fails");
+        assert!(
+            f.speedup_over_best_lars > 1.2,
+            "PipeDream beats LARS: {}",
+            f.speedup_over_best_lars
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Figure 15: the optimizer's predicted throughput vs "real" (simulated)
+//! throughput for VGG-16 with 16 workers, across a family of candidate
+//! configurations — strong linear correlation, and the optimizer's pick is
+//! the best.
+
+use crate::util::{format_table, pipeline_throughput};
+use pipedream_core::Planner;
+use pipedream_hw::ClusterPreset;
+use pipedream_model::zoo;
+use std::fmt;
+
+/// One configuration point on the scatter.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Configuration label.
+    pub config: String,
+    /// Planner-predicted samples/s.
+    pub predicted: f64,
+    /// Simulated samples/s.
+    pub simulated: f64,
+    /// Whether this is the optimizer's selection (the paper's diamond).
+    pub selected: bool,
+}
+
+/// The scatter plus its Pearson correlation.
+#[derive(Debug, Clone)]
+pub struct Fig15 {
+    /// All evaluated configurations.
+    pub points: Vec<Point>,
+    /// Pearson correlation between predicted and simulated throughput.
+    pub correlation: f64,
+}
+
+/// Run the experiment.
+pub fn run() -> Fig15 {
+    let model = zoo::vgg16();
+    let topo = ClusterPreset::A.with_servers(4); // 16 workers
+    let planner = Planner::new(&model, &topo);
+    let mut configs = planner.enumerate_configs();
+    let planned = planner.plan_flat().config;
+    if !configs.contains(&planned) {
+        configs.push(planned);
+    }
+    let mut points = Vec::new();
+    for config in configs {
+        let predicted = planner.evaluate(&config).samples_per_sec;
+        let simulated = pipeline_throughput(&model, &topo, &config, 48).samples_per_sec;
+        // Disambiguate configs that share a replica pattern but split at
+        // different layers: append the per-stage layer counts.
+        let layers: Vec<String> = config
+            .stages()
+            .iter()
+            .map(|st| st.num_layers().to_string())
+            .collect();
+        points.push(Point {
+            config: format!("{} (layers {})", config.label(), layers.join("+")),
+            predicted,
+            simulated,
+            selected: false,
+        });
+    }
+    // The optimizer picks the configuration with the best *predicted*
+    // throughput among those tested (the paper's diamond).
+    let pick = points
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.predicted.partial_cmp(&b.1.predicted).unwrap())
+        .map(|(i, _)| i)
+        .expect("nonempty family");
+    points[pick].selected = true;
+    let correlation = pearson(
+        &points.iter().map(|p| p.predicted).collect::<Vec<_>>(),
+        &points.iter().map(|p| p.simulated).collect::<Vec<_>>(),
+    );
+    Fig15 {
+        points,
+        correlation,
+    }
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+    let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum();
+    let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum();
+    cov / (va.sqrt() * vb.sqrt()).max(f64::EPSILON)
+}
+
+impl Fig15 {
+    /// CSV: `config,predicted,simulated,selected` rows.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("config,predicted_sps,simulated_sps,selected\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "\"{}\",{:.1},{:.1},{}\n",
+                p.config, p.predicted, p.simulated, p.selected
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Fig15 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 15: predicted vs simulated throughput, VGG-16, 16 workers\n"
+        )?;
+        let header = [
+            "config",
+            "predicted (samples/s)",
+            "simulated (samples/s)",
+            "",
+        ];
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.config.clone(),
+                    format!("{:.0}", p.predicted),
+                    format!("{:.0}", p.simulated),
+                    if p.selected {
+                        "← optimizer's pick"
+                    } else {
+                        ""
+                    }
+                    .to_string(),
+                ]
+            })
+            .collect();
+        writeln!(f, "{}", format_table(&header, &rows))?;
+        writeln!(f, "Pearson correlation: {:.3}", self.correlation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prediction_correlates_and_pick_is_best() {
+        let f = super::run();
+        assert!(f.points.len() >= 5, "need a real config family");
+        assert!(
+            f.correlation > 0.9,
+            "predicted and simulated throughput should correlate strongly: {}",
+            f.correlation
+        );
+        let best_sim = f
+            .points
+            .iter()
+            .map(|p| p.simulated)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let picked = f.points.iter().find(|p| p.selected).unwrap();
+        assert!(
+            picked.simulated >= 0.85 * best_sim,
+            "optimizer's pick ({:.0}) should be near the best ({best_sim:.0})",
+            picked.simulated
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Figure 16: per-worker memory footprint, PipeDream stages vs data
+//! parallelism, for 4-GPU configurations of three models.
+//!
+//! PipeDream's worst stage is on par with the DP footprint even though it
+//! stashes multiple weight/activation versions — each stage only holds a
+//! fraction of the model (§3.3).
+
+use crate::util::format_table;
+use pipedream_core::estimates::{dp_memory_footprint, memory_footprint};
+use pipedream_core::{PipelineConfig, Planner};
+use pipedream_hw::{ClusterPreset, Precision};
+use pipedream_model::zoo;
+use std::fmt;
+
+/// One model's memory comparison.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Model name.
+    pub model: String,
+    /// DP per-worker footprint (bytes).
+    pub dp_bytes: u64,
+    /// Per-stage footprint of the 4-stage pipeline (bytes).
+    pub stage_bytes: Vec<u64>,
+}
+
+/// The figure's rows.
+#[derive(Debug, Clone)]
+pub struct Fig16 {
+    /// One row per model.
+    pub rows: Vec<Row>,
+}
+
+/// Run the experiment: straight 4-stage configurations of VGG-16, GNMT-8
+/// and GNMT-16 (the paper's Figure-16 models).
+pub fn run() -> Fig16 {
+    let topo = ClusterPreset::A.with_servers(1);
+    let rows = [zoo::vgg16(), zoo::gnmt8(), zoo::gnmt16()]
+        .into_iter()
+        .map(|model| {
+            let costs = model.costs(&topo.device, model.default_batch, Precision::Fp32);
+            let planner = Planner::new(&model, &topo);
+            let boundaries = planner.balanced_boundaries(4).expect("4-way split");
+            let config = PipelineConfig::straight(model.num_layers(), &boundaries);
+            Row {
+                model: model.name.clone(),
+                dp_bytes: dp_memory_footprint(&costs).total(),
+                stage_bytes: memory_footprint(&costs, &config)
+                    .iter()
+                    .map(|m| m.total())
+                    .collect(),
+            }
+        })
+        .collect();
+    Fig16 { rows }
+}
+
+impl Fig16 {
+    /// Worst-stage / DP footprint ratio for a model.
+    pub fn worst_ratio(&self, model: &str) -> f64 {
+        self.rows
+            .iter()
+            .find(|r| r.model == model)
+            .map(|r| {
+                let worst = *r.stage_bytes.iter().max().unwrap() as f64;
+                worst / r.dp_bytes as f64
+            })
+            .unwrap_or(f64::NAN)
+    }
+}
+
+fn gb(bytes: u64) -> String {
+    format!("{:.2} GB", bytes as f64 / (1u64 << 30) as f64)
+}
+
+impl fmt::Display for Fig16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 16: per-worker memory footprint, 4-GPU configurations\n"
+        )?;
+        let header = [
+            "model",
+            "DP (per GPU)",
+            "stage 0",
+            "stage 1",
+            "stage 2",
+            "stage 3",
+        ];
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut row = vec![r.model.clone(), gb(r.dp_bytes)];
+                row.extend(r.stage_bytes.iter().map(|&b| gb(b)));
+                row
+            })
+            .collect();
+        write!(f, "{}", format_table(&header, &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn worst_stage_on_par_with_dp() {
+        let f = super::run();
+        for r in &f.rows {
+            let ratio = f.worst_ratio(&r.model);
+            assert!(
+                ratio < 2.0,
+                "{}: worst stage is {ratio:.2}× the DP footprint",
+                r.model
+            );
+            assert_eq!(r.stage_bytes.len(), 4);
+        }
+    }
+
+    #[test]
+    fn footprints_fit_in_gpu_memory() {
+        let f = super::run();
+        for r in &f.rows {
+            for (s, &b) in r.stage_bytes.iter().enumerate() {
+                assert!(
+                    b < 16 << 30,
+                    "{} stage {s}: {b} bytes exceeds 16 GB V100 memory",
+                    r.model
+                );
+            }
+        }
+    }
+}

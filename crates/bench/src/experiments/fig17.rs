@@ -1,0 +1,124 @@
+//! Figure 17: bytes communicated per training sample — DP vs the best
+//! non-DP configuration, 4 GPUs on Cluster-A.
+//!
+//! Pipelining slashes communication for the dense-weight models (GNMT,
+//! VGG) but *increases* it for ResNet-50 (big activations, small weights)
+//! — exactly why the optimizer picks DP for ResNet-50.
+
+use crate::util::{format_table, pipeline_throughput};
+use pipedream_core::estimates::{dp_bytes_per_sample, pp_bytes_per_sample};
+use pipedream_core::Planner;
+use pipedream_hw::{ClusterPreset, Precision};
+use pipedream_model::zoo;
+use std::fmt;
+
+/// One model's per-sample communication comparison.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Model name.
+    pub model: String,
+    /// Best non-DP configuration used.
+    pub config: String,
+    /// DP bytes per sample.
+    pub dp_bytes: f64,
+    /// Best non-DP bytes per sample.
+    pub pp_bytes: f64,
+}
+
+/// The figure's rows.
+#[derive(Debug, Clone)]
+pub struct Fig17 {
+    /// One row per model.
+    pub rows: Vec<Row>,
+}
+
+/// Run the experiment.
+pub fn run() -> Fig17 {
+    let topo = ClusterPreset::A.with_servers(1); // 4 GPUs
+    let rows = [zoo::gnmt8(), zoo::gnmt16(), zoo::vgg16(), zoo::resnet50()]
+        .into_iter()
+        .map(|model| {
+            let costs = model.costs(&topo.device, model.default_batch, Precision::Fp32);
+            let planner = Planner::new(&model, &topo);
+            // Best *non-DP* option: the fastest non-DP candidate as
+            // actually executed (simulated) — what PipeDream would deploy
+            // if forced off data parallelism.
+            let best_non_dp = planner
+                .enumerate_configs()
+                .into_iter()
+                .filter(|c| !c.is_data_parallel())
+                .max_by(|a, b| {
+                    let ta = pipeline_throughput(&model, &topo, a, 32).samples_per_sec;
+                    let tb = pipeline_throughput(&model, &topo, b, 32).samples_per_sec;
+                    ta.partial_cmp(&tb).unwrap()
+                })
+                .expect("non-DP candidates exist");
+            Row {
+                model: model.name.clone(),
+                config: best_non_dp.label(),
+                dp_bytes: dp_bytes_per_sample(&costs, 4),
+                pp_bytes: pp_bytes_per_sample(&costs, &best_non_dp),
+            }
+        })
+        .collect();
+    Fig17 { rows }
+}
+
+impl Fig17 {
+    /// Row by model name.
+    pub fn row(&self, model: &str) -> Option<&Row> {
+        self.rows.iter().find(|r| r.model == model)
+    }
+}
+
+impl fmt::Display for Fig17 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 17: bytes communicated per training sample (4 GPUs, Cluster-A)\n"
+        )?;
+        let header = [
+            "model",
+            "best non-DP config",
+            "DP",
+            "best non-DP",
+            "reduction",
+        ];
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    r.config.clone(),
+                    format!("{:.2} MB", r.dp_bytes / 1e6),
+                    format!("{:.2} MB", r.pp_bytes / 1e6),
+                    format!("{:+.0}%", (1.0 - r.pp_bytes / r.dp_bytes) * 100.0),
+                ]
+            })
+            .collect();
+        write!(f, "{}", format_table(&header, &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pipelining_helps_dense_models_hurts_resnet() {
+        let f = super::run();
+        for model in ["GNMT-8", "GNMT-16", "VGG-16"] {
+            let r = f.row(model).unwrap();
+            assert!(
+                r.pp_bytes < 0.5 * r.dp_bytes,
+                "{model}: pp {} vs dp {}",
+                r.pp_bytes,
+                r.dp_bytes
+            );
+        }
+        let resnet = f.row("ResNet-50").unwrap();
+        assert!(
+            resnet.pp_bytes > resnet.dp_bytes,
+            "ResNet-50's best non-DP config must communicate more than DP"
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Figure 18: effect of pipeline depth on throughput and memory for GNMT-8
+//! on 4 V100s (Cluster-A).
+//!
+//! Throughput rises with depth as communication hides behind more
+//! in-flight minibatches, saturating around NOAM; memory grows
+//! proportionally to the stashed versions.
+
+use crate::util::format_table;
+use pipedream_core::schedule::Schedule;
+use pipedream_core::{PipelineConfig, Planner};
+use pipedream_hw::{ClusterPreset, Precision};
+use pipedream_model::zoo;
+use pipedream_sim::simulate_pipeline;
+use std::fmt;
+
+/// One depth point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// In-flight limit (pipeline depth).
+    pub depth: usize,
+    /// Steady-state samples/second.
+    pub samples_per_sec: f64,
+    /// Peak memory of the heaviest worker (bytes).
+    pub peak_memory: u64,
+    /// Per-stage peak memory (bytes).
+    pub per_stage_memory: Vec<u64>,
+}
+
+/// The sweep.
+#[derive(Debug, Clone)]
+pub struct Fig18 {
+    /// Points in depth order.
+    pub points: Vec<Point>,
+    /// The configuration's NOAM.
+    pub noam: usize,
+}
+
+/// Run the experiment: straight 4-stage GNMT-8 pipeline, depth 1–7.
+pub fn run() -> Fig18 {
+    let model = zoo::gnmt8();
+    let topo = ClusterPreset::A.with_servers(1);
+    let costs = model.costs(&topo.device, model.default_batch, Precision::Fp32);
+    let planner = Planner::new(&model, &topo);
+    let boundaries = planner.balanced_boundaries(4).expect("4-way split");
+    let config = PipelineConfig::straight(model.num_layers(), &boundaries);
+    let noam = config.noam();
+    let points = (1..=7)
+        .map(|depth| {
+            let schedule = Schedule::with_depth(&config, 64, depth);
+            let r = simulate_pipeline(&costs, &topo, &schedule);
+            Point {
+                depth,
+                samples_per_sec: r.samples_per_sec,
+                peak_memory: r.peak_memory_bytes.iter().copied().max().unwrap_or(0),
+                per_stage_memory: r.peak_memory_bytes.clone(),
+            }
+        })
+        .collect();
+    Fig18 { points, noam }
+}
+
+impl Fig18 {
+    /// CSV: `depth,samples_per_sec,peak_memory_bytes` rows.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("depth,samples_per_sec,peak_memory_bytes\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{:.1},{}\n",
+                p.depth, p.samples_per_sec, p.peak_memory
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Fig18 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 18: pipeline depth vs throughput and memory (GNMT-8, 4 V100s; NOAM = {})\n",
+            self.noam
+        )?;
+        let header = ["depth", "samples/s", "peak memory (worst worker)"];
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.depth.to_string(),
+                    format!("{:.0}", p.samples_per_sec),
+                    format!("{:.2} GB", p.peak_memory as f64 / (1u64 << 30) as f64),
+                ]
+            })
+            .collect();
+        write!(f, "{}", format_table(&header, &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn throughput_saturates_and_memory_grows() {
+        let f = super::run();
+        let t1 = f.points[0].samples_per_sec;
+        let t_noam = f.points[f.noam.min(6) - 1].samples_per_sec;
+        let t7 = f.points[6].samples_per_sec;
+        // Deeper pipelines are (weakly) faster; NOAM ≈ saturation.
+        assert!(t_noam > 1.5 * t1, "NOAM depth {t_noam} vs depth-1 {t1}");
+        assert!(
+            t7 >= 0.99 * t_noam,
+            "beyond NOAM adds little: {t7} vs {t_noam}"
+        );
+        // Memory at the input stage grows with depth.
+        let m1 = f.points[0].per_stage_memory[0];
+        let m4 = f.points[3].per_stage_memory[0];
+        assert!(m4 > 2 * m1, "depth-4 memory {m4} vs depth-1 {m1}");
+        // Memory differs across stages even without pipelining pressure
+        // (stage sizes differ — paper observation 1).
+        let ps = &f.points[3].per_stage_memory;
+        assert!(ps.iter().any(|&m| m != ps[0]));
+    }
+}

@@ -1,0 +1,25 @@
+//! One module per paper artifact. See DESIGN.md §4 for the index.
+
+pub mod ablations;
+pub mod asp;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig6_7;
+pub mod fig9;
+pub mod gpipe;
+pub mod opt;
+pub mod sensitivity;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod timelines;
+pub mod trend;
+pub mod verify;

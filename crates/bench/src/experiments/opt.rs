@@ -1,0 +1,96 @@
+//! §5.5 "Optimizer": the partitioner generates configurations for every
+//! model/cluster pair in well under the paper's 8-second bound.
+
+use crate::util::format_table;
+use pipedream_core::Planner;
+use pipedream_hw::ClusterPreset;
+use pipedream_model::zoo;
+use std::fmt;
+use std::time::Instant;
+
+/// One (model, cluster) planning measurement.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Model name.
+    pub model: String,
+    /// Cluster label.
+    pub cluster: String,
+    /// Chosen configuration.
+    pub config: String,
+    /// Hierarchical + flat planning time in seconds.
+    pub seconds: f64,
+}
+
+/// All measurements.
+#[derive(Debug, Clone)]
+pub struct OptimizerRuntime {
+    /// One row per pair.
+    pub rows: Vec<Row>,
+}
+
+/// Run the planner over every model × cluster pair.
+pub fn run() -> OptimizerRuntime {
+    let clusters = [
+        (ClusterPreset::A, 4usize),
+        (ClusterPreset::B, 2),
+        (ClusterPreset::C, 4),
+    ];
+    let mut rows = Vec::new();
+    for model in zoo::all_models() {
+        for (cluster, servers) in clusters {
+            let topo = cluster.with_servers(servers);
+            let t0 = Instant::now();
+            let planner = Planner::new(&model, &topo);
+            let plan = planner.plan();
+            let _flat = planner.plan_flat();
+            rows.push(Row {
+                model: model.name.clone(),
+                cluster: format!("{servers}x{} ({})", topo.arity(1), cluster.name()),
+                config: plan.config.label(),
+                seconds: t0.elapsed().as_secs_f64(),
+            });
+        }
+    }
+    OptimizerRuntime { rows }
+}
+
+impl OptimizerRuntime {
+    /// Slowest planning time observed.
+    pub fn max_seconds(&self) -> f64 {
+        self.rows.iter().map(|r| r.seconds).fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for OptimizerRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "§5.5 optimizer runtime (paper bound: < 8 s per model/cluster)\n"
+        )?;
+        let header = ["model", "cluster", "config", "plan time"];
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    r.cluster.clone(),
+                    r.config.clone(),
+                    format!("{:.3} s", r.seconds),
+                ]
+            })
+            .collect();
+        writeln!(f, "{}", format_table(&header, &rows))?;
+        writeln!(f, "max: {:.3} s", self.max_seconds())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_plans_well_under_8_seconds() {
+        let r = super::run();
+        assert_eq!(r.rows.len(), 21);
+        assert!(r.max_seconds() < 8.0, "max {:.3} s", r.max_seconds());
+    }
+}

@@ -1,0 +1,159 @@
+//! Calibration sensitivity: do the headline conclusions survive plausible
+//! errors in the hardware constants?
+//!
+//! docs/CALIBRATION.md sets effective bandwidths from published specs and
+//! networking folklore; this experiment perturbs the two most influential
+//! ones (shared-PCIe and Ethernet effective bandwidth) by ±2× and re-asks
+//! the two headline questions: does the optimizer still pick a
+//! conv-replicated pipeline for VGG-16 (and win), and does it still pick
+//! data parallelism for ResNet-50?
+//!
+//! Expected outcome: VGG-16's conclusion is robust everywhere; ResNet-50's
+//! flips to a pipeline only when the network is *halved* — a real
+//! crossover, not a calibration artifact (Figure 17 explains it: the
+//! DP-vs-pipeline decision is exactly a weights-vs-activations bandwidth
+//! trade, so a slow enough network pushes even activation-heavy models to
+//! pipelines).
+
+use crate::util::{best_plan, dp_throughput, format_table};
+use pipedream_hw::{Device, Level, LinkModel, Precision, Topology};
+use pipedream_model::zoo;
+use std::fmt;
+
+/// One perturbed-hardware scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario label, e.g. `"PCIe ×0.5"`.
+    pub label: String,
+    /// VGG-16 configuration chosen.
+    pub vgg_config: String,
+    /// VGG-16 speedup over DP.
+    pub vgg_speedup: f64,
+    /// ResNet-50 configuration chosen.
+    pub resnet_config: String,
+    /// Whether both headline shapes hold.
+    pub holds: bool,
+}
+
+/// The sensitivity sweep.
+#[derive(Debug, Clone)]
+pub struct Sensitivity {
+    /// All scenarios (first = nominal).
+    pub scenarios: Vec<Scenario>,
+}
+
+fn cluster_a_with(pcie_scale: f64, eth_scale: f64, servers: usize) -> Topology {
+    // Cluster-A parameters with scaled bandwidths.
+    let pcie = LinkModel::new(4e9 * pcie_scale, 10e-6).shared_medium();
+    let eth = LinkModel::new(10e9 / 8.0 * 0.7 * eth_scale, 50e-6);
+    Topology::new(
+        Device::v100(),
+        vec![
+            Level {
+                name: "intra".into(),
+                arity: 4,
+                link: pcie,
+            },
+            Level {
+                name: "inter".into(),
+                arity: servers,
+                link: eth,
+            },
+        ],
+    )
+}
+
+/// Run the sweep.
+pub fn run() -> Sensitivity {
+    let vgg = zoo::vgg16();
+    let resnet = zoo::resnet50();
+    let cases = [
+        ("nominal", 1.0, 1.0),
+        ("PCIe ×0.5", 0.5, 1.0),
+        ("PCIe ×2", 2.0, 1.0),
+        ("Ethernet ×0.5", 1.0, 0.5),
+        ("Ethernet ×2", 1.0, 2.0),
+    ];
+    let scenarios = cases
+        .into_iter()
+        .map(|(label, pcie, eth)| {
+            let topo = cluster_a_with(pcie, eth, 4);
+            let vgg_costs = vgg.costs(&topo.device, vgg.default_batch, Precision::Fp32);
+            let vgg_dp = dp_throughput(&vgg_costs, &topo);
+            let (vgg_cfg, vgg_sim) = best_plan(&vgg, &topo, 48);
+            let vgg_speedup = vgg_sim.samples_per_sec / vgg_dp;
+
+            let resnet_costs = resnet.costs(&topo.device, resnet.default_batch, Precision::Fp32);
+            let resnet_dp = dp_throughput(&resnet_costs, &topo);
+            let (resnet_cfg, resnet_sim) = best_plan(&resnet, &topo, 48);
+            let resnet_label =
+                if resnet_sim.samples_per_sec <= resnet_dp || resnet_cfg.is_data_parallel() {
+                    "16".to_string()
+                } else {
+                    resnet_cfg.label()
+                };
+            // The robust headline: VGG-16 always prefers a pipeline and
+            // wins. ResNet-50's choice is allowed to cross over when the
+            // network is slower than nominal (see module docs).
+            let resnet_ok = resnet_label == "16" || eth < 1.0 || pcie < 1.0;
+            let holds = !vgg_cfg.is_data_parallel() && vgg_speedup > 1.5 && resnet_ok;
+            Scenario {
+                label: label.to_string(),
+                vgg_config: vgg_cfg.label(),
+                vgg_speedup,
+                resnet_config: resnet_label,
+                holds,
+            }
+        })
+        .collect();
+    Sensitivity { scenarios }
+}
+
+impl fmt::Display for Sensitivity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Calibration sensitivity (Cluster-A 4×4, bandwidths perturbed ±2×)\n"
+        )?;
+        let header = [
+            "scenario",
+            "VGG-16 config",
+            "VGG speedup",
+            "ResNet-50 config",
+            "shape holds",
+        ];
+        let rows: Vec<Vec<String>> = self
+            .scenarios
+            .iter()
+            .map(|s| {
+                vec![
+                    s.label.clone(),
+                    s.vgg_config.clone(),
+                    format!("{:.2}x", s.vgg_speedup),
+                    s.resnet_config.clone(),
+                    if s.holds { "yes" } else { "NO" }.to_string(),
+                ]
+            })
+            .collect();
+        write!(f, "{}", format_table(&header, &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn headline_shapes_survive_bandwidth_perturbation() {
+        let s = super::run();
+        assert_eq!(s.scenarios.len(), 5);
+        for sc in &s.scenarios {
+            assert!(
+                sc.holds,
+                "{}: VGG {} at {:.2}x, ResNet {}",
+                sc.label, sc.vgg_config, sc.vgg_speedup, sc.resnet_config
+            );
+        }
+        // Nominal and faster-network scenarios keep ResNet-50 on DP.
+        assert_eq!(s.scenarios[0].resnet_config, "16", "nominal");
+        assert_eq!(s.scenarios[4].resnet_config, "16", "Ethernet ×2");
+    }
+}

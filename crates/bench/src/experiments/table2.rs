@@ -1,0 +1,70 @@
+//! Table 2: characteristics of the clusters used in the experiments.
+
+use crate::util::format_table;
+use pipedream_hw::ClusterPreset;
+use std::fmt;
+
+/// The reproduced table (static hardware presets).
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// (cluster, server SKU stand-in, GPUs/server, intra link, inter link).
+    pub rows: Vec<(String, String, usize, String, String)>,
+}
+
+/// Run (assemble) the table from the presets.
+pub fn run() -> Table2 {
+    let rows = [ClusterPreset::A, ClusterPreset::B, ClusterPreset::C]
+        .into_iter()
+        .map(|c| {
+            let kind = c.server_kind();
+            let intra = kind.intra_link();
+            let inter = kind.inter_link();
+            (
+                c.name().to_string(),
+                format!("{}x {}", kind.gpus_per_server(), kind.device().name),
+                kind.gpus_per_server(),
+                format!(
+                    "{:.0} GB/s{}",
+                    intra.bandwidth_bytes_per_sec / 1e9,
+                    if intra.shared {
+                        " (shared PCIe)"
+                    } else {
+                        " (NVLink/p2p)"
+                    }
+                ),
+                format!("{:.1} GB/s Ethernet", inter.bandwidth_bytes_per_sec / 1e9),
+            )
+        })
+        .collect();
+    Table2 { rows }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 2: modelled cluster characteristics\n")?;
+        let header = [
+            "cluster",
+            "server",
+            "GPUs/server",
+            "intra-server",
+            "inter-server",
+        ];
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(a, b, c, d, e)| vec![a.clone(), b.clone(), c.to_string(), d.clone(), e.clone()])
+            .collect();
+        write!(f, "{}", format_table(&header, &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn three_clusters() {
+        let t = super::run();
+        assert_eq!(t.rows.len(), 3);
+        assert!(t.rows[0].0.contains("A"));
+        assert_eq!(t.rows[1].2, 8);
+    }
+}

@@ -1,0 +1,181 @@
+//! Figures 2, 3, 4, 5 and 8: schedule timelines.
+//!
+//! Rendered in the paper's visual language: one row per worker, digits are
+//! forward passes (minibatch id mod 10), `#` backward passes, `~`
+//! communication, `.` idle.
+
+use pipedream_core::schedule::Schedule;
+use pipedream_core::PipelineConfig;
+use pipedream_hw::{Device, LinkModel, Precision, ServerKind, Topology};
+use pipedream_model::zoo;
+use pipedream_sim::{render_timeline, simulate_pipeline, SimResult};
+use std::fmt;
+
+/// A rendered timeline figure.
+#[derive(Debug, Clone)]
+pub struct TimelineFig {
+    /// Figure title.
+    pub title: String,
+    /// Rendered ASCII timeline.
+    pub rendered: String,
+    /// Underlying simulation result.
+    pub sim: SimResult,
+}
+
+impl TimelineFig {
+    /// SVG rendering of the compute timeline (paper-figure style).
+    pub fn to_svg(&self) -> String {
+        pipedream_sim::render_svg(&self.sim.timeline, 900)
+    }
+}
+
+impl fmt::Display for TimelineFig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}\n{}", self.title, self.rendered)?;
+        writeln!(
+            f,
+            "mean utilization {:.0}%, steady {:.4} s/minibatch",
+            self.sim.mean_utilization * 100.0,
+            self.sim.per_minibatch_s
+        )
+    }
+}
+
+/// Four identical stages on four fast-linked workers — the paper's
+/// illustrative setup (backward drawn 2× as long as forward).
+fn four_stage_setup() -> (pipedream_model::ModelProfile, Topology, PipelineConfig) {
+    let profile = zoo::uniform(4, 2e9, 10_000, 10_000);
+    let topo = Topology::flat(Device::v100(), 4, LinkModel::new(1e14, 0.0), "fig");
+    let config = PipelineConfig::straight(4, &[0, 1, 2]);
+    (profile, topo, config)
+}
+
+fn render(
+    title: &str,
+    schedule: &Schedule,
+    profile: &pipedream_model::ModelProfile,
+    topo: &Topology,
+    cols: usize,
+) -> TimelineFig {
+    let costs = profile.costs(&topo.device, profile.default_batch, Precision::Fp32);
+    let sim = simulate_pipeline(&costs, topo, schedule);
+    TimelineFig {
+        title: title.to_string(),
+        rendered: render_timeline(&sim.timeline, cols),
+        sim,
+    }
+}
+
+/// Figure 2: model-parallel training — at most one worker active.
+pub fn fig2() -> TimelineFig {
+    let (profile, topo, config) = four_stage_setup();
+    let schedule = Schedule::model_parallel(&config, 4);
+    render(
+        "Figure 2: model parallelism, 4 workers, ≤1 active at a time",
+        &schedule,
+        &profile,
+        &topo,
+        72,
+    )
+}
+
+/// Figure 3: GPipe's microbatch schedule with pipeline flushes.
+pub fn fig3() -> TimelineFig {
+    let (profile, topo, config) = four_stage_setup();
+    let schedule = Schedule::gpipe(&config, 8, 4);
+    render(
+        "Figure 3: GPipe (m = 4) — flushes leave idle time between groups",
+        &schedule,
+        &profile,
+        &topo,
+        72,
+    )
+}
+
+/// Figure 4: PipeDream's 1F1B — startup then a stall-free steady state.
+pub fn fig4() -> TimelineFig {
+    let (profile, topo, config) = four_stage_setup();
+    let schedule = Schedule::one_f_one_b(&config, 12);
+    render(
+        "Figure 4: PipeDream 1F1B — startup admits NOAM=4, then steady state",
+        &schedule,
+        &profile,
+        &topo,
+        72,
+    )
+}
+
+/// Figure 5: compute/communication overlap at one worker of a realistic
+/// VGG-16 pipeline (compute row + comm row for worker 2 of 4).
+pub fn fig5() -> TimelineFig {
+    let profile = zoo::vgg16();
+    let topo = ServerKind::PcieV100x4.cluster(1);
+    let costs = profile.costs(&topo.device, profile.default_batch, Precision::Fp32);
+    // A straight 4-stage split of VGG-16 (planner-balanced boundaries).
+    let planner = pipedream_core::Planner::new(&profile, &topo);
+    let boundaries = planner.balanced_boundaries(4).expect("vgg splits 4 ways");
+    let config = PipelineConfig::straight(16, &boundaries);
+    let schedule = Schedule::one_f_one_b(&config, 12);
+    let sim = simulate_pipeline(&costs, &topo, &schedule);
+    let mut rendered = String::new();
+    rendered.push_str("compute:\n");
+    rendered.push_str(&render_timeline(&sim.timeline, 72));
+    rendered.push_str("communication (same rows, ~ = transfer in flight):\n");
+    rendered.push_str(&render_timeline(&sim.comm_timeline, 72));
+    TimelineFig {
+        title: "Figure 5: computation overlaps activation/gradient communication".into(),
+        rendered,
+        sim,
+    }
+}
+
+/// Figure 8: 1F1B-RR on a 2-1 configuration — the first stage does twice
+/// the work and is replicated twice; round-robin routing keeps all three
+/// workers busy.
+pub fn fig8() -> TimelineFig {
+    let mut profile = zoo::uniform(2, 2e9, 10_000, 10_000);
+    profile.layers[1].flops_fwd = 1e9;
+    let topo = Topology::flat(Device::v100(), 3, LinkModel::new(1e14, 0.0), "fig8");
+    let config = PipelineConfig::from_counts(&[(1, 2), (1, 1)]);
+    let schedule = Schedule::one_f_one_b(&config, 12);
+    render(
+        "Figure 8: 1F1B-RR, 2-1 configuration — even minibatches to worker 0, odd to worker 1",
+        &schedule,
+        &profile,
+        &topo,
+        72,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_has_low_utilization() {
+        let f = fig2();
+        assert!(f.sim.mean_utilization < 0.35, "{}", f.sim.mean_utilization);
+    }
+
+    #[test]
+    fn fig4_beats_fig3_beats_fig2() {
+        let mp = fig2().sim.per_minibatch_s;
+        let gp = fig3().sim.per_minibatch_s;
+        let pd = fig4().sim.per_minibatch_s;
+        assert!(pd < gp, "1F1B {pd} vs GPipe {gp}");
+        assert!(gp < mp, "GPipe {gp} vs MP {mp}");
+    }
+
+    #[test]
+    fn fig8_keeps_all_workers_busy() {
+        let f = fig8();
+        assert!(f.sim.mean_utilization > 0.75, "{}", f.sim.mean_utilization);
+    }
+
+    #[test]
+    fn renders_are_nonempty() {
+        for f in [fig2(), fig3(), fig4(), fig5(), fig8()] {
+            assert!(f.rendered.lines().count() >= 3, "{}", f.title);
+        }
+    }
+}

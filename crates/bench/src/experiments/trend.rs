@@ -1,0 +1,120 @@
+//! The introduction's forward-looking claim: "rapid increases in GPU
+//! compute capacity over time will further shift the bottleneck of training
+//! towards communication for all models."
+//!
+//! Sweep a hypothetical device speed multiplier (1× = today's V100) with
+//! the network held fixed, and watch (a) DP's communication stall fraction
+//! climb and (b) PipeDream's advantage grow.
+
+use crate::util::{best_plan, format_table};
+use pipedream_hw::{Device, Level, Precision, ServerKind, Topology};
+use pipedream_model::zoo;
+use pipedream_sim::simulate_dp;
+use std::fmt;
+
+/// One point of the sweep.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Device speed multiplier over today's V100.
+    pub speedup: f64,
+    /// DP stall fraction at 16 GPUs.
+    pub dp_stall: f64,
+    /// PipeDream throughput advantage over DP.
+    pub pipedream_advantage: f64,
+}
+
+/// The sweep (VGG-16, 4 × 4-GPU servers, network held fixed).
+#[derive(Debug, Clone)]
+pub struct Trend {
+    /// Points at increasing device speed.
+    pub points: Vec<Point>,
+}
+
+/// Run the sweep.
+pub fn run() -> Trend {
+    let model = zoo::vgg16();
+    let base_kind = ServerKind::PcieV100x4;
+    let points = [1.0f64, 2.0, 4.0, 8.0]
+        .into_iter()
+        .map(|speedup| {
+            let device = Device {
+                name: format!("V100×{speedup}"),
+                peak_flops: Device::v100().peak_flops * speedup,
+                ..Device::v100()
+            };
+            let topo = Topology::new(
+                device.clone(),
+                vec![
+                    Level {
+                        name: "intra".into(),
+                        arity: 4,
+                        link: base_kind.intra_link(),
+                    },
+                    Level {
+                        name: "inter".into(),
+                        arity: 4,
+                        link: base_kind.inter_link(),
+                    },
+                ],
+            );
+            let costs = model.costs(&device, model.default_batch, Precision::Fp32);
+            let dp = simulate_dp(&costs, &topo, 16);
+            let (_, pd) = best_plan(&model, &topo, 32);
+            Point {
+                speedup,
+                dp_stall: dp.stall_fraction,
+                pipedream_advantage: (pd.samples_per_sec / dp.samples_per_sec).max(1.0),
+            }
+        })
+        .collect();
+    Trend { points }
+}
+
+impl fmt::Display for Trend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Intro claim: faster GPUs shift the bottleneck to communication\n\
+             (VGG-16, 16 GPUs, network fixed at Cluster-A parameters)\n"
+        )?;
+        let header = ["device speed", "DP comm stall", "PipeDream advantage"];
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{}x V100", p.speedup),
+                    format!("{:.0}%", p.dp_stall * 100.0),
+                    format!("{:.2}x", p.pipedream_advantage),
+                ]
+            })
+            .collect();
+        write!(f, "{}", format_table(&header, &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn faster_devices_raise_stall_and_pipedream_advantage() {
+        let t = super::run();
+        assert_eq!(t.points.len(), 4);
+        for w in t.points.windows(2) {
+            assert!(
+                w[1].dp_stall >= w[0].dp_stall - 1e-9,
+                "stall must not fall as devices speed up: {} vs {}",
+                w[1].dp_stall,
+                w[0].dp_stall
+            );
+        }
+        let first = &t.points[0];
+        let last = &t.points[3];
+        assert!(last.dp_stall > first.dp_stall + 0.05);
+        assert!(
+            last.pipedream_advantage > first.pipedream_advantage,
+            "{} vs {}",
+            last.pipedream_advantage,
+            first.pipedream_advantage
+        );
+    }
+}

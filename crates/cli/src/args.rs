@@ -1,0 +1,393 @@
+//! Hand-rolled argument parsing (the workspace's dependency policy excludes
+//! CLI frameworks; the grammar is small enough to parse directly).
+
+use std::collections::HashMap;
+
+/// Usage text shown by `pipedream help`.
+pub const USAGE: &str = "\
+pipedream — generalized pipeline parallelism for DNN training (SOSP '19)
+
+USAGE:
+  pipedream plan     --model <NAME|@profile.json> --cluster <A|B|C> --servers N
+                     [--batch N] [--flat] [--memory-limit-gb G] [--json]
+                     [--topology @topo.json]
+  pipedream simulate --model <NAME|@profile.json> --cluster <A|B|C> --servers N
+                     [--config 15-1|straight|dp|auto] [--minibatches N]
+                     [--timeline] [--json] [--topology @topo.json]
+  pipedream dp       --model <NAME|@profile.json> --cluster <A|B|C> --servers N
+                     [--gpus N] [--fp16] [--json] [--topology @topo.json]
+  pipedream train    [--stages N] [--epochs N] [--batch N] [--lr X]
+                     [--semantics stashed|naive|vsync|gpipe] [--seed N]
+  pipedream export   (--model <NAME> | --cluster <A|B|C> --servers N)
+                     [--out file.json]
+  pipedream inspect  --model <NAME|@profile.json> [--batch N]
+  pipedream help
+
+MODELS: vgg16 resnet50 alexnet gnmt8 gnmt16 awd-lm s2vt, or @file.json with a
+serialized ModelProfile. TOPOLOGY: @file.json with a serialized Topology
+overrides --cluster/--servers.
+";
+
+/// A parsed subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `pipedream plan …`
+    Plan(PlanArgs),
+    /// `pipedream simulate …`
+    Simulate(SimulateArgs),
+    /// `pipedream dp …`
+    Dp(DpArgs),
+    /// `pipedream train …`
+    Train(TrainArgs),
+    /// `pipedream export …`
+    Export(ExportArgs),
+    /// `pipedream inspect …`
+    Inspect(InspectArgs),
+    /// `pipedream help`
+    Help,
+}
+
+/// Arguments for `inspect`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InspectArgs {
+    /// Zoo model name or `@path.json`.
+    pub model: String,
+    /// Per-GPU minibatch override.
+    pub batch: Option<usize>,
+}
+
+/// Arguments for `export`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExportArgs {
+    /// Zoo model to export as a profile JSON, if any.
+    pub model: Option<String>,
+    /// Cluster preset to export as a topology JSON, if any.
+    pub cluster: Option<char>,
+    /// Servers for the topology export.
+    pub servers: usize,
+    /// Output path (stdout if omitted).
+    pub out: Option<String>,
+}
+
+/// Target selection shared by the model-based subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Target {
+    /// Zoo model name or `@path.json`.
+    pub model: String,
+    /// Cluster preset letter.
+    pub cluster: char,
+    /// Number of servers.
+    pub servers: usize,
+    /// Optional `@path.json` topology override.
+    pub topology: Option<String>,
+}
+
+/// Arguments for `plan`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanArgs {
+    /// What to plan for.
+    pub target: Target,
+    /// Per-GPU minibatch override.
+    pub batch: Option<usize>,
+    /// Use the worker-granular flat DP.
+    pub flat: bool,
+    /// Per-worker memory budget in GiB.
+    pub memory_limit_gb: Option<f64>,
+    /// Emit JSON instead of text.
+    pub json: bool,
+}
+
+/// Arguments for `simulate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateArgs {
+    /// What to simulate.
+    pub target: Target,
+    /// Configuration: `auto` (plan it), `dp`, `straight`, or dash notation.
+    pub config: String,
+    /// Minibatches to run.
+    pub minibatches: u64,
+    /// Render the ASCII timeline.
+    pub timeline: bool,
+    /// Emit JSON instead of text.
+    pub json: bool,
+}
+
+/// Arguments for `dp`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpArgs {
+    /// What to simulate.
+    pub target: Target,
+    /// Worker count (defaults to the whole cluster).
+    pub gpus: Option<usize>,
+    /// Use fp16.
+    pub fp16: bool,
+    /// Emit JSON instead of text.
+    pub json: bool,
+}
+
+/// Arguments for `train`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainArgs {
+    /// Pipeline stages.
+    pub stages: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Semantics: stashed | naive | vsync | gpipe.
+    pub semantics: String,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Parsing failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+fn flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), ParseError> {
+    let mut map = HashMap::new();
+    let mut bare = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            // Boolean flags take no value; everything else consumes one.
+            let boolean = matches!(name, "flat" | "json" | "timeline" | "fp16");
+            if boolean {
+                map.insert(name.to_string(), "true".to_string());
+            } else {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError(format!("--{name} needs a value")))?;
+                map.insert(name.to_string(), v.clone());
+            }
+        } else {
+            bare.push(a.clone());
+        }
+    }
+    Ok((map, bare))
+}
+
+fn get<T: std::str::FromStr>(
+    map: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, ParseError> {
+    match map.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| ParseError(format!("--{key}: cannot parse '{v}'"))),
+    }
+}
+
+fn target(map: &HashMap<String, String>) -> Result<Target, ParseError> {
+    let model = map
+        .get("model")
+        .cloned()
+        .ok_or_else(|| ParseError("--model is required".into()))?;
+    let cluster = map
+        .get("cluster")
+        .map(|c| c.to_ascii_uppercase())
+        .unwrap_or_else(|| "A".to_string());
+    let cluster = cluster
+        .chars()
+        .next()
+        .filter(|c| ['A', 'B', 'C'].contains(c))
+        .ok_or_else(|| ParseError("--cluster must be A, B or C".into()))?;
+    let servers = get(map, "servers", 1usize)?;
+    if servers == 0 {
+        return Err(ParseError("--servers must be ≥ 1".into()));
+    }
+    Ok(Target {
+        model,
+        cluster,
+        servers,
+        topology: map.get("topology").cloned(),
+    })
+}
+
+/// Parse a full argument list (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some(sub) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    let (map, _bare) = flags(rest)?;
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "plan" => Ok(Command::Plan(PlanArgs {
+            target: target(&map)?,
+            batch: map
+                .get("batch")
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| ParseError("--batch: not a number".into()))
+                })
+                .transpose()?,
+            flat: map.contains_key("flat"),
+            memory_limit_gb: map
+                .get("memory-limit-gb")
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| ParseError("--memory-limit-gb: not a number".into()))
+                })
+                .transpose()?,
+            json: map.contains_key("json"),
+        })),
+        "simulate" => Ok(Command::Simulate(SimulateArgs {
+            target: target(&map)?,
+            config: map.get("config").cloned().unwrap_or_else(|| "auto".into()),
+            minibatches: get(&map, "minibatches", 48u64)?,
+            timeline: map.contains_key("timeline"),
+            json: map.contains_key("json"),
+        })),
+        "dp" => Ok(Command::Dp(DpArgs {
+            target: target(&map)?,
+            gpus: map
+                .get("gpus")
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| ParseError("--gpus: not a number".into()))
+                })
+                .transpose()?,
+            fp16: map.contains_key("fp16"),
+            json: map.contains_key("json"),
+        })),
+        "inspect" => Ok(Command::Inspect(InspectArgs {
+            model: map
+                .get("model")
+                .cloned()
+                .ok_or_else(|| ParseError("--model is required".into()))?,
+            batch: map
+                .get("batch")
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| ParseError("--batch: not a number".into()))
+                })
+                .transpose()?,
+        })),
+        "export" => {
+            let cluster = match map.get("cluster") {
+                None => None,
+                Some(c) => {
+                    let ch = c
+                        .to_ascii_uppercase()
+                        .chars()
+                        .next()
+                        .filter(|c| ['A', 'B', 'C'].contains(c))
+                        .ok_or_else(|| ParseError("--cluster must be A, B or C".into()))?;
+                    Some(ch)
+                }
+            };
+            let model = map.get("model").cloned();
+            if model.is_none() && cluster.is_none() {
+                return Err(ParseError("export needs --model and/or --cluster".into()));
+            }
+            Ok(Command::Export(ExportArgs {
+                model,
+                cluster,
+                servers: get(&map, "servers", 1usize)?,
+                out: map.get("out").cloned(),
+            }))
+        }
+        "train" => Ok(Command::Train(TrainArgs {
+            stages: get(&map, "stages", 4usize)?,
+            epochs: get(&map, "epochs", 10usize)?,
+            batch: get(&map, "batch", 16usize)?,
+            lr: get(&map, "lr", 0.05f32)?,
+            semantics: map
+                .get("semantics")
+                .cloned()
+                .unwrap_or_else(|| "stashed".into()),
+            seed: get(&map, "seed", 1u64)?,
+        })),
+        other => Err(ParseError(format!(
+            "unknown subcommand '{other}'; try `pipedream help`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn plan_parses_full() {
+        let cmd = parse(&s(&[
+            "plan",
+            "--model",
+            "vgg16",
+            "--cluster",
+            "a",
+            "--servers",
+            "4",
+            "--flat",
+            "--json",
+            "--memory-limit-gb",
+            "16",
+        ]))
+        .unwrap();
+        let Command::Plan(a) = cmd else { panic!() };
+        assert_eq!(a.target.model, "vgg16");
+        assert_eq!(a.target.cluster, 'A');
+        assert_eq!(a.target.servers, 4);
+        assert!(a.flat && a.json);
+        assert_eq!(a.memory_limit_gb, Some(16.0));
+    }
+
+    #[test]
+    fn simulate_defaults() {
+        let cmd = parse(&s(&["simulate", "--model", "gnmt8"])).unwrap();
+        let Command::Simulate(a) = cmd else { panic!() };
+        assert_eq!(a.config, "auto");
+        assert_eq!(a.minibatches, 48);
+        assert_eq!(a.target.servers, 1);
+        assert!(!a.timeline);
+    }
+
+    #[test]
+    fn train_defaults_and_overrides() {
+        let cmd = parse(&s(&["train", "--semantics", "gpipe", "--epochs", "3"])).unwrap();
+        let Command::Train(a) = cmd else { panic!() };
+        assert_eq!(a.semantics, "gpipe");
+        assert_eq!(a.epochs, 3);
+        assert_eq!(a.stages, 4);
+    }
+
+    #[test]
+    fn missing_model_is_an_error() {
+        assert!(parse(&s(&["plan", "--cluster", "A"])).is_err());
+    }
+
+    #[test]
+    fn bad_cluster_rejected() {
+        assert!(parse(&s(&["plan", "--model", "vgg16", "--cluster", "Z"])).is_err());
+    }
+
+    #[test]
+    fn missing_flag_value_rejected() {
+        assert!(parse(&s(&["plan", "--model"])).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_rejected() {
+        assert!(parse(&s(&["frobnicate"])).is_err());
+    }
+}

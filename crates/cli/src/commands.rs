@@ -1,0 +1,520 @@
+//! Subcommand implementations.
+
+use crate::args::{DpArgs, ExportArgs, InspectArgs, PlanArgs, SimulateArgs, Target, TrainArgs};
+use pipedream_core::schedule::Schedule;
+use pipedream_core::{PipelineConfig, Planner};
+use pipedream_hw::{ClusterPreset, Precision, Topology};
+use pipedream_model::{zoo, ModelProfile};
+use pipedream_runtime::trainer::evaluate;
+use pipedream_runtime::{train_pipeline, LrSchedule, OptimKind, Semantics, TrainOpts};
+use pipedream_sim::{render_timeline, simulate_dp, simulate_pipeline};
+use pipedream_tensor::data::blobs;
+use pipedream_tensor::init::rng;
+use pipedream_tensor::layers::{Linear, Tanh};
+use pipedream_tensor::Sequential;
+use std::fmt::Write as _;
+use std::fs;
+
+fn load_model(name: &str) -> Result<ModelProfile, String> {
+    if let Some(path) = name.strip_prefix('@') {
+        let json = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        return serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"));
+    }
+    match name.to_ascii_lowercase().as_str() {
+        "vgg16" | "vgg-16" => Ok(zoo::vgg16()),
+        "resnet50" | "resnet-50" => Ok(zoo::resnet50()),
+        "alexnet" => Ok(zoo::alexnet()),
+        "gnmt8" | "gnmt-8" => Ok(zoo::gnmt8()),
+        "gnmt16" | "gnmt-16" => Ok(zoo::gnmt16()),
+        "awd-lm" | "awdlm" | "lm" => Ok(zoo::awd_lm()),
+        "s2vt" => Ok(zoo::s2vt()),
+        other => Err(format!(
+            "unknown model '{other}' (try vgg16, resnet50, alexnet, gnmt8, gnmt16, awd-lm, s2vt, or @profile.json)"
+        )),
+    }
+}
+
+fn load_topology(t: &Target) -> Result<Topology, String> {
+    if let Some(spec) = &t.topology {
+        let path = spec.strip_prefix('@').unwrap_or(spec);
+        let json = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        return serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"));
+    }
+    let preset = match t.cluster {
+        'A' => ClusterPreset::A,
+        'B' => ClusterPreset::B,
+        _ => ClusterPreset::C,
+    };
+    Ok(preset.with_servers(t.servers))
+}
+
+/// `pipedream plan`.
+pub fn plan(a: PlanArgs) -> Result<String, String> {
+    let model = load_model(&a.target.model)?;
+    let topo = load_topology(&a.target)?;
+    let batch = a.batch.unwrap_or(model.default_batch);
+    let mut planner = Planner::with_options(&model, &topo, batch, Precision::Fp32);
+    if let Some(gb) = a.memory_limit_gb {
+        planner = planner.with_memory_limit((gb * (1u64 << 30) as f64) as u64);
+    }
+    let plan = if a.flat {
+        planner.plan_flat()
+    } else {
+        planner.plan()
+    };
+    if a.json {
+        return serde_json::to_string_pretty(&plan).map_err(|e| e.to_string());
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "model {} ({} layers, {:.1} M params) on {} workers",
+        model.name,
+        model.num_layers(),
+        model.total_params() as f64 / 1e6,
+        topo.total_workers()
+    );
+    let _ = writeln!(
+        out,
+        "configuration: {} ({})",
+        plan.config,
+        plan.config.label()
+    );
+    let _ = writeln!(
+        out,
+        "predicted: {:.0} samples/s, bottleneck {:.2} ms/minibatch, NOAM {}",
+        plan.samples_per_sec,
+        plan.bottleneck_s * 1e3,
+        plan.noam
+    );
+    for (i, st) in plan.config.stages().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  stage {i}: layers {:>2}..={:<2} [{} … {}]  × {} worker(s)",
+            st.first_layer,
+            st.last_layer,
+            model.layers[st.first_layer].name,
+            model.layers[st.last_layer].name,
+            st.replicas
+        );
+    }
+    Ok(out)
+}
+
+fn resolve_config(
+    spec: &str,
+    model: &ModelProfile,
+    topo: &Topology,
+) -> Result<PipelineConfig, String> {
+    let planner = Planner::new(model, topo);
+    let n = model.num_layers();
+    let w = topo.total_workers();
+    match spec {
+        "auto" => Ok(planner.plan_flat().config),
+        "dp" => Ok(PipelineConfig::data_parallel(n, w)),
+        "straight" => {
+            let d = w.min(n);
+            let b = planner
+                .balanced_boundaries(d)
+                .ok_or_else(|| format!("cannot split {n} layers into {d} stages"))?;
+            Ok(PipelineConfig::straight(n, &b))
+        }
+        dash => {
+            // Dash notation "15-1": replica counts per stage; layers are
+            // split compute-balanced into that many stages.
+            let counts: Result<Vec<usize>, _> = dash.split('-').map(str::parse).collect();
+            let counts = counts.map_err(|_| format!("cannot parse config '{dash}'"))?;
+            if counts.iter().sum::<usize>() != w {
+                return Err(format!(
+                    "config '{dash}' uses {} workers but the cluster has {w}",
+                    counts.iter().sum::<usize>()
+                ));
+            }
+            let d = counts.len();
+            if d == 1 {
+                return Ok(PipelineConfig::data_parallel(n, w));
+            }
+            let b = planner
+                .balanced_boundaries(d)
+                .ok_or_else(|| format!("cannot split {n} layers into {d} stages"))?;
+            let mut stages = Vec::new();
+            let mut first = 0usize;
+            for (i, &r) in counts.iter().enumerate() {
+                let last = if i + 1 == d { n - 1 } else { b[i] };
+                stages.push(pipedream_core::StagePlan::new(first, last, r));
+                first = last + 1;
+            }
+            Ok(PipelineConfig::new(stages))
+        }
+    }
+}
+
+/// `pipedream simulate`.
+pub fn simulate(a: SimulateArgs) -> Result<String, String> {
+    let model = load_model(&a.target.model)?;
+    let topo = load_topology(&a.target)?;
+    let config = resolve_config(&a.config, &model, &topo)?;
+    let costs = model.costs(&topo.device, model.default_batch, Precision::Fp32);
+    let schedule = Schedule::one_f_one_b(&config, a.minibatches);
+    let r = simulate_pipeline(&costs, &topo, &schedule);
+    if a.json {
+        return serde_json::to_string_pretty(&r).map_err(|e| e.to_string());
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "config {} on {} workers",
+        config.label(),
+        config.total_workers()
+    );
+    let _ = writeln!(
+        out,
+        "throughput {:.0} samples/s ({:.2} ms/minibatch), utilization {:.0}%",
+        r.samples_per_sec,
+        r.per_minibatch_s * 1e3,
+        r.mean_utilization * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "communication {:.1} MB over {} minibatches; peak memory {:.2} GB",
+        r.comm_bytes as f64 / 1e6,
+        a.minibatches,
+        *r.peak_memory_bytes.iter().max().unwrap_or(&0) as f64 / (1u64 << 30) as f64
+    );
+    if a.timeline {
+        let _ = writeln!(out, "\n{}", render_timeline(&r.timeline, 100));
+    }
+    Ok(out)
+}
+
+/// `pipedream dp`.
+pub fn dp(a: DpArgs) -> Result<String, String> {
+    let model = load_model(&a.target.model)?;
+    let topo = load_topology(&a.target)?;
+    let gpus = a.gpus.unwrap_or_else(|| topo.total_workers());
+    let precision = if a.fp16 {
+        Precision::Fp16
+    } else {
+        Precision::Fp32
+    };
+    let costs = model.costs(&topo.device, model.default_batch, precision);
+    let r = simulate_dp(&costs, &topo, gpus);
+    if a.json {
+        return serde_json::to_string_pretty(&r).map_err(|e| e.to_string());
+    }
+    Ok(format!(
+        "data parallelism, {gpus} GPUs, {precision:?}: {:.0} samples/s, \
+         iteration {:.2} ms (compute {:.2} ms, stall {:.0}%)\n",
+        r.samples_per_sec,
+        r.iteration_s * 1e3,
+        r.compute_s * 1e3,
+        r.stall_fraction * 100.0
+    ))
+}
+
+/// `pipedream train`.
+pub fn train(a: TrainArgs) -> Result<String, String> {
+    if !(2..=8).contains(&a.stages) {
+        return Err("--stages must be between 2 and 8".into());
+    }
+    let semantics = match a.semantics.as_str() {
+        "stashed" => Semantics::Stashed,
+        "naive" => Semantics::Naive,
+        "vsync" => Semantics::VerticalSync,
+        "gpipe" => Semantics::GPipe { microbatches: 4 },
+        other => return Err(format!("unknown semantics '{other}'")),
+    };
+    // A 2·stages-layer MLP on the blobs task, split one boundary per stage.
+    let width = 32usize;
+    let mut r = rng(a.seed);
+    let mut model = Sequential::new("cli-mlp").push(Linear::new(8, width, &mut r));
+    for _ in 0..(2 * a.stages - 3) {
+        model.push_boxed(Box::new(Tanh::new()));
+        let lin = Linear::new(width, width, &mut r);
+        model.push_boxed(Box::new(lin));
+    }
+    model.push_boxed(Box::new(Linear::new(width, 4, &mut r)));
+    let n_layers = model.len();
+    let boundaries: Vec<usize> = (1..a.stages).map(|i| i * n_layers / a.stages - 1).collect();
+    let config = PipelineConfig::straight(n_layers, &boundaries);
+
+    let data = blobs(256, 8, 4, 0.8, a.seed ^ 0xda7a);
+    let (train_set, test_set) = data.split(0.25);
+    let opts = TrainOpts {
+        epochs: a.epochs,
+        batch: a.batch,
+        optim: OptimKind::Sgd {
+            lr: a.lr,
+            momentum: 0.0,
+        },
+        semantics,
+        lr_schedule: LrSchedule::Constant,
+        checkpoint_dir: None,
+        resume: false,
+        depth: None,
+        trace: false,
+    };
+    let (mut trained, report) = train_pipeline(model, &config, &train_set, &opts);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trained {}-stage pipeline ({:?}) for {} epochs on 4-class blobs",
+        a.stages, semantics, a.epochs
+    );
+    for e in &report.per_epoch {
+        let _ = writeln!(
+            out,
+            "  epoch {:>2}: loss {:.4}, accuracy {:.1}%",
+            e.epoch,
+            e.loss,
+            e.accuracy * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "held-out accuracy {:.1}%, wall time {:.2}s across {} worker threads",
+        evaluate(&mut trained, &test_set, a.batch) * 100.0,
+        report.wall_time_s,
+        config.total_workers()
+    );
+    Ok(out)
+}
+
+/// `pipedream inspect`: print the per-layer profile table — the paper's
+/// `(T_l, a_l, w_l)` triple for every layer, plus totals.
+pub fn inspect(a: InspectArgs) -> Result<String, String> {
+    let model = load_model(&a.model)?;
+    let batch = a.batch.unwrap_or(model.default_batch);
+    let device = pipedream_hw::Device::v100();
+    let costs = model.costs(&device, batch, Precision::Fp32);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} — {} layers, {:.1} M params ({:.2} GB fp32), per-GPU batch {batch}\n",
+        model.name,
+        model.num_layers(),
+        model.total_params() as f64 / 1e6,
+        model.total_weight_bytes(Precision::Fp32) as f64 / (1u64 << 30) as f64
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>14} {:>12} {:>12} {:>14}",
+        "layer", "fwd+bwd (ms)", "a_l (MB)", "w_l (MB)", "flops/sample"
+    );
+    for (l, c) in model.layers.iter().zip(costs.layers.iter()) {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>14.3} {:>12.2} {:>12.2} {:>14.2e}",
+            l.name,
+            c.total_s() * 1e3,
+            c.activation_bytes as f64 / 1e6,
+            c.weight_bytes as f64 / 1e6,
+            l.flops_fwd
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<14} {:>14.3} {:>12} {:>12.2}",
+        "TOTAL",
+        costs.total_compute_all() * 1e3,
+        "",
+        costs.weight_bytes_all() as f64 / 1e6
+    );
+    Ok(out)
+}
+
+/// `pipedream export`: write a zoo model profile and/or a preset topology
+/// as JSON — the same format `--model @file.json` / `--topology @file.json`
+/// accept, so users can start from a preset and edit.
+pub fn export(a: ExportArgs) -> Result<String, String> {
+    let mut doc = serde_json::Map::new();
+    if let Some(model) = &a.model {
+        let profile = load_model(model)?;
+        doc.insert(
+            "model_profile".into(),
+            serde_json::to_value(&profile).map_err(|e| e.to_string())?,
+        );
+    }
+    if let Some(cluster) = a.cluster {
+        let topo = load_topology(&Target {
+            model: String::new(),
+            cluster,
+            servers: a.servers,
+            topology: None,
+        })?;
+        doc.insert(
+            "topology".into(),
+            serde_json::to_value(&topo).map_err(|e| e.to_string())?,
+        );
+    }
+    // A single-section export unwraps to the bare object so the file can be
+    // fed straight back via @file.json.
+    let value = if doc.len() == 1 {
+        doc.into_iter().next().unwrap().1
+    } else {
+        serde_json::Value::Object(doc)
+    };
+    let json = serde_json::to_string_pretty(&value).map_err(|e| e.to_string())?;
+    match &a.out {
+        Some(path) => {
+            fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+            Ok(format!("wrote {path}\n"))
+        }
+        None => Ok(json),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Target;
+
+    fn target(model: &str) -> Target {
+        Target {
+            model: model.into(),
+            cluster: 'A',
+            servers: 1,
+            topology: None,
+        }
+    }
+
+    #[test]
+    fn plan_vgg_renders() {
+        let out = plan(PlanArgs {
+            target: Target {
+                servers: 4,
+                ..target("vgg16")
+            },
+            batch: None,
+            flat: true,
+            memory_limit_gb: None,
+            json: false,
+        })
+        .unwrap();
+        assert!(out.contains("configuration: 15-1"), "{out}");
+        assert!(out.contains("stage 0"));
+    }
+
+    #[test]
+    fn plan_json_is_valid() {
+        let out = plan(PlanArgs {
+            target: target("resnet50"),
+            batch: Some(32),
+            flat: false,
+            memory_limit_gb: Some(16.0),
+            json: true,
+        })
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(v.get("config").is_some());
+    }
+
+    #[test]
+    fn simulate_auto_config() {
+        let out = simulate(SimulateArgs {
+            target: target("gnmt8"),
+            config: "auto".into(),
+            minibatches: 24,
+            timeline: true,
+            json: false,
+        })
+        .unwrap();
+        assert!(out.contains("throughput"));
+        assert!(out.contains("worker"), "timeline rendered: {out}");
+    }
+
+    #[test]
+    fn simulate_dash_config_validates_worker_count() {
+        let err = simulate(SimulateArgs {
+            target: target("vgg16"),
+            config: "9-1".into(), // 10 workers on a 4-GPU cluster
+            minibatches: 8,
+            timeline: false,
+            json: false,
+        })
+        .unwrap_err();
+        assert!(err.contains("workers"), "{err}");
+    }
+
+    #[test]
+    fn dp_reports_stall() {
+        let out = dp(DpArgs {
+            target: target("awd-lm"),
+            gpus: None,
+            fp16: false,
+            json: false,
+        })
+        .unwrap();
+        assert!(out.contains("stall"));
+    }
+
+    #[test]
+    fn train_runs_and_learns() {
+        let out = train(TrainArgs {
+            stages: 3,
+            epochs: 6,
+            batch: 16,
+            lr: 0.05,
+            semantics: "stashed".into(),
+            seed: 3,
+        })
+        .unwrap();
+        assert!(out.contains("held-out accuracy"));
+    }
+
+    #[test]
+    fn inspect_prints_layer_table() {
+        let out = inspect(InspectArgs {
+            model: "vgg16".into(),
+            batch: None,
+        })
+        .unwrap();
+        assert!(out.contains("conv1_1"));
+        assert!(out.contains("fc8"));
+        assert!(out.contains("TOTAL"));
+        assert!(out.contains("138.4 M params"));
+    }
+
+    #[test]
+    fn export_model_round_trips_through_load() {
+        let dir = std::env::temp_dir().join(format!("pd-cli-export-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gnmt8.json");
+        export(ExportArgs {
+            model: Some("gnmt8".into()),
+            cluster: None,
+            servers: 1,
+            out: Some(path.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        let loaded = load_model(&format!("@{}", path.display())).unwrap();
+        assert_eq!(loaded, zoo::gnmt8());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn export_topology_json_is_valid() {
+        let out = export(ExportArgs {
+            model: None,
+            cluster: Some('B'),
+            servers: 2,
+            out: None,
+        })
+        .unwrap();
+        let topo: pipedream_hw::Topology = serde_json::from_str(&out).unwrap();
+        assert_eq!(topo.total_workers(), 16);
+    }
+
+    #[test]
+    fn unknown_model_is_friendly() {
+        let err = plan(PlanArgs {
+            target: target("nope"),
+            batch: None,
+            flat: false,
+            memory_limit_gb: None,
+            json: false,
+        })
+        .unwrap_err();
+        assert!(err.contains("unknown model"));
+    }
+}

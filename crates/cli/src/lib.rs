@@ -1,0 +1,30 @@
+//! Library backing the `pipedream` command-line tool.
+//!
+//! All command logic lives here (parsing, dispatch, rendering) so it can be
+//! unit-tested; `main.rs` is a thin shim. Subcommands:
+//!
+//! * `plan` — run the partitioning optimizer for a zoo model (or a model
+//!   profile from JSON) on a preset cluster (or a topology from JSON);
+//! * `simulate` — execute a configuration's 1F1B-RR schedule on the
+//!   discrete-event simulator, with optional ASCII timeline;
+//! * `dp` — the data-parallel baseline: iteration time and stall fraction;
+//! * `train` — really train a small model pipeline-parallel on a synthetic
+//!   task with the chosen semantics.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command, ParseError};
+
+/// Run a parsed command, returning the rendered output.
+pub fn run(cmd: Command) -> Result<String, String> {
+    match cmd {
+        Command::Plan(a) => commands::plan(a),
+        Command::Simulate(a) => commands::simulate(a),
+        Command::Dp(a) => commands::dp(a),
+        Command::Train(a) => commands::train(a),
+        Command::Export(a) => commands::export(a),
+        Command::Inspect(a) => commands::inspect(a),
+        Command::Help => Ok(args::USAGE.to_string()),
+    }
+}

@@ -1,0 +1,20 @@
+//! `pipedream` — the command-line front end. All logic lives in the
+//! library (`pipedream_cli`) so it can be unit-tested.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match pipedream_cli::parse(&args) {
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", pipedream_cli::args::USAGE);
+            std::process::exit(2);
+        }
+        Ok(cmd) => match pipedream_cli::run(cmd) {
+            Ok(out) => print!("{out}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
+    }
+}

@@ -1,0 +1,82 @@
+//! End-to-end tests of the CLI: parse real argument vectors and run them,
+//! including JSON round trips through files.
+
+use pipedream_cli::{parse, run, Command};
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(str::to_string).collect()
+}
+
+fn run_line(line: &str) -> Result<String, String> {
+    let cmd = parse(&argv(line)).map_err(|e| e.to_string())?;
+    run(cmd)
+}
+
+#[test]
+fn plan_simulate_dp_all_run() {
+    let plan = run_line("plan --model vgg16 --cluster A --servers 4 --flat").unwrap();
+    assert!(plan.contains("15-1"));
+    let sim = run_line("simulate --model vgg16 --cluster A --servers 4 --config 15-1").unwrap();
+    assert!(sim.contains("throughput"));
+    let dp = run_line("dp --model vgg16 --cluster A --servers 4").unwrap();
+    assert!(dp.contains("stall"));
+}
+
+#[test]
+fn export_then_plan_from_files() {
+    let dir = std::env::temp_dir().join(format!("pd-cli-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let model_path = dir.join("model.json");
+    let topo_path = dir.join("topo.json");
+    run_line(&format!(
+        "export --model gnmt8 --out {}",
+        model_path.display()
+    ))
+    .unwrap();
+    run_line(&format!(
+        "export --cluster B --servers 2 --out {}",
+        topo_path.display()
+    ))
+    .unwrap();
+    // Plan using both files.
+    let out = run_line(&format!(
+        "plan --model @{} --topology @{}",
+        model_path.display(),
+        topo_path.display()
+    ))
+    .unwrap();
+    assert!(out.contains("GNMT-8"), "{out}");
+    assert!(out.contains("16 workers"), "{out}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn json_outputs_parse() {
+    for line in [
+        "plan --model resnet50 --cluster A --servers 1 --json",
+        "simulate --model resnet50 --cluster A --servers 1 --config dp --minibatches 8 --json",
+        "dp --model resnet50 --cluster A --servers 1 --json",
+    ] {
+        let out = run_line(line).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap_or_else(|e| {
+            panic!("`{line}` produced invalid JSON: {e}");
+        });
+        assert!(v.is_object(), "{line}");
+    }
+}
+
+#[test]
+fn train_cli_end_to_end() {
+    let out = run_line("train --stages 2 --epochs 3 --batch 16 --lr 0.05 --seed 7").unwrap();
+    assert!(out.contains("epoch  2"), "{out}");
+    assert!(out.contains("held-out accuracy"));
+}
+
+#[test]
+fn help_is_the_default_and_errors_are_friendly() {
+    assert!(matches!(parse(&[]).unwrap(), Command::Help));
+    let err = run_line("simulate --model vgg16 --config 3-3").unwrap_err();
+    assert!(err.contains("workers"), "{err}");
+    let err = parse(&argv("plan --cluster A")).unwrap_err();
+    assert!(err.to_string().contains("--model"));
+}

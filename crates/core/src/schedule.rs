@@ -1,0 +1,641 @@
+//! Static work schedules (paper §3.2).
+//!
+//! PipeDream's 1F1B-RR produces "a static schedule of operators that each
+//! worker runs repeatedly, keeping utilization high across all workers."
+//! This module generates those per-worker operation sequences:
+//!
+//! * [`Schedule::one_f_one_b`] — 1F1B with round-robin replica routing
+//!   (1F1B-RR when stages are replicated): the input stage admits `NOAM`
+//!   minibatches per replica at startup, then every worker alternates
+//!   between the forward pass of a new minibatch and the backward pass of
+//!   an earlier one, preferring backward work when it is available.
+//! * [`Schedule::model_parallel`] — the degenerate one-minibatch-in-flight
+//!   schedule of Figure 2 (vanilla model parallelism).
+//! * [`Schedule::gpipe`] — GPipe's microbatch schedule (Figure 3): `m`
+//!   forward passes, then `m` backward passes, then a pipeline flush with a
+//!   synchronous weight update.
+//!
+//! The sequences carry no timing: the simulator executes them against a
+//! hardware model (stalling on data dependencies), and the training runtime
+//! executes them against real tensors.
+
+use crate::config::PipelineConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One operation in a worker's static schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Forward pass of the given minibatch through this worker's stage.
+    Forward {
+        /// Minibatch id.
+        mb: u64,
+    },
+    /// Backward pass of the given minibatch (weight update applied
+    /// immediately after, as in PipeDream's default semantics).
+    Backward {
+        /// Minibatch id.
+        mb: u64,
+    },
+    /// Pipeline flush: apply accumulated weight gradients synchronously
+    /// (GPipe only).
+    Flush,
+}
+
+impl Op {
+    /// The minibatch this op works on, if any.
+    pub fn minibatch(&self) -> Option<u64> {
+        match self {
+            Op::Forward { mb } | Op::Backward { mb } => Some(*mb),
+            Op::Flush => None,
+        }
+    }
+}
+
+/// The schedule of one worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerSchedule {
+    /// Global worker id.
+    pub worker: usize,
+    /// Pipeline stage this worker runs.
+    pub stage: usize,
+    /// Replica index within the stage.
+    pub replica: usize,
+    /// Operations in execution order.
+    pub ops: Vec<Op>,
+}
+
+/// A full static schedule: one op sequence per worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// The configuration the schedule was generated for.
+    pub config: PipelineConfig,
+    /// Per-worker schedules, indexed by global worker id.
+    pub workers: Vec<WorkerSchedule>,
+    /// Number of minibatches scheduled.
+    pub num_minibatches: u64,
+}
+
+impl Schedule {
+    /// The 1F1B / 1F1B-RR schedule with the configuration's NOAM.
+    ///
+    /// ```
+    /// use pipedream_core::{PipelineConfig, Schedule};
+    ///
+    /// let config = PipelineConfig::straight(4, &[0, 1, 2]);
+    /// let s = Schedule::one_f_one_b(&config, 8);
+    /// s.validate().unwrap();
+    /// // The output stage alternates strictly from the start: F0 B0 F1 B1…
+    /// use pipedream_core::schedule::Op;
+    /// assert_eq!(s.workers[3].ops[0], Op::Forward { mb: 0 });
+    /// assert_eq!(s.workers[3].ops[1], Op::Backward { mb: 0 });
+    /// ```
+    pub fn one_f_one_b(config: &PipelineConfig, num_minibatches: u64) -> Schedule {
+        Self::generate_pipelined(config, num_minibatches, config.noam())
+    }
+
+    /// Vanilla model parallelism: at most one minibatch in flight
+    /// (Figure 2). Only meaningful for straight pipelines.
+    pub fn model_parallel(config: &PipelineConfig, num_minibatches: u64) -> Schedule {
+        Self::generate_pipelined(config, num_minibatches, 1)
+    }
+
+    /// A pipelined schedule with an explicit in-flight limit per input
+    /// replica (used for the Figure-18 pipeline-depth sweep).
+    pub fn with_depth(config: &PipelineConfig, num_minibatches: u64, depth: usize) -> Schedule {
+        Self::generate_pipelined(config, num_minibatches, depth.max(1))
+    }
+
+    /// Ablation of 1F1B's backward-priority rule: workers prefer *forward*
+    /// work whenever it is admissible, falling back to backward passes only
+    /// when no forward is available. Same in-flight caps as 1F1B. Used by
+    /// the scheduling-policy ablation to show why the paper's rule matters.
+    pub fn forward_priority(config: &PipelineConfig, num_minibatches: u64) -> Schedule {
+        Self::generate_with_policy(config, num_minibatches, config.noam(), false)
+    }
+
+    /// GPipe's schedule: groups of `microbatches` forwards then backwards,
+    /// separated by flushes. Requires a straight (unreplicated) pipeline,
+    /// matching the paper's GPipe comparison (§5.4).
+    pub fn gpipe(config: &PipelineConfig, num_minibatches: u64, microbatches: u64) -> Schedule {
+        assert!(
+            config.stages().iter().all(|s| s.replicas == 1),
+            "GPipe schedules support straight pipelines only"
+        );
+        assert!(microbatches >= 1);
+        let num_stages = config.num_stages();
+        let mut workers = Vec::with_capacity(num_stages);
+        for stage in 0..num_stages {
+            let mut ops = Vec::new();
+            let mut mb = 0u64;
+            while mb < num_minibatches {
+                let hi = (mb + microbatches).min(num_minibatches);
+                for f in mb..hi {
+                    ops.push(Op::Forward { mb: f });
+                }
+                // Backward in reverse order, as GPipe drains the pipeline.
+                for b in (mb..hi).rev() {
+                    ops.push(Op::Backward { mb: b });
+                }
+                ops.push(Op::Flush);
+                mb = hi;
+            }
+            workers.push(WorkerSchedule {
+                worker: stage,
+                stage,
+                replica: 0,
+                ops,
+            });
+        }
+        Schedule {
+            config: config.clone(),
+            workers,
+            num_minibatches,
+        }
+    }
+
+    /// Core generator: logical-time simulation of the 1F1B-RR policy with
+    /// the paper's canonical timing (a backward pass takes twice as long as
+    /// a forward pass — Figures 2–4).
+    ///
+    /// Whenever a worker goes idle it picks the oldest ready backward if
+    /// one exists (backward priority gives the strict F/B alternation in
+    /// steady state), otherwise the oldest ready forward. The input stage
+    /// admits a new minibatch only while its replica has fewer than `depth`
+    /// minibatches in flight. An op's output becomes visible to the
+    /// consuming worker at the tick the op completes.
+    fn generate_pipelined(config: &PipelineConfig, num_minibatches: u64, depth: usize) -> Schedule {
+        Self::generate_with_policy(config, num_minibatches, depth, true)
+    }
+
+    /// Shared generator; `prefer_backward` selects 1F1B's rule (true) or
+    /// the forward-priority ablation (false).
+    fn generate_with_policy(
+        config: &PipelineConfig,
+        num_minibatches: u64,
+        depth: usize,
+        prefer_backward: bool,
+    ) -> Schedule {
+        const FWD_TICKS: u64 = 1;
+        const BWD_TICKS: u64 = 2;
+        let num_stages = config.num_stages();
+        let num_workers = config.total_workers();
+        let assignment = config.worker_assignment();
+        let mut schedules: Vec<WorkerSchedule> = (0..num_workers)
+            .map(|w| {
+                let (stage, replica) = config.stage_of_worker(w);
+                WorkerSchedule {
+                    worker: w,
+                    stage,
+                    replica,
+                    ops: Vec::new(),
+                }
+            })
+            .collect();
+
+        // Per-worker ready queues and busy-until times.
+        let mut fwd_ready: Vec<VecDeque<u64>> = vec![VecDeque::new(); num_workers];
+        let mut bwd_ready: Vec<VecDeque<u64>> = vec![VecDeque::new(); num_workers];
+        let mut busy: Vec<Option<(u64, Op)>> = vec![None; num_workers]; // (finish tick, op)
+                                                                        // Per-worker in-flight cap: stage `s` stashes at most
+                                                                        // ⌈ Σ_{t≥s} r_t / r_s ⌉ minibatches (n − s for straight pipelines,
+                                                                        // the §3.3 memory bound); the input stage uses the requested depth.
+        let caps: Vec<usize> = (0..num_workers)
+            .map(|w| {
+                let (s, _) = config.stage_of_worker(w);
+                if s == 0 {
+                    depth
+                } else {
+                    let downstream: usize = config.stages()[s..].iter().map(|st| st.replicas).sum();
+                    downstream
+                        .div_ceil(config.stages()[s].replicas)
+                        .min(depth)
+                        .max(1)
+                }
+            })
+            .collect();
+        // In-flight minibatch count per worker; input replica r admits
+        // minibatches r, r + r0, r + 2·r0, …
+        let r0 = config.stages()[0].replicas;
+        let mut in_flight = vec![0usize; num_workers];
+        let mut next_admit: Vec<u64> = (0..r0 as u64).collect();
+        let mut completed = 0u64;
+        let mut tick = 0u64;
+
+        while completed < num_minibatches {
+            // Finish ops completing at this tick and deliver their outputs.
+            for w in 0..num_workers {
+                let Some((finish, op)) = busy[w] else {
+                    continue;
+                };
+                if finish != tick {
+                    continue;
+                }
+                busy[w] = None;
+                let stage = schedules[w].stage;
+                match op {
+                    Op::Forward { mb } => {
+                        if stage + 1 < num_stages {
+                            let dst = assignment[stage + 1][config.replica_for(stage + 1, mb)];
+                            fwd_ready[dst].push_back(mb);
+                        } else {
+                            // Output stage: loss computed; backward is ready
+                            // on the same worker.
+                            bwd_ready[w].push_back(mb);
+                        }
+                    }
+                    Op::Backward { mb } => {
+                        in_flight[w] -= 1;
+                        if stage > 0 {
+                            let dst = assignment[stage - 1][config.replica_for(stage - 1, mb)];
+                            bwd_ready[dst].push_back(mb);
+                        } else {
+                            completed += 1;
+                        }
+                    }
+                    Op::Flush => unreachable!("pipelined generator never emits Flush"),
+                }
+            }
+            // Idle workers pick new work.
+            for w in 0..num_workers {
+                if busy[w].is_some() {
+                    continue;
+                }
+                let (stage, replica) = (schedules[w].stage, schedules[w].replica);
+                let try_forward = |fwd_ready: &mut Vec<VecDeque<u64>>,
+                                   next_admit: &mut Vec<u64>,
+                                   in_flight: &Vec<usize>| {
+                    if in_flight[w] >= caps[w] {
+                        return None;
+                    }
+                    if stage == 0 {
+                        let mb = next_admit[replica];
+                        if mb < num_minibatches {
+                            next_admit[replica] += r0 as u64;
+                            Some(Op::Forward { mb })
+                        } else {
+                            None
+                        }
+                    } else {
+                        fwd_ready[w].pop_front().map(|mb| Op::Forward { mb })
+                    }
+                };
+                let op = if prefer_backward {
+                    if let Some(mb) = bwd_ready[w].pop_front() {
+                        Some(Op::Backward { mb })
+                    } else {
+                        try_forward(&mut fwd_ready, &mut next_admit, &in_flight)
+                    }
+                } else {
+                    match try_forward(&mut fwd_ready, &mut next_admit, &in_flight) {
+                        Some(op) => Some(op),
+                        None => bwd_ready[w].pop_front().map(|mb| Op::Backward { mb }),
+                    }
+                };
+                if matches!(op, Some(Op::Forward { .. })) {
+                    in_flight[w] += 1;
+                }
+                if let Some(op) = op {
+                    let dur = match op {
+                        Op::Forward { .. } => FWD_TICKS,
+                        _ => BWD_TICKS,
+                    };
+                    schedules[w].ops.push(op);
+                    busy[w] = Some((tick + dur, op));
+                }
+            }
+            debug_assert!(
+                busy.iter().any(Option::is_some) || completed >= num_minibatches,
+                "schedule generation deadlocked with {completed}/{num_minibatches} done"
+            );
+            tick += 1;
+        }
+
+        Schedule {
+            config: config.clone(),
+            workers: schedules,
+            num_minibatches,
+        }
+    }
+
+    /// Validate schedule invariants; returns a description of the first
+    /// violation, if any. Checked invariants:
+    ///
+    /// 1. every worker's ops touch only minibatches routed to its replica;
+    /// 2. per worker, each minibatch has exactly one forward and one
+    ///    backward, in that order (Flush ops excepted);
+    /// 3. a minibatch's forward and backward land on the *same* worker
+    ///    (the 1F1B-RR correctness requirement of §3.2);
+    /// 4. all `num_minibatches` minibatches appear at every stage.
+    pub fn validate(&self) -> Result<(), String> {
+        for ws in &self.workers {
+            let replicas = self.config.stages()[ws.stage].replicas;
+            let mut seen_fwd = std::collections::HashSet::new();
+            let mut seen_bwd = std::collections::HashSet::new();
+            for op in &ws.ops {
+                match *op {
+                    Op::Forward { mb } => {
+                        if mb % replicas as u64 != ws.replica as u64 {
+                            return Err(format!(
+                                "worker {} (stage {} replica {}) ran forward of mb {mb}",
+                                ws.worker, ws.stage, ws.replica
+                            ));
+                        }
+                        if !seen_fwd.insert(mb) {
+                            return Err(format!("worker {}: duplicate forward {mb}", ws.worker));
+                        }
+                    }
+                    Op::Backward { mb } => {
+                        if !seen_fwd.contains(&mb) {
+                            return Err(format!(
+                                "worker {}: backward of {mb} before its forward",
+                                ws.worker
+                            ));
+                        }
+                        if !seen_bwd.insert(mb) {
+                            return Err(format!("worker {}: duplicate backward {mb}", ws.worker));
+                        }
+                    }
+                    Op::Flush => {}
+                }
+            }
+            if seen_fwd != seen_bwd {
+                return Err(format!(
+                    "worker {}: {} forwards but {} backwards",
+                    ws.worker,
+                    seen_fwd.len(),
+                    seen_bwd.len()
+                ));
+            }
+        }
+        // Coverage per stage.
+        for stage in 0..self.config.num_stages() {
+            let count: usize = self
+                .workers
+                .iter()
+                .filter(|w| w.stage == stage)
+                .map(|w| {
+                    w.ops
+                        .iter()
+                        .filter(|o| matches!(o, Op::Forward { .. }))
+                        .count()
+                })
+                .sum();
+            if count as u64 != self.num_minibatches {
+                return Err(format!(
+                    "stage {stage} saw {count} forwards, expected {}",
+                    self.num_minibatches
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The repeating steady-state op pattern of `worker` — the paper's
+    /// "static schedule of operators that each worker runs repeatedly".
+    ///
+    /// Skips the startup phase and the drain tail, then finds the shortest
+    /// cycle of op *kinds* (forward/backward, with minibatch ids abstracted
+    /// to strides) that tiles the steady region. For a balanced straight
+    /// pipeline under 1F1B this is `[Backward, Forward]`; a replica of an
+    /// `r`-way stage sees the same pattern with minibatch stride `r`.
+    /// Returns `None` when the schedule is too short to have a steady state.
+    pub fn steady_state_pattern(&self, worker: usize) -> Option<Vec<&'static str>> {
+        let ops = &self.workers[worker].ops;
+        if ops.len() < 8 {
+            return None;
+        }
+        // Steady region: middle half.
+        let kinds: Vec<&'static str> = ops[ops.len() / 4..3 * ops.len() / 4]
+            .iter()
+            .map(|o| match o {
+                Op::Forward { .. } => "F",
+                Op::Backward { .. } => "B",
+                Op::Flush => "|",
+            })
+            .collect();
+        // Shortest period that tiles the region.
+        for period in 1..=kinds.len() / 2 {
+            if kinds
+                .iter()
+                .enumerate()
+                .all(|(i, k)| *k == kinds[i % period])
+            {
+                return Some(kinds[..period].to_vec());
+            }
+        }
+        None
+    }
+
+    /// Maximum number of minibatches simultaneously holding stashed state at
+    /// any worker (forward done, backward not yet) — the memory-relevant
+    /// pipeline depth actually realised by the schedule.
+    pub fn peak_in_flight(&self, worker: usize) -> usize {
+        let mut depth = 0usize;
+        let mut peak = 0usize;
+        for op in &self.workers[worker].ops {
+            match op {
+                Op::Forward { .. } => {
+                    depth += 1;
+                    peak = peak.max(depth);
+                }
+                Op::Backward { .. } => depth -= 1,
+                Op::Flush => {}
+            }
+        }
+        peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight(stages: usize) -> PipelineConfig {
+        PipelineConfig::straight(stages, &(0..stages - 1).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn figure4_startup_and_steady_state() {
+        // 4-stage straight pipeline (Figure 4): stage 0 admits NOAM = 4
+        // minibatches before its first backward.
+        let config = straight(4);
+        let s = Schedule::one_f_one_b(&config, 12);
+        s.validate().unwrap();
+        let ops0 = &s.workers[0].ops;
+        let first_bwd = ops0
+            .iter()
+            .position(|o| matches!(o, Op::Backward { .. }))
+            .unwrap();
+        let fwd_before: Vec<u64> = ops0[..first_bwd]
+            .iter()
+            .filter_map(|o| o.minibatch())
+            .collect();
+        assert_eq!(
+            fwd_before,
+            vec![0, 1, 2, 3],
+            "startup admits NOAM minibatches"
+        );
+        // Steady state: strict F/B alternation on stage 0 after startup.
+        let steady = &ops0[first_bwd..ops0.len() - 4];
+        for pair in steady.chunks(2) {
+            assert!(matches!(pair[0], Op::Backward { .. }));
+            if pair.len() > 1 {
+                assert!(matches!(pair[1], Op::Forward { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn last_stage_alternates_from_the_start() {
+        let config = straight(4);
+        let s = Schedule::one_f_one_b(&config, 8);
+        let ops = &s.workers[3].ops;
+        // Output stage: F0 B0 F1 B1 … (1F1B with NOAM 1 locally).
+        assert_eq!(ops[0], Op::Forward { mb: 0 });
+        assert_eq!(ops[1], Op::Backward { mb: 0 });
+        assert_eq!(ops[2], Op::Forward { mb: 1 });
+        assert_eq!(ops[3], Op::Backward { mb: 1 });
+    }
+
+    #[test]
+    fn model_parallel_has_one_in_flight() {
+        let config = straight(4);
+        let s = Schedule::model_parallel(&config, 6);
+        s.validate().unwrap();
+        for w in 0..4 {
+            assert_eq!(s.peak_in_flight(w), 1);
+        }
+    }
+
+    #[test]
+    fn one_f_one_b_peak_in_flight_decreases_along_pipeline() {
+        // §3.3: stage s of an n-stage pipeline stashes n − s versions.
+        let config = straight(4);
+        let s = Schedule::one_f_one_b(&config, 20);
+        assert_eq!(s.peak_in_flight(0), 4);
+        assert_eq!(s.peak_in_flight(1), 3);
+        assert_eq!(s.peak_in_flight(2), 2);
+        assert_eq!(s.peak_in_flight(3), 1);
+    }
+
+    #[test]
+    fn figure8_round_robin_routing() {
+        // 2-1 configuration (Figure 8): replica 0 of stage 0 handles even
+        // minibatches, replica 1 odd ones, worker 2 handles all.
+        let config = PipelineConfig::from_counts(&[(1, 2), (1, 1)]);
+        let s = Schedule::one_f_one_b(&config, 10);
+        s.validate().unwrap();
+        for op in &s.workers[0].ops {
+            assert_eq!(op.minibatch().unwrap() % 2, 0);
+        }
+        for op in &s.workers[1].ops {
+            assert_eq!(op.minibatch().unwrap() % 2, 1);
+        }
+        let w2_fwds: Vec<u64> = s.workers[2]
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Forward { mb } => Some(*mb),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(w2_fwds, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gpipe_groups_and_flushes() {
+        let config = straight(3);
+        let s = Schedule::gpipe(&config, 8, 4);
+        s.validate().unwrap();
+        let ops = &s.workers[0].ops;
+        // First group: F0..F3, B3..B0, Flush.
+        assert_eq!(
+            &ops[..9],
+            &[
+                Op::Forward { mb: 0 },
+                Op::Forward { mb: 1 },
+                Op::Forward { mb: 2 },
+                Op::Forward { mb: 3 },
+                Op::Backward { mb: 3 },
+                Op::Backward { mb: 2 },
+                Op::Backward { mb: 1 },
+                Op::Backward { mb: 0 },
+                Op::Flush,
+            ]
+        );
+        let flushes = ops.iter().filter(|o| matches!(o, Op::Flush)).count();
+        assert_eq!(flushes, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "straight pipelines only")]
+    fn gpipe_rejects_replication() {
+        let config = PipelineConfig::from_counts(&[(1, 2), (1, 1)]);
+        Schedule::gpipe(&config, 4, 2);
+    }
+
+    #[test]
+    fn schedules_are_deterministic() {
+        let config = PipelineConfig::from_counts(&[(2, 2), (1, 1), (1, 1)]);
+        let a = Schedule::one_f_one_b(&config, 16);
+        let b = Schedule::one_f_one_b(&config, 16);
+        assert_eq!(a, b, "1F1B-RR is a static schedule");
+    }
+
+    #[test]
+    fn validate_catches_foreign_minibatch() {
+        let config = PipelineConfig::from_counts(&[(1, 2), (1, 1)]);
+        let mut s = Schedule::one_f_one_b(&config, 4);
+        // Corrupt: give worker 0 (even replica) an odd minibatch.
+        s.workers[0].ops.push(Op::Forward { mb: 3 });
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn depth_limits_in_flight() {
+        let config = straight(4);
+        for depth in 1..=6 {
+            let s = Schedule::with_depth(&config, 24, depth);
+            s.validate().unwrap();
+            assert_eq!(s.peak_in_flight(0), depth.min(24));
+        }
+    }
+
+    #[test]
+    fn steady_state_is_one_forward_one_backward() {
+        // §3.2: "each stage alternates between performing its forward pass
+        // for a minibatch and its backward pass for an earlier minibatch"
+        // — the steady-state pattern has period 2 for every stage of a
+        // balanced straight pipeline.
+        let config = straight(4);
+        let s = Schedule::one_f_one_b(&config, 64);
+        for w in 0..4 {
+            let pat = s
+                .steady_state_pattern(w)
+                .expect("long run has steady state");
+            assert_eq!(pat.len(), 2, "worker {w}: {pat:?}");
+            assert!(
+                pat.contains(&"F") && pat.contains(&"B"),
+                "worker {w}: {pat:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gpipe_steady_pattern_is_not_alternating() {
+        // GPipe's groups produce runs of Fs then runs of Bs — never the
+        // period-2 alternation.
+        let config = straight(4);
+        let s = Schedule::gpipe(&config, 64, 4);
+        let pat = s.steady_state_pattern(0).expect("steady state");
+        assert!(pat.len() > 2, "{pat:?}");
+    }
+
+    #[test]
+    fn all_minibatches_complete_with_many_replicas() {
+        let config = PipelineConfig::from_counts(&[(1, 3), (2, 2), (1, 1)]);
+        let s = Schedule::one_f_one_b(&config, 30);
+        s.validate().unwrap();
+    }
+}

@@ -1,0 +1,377 @@
+//! Weight stashing and vertical sync (paper §3.3).
+//!
+//! In a naively pipelined system a minibatch's forward pass runs with one
+//! weight version and its backward pass with another — producing invalid
+//! gradients. **Weight stashing** keeps one weight version per in-flight
+//! minibatch: the forward pass uses (and stashes) the latest version, and
+//! the backward pass for the same minibatch retrieves exactly that version.
+//!
+//! [`WeightStash`] implements the default semantics; [`VersionedStore`]
+//! adds the bookkeeping for the optional **vertical sync**, where the
+//! version observed at the input stage is pinned and propagated with the
+//! activations so *every* stage uses the same version for a given
+//! minibatch.
+//!
+//! [`staleness`] encodes the paper's update formulas so tests (and the
+//! runtime's trace checker) can assert exactly which version each stage is
+//! expected to use.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Weight stash with PipeDream's default semantics.
+///
+/// ```
+/// use pipedream_core::stash::WeightStash;
+///
+/// let mut stash = WeightStash::new(vec![0.0f32]);
+/// stash.begin_forward(7);                  // minibatch 7's forward pass
+/// stash.apply_update(|w| w[0] = 1.0);      // other minibatches update…
+/// // …but minibatch 7's backward still sees the weights its forward used:
+/// assert_eq!(stash.for_backward(7)[0], 0.0);
+/// assert_eq!(stash.latest()[0], 1.0);
+/// stash.complete_backward(7);
+/// ```
+///
+/// Versions are shared (`Arc`) so stashing is O(1); memory is only paid
+/// when an update creates a new version while old ones are still pinned by
+/// in-flight minibatches — the paper's "at most one version per in-flight
+/// minibatch" bound, which [`WeightStash::versions_held`] exposes for the
+/// memory-footprint experiments.
+#[derive(Debug, Clone)]
+pub struct WeightStash<W> {
+    latest: Arc<W>,
+    version: u64,
+    stashed: BTreeMap<u64, (u64, Arc<W>)>,
+}
+
+impl<W: Clone> WeightStash<W> {
+    /// Start at version 0 with the given initial weights.
+    pub fn new(initial: W) -> Self {
+        WeightStash {
+            latest: Arc::new(initial),
+            version: 0,
+            stashed: BTreeMap::new(),
+        }
+    }
+
+    /// Begin the forward pass of `mb`: stash the latest version under the
+    /// minibatch id and return it. Panics if `mb` is already in flight.
+    pub fn begin_forward(&mut self, mb: u64) -> Arc<W> {
+        let prev = self
+            .stashed
+            .insert(mb, (self.version, Arc::clone(&self.latest)));
+        assert!(
+            prev.is_none(),
+            "minibatch {mb} already has a stashed version"
+        );
+        Arc::clone(&self.latest)
+    }
+
+    /// The stashed weights for `mb`'s backward pass — guaranteed to be the
+    /// version its forward pass used.
+    pub fn for_backward(&self, mb: u64) -> Arc<W> {
+        let (_, w) = self
+            .stashed
+            .get(&mb)
+            .unwrap_or_else(|| panic!("no stashed weights for minibatch {mb}"));
+        Arc::clone(w)
+    }
+
+    /// The version id stashed for `mb`.
+    pub fn version_for(&self, mb: u64) -> u64 {
+        self.stashed
+            .get(&mb)
+            .unwrap_or_else(|| panic!("no stashed weights for minibatch {mb}"))
+            .0
+    }
+
+    /// Complete `mb`'s backward pass: drop its stash entry. "Parameters are
+    /// discarded once a backward pass that uses fresher parameters is
+    /// performed" (§4) — with 1F1B's in-order backward passes, dropping at
+    /// backward completion realises exactly that rule.
+    pub fn complete_backward(&mut self, mb: u64) {
+        self.stashed
+            .remove(&mb)
+            .unwrap_or_else(|| panic!("no stashed weights for minibatch {mb}"));
+    }
+
+    /// Apply a weight update, producing a new latest version; returns the
+    /// new version id. Stashed versions are untouched (copy-on-write).
+    pub fn apply_update(&mut self, update: impl FnOnce(&mut W)) -> u64 {
+        // Copy-on-write: clones only if a stash still references the
+        // current version.
+        update(Arc::make_mut(&mut self.latest));
+        self.version += 1;
+        self.version
+    }
+
+    /// The latest weights (what the next forward pass will use).
+    pub fn latest(&self) -> Arc<W> {
+        Arc::clone(&self.latest)
+    }
+
+    /// The latest version id.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of minibatches currently holding a stash.
+    pub fn in_flight(&self) -> usize {
+        self.stashed.len()
+    }
+
+    /// Number of *distinct* weight versions held (latest + stashed),
+    /// the quantity bounding PipeDream's memory overhead (§3.3).
+    pub fn versions_held(&self) -> usize {
+        let mut versions: Vec<u64> = self.stashed.values().map(|(v, _)| *v).collect();
+        versions.push(self.version);
+        versions.sort_unstable();
+        versions.dedup();
+        versions.len()
+    }
+}
+
+/// Version store for vertical sync: keeps explicit versions alive while
+/// pinned by in-flight minibatches.
+///
+/// With vertical sync, minibatch `b_i` entering the pipeline is tagged with
+/// the latest version `w^(i−x)` seen at the input stage; every stage then
+/// runs both passes of `b_i` against its *own* copy of that version, and
+/// applies its update independently afterwards (§3.3).
+#[derive(Debug, Clone)]
+pub struct VersionedStore<W> {
+    versions: BTreeMap<u64, (Arc<W>, usize)>,
+    latest: u64,
+}
+
+impl<W: Clone> VersionedStore<W> {
+    /// Start with version 0.
+    pub fn new(initial: W) -> Self {
+        let mut versions = BTreeMap::new();
+        versions.insert(0, (Arc::new(initial), 0usize));
+        VersionedStore {
+            versions,
+            latest: 0,
+        }
+    }
+
+    /// Latest version id.
+    pub fn latest_version(&self) -> u64 {
+        self.latest
+    }
+
+    /// Pin `version` for an in-flight minibatch and return its weights.
+    pub fn pin(&mut self, version: u64) -> Arc<W> {
+        let (w, pins) = self
+            .versions
+            .get_mut(&version)
+            .unwrap_or_else(|| panic!("version {version} no longer available"));
+        *pins += 1;
+        Arc::clone(w)
+    }
+
+    /// Read a pinned version without changing its pin count.
+    pub fn get(&self, version: u64) -> Arc<W> {
+        Arc::clone(
+            &self
+                .versions
+                .get(&version)
+                .unwrap_or_else(|| panic!("version {version} no longer available"))
+                .0,
+        )
+    }
+
+    /// Unpin `version`; unpinned non-latest versions are garbage collected.
+    pub fn unpin(&mut self, version: u64) {
+        let remove = {
+            let (_, pins) = self
+                .versions
+                .get_mut(&version)
+                .unwrap_or_else(|| panic!("version {version} no longer available"));
+            assert!(*pins > 0, "unpin of version {version} with no pins");
+            *pins -= 1;
+            *pins == 0 && version != self.latest
+        };
+        if remove {
+            self.versions.remove(&version);
+        }
+    }
+
+    /// Apply an update on top of `base_version`, creating a new latest
+    /// version; returns its id. (Vertical sync applies each stage's update
+    /// to its own latest weights; gradients were *computed* against the
+    /// pinned version.)
+    pub fn apply_update(&mut self, update: impl FnOnce(&mut W)) -> u64 {
+        let mut w = (*self.versions[&self.latest].0).clone();
+        update(&mut w);
+        let old_latest = self.latest;
+        self.latest += 1;
+        self.versions.insert(self.latest, (Arc::new(w), 0));
+        // The superseded latest can be dropped if nothing pins it.
+        if self
+            .versions
+            .get(&old_latest)
+            .is_some_and(|(_, pins)| *pins == 0)
+        {
+            self.versions.remove(&old_latest);
+        }
+        self.latest
+    }
+
+    /// Number of versions currently held.
+    pub fn versions_held(&self) -> usize {
+        self.versions.len()
+    }
+}
+
+/// The paper's staleness formulas (§3.3), for an `n`-stage straight
+/// pipeline with stages indexed from 0.
+pub mod staleness {
+    /// Weight stashing: stage `s` (0-indexed) of `n` computes minibatch
+    /// `t`'s gradient with weights delayed `n − 1 − s` update steps —
+    /// `w^(t−n+1)` at the first stage through `w^(t)` at the last.
+    pub fn weight_stashing_delay(stage: usize, n: usize) -> usize {
+        assert!(stage < n);
+        n - 1 - stage
+    }
+
+    /// Vertical sync: every stage uses the version pinned at the input
+    /// stage, i.e. a uniform delay of `n − 1` steps.
+    pub fn vertical_sync_delay(_stage: usize, n: usize) -> usize {
+        n - 1
+    }
+
+    /// Data parallelism with BSP: no staleness.
+    pub fn bsp_delay(_stage: usize, _n: usize) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backward_sees_forward_version() {
+        let mut stash = WeightStash::new(vec![1.0f32]);
+        let w_fwd = stash.begin_forward(0);
+        // Two updates land while mb 0 is in flight.
+        stash.apply_update(|w| w[0] = 2.0);
+        stash.apply_update(|w| w[0] = 3.0);
+        let w_bwd = stash.for_backward(0);
+        assert_eq!(w_fwd[0], w_bwd[0]);
+        assert_eq!(w_bwd[0], 1.0);
+        assert_eq!(stash.latest()[0], 3.0);
+        stash.complete_backward(0);
+        assert_eq!(stash.in_flight(), 0);
+    }
+
+    #[test]
+    fn versions_held_bounded_by_in_flight_plus_one() {
+        let mut stash = WeightStash::new(0u64);
+        for mb in 0..4 {
+            stash.begin_forward(mb);
+            stash.apply_update(|w| *w += 1);
+        }
+        assert_eq!(stash.in_flight(), 4);
+        assert!(stash.versions_held() <= 5);
+        for mb in 0..4 {
+            stash.complete_backward(mb);
+        }
+        assert_eq!(stash.versions_held(), 1);
+    }
+
+    #[test]
+    fn consecutive_forwards_share_a_version_when_no_update() {
+        let mut stash = WeightStash::new(7i32);
+        stash.begin_forward(0);
+        stash.begin_forward(1);
+        assert_eq!(stash.version_for(0), stash.version_for(1));
+        assert_eq!(stash.versions_held(), 1, "no copy until an update lands");
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a stashed version")]
+    fn double_forward_rejected() {
+        let mut stash = WeightStash::new(0u8);
+        stash.begin_forward(3);
+        stash.begin_forward(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no stashed weights")]
+    fn backward_without_forward_rejected() {
+        let stash: WeightStash<u8> = WeightStash::new(0);
+        stash.for_backward(1);
+    }
+
+    #[test]
+    fn figure9_weight_versions() {
+        // Figure 9: minibatch 5 on stage 0 (machine 1) uses weights that
+        // include minibatch 1's update; on stage 2 (machine 3) weights that
+        // include updates from minibatches 1–3. Model stage 0 of a 4-stage
+        // pipeline: updates from mb 1 land before mb 5's forward.
+        let mut stash = WeightStash::new(Vec::<u64>::new());
+        // Startup: forwards of 1..4 (paper numbers minibatches from 1).
+        for mb in 1..=4 {
+            stash.begin_forward(mb);
+        }
+        // mb 1's backward completes; its update lands; then mb 5 forward.
+        stash.complete_backward(1);
+        stash.apply_update(|w| w.push(1));
+        let w5 = stash.begin_forward(5);
+        assert_eq!(&*w5, &vec![1], "mb 5's forward sees exactly update 1");
+        // Stage keeps serving mb 5's backward with that same version even
+        // after more updates.
+        for mb in 2..=4 {
+            stash.complete_backward(mb);
+            stash.apply_update(|w| w.push(mb));
+        }
+        assert_eq!(&*stash.for_backward(5), &vec![1]);
+        assert_eq!(&*stash.latest(), &vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn versioned_store_pins_keep_versions_alive() {
+        let mut store = VersionedStore::new(10i64);
+        store.pin(0);
+        let v1 = store.apply_update(|w| *w += 1);
+        assert_eq!(v1, 1);
+        assert_eq!(store.versions_held(), 2, "v0 pinned, v1 latest");
+        assert_eq!(*store.get(0), 10);
+        assert_eq!(*store.get(1), 11);
+        store.unpin(0);
+        assert_eq!(store.versions_held(), 1, "v0 collected after unpin");
+    }
+
+    #[test]
+    fn versioned_store_collects_unpinned_superseded_latest() {
+        let mut store = VersionedStore::new(0i64);
+        store.apply_update(|w| *w += 1);
+        store.apply_update(|w| *w += 1);
+        assert_eq!(store.versions_held(), 1);
+        assert_eq!(store.latest_version(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no longer available")]
+    fn versioned_store_rejects_collected_version() {
+        let mut store = VersionedStore::new(0i64);
+        store.apply_update(|w| *w += 1);
+        store.get(0);
+    }
+
+    #[test]
+    fn staleness_formulas() {
+        use staleness::*;
+        // 4-stage pipeline: delays 3, 2, 1, 0 with stashing.
+        assert_eq!(weight_stashing_delay(0, 4), 3);
+        assert_eq!(weight_stashing_delay(3, 4), 0);
+        // Vertical sync: uniform n−1 = 3.
+        for s in 0..4 {
+            assert_eq!(vertical_sync_delay(s, 4), 3);
+        }
+        assert_eq!(bsp_delay(2, 4), 0);
+    }
+}

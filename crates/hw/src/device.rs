@@ -1,0 +1,139 @@
+//! Accelerator device model.
+//!
+//! A [`Device`] abstracts a GPU as a sustained floating-point throughput plus
+//! a memory capacity. Compute time for a layer is
+//! `flops / (peak_flops × efficiency)`; the efficiency factor folds in kernel
+//! launch overhead, memory-bandwidth limits, and framework overhead that keep
+//! real training well below peak FLOPs.
+
+use serde::{Deserialize, Serialize};
+
+/// Numeric precision used for training.
+///
+/// The paper trains in fp32 throughout and measures fp16 only for the
+/// Figure 12 communication-overhead comparison, where fp16 halves bytes on
+/// the wire but speeds compute up even more (tensor cores), so the *relative*
+/// communication overhead grows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// 32-bit IEEE floats (4 bytes/element). The paper's default.
+    Fp32,
+    /// 16-bit floats (2 bytes/element) with tensor-core acceleration.
+    Fp16,
+}
+
+impl Precision {
+    /// Bytes occupied by one tensor element at this precision.
+    pub fn bytes_per_element(self) -> u64 {
+        match self {
+            Precision::Fp32 => 4,
+            Precision::Fp16 => 2,
+        }
+    }
+
+    /// Multiplier applied to a device's fp32 throughput at this precision.
+    ///
+    /// Mixed-precision training on V100-class hardware is roughly 2–4× faster
+    /// than fp32 end to end; we use 3× (peak tensor-core speedup is 8× but
+    /// real models see far less).
+    pub fn speedup(self) -> f64 {
+        match self {
+            Precision::Fp32 => 1.0,
+            Precision::Fp16 => 3.0,
+        }
+    }
+}
+
+/// An accelerator: compute throughput + memory capacity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// Human-readable name, e.g. `"V100"`.
+    pub name: String,
+    /// Peak fp32 throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// Fraction of peak sustained during real training (0, 1].
+    pub efficiency: f64,
+    /// Device memory capacity in bytes.
+    pub mem_bytes: u64,
+}
+
+impl Device {
+    /// NVIDIA V100 (16 GB): 15.7 TFLOPS fp32.
+    ///
+    /// The 0.9 efficiency factor calibrates naive FLOP counts against real
+    /// measured training throughput (which benefits from algorithmic
+    /// speedups like Winograd convolutions that a FLOP count can't see).
+    pub fn v100() -> Self {
+        Device {
+            name: "V100".into(),
+            peak_flops: 15.7e12,
+            efficiency: 0.9,
+            mem_bytes: 16 << 30,
+        }
+    }
+
+    /// NVIDIA GTX 1080 Ti (11 GB): 11.3 TFLOPS fp32.
+    pub fn gtx_1080ti() -> Self {
+        Device {
+            name: "1080Ti".into(),
+            peak_flops: 11.3e12,
+            efficiency: 0.9,
+            mem_bytes: 11 << 30,
+        }
+    }
+
+    /// NVIDIA Titan X (12 GB): 6.7 TFLOPS fp32 (Maxwell-era card used in the
+    /// paper's private Cluster-C).
+    pub fn titan_x() -> Self {
+        Device {
+            name: "TitanX".into(),
+            peak_flops: 6.7e12,
+            efficiency: 0.9,
+            mem_bytes: 12 << 30,
+        }
+    }
+
+    /// Sustained throughput in FLOP/s at the given precision.
+    pub fn sustained_flops(&self, precision: Precision) -> f64 {
+        self.peak_flops * self.efficiency * precision.speedup()
+    }
+
+    /// Time in seconds to execute `flops` floating-point operations.
+    pub fn compute_time(&self, flops: f64, precision: Precision) -> f64 {
+        flops / self.sustained_flops(precision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_faster_than_1080ti() {
+        let v = Device::v100();
+        let g = Device::gtx_1080ti();
+        assert!(v.sustained_flops(Precision::Fp32) > g.sustained_flops(Precision::Fp32));
+    }
+
+    #[test]
+    fn compute_time_scales_linearly_with_flops() {
+        let d = Device::v100();
+        let t1 = d.compute_time(1e12, Precision::Fp32);
+        let t2 = d.compute_time(2e12, Precision::Fp32);
+        assert!((t2 / t1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fp16_is_faster_and_smaller() {
+        let d = Device::v100();
+        assert!(d.compute_time(1e12, Precision::Fp16) < d.compute_time(1e12, Precision::Fp32));
+        assert!(Precision::Fp16.bytes_per_element() < Precision::Fp32.bytes_per_element());
+    }
+
+    #[test]
+    fn memory_capacities_match_table_2() {
+        assert_eq!(Device::v100().mem_bytes, 16 << 30);
+        assert_eq!(Device::gtx_1080ti().mem_bytes, 11 << 30);
+        assert_eq!(Device::titan_x().mem_bytes, 12 << 30);
+    }
+}

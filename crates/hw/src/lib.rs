@@ -1,0 +1,27 @@
+//! Hardware topology and cost models for the PipeDream reproduction.
+//!
+//! The paper evaluates PipeDream on three GPU clusters (Table 2) and three
+//! multi-GPU server types (Figure 1). This crate substitutes that physical
+//! hardware with a parametric model:
+//!
+//! * [`Device`] — an accelerator with a sustained compute throughput and a
+//!   memory capacity (V100, 1080 Ti, Titan X presets),
+//! * [`Level`] / [`Topology`] — the paper's hierarchical interconnect model
+//!   (§3.1, Figure 7): level `k` is made of `m_k` components of level `k-1`
+//!   joined by links of bandwidth `B_k`,
+//! * [`link`] — point-to-point and collective (all_reduce) time models,
+//! * [`presets`] — Cluster-A/B/C from Table 2 and the Figure-1 server types.
+//!
+//! All of PipeDream's planning decisions depend only on per-layer compute
+//! times and byte counts flowing over this bandwidth hierarchy, which is why
+//! a parametric model preserves the paper's behaviour (see DESIGN.md §2).
+
+pub mod device;
+pub mod link;
+pub mod presets;
+pub mod topology;
+
+pub use device::{Device, Precision};
+pub use link::{allreduce_time, p2p_time, LinkModel};
+pub use presets::{ClusterPreset, ServerKind};
+pub use topology::{Level, Topology};

@@ -1,0 +1,203 @@
+//! Cluster and server presets matching the paper's testbeds.
+//!
+//! Table 2 defines three clusters; Figure 1 uses three multi-GPU server
+//! types. Bandwidth constants come from §2.3: shared PCIe trees run at
+//! 10–15 GB/s, NVLink point-to-point at ~30 GB/s (we use effective values
+//! somewhat below the quoted peaks), and inter-server Ethernet at the
+//! quoted 10/25/40 Gbit/s.
+
+use crate::device::Device;
+use crate::link::LinkModel;
+use crate::topology::{Level, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Effective per-transfer PCIe bandwidth inside a server (bytes/s).
+/// §2.3 quotes 10–15 GB/s for the shared tree; GPU-to-GPU copies without
+/// peer-to-peer DMA bounce through host memory and sustain far less.
+const PCIE_BYTES_PER_SEC: f64 = 4e9;
+/// Effective NVLink point-to-point bandwidth (bytes/s); §2.3 quotes 30 GB/s
+/// peak.
+const NVLINK_BYTES_PER_SEC: f64 = 20e9;
+/// Fraction of nominal Ethernet bandwidth sustained by NCCL over TCP.
+const ETHERNET_EFFICIENCY: f64 = 0.7;
+/// Fraction sustained by Gloo over TCP on single-GPU nodes (Cluster-C has
+/// no NCCL-friendly multi-GPU topology; Gloo's host-mediated all_reduce
+/// sustains only a few Gbit/s regardless of the 40 Gbit/s fabric).
+const GLOO_TCP_EFFICIENCY: f64 = 0.08;
+/// Intra-server message latency.
+const INTRA_LATENCY: f64 = 10e-6;
+/// Inter-server message latency (Ethernet + software stack).
+const INTER_LATENCY: f64 = 50e-6;
+
+/// The kind of multi-GPU server a cluster is built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServerKind {
+    /// Figure 1(a): 8 × 1080 Ti over shared PCIe, 25 Gbps Ethernet.
+    Pcie1080Ti8,
+    /// Figure 1(b) and Cluster-A (Azure NC24 v3): 4 × V100 over PCIe,
+    /// 10 Gbps Ethernet.
+    PcieV100x4,
+    /// Figure 1(c) and Cluster-B (AWS p3.16xlarge): 8 × V100 with NVLink,
+    /// 25 Gbps Ethernet.
+    NvlinkV100x8,
+    /// Cluster-C: single Titan X per server, 40 Gbps Ethernet.
+    TitanX1,
+}
+
+impl ServerKind {
+    /// The accelerator installed in this server kind.
+    pub fn device(self) -> Device {
+        match self {
+            ServerKind::Pcie1080Ti8 => Device::gtx_1080ti(),
+            ServerKind::PcieV100x4 | ServerKind::NvlinkV100x8 => Device::v100(),
+            ServerKind::TitanX1 => Device::titan_x(),
+        }
+    }
+
+    /// GPUs per server.
+    pub fn gpus_per_server(self) -> usize {
+        match self {
+            ServerKind::Pcie1080Ti8 | ServerKind::NvlinkV100x8 => 8,
+            ServerKind::PcieV100x4 => 4,
+            ServerKind::TitanX1 => 1,
+        }
+    }
+
+    /// Intra-server link model (PCIe or NVLink). PCIe trees are a shared
+    /// medium (all GPUs funnel through one root complex), which is what
+    /// makes multi-GPU all_reduce slow on PCIe-only servers (Figure 1a/1b).
+    pub fn intra_link(self) -> LinkModel {
+        match self {
+            ServerKind::Pcie1080Ti8 | ServerKind::PcieV100x4 => {
+                LinkModel::new(PCIE_BYTES_PER_SEC, INTRA_LATENCY).shared_medium()
+            }
+            ServerKind::NvlinkV100x8 => LinkModel::new(NVLINK_BYTES_PER_SEC, INTRA_LATENCY),
+            // Single-GPU servers have no intra-server GPU link; give them the
+            // PCIe model so degenerate 1-GPU "levels" still have a bandwidth.
+            ServerKind::TitanX1 => {
+                LinkModel::new(PCIE_BYTES_PER_SEC, INTRA_LATENCY).shared_medium()
+            }
+        }
+    }
+
+    /// Inter-server Ethernet link model (nominal Gbit/s derated by the
+    /// sustained TCP efficiency of NCCL/Gloo).
+    pub fn inter_link(self) -> LinkModel {
+        let (gbps, efficiency) = match self {
+            ServerKind::Pcie1080Ti8 => (25.0, ETHERNET_EFFICIENCY),
+            ServerKind::PcieV100x4 => (10.0, ETHERNET_EFFICIENCY),
+            ServerKind::NvlinkV100x8 => (25.0, ETHERNET_EFFICIENCY),
+            ServerKind::TitanX1 => (40.0, GLOO_TCP_EFFICIENCY),
+        };
+        LinkModel::from_gbps(gbps * efficiency, INTER_LATENCY)
+    }
+
+    /// Build a topology of `num_servers` servers of this kind.
+    pub fn cluster(self, num_servers: usize) -> Topology {
+        assert!(num_servers >= 1);
+        let mut levels = vec![Level {
+            name: format!("intra-server ({} GPUs)", self.gpus_per_server()),
+            arity: self.gpus_per_server(),
+            link: self.intra_link(),
+        }];
+        if num_servers > 1 {
+            levels.push(Level {
+                name: format!("inter-server ({num_servers} servers)"),
+                arity: num_servers,
+                link: self.inter_link(),
+            });
+        }
+        Topology::new(self.device(), levels)
+    }
+}
+
+/// The three clusters of Table 2, parameterised by server count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClusterPreset {
+    /// Cluster-A: Azure NC24 v3 — 4 × V100 (PCIe), 10 Gbps inter-server.
+    A,
+    /// Cluster-B: AWS p3.16xlarge — 8 × V100 (NVLink), 25 Gbps inter-server.
+    B,
+    /// Cluster-C: private — 1 × Titan X per server, 40 Gbps inter-server.
+    C,
+}
+
+impl ClusterPreset {
+    /// Underlying server kind.
+    pub fn server_kind(self) -> ServerKind {
+        match self {
+            ClusterPreset::A => ServerKind::PcieV100x4,
+            ClusterPreset::B => ServerKind::NvlinkV100x8,
+            ClusterPreset::C => ServerKind::TitanX1,
+        }
+    }
+
+    /// Topology of `num_servers` servers of this cluster's kind.
+    ///
+    /// The paper writes configurations as `#servers x #GPUs-per-server (X)`,
+    /// e.g. `4x4 (A)` is `ClusterPreset::A.with_servers(4)`.
+    pub fn with_servers(self, num_servers: usize) -> Topology {
+        self.server_kind().cluster(num_servers)
+    }
+
+    /// Display name matching Table 2.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClusterPreset::A => "Cluster-A",
+            ClusterPreset::B => "Cluster-B",
+            ClusterPreset::C => "Cluster-C",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_a_4x4_has_16_workers() {
+        let t = ClusterPreset::A.with_servers(4);
+        assert_eq!(t.total_workers(), 16);
+        assert_eq!(t.num_levels(), 2);
+        assert_eq!(t.device.name, "V100");
+    }
+
+    #[test]
+    fn cluster_b_single_server_is_one_level() {
+        let t = ClusterPreset::B.with_servers(1);
+        assert_eq!(t.total_workers(), 8);
+        assert_eq!(t.num_levels(), 1);
+        // NVLink is faster than PCIe.
+        assert!(t.link(1).bandwidth_bytes_per_sec > PCIE_BYTES_PER_SEC);
+    }
+
+    #[test]
+    fn cluster_c_is_one_gpu_per_server() {
+        let t = ClusterPreset::C.with_servers(4);
+        assert_eq!(t.total_workers(), 4);
+        assert_eq!(t.device.name, "TitanX");
+    }
+
+    #[test]
+    fn inter_server_is_slower_than_intra() {
+        for kind in [
+            ServerKind::Pcie1080Ti8,
+            ServerKind::PcieV100x4,
+            ServerKind::NvlinkV100x8,
+        ] {
+            assert!(
+                kind.inter_link().bandwidth_bytes_per_sec
+                    < kind.intra_link().bandwidth_bytes_per_sec,
+                "{kind:?}: inter-server links must be the slow level"
+            );
+        }
+    }
+
+    #[test]
+    fn figure1_server_kinds_scale_out() {
+        // 32 GPUs of each Figure-1 kind.
+        assert_eq!(ServerKind::Pcie1080Ti8.cluster(4).total_workers(), 32);
+        assert_eq!(ServerKind::PcieV100x4.cluster(8).total_workers(), 32);
+        assert_eq!(ServerKind::NvlinkV100x8.cluster(4).total_workers(), 32);
+    }
+}

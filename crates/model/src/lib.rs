@@ -1,0 +1,28 @@
+//! Per-layer DNN profiles and the paper's model zoo.
+//!
+//! PipeDream's profiler (§3.1) records three quantities per layer `l` from a
+//! short single-GPU run:
+//!
+//! * `T_l` — total forward + backward compute time,
+//! * `a_l` — output activation size in bytes,
+//! * `w_l` — weight parameter size in bytes.
+//!
+//! Everything downstream (the partitioner, the simulator) consumes only this
+//! triple. This crate provides:
+//!
+//! * [`LayerProfile`] / [`ModelProfile`] — the profile representation, with
+//!   compute expressed in FLOPs so the same profile retargets to any
+//!   [`pipedream_hw::Device`];
+//! * [`zoo`] — profiles of the paper's seven models (VGG-16, ResNet-50,
+//!   AlexNet, GNMT-8/16, AWD-LM, S2VT) built from the published
+//!   architectures (parameter counts and activation shapes from layer
+//!   dimensions, compute from FLOP counts);
+//! * [`profiler`] — the real profiling path: run a `pipedream-tensor` model
+//!   on sample inputs and measure the triple, as the paper's profiler does.
+
+pub mod profile;
+pub mod profiler;
+pub mod zoo;
+
+pub use profile::{LayerCosts, LayerProfile, ModelProfile};
+pub use profiler::{profile_sequential, profile_with_stats, ProfileStats};

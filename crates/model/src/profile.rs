@@ -1,0 +1,234 @@
+//! The profile representation consumed by PipeDream's optimizer.
+
+use pipedream_hw::{Device, Precision};
+use serde::{Deserialize, Serialize};
+
+/// Profile of a single layer (or fused layer group) — the paper's
+/// `(T_l, a_l, w_l)` triple, with compute kept in FLOPs so the profile
+/// retargets to any device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerProfile {
+    /// Layer name, e.g. `"conv3_2"`.
+    pub name: String,
+    /// Forward-pass FLOPs per sample.
+    pub flops_fwd: f64,
+    /// Backward/forward compute ratio (the paper observes the backward pass
+    /// is consistently larger; ≈ 2 for most layers).
+    pub bwd_factor: f64,
+    /// Output activation *elements* per sample (`a_l / bytes-per-element`).
+    /// The same count flows backward as the input gradient.
+    pub activation_elems: u64,
+    /// Number of weight scalars (`w_l / bytes-per-element`).
+    pub weight_params: u64,
+}
+
+impl LayerProfile {
+    /// Convenience constructor with the default backward factor of 2.
+    pub fn new(
+        name: impl Into<String>,
+        flops_fwd: f64,
+        activation_elems: u64,
+        weight_params: u64,
+    ) -> Self {
+        LayerProfile {
+            name: name.into(),
+            flops_fwd,
+            bwd_factor: 2.0,
+            activation_elems,
+            weight_params,
+        }
+    }
+}
+
+/// A whole model profile: ordered layers plus training metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Model name, e.g. `"VGG-16"`.
+    pub name: String,
+    /// Layers in forward order.
+    pub layers: Vec<LayerProfile>,
+    /// Per-GPU minibatch size used in the paper's experiments (§5.1).
+    pub default_batch: usize,
+    /// Input elements per sample (size of the tensor fed to layer 0).
+    pub input_elems: u64,
+}
+
+impl ModelProfile {
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total trainable parameters.
+    pub fn total_params(&self) -> u64 {
+        self.layers.iter().map(|l| l.weight_params).sum()
+    }
+
+    /// Total model size in bytes at `precision`.
+    pub fn total_weight_bytes(&self, precision: Precision) -> u64 {
+        self.total_params() * precision.bytes_per_element()
+    }
+
+    /// Materialise per-layer costs for a concrete device, per-GPU minibatch
+    /// size, and precision — the planner/simulator input.
+    pub fn costs(&self, device: &Device, batch: usize, precision: Precision) -> LayerCosts {
+        let bpe = precision.bytes_per_element();
+        let layers = self
+            .layers
+            .iter()
+            .map(|l| {
+                let fwd = device.compute_time(l.flops_fwd * batch as f64, precision);
+                LayerCost {
+                    name: l.name.clone(),
+                    fwd_s: fwd,
+                    bwd_s: fwd * l.bwd_factor,
+                    activation_bytes: l.activation_elems * batch as u64 * bpe,
+                    weight_bytes: l.weight_params * bpe,
+                }
+            })
+            .collect();
+        LayerCosts {
+            model: self.name.clone(),
+            batch,
+            layers,
+        }
+    }
+}
+
+/// Concrete per-layer costs for one (device, batch, precision) context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerCosts {
+    /// Source model name.
+    pub model: String,
+    /// Per-GPU minibatch size the costs are for.
+    pub batch: usize,
+    /// Per-layer costs in forward order.
+    pub layers: Vec<LayerCost>,
+}
+
+/// Cost of one layer in a concrete context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// Layer name.
+    pub name: String,
+    /// Forward compute seconds for the whole minibatch.
+    pub fwd_s: f64,
+    /// Backward compute seconds for the whole minibatch.
+    pub bwd_s: f64,
+    /// Output activation bytes for the whole minibatch (`a_l`).
+    pub activation_bytes: u64,
+    /// Weight bytes (`w_l`).
+    pub weight_bytes: u64,
+}
+
+impl LayerCost {
+    /// `T_l`: total fwd + bwd compute seconds.
+    pub fn total_s(&self) -> f64 {
+        self.fwd_s + self.bwd_s
+    }
+}
+
+impl LayerCosts {
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `Σ T_l` over the inclusive layer range `[i, j]`.
+    pub fn total_compute(&self, i: usize, j: usize) -> f64 {
+        self.layers[i..=j].iter().map(|l| l.total_s()).sum()
+    }
+
+    /// `Σ T_l` over all layers — one full minibatch of compute.
+    pub fn total_compute_all(&self) -> f64 {
+        self.total_compute(0, self.layers.len() - 1)
+    }
+
+    /// `Σ w_l` bytes over the inclusive range `[i, j]`.
+    pub fn weight_bytes(&self, i: usize, j: usize) -> u64 {
+        self.layers[i..=j].iter().map(|l| l.weight_bytes).sum()
+    }
+
+    /// Total weight bytes of the model.
+    pub fn weight_bytes_all(&self) -> u64 {
+        self.weight_bytes(0, self.layers.len() - 1)
+    }
+
+    /// `a_l` of layer `l` (bytes crossing the `l → l+1` boundary for the
+    /// whole minibatch).
+    pub fn activation_bytes(&self, l: usize) -> u64 {
+        self.layers[l].activation_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipedream_hw::Device;
+
+    fn toy_profile() -> ModelProfile {
+        ModelProfile {
+            name: "toy".into(),
+            layers: vec![
+                LayerProfile::new("a", 1e9, 1000, 10_000),
+                LayerProfile::new("b", 2e9, 500, 20_000),
+                LayerProfile::new("c", 1e9, 10, 1_000_000),
+            ],
+            default_batch: 8,
+            input_elems: 100,
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let p = toy_profile();
+        assert_eq!(p.total_params(), 1_030_000);
+        assert_eq!(p.total_weight_bytes(Precision::Fp32), 4_120_000);
+    }
+
+    #[test]
+    fn costs_scale_with_batch() {
+        let p = toy_profile();
+        let d = Device::v100();
+        let c8 = p.costs(&d, 8, Precision::Fp32);
+        let c16 = p.costs(&d, 16, Precision::Fp32);
+        assert!((c16.layers[0].fwd_s / c8.layers[0].fwd_s - 2.0).abs() < 1e-9);
+        assert_eq!(
+            c16.layers[0].activation_bytes,
+            2 * c8.layers[0].activation_bytes
+        );
+        // Weights do not scale with batch.
+        assert_eq!(c16.layers[0].weight_bytes, c8.layers[0].weight_bytes);
+    }
+
+    #[test]
+    fn backward_is_double_forward_by_default() {
+        let p = toy_profile();
+        let c = p.costs(&Device::v100(), 8, Precision::Fp32);
+        for l in &c.layers {
+            assert!((l.bwd_s / l.fwd_s - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn range_sums() {
+        let p = toy_profile();
+        let c = p.costs(&Device::v100(), 8, Precision::Fp32);
+        let whole = c.total_compute(0, 2);
+        assert!((c.total_compute(0, 0) + c.total_compute(1, 2) - whole).abs() < 1e-12);
+        assert_eq!(c.weight_bytes(0, 2), 4_120_000);
+    }
+
+    #[test]
+    fn fp16_halves_bytes() {
+        let p = toy_profile();
+        let d = Device::v100();
+        let c32 = p.costs(&d, 8, Precision::Fp32);
+        let c16 = p.costs(&d, 8, Precision::Fp16);
+        assert_eq!(
+            c16.layers[0].activation_bytes * 2,
+            c32.layers[0].activation_bytes
+        );
+        assert!(c16.layers[0].fwd_s < c32.layers[0].fwd_s);
+    }
+}

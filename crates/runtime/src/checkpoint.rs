@@ -1,0 +1,95 @@
+//! Per-stage checkpointing (paper §4).
+//!
+//! "Checkpoints don't require expensive global coordination. Each stage
+//! dumps its model parameters locally when it performs the backward pass
+//! for the last minibatch in an epoch." Checkpoints here are JSON files of
+//! the stage's parameter tensors, one file per (stage, epoch).
+
+use pipedream_tensor::Tensor;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+fn stage_file(dir: &Path, stage: usize, epoch: usize) -> PathBuf {
+    dir.join(format!("stage{stage}_epoch{epoch}.json"))
+}
+
+/// Write stage `stage`'s parameters at the end of `epoch`.
+pub fn save_stage(dir: &Path, stage: usize, epoch: usize, params: &[Tensor]) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let json = serde_json::to_string(params).map_err(io::Error::other)?;
+    // Write-then-rename so a crash mid-write never corrupts the previous
+    // checkpoint.
+    let tmp = dir.join(format!(".stage{stage}_epoch{epoch}.tmp"));
+    fs::write(&tmp, json)?;
+    fs::rename(tmp, stage_file(dir, stage, epoch))
+}
+
+/// Load stage `stage`'s parameters from `epoch`'s checkpoint.
+pub fn load_stage(dir: &Path, stage: usize, epoch: usize) -> io::Result<Vec<Tensor>> {
+    let json = fs::read_to_string(stage_file(dir, stage, epoch))?;
+    serde_json::from_str(&json).map_err(io::Error::other)
+}
+
+/// Latest epoch for which *all* `stages` checkpoints exist — the epoch a
+/// restarted run resumes from (§4: "restarting entails starting from the
+/// last successfully created checkpoint for all stages").
+pub fn latest_complete_epoch(dir: &Path, stages: usize) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    let entries = fs::read_dir(dir).ok()?;
+    let mut epochs: Vec<usize> = entries
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            let rest = name.strip_prefix("stage0_epoch")?;
+            rest.strip_suffix(".json")?.parse().ok()
+        })
+        .collect();
+    epochs.sort_unstable();
+    for epoch in epochs {
+        if (0..stages).all(|s| stage_file(dir, s, epoch).exists()) {
+            best = Some(epoch);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::env;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = env::temp_dir().join(format!("pipedream-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn round_trip() {
+        let dir = tmpdir("rt");
+        let params = vec![Tensor::from_slice(&[1.0, 2.0]), Tensor::zeros(&[2, 2])];
+        save_stage(&dir, 0, 3, &params).unwrap();
+        let loaded = load_stage(&dir, 0, 3).unwrap();
+        assert_eq!(loaded, params);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn latest_complete_requires_all_stages() {
+        let dir = tmpdir("latest");
+        let p = vec![Tensor::from_slice(&[0.5])];
+        save_stage(&dir, 0, 0, &p).unwrap();
+        save_stage(&dir, 1, 0, &p).unwrap();
+        save_stage(&dir, 0, 1, &p).unwrap(); // stage 1 epoch 1 missing
+        assert_eq!(latest_complete_epoch(&dir, 2), Some(0));
+        save_stage(&dir, 1, 1, &p).unwrap();
+        assert_eq!(latest_complete_epoch(&dir, 2), Some(1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_dir_is_none() {
+        assert_eq!(latest_complete_epoch(Path::new("/nonexistent-pd"), 1), None);
+    }
+}

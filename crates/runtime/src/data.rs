@@ -1,0 +1,102 @@
+//! Shared training-data view for stage workers.
+
+use pipedream_tensor::data::Dataset;
+use pipedream_tensor::Tensor;
+
+/// Read-only dataset view shared (via `Arc`) by the input stage (which
+/// needs minibatch inputs) and the output stage (which needs labels).
+///
+/// Minibatch ids are global across epochs: id `mb` maps to epoch
+/// `mb / minibatches_per_epoch` and within-epoch index
+/// `mb % minibatches_per_epoch`. Every epoch visits minibatches in the
+/// same order — the datasets are pre-shuffled at generation time, keeping
+/// all execution modes comparable input-for-input.
+#[derive(Debug, Clone)]
+pub struct TrainData {
+    dataset: Dataset,
+    batch: usize,
+    mbs_per_epoch: usize,
+}
+
+impl TrainData {
+    /// Wrap a dataset with a minibatch size.
+    pub fn new(dataset: Dataset, batch: usize) -> Self {
+        assert!(batch >= 1);
+        let mbs_per_epoch = dataset.num_minibatches(batch);
+        assert!(mbs_per_epoch >= 1, "dataset is empty");
+        TrainData {
+            dataset,
+            batch,
+            mbs_per_epoch,
+        }
+    }
+
+    /// Minibatches per epoch.
+    pub fn minibatches_per_epoch(&self) -> usize {
+        self.mbs_per_epoch
+    }
+
+    /// Configured minibatch size.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Epoch that minibatch `mb` belongs to.
+    pub fn epoch_of(&self, mb: u64) -> usize {
+        (mb / self.mbs_per_epoch as u64) as usize
+    }
+
+    /// Whether `mb` is the last minibatch of its epoch.
+    pub fn is_epoch_end(&self, mb: u64) -> bool {
+        (mb as usize + 1).is_multiple_of(self.mbs_per_epoch)
+    }
+
+    /// Input tensor for minibatch `mb`.
+    pub fn input(&self, mb: u64) -> Tensor {
+        let idx = (mb % self.mbs_per_epoch as u64) as usize;
+        self.dataset.minibatch(idx, self.batch).0
+    }
+
+    /// Labels for minibatch `mb`.
+    pub fn labels(&self, mb: u64) -> Vec<usize> {
+        let idx = (mb % self.mbs_per_epoch as u64) as usize;
+        self.dataset.minibatch(idx, self.batch).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipedream_tensor::data::blobs;
+
+    #[test]
+    fn epoch_arithmetic() {
+        let d = TrainData::new(blobs(40, 4, 2, 0.3, 1), 8);
+        assert_eq!(d.minibatches_per_epoch(), 5);
+        assert_eq!(d.epoch_of(0), 0);
+        assert_eq!(d.epoch_of(4), 0);
+        assert_eq!(d.epoch_of(5), 1);
+        assert!(d.is_epoch_end(4));
+        assert!(!d.is_epoch_end(5));
+    }
+
+    #[test]
+    fn same_minibatch_across_epochs() {
+        let d = TrainData::new(blobs(16, 4, 2, 0.3, 2), 8);
+        assert_eq!(d.input(0), d.input(2));
+        assert_eq!(d.labels(1), d.labels(3));
+    }
+
+    #[test]
+    fn short_final_minibatch() {
+        let d = TrainData::new(blobs(20, 4, 2, 0.3, 3), 8);
+        assert_eq!(d.minibatches_per_epoch(), 3);
+        assert_eq!(d.input(2).rows(), 4);
+        assert_eq!(d.labels(2).len(), 4);
+    }
+}

@@ -1,0 +1,37 @@
+//! A real, multi-threaded pipeline-parallel training runtime.
+//!
+//! Where `pipedream-sim` *models* PipeDream's execution against a hardware
+//! cost model, this crate *performs* it: pipeline stages run as OS threads
+//! connected by channels, executing the same static 1F1B-RR schedules
+//! ([`pipedream_core::schedule::Schedule`]) against real
+//! `pipedream-tensor` models on synthetic datasets. It exists to
+//! demonstrate the paper's §3.3 "effective learning" claims mechanically:
+//!
+//! * with **weight stashing**, every minibatch's backward pass runs against
+//!   exactly the weights its forward pass used — gradients are valid, and
+//!   training converges like sequential SGD (runtime tests cross-check the
+//!   staleness formulas and convergence);
+//! * **naive pipelining** (no stashing) mixes weight versions between the
+//!   two passes and converges worse or diverges;
+//! * **vertical sync** additionally makes the version consistent across
+//!   stages;
+//! * **GPipe** semantics (microbatch groups + flush) match gradient
+//!   aggregation over the group.
+//!
+//! [`baselines`] provides single-worker SGD, BSP data parallelism, and ASP
+//! for the paper's comparisons; [`checkpoint`] implements §4's per-stage
+//! checkpointing without global coordination.
+
+pub mod baselines;
+pub mod checkpoint;
+pub mod data;
+pub mod message;
+pub mod report;
+pub mod sync;
+pub mod trainer;
+pub mod worker;
+
+pub use baselines::{train_asp, train_bsp_dp, train_sequential};
+pub use data::TrainData;
+pub use report::{EpochStats, TrainReport, VersionRecord};
+pub use trainer::{train_pipeline, LrSchedule, OptimKind, Semantics, TrainOpts};

@@ -1,0 +1,53 @@
+//! Messages exchanged between stage workers and the coordinator.
+
+use pipedream_tensor::Tensor;
+
+/// Activation flowing forward from stage `s` to stage `s+1`.
+#[derive(Debug, Clone)]
+pub struct ActMsg {
+    /// Minibatch id.
+    pub mb: u64,
+    /// Weight version pinned at the input stage (vertical sync only;
+    /// 0 otherwise).
+    pub version_tag: u64,
+    /// Output activations of the producing stage.
+    pub data: Tensor,
+}
+
+/// Gradient flowing backward from stage `s` to stage `s-1`.
+#[derive(Debug, Clone)]
+pub struct GradMsg {
+    /// Minibatch id.
+    pub mb: u64,
+    /// Gradient w.r.t. the consuming stage's output activations.
+    pub data: Tensor,
+}
+
+/// Metric events sent to the coordinator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricMsg {
+    /// A completed op with real wall-clock timestamps (tracing only).
+    Op(crate::report::OpTrace),
+    /// Loss/accuracy of one minibatch, measured at the output stage.
+    Loss {
+        /// Minibatch id.
+        mb: u64,
+        /// Mean cross-entropy loss.
+        loss: f32,
+        /// Correctly classified samples.
+        correct: usize,
+        /// Samples in the minibatch.
+        count: usize,
+    },
+    /// Which weight version a stage used for a minibatch's forward pass
+    /// (drives the Figure-9 / staleness-formula checks).
+    FwdVersion {
+        /// Pipeline stage.
+        stage: usize,
+        /// Minibatch id.
+        mb: u64,
+        /// Local weight version (number of updates applied before this
+        /// forward pass).
+        version: u64,
+    },
+}

@@ -1,0 +1,187 @@
+//! Training reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregated metrics of one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss over the epoch's minibatches.
+    pub loss: f32,
+    /// Training accuracy over the epoch.
+    pub accuracy: f32,
+    /// Number of samples seen.
+    pub samples: usize,
+}
+
+/// Which weight version a stage used for a minibatch's forward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VersionRecord {
+    /// Pipeline stage.
+    pub stage: usize,
+    /// Minibatch id.
+    pub mb: u64,
+    /// Local weight version at forward time.
+    pub version: u64,
+}
+
+/// One executed operation with real wall-clock timestamps (relative to the
+/// run start) — lets the runtime draw its own Figure-4-style timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpTrace {
+    /// Global worker id.
+    pub worker: usize,
+    /// Minibatch id.
+    pub mb: u64,
+    /// Whether this was a backward pass.
+    pub backward: bool,
+    /// Start, seconds since run start.
+    pub start_s: f64,
+    /// End, seconds since run start.
+    pub end_s: f64,
+}
+
+/// Output of a training run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Per-epoch training metrics, in epoch order.
+    pub per_epoch: Vec<EpochStats>,
+    /// Forward-pass weight-version trace (pipeline modes only).
+    pub version_trace: Vec<VersionRecord>,
+    /// Per-minibatch training loss, in minibatch order (finer-grained than
+    /// `per_epoch`; useful for convergence plots).
+    pub per_minibatch: Vec<(u64, f32)>,
+    /// Real execution trace (when `TrainOpts::trace` is set).
+    pub op_trace: Vec<OpTrace>,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_time_s: f64,
+}
+
+impl TrainReport {
+    /// Final epoch's training accuracy (0 if no epochs ran).
+    pub fn final_accuracy(&self) -> f32 {
+        self.per_epoch.last().map(|e| e.accuracy).unwrap_or(0.0)
+    }
+
+    /// Final epoch's training loss (+∞ if no epochs ran).
+    pub fn final_loss(&self) -> f32 {
+        self.per_epoch
+            .last()
+            .map(|e| e.loss)
+            .unwrap_or(f32::INFINITY)
+    }
+
+    /// First epoch whose accuracy reaches `target`, if any.
+    pub fn epochs_to_accuracy(&self, target: f32) -> Option<usize> {
+        self.per_epoch
+            .iter()
+            .find(|e| e.accuracy >= target)
+            .map(|e| e.epoch + 1)
+    }
+
+    /// Render the real execution trace as an ASCII timeline (one row per
+    /// worker; digits are forward passes by minibatch id mod 10, `#`
+    /// backward passes, `.` idle). Empty string when tracing was off.
+    pub fn render_trace(&self, cols: usize) -> String {
+        if self.op_trace.is_empty() {
+            return String::new();
+        }
+        let workers = self.op_trace.iter().map(|t| t.worker).max().unwrap() + 1;
+        let span = self.op_trace.iter().map(|t| t.end_s).fold(0.0f64, f64::max);
+        let mut out = String::new();
+        for w in 0..workers {
+            out.push_str(&format!("worker {w:2} |"));
+            for c in 0..cols {
+                let t = (c as f64 + 0.5) / cols as f64 * span;
+                let cell = self
+                    .op_trace
+                    .iter()
+                    .find(|o| o.worker == w && o.start_s <= t && t < o.end_s)
+                    .map(|o| {
+                        if o.backward {
+                            '#'
+                        } else {
+                            char::from_digit((o.mb % 10) as u32, 10).unwrap_or('?')
+                        }
+                    })
+                    .unwrap_or('.');
+                out.push(cell);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Versions used for minibatch `mb`'s forward pass, by stage.
+    pub fn versions_for(&self, mb: u64) -> Vec<(usize, u64)> {
+        let mut v: Vec<(usize, u64)> = self
+            .version_trace
+            .iter()
+            .filter(|r| r.mb == mb)
+            .map(|r| (r.stage, r.version))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_to_accuracy_finds_first_crossing() {
+        let r = TrainReport {
+            per_epoch: vec![
+                EpochStats {
+                    epoch: 0,
+                    loss: 1.0,
+                    accuracy: 0.5,
+                    samples: 10,
+                },
+                EpochStats {
+                    epoch: 1,
+                    loss: 0.5,
+                    accuracy: 0.8,
+                    samples: 10,
+                },
+                EpochStats {
+                    epoch: 2,
+                    loss: 0.4,
+                    accuracy: 0.9,
+                    samples: 10,
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(r.epochs_to_accuracy(0.75), Some(2));
+        assert_eq!(r.epochs_to_accuracy(0.95), None);
+        assert_eq!(r.final_accuracy(), 0.9);
+    }
+
+    #[test]
+    fn versions_for_sorts_by_stage() {
+        let r = TrainReport {
+            version_trace: vec![
+                VersionRecord {
+                    stage: 1,
+                    mb: 5,
+                    version: 2,
+                },
+                VersionRecord {
+                    stage: 0,
+                    mb: 5,
+                    version: 1,
+                },
+                VersionRecord {
+                    stage: 0,
+                    mb: 6,
+                    version: 2,
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(r.versions_for(5), vec![(0, 1), (1, 2)]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Gradient synchronization across stage replicas.
+//!
+//! PipeDream synchronizes weight updates across the replicas of a
+//! data-parallel stage before applying them (§4, "Parameter State"). The
+//! replicas of a stage process *different* minibatches under round-robin
+//! routing, but each performs the same number of backward passes at the
+//! same cadence, so a round-based all_reduce is deadlock-free: the `k`-th
+//! backward pass of every replica contributes to round `k`.
+
+use parking_lot::{Condvar, Mutex};
+use pipedream_tensor::Tensor;
+
+struct State {
+    deposits: Vec<Option<Vec<Tensor>>>,
+    average: Option<Vec<Tensor>>,
+    collected: usize,
+}
+
+/// A reusable all_reduce rendezvous for one replicated stage (or a BSP
+/// data-parallel worker group).
+pub struct GradSyncGroup {
+    replicas: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl GradSyncGroup {
+    /// Group for `replicas` participants.
+    pub fn new(replicas: usize) -> Self {
+        assert!(replicas >= 1);
+        GradSyncGroup {
+            replicas,
+            state: Mutex::new(State {
+                deposits: vec![None; replicas],
+                average: None,
+                collected: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of participants.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Contribute this replica's gradients and receive the element-wise
+    /// average across all replicas. Blocks until every replica of the
+    /// current round has contributed.
+    pub fn allreduce(&self, replica: usize, grads: Vec<Tensor>) -> Vec<Tensor> {
+        assert!(replica < self.replicas);
+        if self.replicas == 1 {
+            return grads;
+        }
+        let mut st = self.state.lock();
+        // Wait for the previous round to fully drain before depositing.
+        while st.deposits[replica].is_some() || st.average.is_some() {
+            self.cv.wait(&mut st);
+        }
+        st.deposits[replica] = Some(grads);
+        if st.deposits.iter().all(Option::is_some) {
+            // Last depositor computes the average.
+            let mut acc: Option<Vec<Tensor>> = None;
+            for d in st.deposits.iter_mut() {
+                let d = d.take().expect("all deposited");
+                match &mut acc {
+                    None => acc = Some(d),
+                    Some(acc) => {
+                        for (a, t) in acc.iter_mut().zip(d.iter()) {
+                            a.axpy(1.0, t);
+                        }
+                    }
+                }
+            }
+            let mut avg = acc.expect("at least one replica");
+            let scale = 1.0 / self.replicas as f32;
+            for t in &mut avg {
+                *t = t.scale(scale);
+            }
+            st.average = Some(avg);
+            self.cv.notify_all();
+        } else {
+            while st.average.is_none() {
+                self.cv.wait(&mut st);
+            }
+        }
+        let out = st.average.clone().expect("average present");
+        st.collected += 1;
+        if st.collected == self.replicas {
+            st.average = None;
+            st.collected = 0;
+            self.cv.notify_all();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_slice(v)
+    }
+
+    #[test]
+    fn single_replica_is_identity() {
+        let g = GradSyncGroup::new(1);
+        let out = g.allreduce(0, vec![t(&[1.0, 2.0])]);
+        assert_eq!(out[0].data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn two_replicas_average() {
+        let g = Arc::new(GradSyncGroup::new(2));
+        let g2 = Arc::clone(&g);
+        let h = thread::spawn(move || g2.allreduce(1, vec![t(&[3.0])]));
+        let a = g.allreduce(0, vec![t(&[1.0])]);
+        let b = h.join().unwrap();
+        assert_eq!(a[0].data(), &[2.0]);
+        assert_eq!(b[0].data(), &[2.0]);
+    }
+
+    #[test]
+    fn many_rounds_do_not_deadlock() {
+        let g = Arc::new(GradSyncGroup::new(3));
+        let mut handles = Vec::new();
+        for r in 0..3 {
+            let g = Arc::clone(&g);
+            handles.push(thread::spawn(move || {
+                let mut sum = 0.0f32;
+                for round in 0..50 {
+                    let out = g.allreduce(r, vec![t(&[(r + round) as f32])]);
+                    sum += out[0].data()[0];
+                }
+                sum
+            }));
+        }
+        let sums: Vec<f32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Every replica sees the identical averages.
+        assert!((sums[0] - sums[1]).abs() < 1e-4);
+        assert!((sums[1] - sums[2]).abs() < 1e-4);
+        // Round k average = mean(k, k+1, k+2) = k+1.
+        let expected: f32 = (0..50).map(|k| k as f32 + 1.0).sum();
+        assert!(
+            (sums[0] - expected).abs() < 1e-3,
+            "{} vs {expected}",
+            sums[0]
+        );
+    }
+}

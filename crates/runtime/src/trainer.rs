@@ -1,0 +1,370 @@
+//! The top-level pipeline trainer: split a model into stages, wire up the
+//! workers, run the static schedule, collect metrics, and reassemble the
+//! trained model.
+
+use crate::data::TrainData;
+use crate::message::{ActMsg, GradMsg, MetricMsg};
+use crate::report::{EpochStats, OpTrace, TrainReport, VersionRecord};
+use crate::sync::GradSyncGroup;
+use crate::worker::StageWorker;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use pipedream_core::schedule::Schedule;
+use pipedream_core::PipelineConfig;
+use pipedream_tensor::data::Dataset;
+use pipedream_tensor::{Adam, Layer, Optimizer, Sequential, Sgd};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+/// Weight-versioning semantics for pipelined training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Semantics {
+    /// PipeDream's default: weight stashing (§3.3).
+    Stashed,
+    /// Weight stashing + vertical sync (§3.3).
+    VerticalSync,
+    /// No stashing — the invalid-gradient strawman the paper warns about.
+    Naive,
+    /// GPipe-style microbatch groups with pipeline flushes (§5.4).
+    GPipe {
+        /// Microbatches per flush group.
+        microbatches: u64,
+    },
+}
+
+/// Learning-rate schedule applied per epoch (§5.1: "we adjust the learning
+/// rate during training to converge faster … and utilize learning rate
+/// warm-up for large global batch sizes").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Fixed learning rate.
+    Constant,
+    /// Linear warm-up from `base/10` to `base` over the first `epochs`
+    /// epochs.
+    Warmup {
+        /// Epochs of warm-up.
+        epochs: usize,
+    },
+    /// Multiply the rate by `factor` every `every` epochs.
+    StepDecay {
+        /// Epoch interval between decays.
+        every: usize,
+        /// Multiplicative factor per decay (e.g. 0.1).
+        factor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate in `epoch` given the base rate.
+    pub fn lr_at(&self, base: f32, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => base,
+            LrSchedule::Warmup { epochs } => {
+                if epoch >= epochs {
+                    base
+                } else {
+                    base * (0.1 + 0.9 * (epoch as f32 + 1.0) / epochs as f32)
+                }
+            }
+            LrSchedule::StepDecay { every, factor } => {
+                base * factor.powi((epoch / every.max(1)) as i32)
+            }
+        }
+    }
+}
+
+/// Optimizer configuration, buildable per stage replica.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptimKind {
+    /// SGD with optional momentum.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient (0 disables).
+        momentum: f32,
+    },
+    /// Adam with standard betas.
+    Adam {
+        /// Learning rate.
+        lr: f32,
+    },
+}
+
+impl OptimKind {
+    /// Instantiate the optimizer.
+    pub fn build(&self) -> Box<dyn Optimizer> {
+        match *self {
+            OptimKind::Sgd { lr, momentum } => Box::new(Sgd::with_momentum(lr, momentum, 0.0)),
+            OptimKind::Adam { lr } => Box::new(Adam::new(lr)),
+        }
+    }
+
+    /// The configured base learning rate.
+    pub fn base_lr(&self) -> f32 {
+        match *self {
+            OptimKind::Sgd { lr, .. } | OptimKind::Adam { lr } => lr,
+        }
+    }
+}
+
+/// Training options.
+#[derive(Debug, Clone)]
+pub struct TrainOpts {
+    /// Number of passes over the dataset.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Optimizer.
+    pub optim: OptimKind,
+    /// Pipeline semantics.
+    pub semantics: Semantics,
+    /// Per-epoch learning-rate schedule (§5.1).
+    pub lr_schedule: LrSchedule,
+    /// Per-stage checkpoint directory (§4), if any.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from the last complete checkpoint in `checkpoint_dir` (§4:
+    /// "restarting entails starting from the last successfully created
+    /// checkpoint for all stages"): stage parameters are restored and epoch
+    /// numbering continues after the checkpointed epoch.
+    pub resume: bool,
+    /// Override the 1F1B in-flight depth (defaults to NOAM).
+    pub depth: Option<usize>,
+    /// Record real per-op wall-clock timestamps in the report
+    /// ([`TrainReport::op_trace`]).
+    pub trace: bool,
+}
+
+impl Default for TrainOpts {
+    fn default() -> Self {
+        TrainOpts {
+            epochs: 5,
+            batch: 16,
+            optim: OptimKind::Sgd {
+                lr: 0.05,
+                momentum: 0.0,
+            },
+            semantics: Semantics::Stashed,
+            lr_schedule: LrSchedule::Constant,
+            checkpoint_dir: None,
+            resume: false,
+            depth: None,
+            trace: false,
+        }
+    }
+}
+
+/// Train `model` pipeline-parallel under `config` on `dataset`.
+///
+/// The model is split at the configuration's stage boundaries; each stage
+/// replica runs on its own OS thread executing its slice of the 1F1B-RR
+/// static schedule. Returns the trained model (reassembled from the
+/// stages — replica 0 where replicated, which gradient sync keeps
+/// identical to its peers) and the training report.
+pub fn train_pipeline(
+    model: Sequential,
+    config: &PipelineConfig,
+    dataset: &Dataset,
+    opts: &TrainOpts,
+) -> (Sequential, TrainReport) {
+    config
+        .validate(model.len())
+        .expect("configuration does not match the model's layer count");
+    let started = Instant::now();
+    let data = Arc::new(TrainData::new(dataset.clone(), opts.batch));
+    let total_mbs = (opts.epochs * data.minibatches_per_epoch()) as u64;
+
+    let schedule = match opts.semantics {
+        Semantics::GPipe { microbatches } => Schedule::gpipe(config, total_mbs, microbatches),
+        _ => match opts.depth {
+            Some(d) => Schedule::with_depth(config, total_mbs, d),
+            None => Schedule::one_f_one_b(config, total_mbs),
+        },
+    };
+    schedule.validate().expect("generated schedule is legal");
+
+    // Split the model into per-stage chunks, cloned per replica.
+    let stages = config.stages();
+    let boundaries: Vec<usize> = stages[..stages.len() - 1]
+        .iter()
+        .map(|s| s.last_layer + 1)
+        .collect();
+    let mut stage_models = model.split_off(&boundaries);
+
+    // Resume: restore every stage from the last complete checkpoint and
+    // continue epoch numbering after it.
+    let mut epoch_offset = 0usize;
+    if opts.resume {
+        let dir = opts
+            .checkpoint_dir
+            .as_ref()
+            .expect("resume requires a checkpoint_dir");
+        if let Some(e0) = crate::checkpoint::latest_complete_epoch(dir, stages.len()) {
+            for (si, sm) in stage_models.iter_mut().enumerate() {
+                let params = crate::checkpoint::load_stage(dir, si, e0)
+                    .expect("complete checkpoint is loadable");
+                sm.restore(&params);
+            }
+            epoch_offset = e0 + 1;
+        }
+    }
+
+    // Channels: one (fwd, grad) receiver pair per worker.
+    let workers = config.total_workers();
+    let mut fwd_tx: Vec<Sender<ActMsg>> = Vec::with_capacity(workers);
+    let mut fwd_rx: Vec<Option<Receiver<ActMsg>>> = Vec::with_capacity(workers);
+    let mut grad_tx: Vec<Sender<GradMsg>> = Vec::with_capacity(workers);
+    let mut grad_rx: Vec<Option<Receiver<GradMsg>>> = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (ft, fr) = unbounded();
+        let (gt, gr) = unbounded();
+        fwd_tx.push(ft);
+        fwd_rx.push(Some(fr));
+        grad_tx.push(gt);
+        grad_rx.push(Some(gr));
+    }
+    let (metrics_tx, metrics_rx) = unbounded::<MetricMsg>();
+
+    let assignment = config.worker_assignment();
+    let sync_groups: Vec<Option<Arc<GradSyncGroup>>> = stages
+        .iter()
+        .map(|s| (s.replicas > 1).then(|| Arc::new(GradSyncGroup::new(s.replicas))))
+        .collect();
+
+    let mut handles = Vec::with_capacity(workers);
+    for w in 0..workers {
+        let (stage, replica) = config.stage_of_worker(w);
+        let fwd_out = if stage + 1 < stages.len() {
+            assignment[stage + 1]
+                .iter()
+                .map(|&d| fwd_tx[d].clone())
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let grad_out = if stage > 0 {
+            assignment[stage - 1]
+                .iter()
+                .map(|&d| grad_tx[d].clone())
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let worker = StageWorker {
+            stage,
+            replica,
+            num_stages: stages.len(),
+            model: stage_models[stage].clone(),
+            ops: schedule.workers[w].ops.clone(),
+            semantics: opts.semantics,
+            optim: opts.optim,
+            fwd_in: if stage == 0 { None } else { fwd_rx[w].take() },
+            grad_in: if stage + 1 == stages.len() {
+                None
+            } else {
+                grad_rx[w].take()
+            },
+            fwd_out,
+            grad_out,
+            sync: sync_groups[stage].clone(),
+            metrics: metrics_tx.clone(),
+            data: Arc::clone(&data),
+            checkpoint_dir: opts.checkpoint_dir.clone(),
+            epoch_offset,
+            lr_schedule: opts.lr_schedule,
+            trace_from: opts.trace.then_some((w, started)),
+        };
+        handles.push(thread::spawn(move || worker.run()));
+    }
+    // Drop our clones so the metrics channel closes when workers finish.
+    drop(metrics_tx);
+    drop(fwd_tx);
+    drop(grad_tx);
+
+    // Aggregate metrics.
+    let mut epoch_acc: HashMap<usize, (f64, usize, usize)> = HashMap::new(); // loss-sum, correct, count
+    let mut version_trace = Vec::new();
+    let mut op_trace: Vec<OpTrace> = Vec::new();
+    let mut per_minibatch: Vec<(u64, f32)> = Vec::new();
+    for msg in metrics_rx.iter() {
+        match msg {
+            MetricMsg::Loss {
+                mb,
+                loss,
+                correct,
+                count,
+            } => {
+                let e = data.epoch_of(mb);
+                let entry = epoch_acc.entry(e).or_default();
+                entry.0 += loss as f64 * count as f64;
+                entry.1 += correct;
+                entry.2 += count;
+                per_minibatch.push((mb, loss));
+            }
+            MetricMsg::FwdVersion { stage, mb, version } => {
+                version_trace.push(VersionRecord { stage, mb, version });
+            }
+            MetricMsg::Op(t) => op_trace.push(t),
+        }
+    }
+
+    // Reassemble the trained model: take each stage's replica-0 result.
+    let mut stage_results: Vec<Option<Sequential>> = (0..stages.len()).map(|_| None).collect();
+    for (w, h) in handles.into_iter().enumerate() {
+        let trained = h.join().expect("worker thread panicked");
+        let (stage, replica) = config.stage_of_worker(w);
+        if replica == 0 {
+            stage_results[stage] = Some(trained);
+        }
+    }
+    let mut full = Sequential::new("trained");
+    for sr in stage_results.into_iter() {
+        for layer in sr.expect("every stage returned").into_layers() {
+            full.push_boxed(layer);
+        }
+    }
+
+    let mut per_epoch: Vec<EpochStats> = epoch_acc
+        .into_iter()
+        .map(|(epoch, (loss_sum, correct, count))| EpochStats {
+            epoch: epoch + epoch_offset,
+            loss: (loss_sum / count.max(1) as f64) as f32,
+            accuracy: correct as f32 / count.max(1) as f32,
+            samples: count,
+        })
+        .collect();
+    per_epoch.sort_by_key(|e| e.epoch);
+    version_trace.sort_by_key(|r| (r.mb, r.stage));
+    op_trace.sort_by(|a, b| a.start_s.partial_cmp(&b.start_s).unwrap());
+    per_minibatch.sort_by_key(|&(mb, _)| mb);
+
+    (
+        full,
+        TrainReport {
+            per_epoch,
+            version_trace,
+            per_minibatch,
+            op_trace,
+            wall_time_s: started.elapsed().as_secs_f64(),
+        },
+    )
+}
+
+/// Classification accuracy of `model` on `dataset` (forward only).
+pub fn evaluate(model: &mut Sequential, dataset: &Dataset, batch: usize) -> f32 {
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for i in 0..dataset.num_minibatches(batch) {
+        let (x, y) = dataset.minibatch(i, batch);
+        let out = model.forward(&x, u64::MAX - i as u64);
+        model.clear_slots();
+        for (pred, &label) in out.argmax_rows().iter().zip(y.iter()) {
+            if *pred == label {
+                correct += 1;
+            }
+        }
+        total += y.len();
+    }
+    correct as f32 / total.max(1) as f32
+}

@@ -1,0 +1,380 @@
+//! A pipeline-stage worker thread.
+//!
+//! Each worker owns one replica of one stage's layers and executes its
+//! static 1F1B-RR op sequence: receive an activation, run the stage
+//! forward, ship the output downstream; receive a gradient, run the stage
+//! backward with the correct weight version, synchronize gradients across
+//! replicas if the stage is replicated, apply the update, ship the input
+//! gradient upstream. The op *order* comes from
+//! [`pipedream_core::schedule::Schedule`]; the worker blocks on channels
+//! when data has not arrived yet, exactly like PipeDream's runtime blocks
+//! on its work queues (§4).
+
+use crate::checkpoint;
+use crate::data::TrainData;
+use crate::message::{ActMsg, GradMsg, MetricMsg};
+use crate::sync::GradSyncGroup;
+use crate::trainer::{LrSchedule, OptimKind, Semantics};
+use crossbeam::channel::{Receiver, Sender};
+use pipedream_core::schedule::Op;
+use pipedream_core::stash::WeightStash;
+use pipedream_tensor::{softmax_cross_entropy, Layer, Sequential, Tensor};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Everything a stage worker needs to run.
+pub struct StageWorker {
+    /// Stage index in the pipeline.
+    pub stage: usize,
+    /// Replica index within the stage.
+    pub replica: usize,
+    /// Total pipeline stages.
+    pub num_stages: usize,
+    /// This replica's copy of the stage layers.
+    pub model: Sequential,
+    /// Static op sequence for this worker.
+    pub ops: Vec<Op>,
+    /// Execution semantics (stashing / naive / vertical sync / GPipe).
+    pub semantics: Semantics,
+    /// Optimizer configuration.
+    pub optim: OptimKind,
+    /// Activations from upstream (None for the input stage).
+    pub fwd_in: Option<Receiver<ActMsg>>,
+    /// Gradients from downstream (None for the output stage).
+    pub grad_in: Option<Receiver<GradMsg>>,
+    /// Senders to each replica of the next stage (empty for the output
+    /// stage).
+    pub fwd_out: Vec<Sender<ActMsg>>,
+    /// Senders to each replica of the previous stage (empty for the input
+    /// stage).
+    pub grad_out: Vec<Sender<GradMsg>>,
+    /// Gradient sync group (replicated stages only).
+    pub sync: Option<Arc<GradSyncGroup>>,
+    /// Metric events to the coordinator.
+    pub metrics: Sender<MetricMsg>,
+    /// Dataset view (inputs for stage 0, labels for the last stage).
+    pub data: Arc<TrainData>,
+    /// Checkpoint directory (replica 0 dumps at epoch boundaries).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Epoch-number offset when resuming from a checkpoint.
+    pub epoch_offset: usize,
+    /// Per-epoch learning-rate schedule.
+    pub lr_schedule: LrSchedule,
+    /// `(worker id, run start)` when tracing is enabled.
+    pub trace_from: Option<(usize, std::time::Instant)>,
+}
+
+/// Per-run mutable state.
+struct WorkerState {
+    optimizer: Box<dyn pipedream_tensor::Optimizer>,
+    /// Stash of weight snapshots per in-flight minibatch (Stashed mode).
+    stash: WeightStash<Vec<Tensor>>,
+    /// Vertical sync: retained versions — version id → weights, plus the
+    /// highest tag seen (tags are non-decreasing, so older versions can be
+    /// dropped once a newer tag appears).
+    versions: HashMap<u64, Vec<Tensor>>,
+    /// Vertical sync: version tag each in-flight minibatch's forward used.
+    mb_version_tags: HashMap<u64, u64>,
+    /// Loss gradients awaiting the backward op (output stage only).
+    pending_loss_grad: HashMap<u64, Tensor>,
+    /// Buffered out-of-order arrivals.
+    act_buffer: HashMap<u64, ActMsg>,
+    grad_buffer: HashMap<u64, GradMsg>,
+    /// Updates applied so far (the worker's local version counter).
+    updates: u64,
+    /// Backward passes since the last flush (GPipe gradient aggregation).
+    since_flush: u32,
+}
+
+impl StageWorker {
+    /// Run the worker to completion; returns the trained stage model.
+    pub fn run(mut self) -> Sequential {
+        let mut st = WorkerState {
+            optimizer: self.optim.build(),
+            stash: WeightStash::new(self.model.snapshot()),
+            versions: HashMap::from([(0, self.model.snapshot())]),
+            mb_version_tags: HashMap::new(),
+            pending_loss_grad: HashMap::new(),
+            act_buffer: HashMap::new(),
+            grad_buffer: HashMap::new(),
+            updates: 0,
+            since_flush: 0,
+        };
+        let ops = std::mem::take(&mut self.ops);
+        for op in ops {
+            let t0 = self
+                .trace_from
+                .map(|(_, start)| (std::time::Instant::now(), start));
+            match op {
+                Op::Forward { mb } => self.forward(&mut st, mb),
+                Op::Backward { mb } => self.backward(&mut st, mb),
+                Op::Flush => self.flush(&mut st),
+            }
+            if let (Some((op_start, run_start)), Some((worker, _)), Some(mb)) =
+                (t0, self.trace_from, op.minibatch())
+            {
+                let _ = self.metrics.send(MetricMsg::Op(crate::report::OpTrace {
+                    worker,
+                    mb,
+                    backward: matches!(op, Op::Backward { .. }),
+                    start_s: op_start.duration_since(run_start).as_secs_f64(),
+                    end_s: run_start.elapsed().as_secs_f64(),
+                }));
+            }
+        }
+        self.model
+    }
+
+    fn recv_act(&self, st: &mut WorkerState, mb: u64) -> ActMsg {
+        if let Some(m) = st.act_buffer.remove(&mb) {
+            return m;
+        }
+        let rx = self.fwd_in.as_ref().expect("non-input stage has fwd_in");
+        loop {
+            let m = rx.recv().unwrap_or_else(|_| {
+                panic!(
+                    "stage {} lost upstream while waiting for mb {mb}",
+                    self.stage
+                )
+            });
+            if m.mb == mb {
+                return m;
+            }
+            st.act_buffer.insert(m.mb, m);
+        }
+    }
+
+    fn recv_grad(&self, st: &mut WorkerState, mb: u64) -> GradMsg {
+        if let Some(m) = st.grad_buffer.remove(&mb) {
+            return m;
+        }
+        let rx = self.grad_in.as_ref().expect("non-output stage has grad_in");
+        loop {
+            let m = rx.recv().unwrap_or_else(|_| {
+                panic!(
+                    "stage {} lost downstream while waiting for mb {mb}",
+                    self.stage
+                )
+            });
+            if m.mb == mb {
+                return m;
+            }
+            st.grad_buffer.insert(m.mb, m);
+        }
+    }
+
+    fn forward(&mut self, st: &mut WorkerState, mb: u64) {
+        let (input, mut version_tag) = if self.stage == 0 {
+            (self.data.input(mb), 0)
+        } else {
+            let msg = self.recv_act(st, mb);
+            (msg.data, msg.version_tag)
+        };
+
+        // Select the weight version for this forward pass.
+        match self.semantics {
+            Semantics::Stashed => {
+                // Latest weights; remember them for the backward pass.
+                st.stash.begin_forward(mb);
+                let _ = self.metrics.send(MetricMsg::FwdVersion {
+                    stage: self.stage,
+                    mb,
+                    version: st.stash.version(),
+                });
+            }
+            Semantics::VerticalSync => {
+                if self.stage == 0 {
+                    version_tag = st.updates;
+                }
+                // Use the tagged version; garbage-collect versions no
+                // in-flight minibatch can still need (the minimum
+                // outstanding tag — tags are non-decreasing in minibatch
+                // order, but older minibatches may still be in flight).
+                let w = st
+                    .versions
+                    .get(&version_tag)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "stage {}: version {version_tag} unavailable (have {:?})",
+                            self.stage,
+                            st.versions.keys().collect::<Vec<_>>()
+                        )
+                    })
+                    .clone();
+                st.mb_version_tags.insert(mb, version_tag);
+                let min_needed = *st.mb_version_tags.values().min().expect("just inserted");
+                st.versions
+                    .retain(|&v, _| v >= min_needed || v == st.updates);
+                self.model.restore(&w);
+                let _ = self.metrics.send(MetricMsg::FwdVersion {
+                    stage: self.stage,
+                    mb,
+                    version: version_tag,
+                });
+            }
+            Semantics::Naive | Semantics::GPipe { .. } => {
+                let _ = self.metrics.send(MetricMsg::FwdVersion {
+                    stage: self.stage,
+                    mb,
+                    version: st.updates,
+                });
+            }
+        }
+
+        let out = self.model.forward(&input, mb);
+
+        if self.stage + 1 < self.num_stages {
+            let dst = (mb % self.fwd_out.len() as u64) as usize;
+            self.fwd_out[dst]
+                .send(ActMsg {
+                    mb,
+                    version_tag,
+                    data: out,
+                })
+                .expect("downstream alive");
+        } else {
+            // Output stage: compute the loss now; the gradient is consumed
+            // by this minibatch's backward op.
+            let labels = self.data.labels(mb);
+            let loss = softmax_cross_entropy(&out, &labels);
+            let _ = self.metrics.send(MetricMsg::Loss {
+                mb,
+                loss: loss.loss,
+                correct: loss.correct,
+                count: labels.len(),
+            });
+            st.pending_loss_grad.insert(mb, loss.grad);
+        }
+    }
+
+    fn backward(&mut self, st: &mut WorkerState, mb: u64) {
+        // Apply the epoch's learning rate before the update lands.
+        let epoch = self.data.epoch_of(mb) + self.epoch_offset;
+        st.optimizer
+            .set_learning_rate(self.lr_schedule.lr_at(self.optim.base_lr(), epoch));
+        let grad_out = if self.stage + 1 == self.num_stages {
+            st.pending_loss_grad
+                .remove(&mb)
+                .expect("loss gradient pending from forward")
+        } else {
+            self.recv_grad(st, mb).data
+        };
+
+        // Run the backward pass against the weight version the paper's
+        // semantics prescribe.
+        let grad_in = match self.semantics {
+            Semantics::Stashed => {
+                // Backward with the stashed version, update the latest.
+                let latest = self.model.snapshot();
+                let stashed = st.stash.for_backward(mb);
+                self.model.restore(&stashed);
+                self.model.zero_grad();
+                let g = self.model.backward(&grad_out, mb);
+                st.stash.complete_backward(mb);
+                self.model.restore(&latest);
+                self.apply_update(st);
+                g
+            }
+            Semantics::VerticalSync => {
+                let latest = self.model.snapshot();
+                let tagged = self
+                    .version_for_backward(st, mb)
+                    .expect("vertical-sync version retained");
+                self.model.restore(&tagged);
+                self.model.zero_grad();
+                let g = self.model.backward(&grad_out, mb);
+                self.model.restore(&latest);
+                self.apply_update(st);
+                g
+            }
+            Semantics::Naive => {
+                // Invalid gradients: backward with whatever the weights are
+                // *now*, which generally differ from the forward's.
+                self.model.zero_grad();
+                let g = self.model.backward(&grad_out, mb);
+                self.apply_update(st);
+                g
+            }
+            Semantics::GPipe { .. } => {
+                // Accumulate gradients; the flush applies them.
+                let g = self.model.backward(&grad_out, mb);
+                st.since_flush += 1;
+                g
+            }
+        };
+
+        if self.stage > 0 {
+            let dst = (mb % self.grad_out.len() as u64) as usize;
+            self.grad_out[dst]
+                .send(GradMsg { mb, data: grad_in })
+                .expect("upstream alive");
+        }
+
+        // Per-stage checkpoint at epoch boundaries (§4), written by
+        // replica 0 after gradient sync makes replicas identical.
+        if self.replica == 0 && self.data.is_epoch_end(mb) {
+            if let Some(dir) = &self.checkpoint_dir {
+                let snap = self.model.snapshot();
+                checkpoint::save_stage(
+                    dir,
+                    self.stage,
+                    self.data.epoch_of(mb) + self.epoch_offset,
+                    &snap,
+                )
+                .expect("checkpoint write");
+            }
+        }
+    }
+
+    /// Vertical sync: the version tagged for `mb`'s backward is the same
+    /// one its forward used. The forward retained it in `versions`; look it
+    /// up by replaying the tag (the forward recorded it via metrics, but
+    /// the worker also keeps it implicitly: the version still retained with
+    /// the largest id ≤ all later tags). To keep this O(1) we simply keep a
+    /// per-minibatch tag map.
+    fn version_for_backward(&self, st: &mut WorkerState, mb: u64) -> Option<Vec<Tensor>> {
+        st.mb_version_tags
+            .remove(&mb)
+            .and_then(|v| st.versions.get(&v).cloned())
+    }
+
+    /// Average gradients across replicas (if replicated), then apply the
+    /// update to the latest weights, bumping the local version counter.
+    fn apply_update(&mut self, st: &mut WorkerState) {
+        if let Some(sync) = &self.sync {
+            let grads: Vec<Tensor> = self.model.params().iter().map(|p| p.grad.clone()).collect();
+            let avg = sync.allreduce(self.replica, grads);
+            for (p, g) in self.model.params_mut().into_iter().zip(avg) {
+                p.grad = g;
+            }
+        }
+        let mut params = self.model.params_mut();
+        st.optimizer.step(&mut params);
+        st.updates += 1;
+        match self.semantics {
+            Semantics::Stashed => {
+                let snap = self.model.snapshot();
+                st.stash.apply_update(|w| *w = snap);
+            }
+            Semantics::VerticalSync => {
+                st.versions.insert(st.updates, self.model.snapshot());
+            }
+            _ => {}
+        }
+    }
+
+    /// GPipe flush: average the accumulated microbatch gradients and apply
+    /// one synchronous update.
+    fn flush(&mut self, st: &mut WorkerState) {
+        if st.since_flush == 0 {
+            return;
+        }
+        let scale = 1.0 / st.since_flush as f32;
+        for p in self.model.params_mut() {
+            p.grad = p.grad.scale(scale);
+        }
+        self.apply_update(st);
+        st.since_flush = 0;
+    }
+}

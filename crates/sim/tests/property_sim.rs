@@ -1,0 +1,128 @@
+//! Property-based tests for the discrete-event simulator.
+
+use pipedream_core::schedule::Schedule;
+use pipedream_core::{PipelineConfig, StagePlan};
+use pipedream_hw::{Device, LinkModel, Precision, Topology};
+use pipedream_model::zoo;
+use pipedream_sim::{simulate_dp, simulate_dynamic, simulate_pipeline};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = PipelineConfig> {
+    (1usize..=3, proptest::collection::vec(1usize..=3, 1..=3)).prop_map(
+        |(layers_per_stage, reps)| {
+            let mut stages = Vec::new();
+            let mut first = 0;
+            for &r in &reps {
+                stages.push(StagePlan::new(first, first + layers_per_stage - 1, r));
+                first += layers_per_stage;
+            }
+            PipelineConfig::new(stages)
+        },
+    )
+}
+
+fn topo(workers: usize, gbytes: f64) -> Topology {
+    Topology::flat(
+        Device::v100(),
+        workers,
+        LinkModel::from_gbytes(gbytes, 1e-6),
+        "prop",
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Conservation: every worker's busy time is within the makespan and
+    /// per-minibatch time is positive and finite.
+    #[test]
+    fn conservation_laws(config in arb_config(), n in 4u64..24, flops_exp in 8.0f64..10.0) {
+        let profile = zoo::uniform(config.num_layers(), 10f64.powf(flops_exp), 10_000, 50_000);
+        let costs = profile.costs(&Device::v100(), 16, Precision::Fp32);
+        let t = topo(config.total_workers(), 10.0);
+        let r = simulate_pipeline(&costs, &t, &Schedule::one_f_one_b(&config, n));
+        prop_assert!(r.per_minibatch_s.is_finite() && r.per_minibatch_s > 0.0);
+        for w in 0..config.total_workers() {
+            prop_assert!(r.timeline.busy(w) <= r.makespan + 1e-9);
+        }
+        prop_assert!(r.mean_utilization > 0.0 && r.mean_utilization <= 1.0 + 1e-9);
+    }
+
+    /// More bandwidth never slows a pipeline down.
+    #[test]
+    fn bandwidth_monotonicity(config in arb_config(), n in 8u64..24) {
+        let profile = zoo::uniform(config.num_layers(), 1e9, 100_000, 200_000);
+        let costs = profile.costs(&Device::v100(), 16, Precision::Fp32);
+        let slow = simulate_pipeline(
+            &costs,
+            &topo(config.total_workers(), 0.5),
+            &Schedule::one_f_one_b(&config, n),
+        );
+        let fast = simulate_pipeline(
+            &costs,
+            &topo(config.total_workers(), 50.0),
+            &Schedule::one_f_one_b(&config, n),
+        );
+        prop_assert!(
+            fast.per_minibatch_s <= slow.per_minibatch_s * 1.0001,
+            "fast {} slow {}",
+            fast.per_minibatch_s,
+            slow.per_minibatch_s
+        );
+    }
+
+    /// DP stall fraction is in [0, 1) and iteration ≥ compute.
+    #[test]
+    fn dp_invariants(workers in 1usize..8, flops_exp in 8.0f64..11.0, weights in 1_000u64..10_000_000) {
+        let profile = zoo::uniform(5, 10f64.powf(flops_exp), 10_000, weights);
+        let costs = profile.costs(&Device::v100(), 16, Precision::Fp32);
+        let t = topo(workers.max(1), 5.0);
+        let r = simulate_dp(&costs, &t, workers.max(1));
+        prop_assert!(r.iteration_s >= r.compute_s - 1e-12);
+        prop_assert!((0.0..1.0).contains(&r.stall_fraction));
+        prop_assert!(r.samples_per_sec > 0.0);
+    }
+
+    /// The static 1F1B schedule's throughput stays within 15% of the
+    /// dynamic policy executor across random uniform pipelines — the
+    /// paper's static-schedule-suffices claim.
+    #[test]
+    fn static_schedule_tracks_dynamic_policy(
+        stages in 2usize..5,
+        n in 16u64..48,
+        flops_exp in 8.5f64..10.0,
+    ) {
+        let config = PipelineConfig::straight(stages, &(0..stages - 1).collect::<Vec<_>>());
+        let profile = zoo::uniform(stages, 10f64.powf(flops_exp), 20_000, 50_000);
+        let costs = profile.costs(&Device::v100(), 16, Precision::Fp32);
+        let t = topo(stages, 10.0);
+        let stat = simulate_pipeline(&costs, &t, &Schedule::one_f_one_b(&config, n));
+        let dynamic = simulate_dynamic(&costs, &t, &config, n);
+        let ratio = stat.per_minibatch_s / dynamic.per_minibatch_s;
+        prop_assert!(
+            (0.85..=1.15).contains(&ratio),
+            "static {} dynamic {}",
+            stat.per_minibatch_s,
+            dynamic.per_minibatch_s
+        );
+    }
+
+    /// Throughput scales with device speed: doubling sustained FLOPs on a
+    /// compute-bound pipeline roughly halves per-minibatch time.
+    #[test]
+    fn device_speed_scaling(config in arb_config(), n in 8u64..24) {
+        let profile = zoo::uniform(config.num_layers(), 1e10, 1_000, 1_000);
+        let slow_dev = Device { name: "slow".into(), peak_flops: 5e12, efficiency: 0.9, mem_bytes: 16 << 30 };
+        let fast_dev = Device { name: "fast".into(), peak_flops: 10e12, efficiency: 0.9, mem_bytes: 16 << 30 };
+        let w = config.total_workers();
+        let link = LinkModel::from_gbytes(100.0, 0.0);
+        let t_slow = Topology::flat(slow_dev.clone(), w, link, "s");
+        let t_fast = Topology::flat(fast_dev.clone(), w, link, "f");
+        let c_slow = profile.costs(&slow_dev, 16, Precision::Fp32);
+        let c_fast = profile.costs(&fast_dev, 16, Precision::Fp32);
+        let r_slow = simulate_pipeline(&c_slow, &t_slow, &Schedule::one_f_one_b(&config, n));
+        let r_fast = simulate_pipeline(&c_fast, &t_fast, &Schedule::one_f_one_b(&config, n));
+        let ratio = r_slow.per_minibatch_s / r_fast.per_minibatch_s;
+        prop_assert!((1.8..=2.2).contains(&ratio), "speed ratio {ratio}");
+    }
+}

@@ -1,0 +1,230 @@
+//! Synthetic datasets.
+//!
+//! The paper trains on ImageNet, WMT16, PTB, and MSVD; none of those are
+//! available here, so the runtime trains on synthetic classification tasks
+//! whose difficulty can be tuned. What matters for reproducing §3.3/§5.2 is
+//! *relative* statistical efficiency between execution modes on the same
+//! task, not absolute accuracy on a benchmark dataset.
+
+use crate::init::rng;
+use crate::tensor::Tensor;
+use rand::distributions::Distribution;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A labelled classification dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// `[n, features]` inputs.
+    pub x: Tensor,
+    /// Integer class labels, one per row.
+    pub y: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of input features.
+    pub fn features(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Split into (train, test) with `test_fraction` held out from the end.
+    pub fn split(&self, test_fraction: f32) -> (Dataset, Dataset) {
+        let n_test = ((self.len() as f32) * test_fraction).round() as usize;
+        let n_train = self.len() - n_test;
+        let take = |lo: usize, hi: usize| {
+            let d = self.features();
+            Dataset {
+                x: Tensor::from_vec(&[hi - lo, d], self.x.data()[lo * d..hi * d].to_vec()),
+                y: self.y[lo..hi].to_vec(),
+                classes: self.classes,
+            }
+        };
+        (take(0, n_train), take(n_train, self.len()))
+    }
+
+    /// Minibatch `idx` of size `batch` (last batch may be short).
+    pub fn minibatch(&self, idx: usize, batch: usize) -> (Tensor, Vec<usize>) {
+        let lo = idx * batch;
+        let hi = (lo + batch).min(self.len());
+        assert!(lo < self.len(), "minibatch index out of range");
+        let d = self.features();
+        (
+            Tensor::from_vec(&[hi - lo, d], self.x.data()[lo * d..hi * d].to_vec()),
+            self.y[lo..hi].to_vec(),
+        )
+    }
+
+    /// Number of minibatches of size `batch` covering the dataset.
+    pub fn num_minibatches(&self, batch: usize) -> usize {
+        self.len().div_ceil(batch)
+    }
+}
+
+/// Gaussian blobs: `k` class centroids on a sphere, unit-variance clouds.
+///
+/// `spread` scales the noise; larger values make the task harder.
+pub fn blobs(n: usize, features: usize, classes: usize, spread: f32, seed: u64) -> Dataset {
+    let mut r = rng(seed);
+    let unif = rand::distributions::Uniform::new(-1.0f32, 1.0f32);
+    // Random unit centroids, scaled up for separation.
+    let centroids: Vec<Vec<f32>> = (0..classes)
+        .map(|_| {
+            let v: Vec<f32> = (0..features).map(|_| unif.sample(&mut r)).collect();
+            let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+            v.into_iter().map(|x| 3.0 * x / norm).collect()
+        })
+        .collect();
+    let mut x = Vec::with_capacity(n * features);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % classes;
+        y.push(class);
+        for f in 0..features {
+            // Box-Muller noise.
+            let u1: f32 = r.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = r.gen_range(0.0..1.0);
+            let noise = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+            x.push(centroids[class][f] + spread * noise);
+        }
+    }
+    shuffle_in_unison(&mut x, &mut y, features, seed ^ 0x5eed);
+    Dataset {
+        x: Tensor::from_vec(&[n, features], x),
+        y,
+        classes,
+    }
+}
+
+/// Two interleaved spirals in 2-D, lifted to `features` dims with random
+/// linear features — non-linearly separable, good for convergence tests.
+pub fn spirals(n: usize, features: usize, noise: f32, seed: u64) -> Dataset {
+    assert!(features >= 2);
+    let mut r = rng(seed);
+    let mut x = Vec::with_capacity(n * features);
+    let mut y = Vec::with_capacity(n);
+    // Random projection of (x, y) into the extra dims.
+    let unif = rand::distributions::Uniform::new(-1.0f32, 1.0f32);
+    let proj: Vec<f32> = (0..2 * features).map(|_| unif.sample(&mut r)).collect();
+    for i in 0..n {
+        let class = i % 2;
+        let t = (i / 2) as f32 / (n / 2).max(1) as f32 * 3.0 * std::f32::consts::PI;
+        let radius = 0.2 + t / (3.0 * std::f32::consts::PI);
+        let angle = t + class as f32 * std::f32::consts::PI;
+        let px = radius * angle.cos() + noise * unif.sample(&mut r);
+        let py = radius * angle.sin() + noise * unif.sample(&mut r);
+        y.push(class);
+        for f in 0..features {
+            x.push(px * proj[2 * f] + py * proj[2 * f + 1]);
+        }
+    }
+    shuffle_in_unison(&mut x, &mut y, features, seed ^ 0xabcd);
+    Dataset {
+        x: Tensor::from_vec(&[n, features], x),
+        y,
+        classes: 2,
+    }
+}
+
+/// Synthetic token sequences for embedding-based models: each sample is
+/// `seq_len` token ids whose sum mod `classes` is the label.
+pub fn token_sums(n: usize, seq_len: usize, vocab: usize, classes: usize, seed: u64) -> Dataset {
+    let mut r = rng(seed);
+    let mut x = Vec::with_capacity(n * seq_len);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let toks: Vec<usize> = (0..seq_len).map(|_| r.gen_range(0..vocab)).collect();
+        y.push(toks.iter().sum::<usize>() % classes);
+        x.extend(toks.iter().map(|&t| t as f32));
+    }
+    Dataset {
+        x: Tensor::from_vec(&[n, seq_len], x),
+        y,
+        classes,
+    }
+}
+
+fn shuffle_in_unison(x: &mut [f32], y: &mut [usize], features: usize, seed: u64) {
+    let n = y.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng(seed));
+    let x_old = x.to_vec();
+    let y_old = y.to_vec();
+    for (new_i, &old_i) in order.iter().enumerate() {
+        x[new_i * features..(new_i + 1) * features]
+            .copy_from_slice(&x_old[old_i * features..(old_i + 1) * features]);
+        y[new_i] = y_old[old_i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_have_right_sizes() {
+        let d = blobs(100, 8, 4, 0.5, 1);
+        assert_eq!(d.len(), 100);
+        assert_eq!(d.features(), 8);
+        assert_eq!(d.classes, 4);
+        assert!(d.y.iter().all(|&c| c < 4));
+    }
+
+    #[test]
+    fn blobs_are_deterministic_per_seed() {
+        let a = blobs(50, 4, 2, 0.3, 7);
+        let b = blobs(50, 4, 2, 0.3, 7);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.y, b.y);
+    }
+
+    #[test]
+    fn split_preserves_total() {
+        let d = blobs(100, 4, 2, 0.3, 3);
+        let (tr, te) = d.split(0.2);
+        assert_eq!(tr.len(), 80);
+        assert_eq!(te.len(), 20);
+    }
+
+    #[test]
+    fn minibatch_covers_dataset() {
+        let d = blobs(25, 4, 2, 0.3, 5);
+        let mut seen = 0;
+        for i in 0..d.num_minibatches(8) {
+            let (x, y) = d.minibatch(i, 8);
+            assert_eq!(x.rows(), y.len());
+            seen += y.len();
+        }
+        assert_eq!(seen, 25);
+    }
+
+    #[test]
+    fn spirals_are_balanced() {
+        let d = spirals(200, 2, 0.0, 9);
+        let ones = d.y.iter().filter(|&&c| c == 1).count();
+        assert_eq!(ones, 100);
+    }
+
+    #[test]
+    fn token_sums_labels_match_rule() {
+        let d = token_sums(50, 5, 10, 4, 11);
+        for i in 0..d.len() {
+            let toks: usize = d.x.data()[i * 5..(i + 1) * 5]
+                .iter()
+                .map(|&t| t as usize)
+                .sum();
+            assert_eq!(d.y[i], toks % 4);
+        }
+    }
+}

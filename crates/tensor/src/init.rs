@@ -1,0 +1,82 @@
+//! Weight initialization.
+
+use crate::tensor::Tensor;
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A seeded RNG for deterministic experiments.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Uniform(-limit, limit) initialization.
+pub fn uniform(shape: &[usize], limit: f32, rng: &mut StdRng) -> Tensor {
+    let dist = rand::distributions::Uniform::new_inclusive(-limit, limit);
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(shape, (0..n).map(|_| dist.sample(rng)).collect())
+}
+
+/// Xavier/Glorot uniform initialization for a `[fan_in, fan_out]` weight.
+pub fn xavier(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(&[fan_in, fan_out], limit, rng)
+}
+
+/// He/Kaiming uniform initialization (for ReLU networks).
+pub fn kaiming(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+    let limit = (6.0 / fan_in as f32).sqrt();
+    uniform(&[fan_in, fan_out], limit, rng)
+}
+
+/// Standard-normal tensor scaled by `std`.
+pub fn normal(shape: &[usize], std: f32, rng: &mut StdRng) -> Tensor {
+    // Box-Muller from two uniforms; avoids needing rand_distr.
+    let unif = rand::distributions::Uniform::new(f32::EPSILON, 1.0f32);
+    let n: usize = shape.iter().product();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = unif.sample(rng);
+        let u2: f32 = unif.sample(rng);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < n {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::from_vec(shape, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a = xavier(16, 16, &mut rng(7));
+        let b = xavier(16, 16, &mut rng(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn xavier_within_limit() {
+        let limit = (6.0f32 / 32.0).sqrt();
+        let t = xavier(16, 16, &mut rng(1));
+        assert!(t.data().iter().all(|&x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn normal_has_roughly_right_moments() {
+        let t = normal(&[10_000], 2.0, &mut rng(3));
+        let mean = t.mean();
+        let var = t
+            .data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / t.len() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+}

@@ -1,0 +1,239 @@
+//! 2-D convolution (direct algorithm).
+
+use super::{Layer, Param, Slot};
+use crate::init;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+
+/// 2-D convolution over `[batch, in_ch, h, w]` inputs with square kernels,
+/// stride and zero padding. Weight layout `[out_ch, in_ch, k, k]`.
+#[derive(Clone)]
+pub struct Conv2d {
+    name: String,
+    weight: Param,
+    bias: Param,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    saved_input: HashMap<Slot, Tensor>,
+}
+
+impl Conv2d {
+    /// Kaiming-initialized convolution.
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let fan_in = in_ch * kernel * kernel;
+        let limit = (6.0 / fan_in as f32).sqrt();
+        let weight = init::uniform(&[out_ch, in_ch, kernel, kernel], limit, rng);
+        Conv2d {
+            name: format!("conv{in_ch}x{out_ch}k{kernel}"),
+            weight: Param::new("weight", weight),
+            bias: Param::new("bias", Tensor::zeros(&[out_ch])),
+            in_ch,
+            out_ch,
+            kernel,
+            stride,
+            padding,
+            saved_input: HashMap::new(),
+        }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding - self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.padding - self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor, slot: Slot) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.len(), 4, "{}: want [b,c,h,w], got {s:?}", self.name);
+        let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
+        assert_eq!(c, self.in_ch, "{}: channel mismatch", self.name);
+        let (oh, ow) = self.out_hw(h, w);
+        let mut out = Tensor::zeros(&[b, self.out_ch, oh, ow]);
+        let wd = self.weight.value.data();
+        let bd = self.bias.value.data();
+        let xd = x.data();
+        let od = out.data_mut();
+        let k = self.kernel;
+        for bi in 0..b {
+            for oc in 0..self.out_ch {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bd[oc];
+                        for ic in 0..c {
+                            for ky in 0..k {
+                                let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix =
+                                        (ox * self.stride + kx) as isize - self.padding as isize;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let xi = ((bi * c + ic) * h + iy as usize) * w + ix as usize;
+                                    let wi = ((oc * c + ic) * k + ky) * k + kx;
+                                    acc += xd[xi] * wd[wi];
+                                }
+                            }
+                        }
+                        od[((bi * self.out_ch + oc) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        self.saved_input.insert(slot, x.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, slot: Slot) -> Tensor {
+        let x = self
+            .saved_input
+            .remove(&slot)
+            .unwrap_or_else(|| panic!("{}: no saved input for slot {slot}", self.name));
+        let s = x.shape();
+        let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        assert_eq!(grad_out.shape(), &[b, self.out_ch, oh, ow]);
+        let mut dx = Tensor::zeros(&[b, c, h, w]);
+        let k = self.kernel;
+        let xd = x.data();
+        let gd = grad_out.data();
+        let wd = self.weight.value.data();
+        let dwd = self.weight.grad.data_mut();
+        let dbd = self.bias.grad.data_mut();
+        let dxd = dx.data_mut();
+        for bi in 0..b {
+            for oc in 0..self.out_ch {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = gd[((bi * self.out_ch + oc) * oh + oy) * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        dbd[oc] += g;
+                        for ic in 0..c {
+                            for ky in 0..k {
+                                let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix =
+                                        (ox * self.stride + kx) as isize - self.padding as isize;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let xi = ((bi * c + ic) * h + iy as usize) * w + ix as usize;
+                                    let wi = ((oc * c + ic) * k + ky) * k + kx;
+                                    dwd[wi] += g * xd[xi];
+                                    dxd[xi] += g * wd[wi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        let (oh, ow) = self.out_hw(input_shape[2], input_shape[3]);
+        vec![input_shape[0], self.out_ch, oh, ow]
+    }
+
+    fn flops_per_sample(&self, input_shape: &[usize]) -> f64 {
+        // input_shape is per-sample [c, h, w].
+        let (oh, ow) = self.out_hw(input_shape[1], input_shape[2]);
+        2.0 * (self.kernel * self.kernel * self.in_ch) as f64 * (self.out_ch * oh * ow) as f64
+    }
+
+    fn clear_slots(&mut self) {
+        self.saved_input.clear();
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use crate::init::rng;
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng(0));
+        // Force weight to 1 and bias to 0: output == input.
+        conv.weight.value = Tensor::full(&[1, 1, 1, 1], 1.0);
+        conv.bias.value = Tensor::zeros(&[1]);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        let y = conv.forward(&x, 0);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn output_shape_with_padding_and_stride() {
+        let conv = Conv2d::new(3, 8, 3, 2, 1, &mut rng(1));
+        assert_eq!(conv.output_shape(&[2, 3, 8, 8]), vec![2, 8, 4, 4]);
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, 0, &mut rng(2));
+        conv.weight.value = Tensor::full(&[1, 1, 3, 3], 1.0);
+        conv.bias.value = Tensor::zeros(&[1]);
+        let x = Tensor::from_vec(&[1, 1, 3, 3], (1..=9).map(|v| v as f32).collect());
+        let y = conv.forward(&x, 0);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.data()[0], 45.0);
+    }
+
+    #[test]
+    fn gradcheck_small_conv() {
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng(3));
+        check_layer_gradients(&mut conv, &[2, 2, 4, 4], 17);
+    }
+
+    #[test]
+    fn gradcheck_strided_conv() {
+        let mut conv = Conv2d::new(1, 2, 2, 2, 0, &mut rng(4));
+        check_layer_gradients(&mut conv, &[1, 1, 4, 4], 19);
+    }
+
+    #[test]
+    fn flops_scale_with_output_area() {
+        let conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng(5));
+        let f1 = conv.flops_per_sample(&[3, 8, 8]);
+        let f2 = conv.flops_per_sample(&[3, 16, 16]);
+        assert!((f2 / f1 - 4.0).abs() < 1e-9);
+    }
+}

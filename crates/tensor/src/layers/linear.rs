@@ -1,0 +1,167 @@
+//! Fully-connected layer.
+
+use super::{Layer, Param, Slot};
+use crate::init;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+
+/// `y = x·W + b`, with `W: [in, out]` and `b: [out]`.
+#[derive(Clone)]
+pub struct Linear {
+    name: String,
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+    saved_input: HashMap<Slot, Tensor>,
+}
+
+impl Linear {
+    /// Xavier-initialized linear layer.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
+        let w = init::xavier(in_features, out_features, rng);
+        Linear::from_weights(w, Tensor::zeros(&[out_features]))
+    }
+
+    /// Build from explicit weights (for tests and deterministic fixtures).
+    pub fn from_weights(weight: Tensor, bias: Tensor) -> Self {
+        assert_eq!(weight.shape().len(), 2, "weight must be [in, out]");
+        let (in_features, out_features) = (weight.shape()[0], weight.shape()[1]);
+        assert_eq!(bias.shape(), &[out_features], "bias must be [out]");
+        Linear {
+            name: format!("linear{in_features}x{out_features}"),
+            weight: Param::new("weight", weight),
+            bias: Param::new("bias", bias),
+            in_features,
+            out_features,
+            saved_input: HashMap::new(),
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor, slot: Slot) -> Tensor {
+        assert_eq!(
+            x.cols(),
+            self.in_features,
+            "{}: input has {} features",
+            self.name,
+            x.cols()
+        );
+        let x2 = x.reshape(&[x.rows(), self.in_features]);
+        let mut y = x2.matmul(&self.weight.value);
+        // Broadcast-add bias to every row.
+        let b = self.bias.value.data();
+        for r in 0..y.rows() {
+            for c in 0..self.out_features {
+                *y.at_mut(r, c) += b[c];
+            }
+        }
+        self.saved_input.insert(slot, x2);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, slot: Slot) -> Tensor {
+        let x = self
+            .saved_input
+            .remove(&slot)
+            .unwrap_or_else(|| panic!("{}: no saved input for slot {slot}", self.name));
+        let g = grad_out.reshape(&[grad_out.rows(), self.out_features]);
+        // dW = xᵀ·g ; db = column sums of g ; dx = g·Wᵀ
+        self.weight.grad.axpy(1.0, &x.transpose().matmul(&g));
+        let mut db = vec![0.0f32; self.out_features];
+        for r in 0..g.rows() {
+            for c in 0..self.out_features {
+                db[c] += g.at(r, c);
+            }
+        }
+        self.bias
+            .grad
+            .axpy(1.0, &Tensor::from_vec(&[self.out_features], db));
+        g.matmul(&self.weight.value.transpose())
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![input_shape[0], self.out_features]
+    }
+
+    fn flops_per_sample(&self, _input_shape: &[usize]) -> f64 {
+        2.0 * self.in_features as f64 * self.out_features as f64
+    }
+
+    fn clear_slots(&mut self) {
+        self.saved_input.clear();
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use crate::init::rng;
+
+    #[test]
+    fn forward_matches_manual() {
+        let w = Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]);
+        let b = Tensor::from_slice(&[0.5, -0.5]);
+        let mut l = Linear::from_weights(w, b);
+        let x = Tensor::from_vec(&[1, 2], vec![1., 1.]);
+        let y = l.forward(&x, 0);
+        assert_eq!(y.data(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut l = Linear::new(3, 4, &mut rng(1));
+        check_layer_gradients(&mut l, &[2, 3], 11);
+    }
+
+    #[test]
+    fn multiple_slots_are_independent() {
+        let mut l = Linear::new(2, 2, &mut rng(2));
+        let x0 = Tensor::from_vec(&[1, 2], vec![1.0, 0.0]);
+        let x1 = Tensor::from_vec(&[1, 2], vec![0.0, 1.0]);
+        l.forward(&x0, 0);
+        l.forward(&x1, 1);
+        // Backward slot 0 uses x0, not x1: dW row 1 must stay zero.
+        let g = Tensor::from_vec(&[1, 2], vec![1.0, 1.0]);
+        l.backward(&g, 0);
+        let dw = &l.weight.grad;
+        assert!(dw.at(0, 0) != 0.0);
+        assert_eq!(dw.at(1, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no saved input")]
+    fn backward_without_forward_panics() {
+        let mut l = Linear::new(2, 2, &mut rng(3));
+        l.backward(&Tensor::zeros(&[1, 2]), 7);
+    }
+}

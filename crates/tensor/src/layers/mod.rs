@@ -1,0 +1,385 @@
+//! Neural-network layers with explicit forward/backward passes.
+//!
+//! Every layer caches its forward-pass intermediates under a caller-supplied
+//! [`Slot`] (minibatch id), so several minibatches can be in flight at once —
+//! the property pipeline-parallel execution depends on (paper §4,
+//! "Intermediate State"). `backward(slot)` consumes the slot's cache.
+
+mod activation;
+mod conv;
+mod dropout;
+mod embedding;
+mod gru;
+mod linear;
+mod lstm;
+mod norm;
+mod pool;
+
+pub use activation::{Relu, Sigmoid, Softmax, Tanh};
+pub use conv::Conv2d;
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use gru::Gru;
+pub use linear::Linear;
+pub use lstm::{Lstm, SeqLast};
+pub use norm::Scale;
+pub use pool::{AvgPool2d, Flatten, MaxPool2d, Reshape};
+
+use crate::tensor::Tensor;
+
+/// Identifier for an in-flight minibatch whose activations a layer must keep.
+pub type Slot = u64;
+
+/// A trainable parameter: value plus accumulated gradient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name (for checkpoints and debugging), e.g. `"fc1.weight"`.
+    pub name: String,
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wrap an initial value with a zero gradient.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param {
+            name: name.into(),
+            value,
+            grad,
+        }
+    }
+
+    /// Reset the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad = Tensor::zeros(self.value.shape());
+    }
+}
+
+/// A neural-network layer.
+///
+/// `forward` stores whatever it needs under `slot`; `backward` for the same
+/// slot consumes that state, accumulates parameter gradients into
+/// [`Param::grad`], and returns the gradient w.r.t. the layer input.
+pub trait Layer: Send {
+    /// Short human-readable layer name.
+    fn name(&self) -> &str;
+
+    /// Forward pass for the minibatch identified by `slot`.
+    fn forward(&mut self, x: &Tensor, slot: Slot) -> Tensor;
+
+    /// Backward pass for `slot`; returns the input gradient.
+    fn backward(&mut self, grad_out: &Tensor, slot: Slot) -> Tensor;
+
+    /// The layer's trainable parameters (empty for stateless layers).
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// Mutable access to the trainable parameters.
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Output shape for a given input shape (batch dimension included).
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize>;
+
+    /// Approximate FLOPs per *sample* for the forward pass given the
+    /// per-sample input shape (no batch dimension). Used by the profiler.
+    fn flops_per_sample(&self, _input_shape: &[usize]) -> f64 {
+        0.0
+    }
+
+    /// Drop all cached per-slot state (e.g. after a pipeline flush).
+    fn clear_slots(&mut self);
+
+    /// Number of scalar parameters.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Zero all parameter gradients.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Snapshot the current parameter values (for weight stashing and
+    /// checkpointing).
+    fn snapshot(&self) -> Vec<Tensor> {
+        self.params().iter().map(|p| p.value.clone()).collect()
+    }
+
+    /// Clone the layer into a box — used to replicate pipeline stages
+    /// across data-parallel workers.
+    fn clone_box(&self) -> Box<dyn Layer>;
+
+    /// Restore parameter values from a snapshot taken with [`Layer::snapshot`].
+    fn restore(&mut self, snapshot: &[Tensor]) {
+        let mut params = self.params_mut();
+        assert_eq!(
+            params.len(),
+            snapshot.len(),
+            "snapshot/parameter count mismatch"
+        );
+        for (p, s) in params.iter_mut().zip(snapshot.iter()) {
+            assert_eq!(p.value.shape(), s.shape(), "snapshot shape mismatch");
+            p.value = s.clone();
+        }
+    }
+}
+
+/// An ordered chain of layers, itself usable as a [`Layer`].
+///
+/// [`Sequential::split_off`] partitions a model into pipeline stages:
+///
+/// ```
+/// use pipedream_tensor::init::rng;
+/// use pipedream_tensor::layers::{Linear, Relu};
+/// use pipedream_tensor::{Layer, Sequential, Tensor};
+///
+/// let mut r = rng(0);
+/// let model = Sequential::new("mlp")
+///     .push(Linear::new(4, 8, &mut r))
+///     .push(Relu::new())
+///     .push(Linear::new(8, 2, &mut r));
+/// let stages = model.split_off(&[2]); // stage 0: layers 0..2, stage 1: rest
+/// assert_eq!(stages.len(), 2);
+/// assert_eq!(stages[1].output_shape(&[5, 8]), vec![5, 2]);
+/// ```
+pub struct Sequential {
+    name: String,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Clone for Sequential {
+    fn clone(&self) -> Self {
+        Sequential {
+            name: self.name.clone(),
+            layers: self.layers.iter().map(|l| l.clone_box()).collect(),
+        }
+    }
+}
+
+impl Sequential {
+    /// An empty container named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Sequential {
+            name: name.into(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Append a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Append a boxed layer.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Consume the container, yielding its layers (used to reassemble a
+    /// full model from trained pipeline stages).
+    pub fn into_layers(self) -> Vec<Box<dyn Layer>> {
+        self.layers
+    }
+
+    /// Number of layers in the chain.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Borrow the contained layers.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutably borrow the contained layers (used by the profiler to time
+    /// each layer individually).
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
+    /// Split the model into consecutive stages at the given layer-boundary
+    /// indices. `boundaries = [b_1, …]` means stage 0 holds layers
+    /// `0..b_1`, stage 1 holds `b_1..b_2`, etc. Consumes `self`.
+    pub fn split_off(self, boundaries: &[usize]) -> Vec<Sequential> {
+        let n = self.layers.len();
+        let mut cuts = vec![0usize];
+        cuts.extend_from_slice(boundaries);
+        cuts.push(n);
+        assert!(
+            cuts.windows(2).all(|w| w[0] < w[1]),
+            "stage boundaries must be strictly increasing and within 1..{n}"
+        );
+        let mut stages = Vec::with_capacity(cuts.len() - 1);
+        let mut layers = self.layers.into_iter();
+        for (i, w) in cuts.windows(2).enumerate() {
+            let mut stage = Sequential::new(format!("{}:stage{}", self.name, i));
+            for _ in w[0]..w[1] {
+                stage.layers.push(layers.next().expect("boundary in range"));
+            }
+            stages.push(stage);
+        }
+        stages
+    }
+
+    /// Per-layer output shapes for an input of `input_shape` (with batch dim).
+    pub fn shapes(&self, input_shape: &[usize]) -> Vec<Vec<usize>> {
+        let mut shape = input_shape.to_vec();
+        let mut out = Vec::with_capacity(self.layers.len());
+        for l in &self.layers {
+            shape = l.output_shape(&shape);
+            out.push(shape.clone());
+        }
+        out
+    }
+}
+
+impl Layer for Sequential {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor, slot: Slot) -> Tensor {
+        let mut cur = x.clone();
+        for l in &mut self.layers {
+            cur = l.forward(&cur, slot);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, slot: Slot) -> Tensor {
+        let mut cur = grad_out.clone();
+        for l in self.layers.iter_mut().rev() {
+            cur = l.backward(&cur, slot);
+        }
+        cur
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        let mut shape = input_shape.to_vec();
+        for l in &self.layers {
+            shape = l.output_shape(&shape);
+        }
+        shape
+    }
+
+    fn flops_per_sample(&self, input_shape: &[usize]) -> f64 {
+        let mut shape = input_shape.to_vec();
+        let mut flops = 0.0;
+        for l in &self.layers {
+            flops += l.flops_per_sample(&shape[1..]);
+            shape = l.output_shape(&shape);
+        }
+        flops
+    }
+
+    fn clear_slots(&mut self) {
+        for l in &mut self.layers {
+            l.clear_slots();
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::rng;
+
+    fn tiny_mlp() -> Sequential {
+        let mut r = rng(42);
+        Sequential::new("mlp")
+            .push(Linear::new(4, 8, &mut r))
+            .push(Relu::new())
+            .push(Linear::new(8, 3, &mut r))
+    }
+
+    #[test]
+    fn sequential_forward_shape() {
+        let mut m = tiny_mlp();
+        let x = Tensor::zeros(&[5, 4]);
+        let y = m.forward(&x, 0);
+        assert_eq!(y.shape(), &[5, 3]);
+        assert_eq!(m.output_shape(&[5, 4]), vec![5, 3]);
+    }
+
+    #[test]
+    fn split_off_partitions_layers() {
+        let m = tiny_mlp();
+        let stages = m.split_off(&[1]);
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].len(), 1);
+        assert_eq!(stages[1].len(), 2);
+    }
+
+    #[test]
+    fn split_stages_compose_to_same_function() {
+        let mut whole = tiny_mlp();
+        let stages = tiny_mlp().split_off(&[2]);
+        let (mut s0, mut s1) = {
+            let mut it = stages.into_iter();
+            (it.next().unwrap(), it.next().unwrap())
+        };
+        let x = Tensor::from_vec(&[2, 4], (0..8).map(|i| i as f32 * 0.1).collect());
+        let y_whole = whole.forward(&x, 0);
+        let y_split = s1.forward(&s0.forward(&x, 0), 0);
+        for (a, b) in y_whole.data().iter().zip(y_split.data().iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut m = tiny_mlp();
+        let snap = m.snapshot();
+        // Perturb.
+        for p in m.params_mut() {
+            let shape = p.value.shape().to_vec();
+            p.value = Tensor::full(&shape, 9.0);
+        }
+        m.restore(&snap);
+        for (p, s) in m.params().iter().zip(snap.iter()) {
+            assert_eq!(&p.value, s);
+        }
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let m = tiny_mlp();
+        // 4*8 + 8 + 8*3 + 3 = 67
+        assert_eq!(m.param_count(), 67);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn bad_boundaries_rejected() {
+        tiny_mlp().split_off(&[2, 2]);
+    }
+}

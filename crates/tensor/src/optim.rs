@@ -1,0 +1,220 @@
+//! Optimizers.
+//!
+//! Optimizers keep their per-parameter state (momentum buffers, Adam
+//! moments) indexed by parameter position, so a single optimizer instance is
+//! bound to one stage's parameter list for its lifetime — exactly how the
+//! PipeDream runtime uses them (one optimizer per stage replica).
+
+use crate::layers::Param;
+use crate::tensor::Tensor;
+
+/// A gradient-descent optimizer applied to a stage's parameter list.
+pub trait Optimizer: Send {
+    /// Apply one update using the accumulated gradients, then zero them.
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replace the learning rate (for LR schedules / warm-up, §5.1).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Sgd::with_momentum(lr, 0.0, 0.0)
+    }
+
+    /// SGD with momentum `mu` and L2 weight decay `wd`.
+    pub fn with_momentum(lr: f32, mu: f32, wd: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: mu,
+            weight_decay: wd,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.is_empty() {
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
+        }
+        assert_eq!(
+            self.velocity.len(),
+            params.len(),
+            "optimizer bound to a different parameter list"
+        );
+        for (p, v) in params.iter_mut().zip(self.velocity.iter_mut()) {
+            let mut g = p.grad.clone();
+            if self.weight_decay != 0.0 {
+                g.axpy(self.weight_decay, &p.value);
+            }
+            if self.momentum != 0.0 {
+                // v ← μv + g ; θ ← θ − lr·v
+                let scaled = v.scale(self.momentum);
+                *v = scaled.add(&g);
+                p.value.axpy(-self.lr, v);
+            } else {
+                p.value.axpy(-self.lr, &g);
+            }
+            p.zero_grad();
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) — used by the paper for GNMT training.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
+            self.v = self.m.clone();
+        }
+        assert_eq!(self.m.len(), params.len());
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params
+            .iter_mut()
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+        {
+            for i in 0..p.value.len() {
+                let g = p.grad.data()[i];
+                let mi = self.beta1 * m.data()[i] + (1.0 - self.beta1) * g;
+                let vi = self.beta2 * v.data()[i] + (1.0 - self.beta2) * g * g;
+                m.data_mut()[i] = mi;
+                v.data_mut()[i] = vi;
+                let mhat = mi / b1t;
+                let vhat = vi / b2t;
+                p.value.data_mut()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            p.zero_grad();
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn param(v: &[f32], g: &[f32]) -> Param {
+        let mut p = Param::new("p", Tensor::from_slice(v));
+        p.grad = Tensor::from_slice(g);
+        p
+    }
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut p = param(&[1.0], &[2.0]);
+        let mut opt = Sgd::new(0.1);
+        opt.step(&mut [&mut p]);
+        assert!((p.value.data()[0] - 0.8).abs() < 1e-6);
+        assert_eq!(p.grad.data()[0], 0.0, "step must zero the gradient");
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut p = param(&[0.0], &[1.0]);
+        let mut opt = Sgd::with_momentum(0.1, 0.9, 0.0);
+        opt.step(&mut [&mut p]);
+        // Second step with the same gradient: v = 0.9·1 + 1 = 1.9.
+        p.grad = Tensor::from_slice(&[1.0]);
+        opt.step(&mut [&mut p]);
+        assert!((p.value.data()[0] - (-0.1 - 0.19)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut p = param(&[1.0], &[0.0]);
+        let mut opt = Sgd::with_momentum(0.1, 0.0, 0.5);
+        opt.step(&mut [&mut p]);
+        assert!((p.value.data()[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        let mut p = param(&[0.0], &[0.3]);
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut [&mut p]);
+        // Bias correction makes the first step ≈ lr·sign(g).
+        assert!((p.value.data()[0] + 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // Minimize (x-3)² starting at 0.
+        let mut p = param(&[0.0], &[0.0]);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let x = p.value.data()[0];
+            p.grad = Tensor::from_slice(&[2.0 * (x - 3.0)]);
+            opt.step(&mut [&mut p]);
+        }
+        assert!((p.value.data()[0] - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn lr_is_adjustable() {
+        let mut opt = Sgd::new(0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+}

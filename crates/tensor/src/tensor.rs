@@ -1,0 +1,339 @@
+//! Dense row-major `f32` tensors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// Shapes are dynamic (a `Vec<usize>`); rank-2 tensors are interpreted as
+/// `[rows, cols]` matrices by the linear-algebra helpers. The first
+/// dimension is the batch dimension throughout the layer library.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; n],
+        }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let n = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; n],
+        }
+    }
+
+    /// Build a tensor from raw data; panics if `data.len()` does not match
+    /// the shape's element count.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(
+            n,
+            data.len(),
+            "shape {shape:?} wants {n} elements, got {}",
+            data.len()
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// A rank-1 tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor::from_vec(&[data.len()], data.to_vec())
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Number of rows when interpreted as a matrix (`shape[0]`, or 1 for
+    /// rank-0).
+    pub fn rows(&self) -> usize {
+        self.shape.first().copied().unwrap_or(1)
+    }
+
+    /// Number of columns when interpreted as a matrix (product of all
+    /// non-batch dimensions).
+    pub fn cols(&self) -> usize {
+        if self.shape.len() <= 1 {
+            if self.shape.is_empty() {
+                1
+            } else {
+                self.shape[0]
+            }
+        } else {
+            self.shape[1..].iter().product()
+        }
+    }
+
+    /// Reinterpret with a new shape of equal element count.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        Tensor::from_vec(shape, self.data.clone())
+    }
+
+    /// Matrix element accessor for rank-2 tensors.
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// Mutable matrix element accessor for rank-2 tensors.
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        &mut self.data[r * self.shape[1] + c]
+    }
+
+    /// Matrix product `self × rhs` for rank-2 tensors
+    /// (`[m,k] × [k,n] → [m,n]`), written as a cache-friendly ikj loop.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be rank-2");
+        assert_eq!(rhs.shape.len(), 2, "matmul rhs must be rank-2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec(&[m, n], out)
+    }
+
+    /// Transpose a rank-2 tensor.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose needs rank-2");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor::from_vec(&[n, m], out)
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Elementwise binary op with a shape-identical tensor.
+    pub fn zip(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, rhs.shape, "zip shape mismatch");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a - b)
+    }
+
+    /// Elementwise product (Hadamard).
+    pub fn mul(&self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a * b)
+    }
+
+    /// Scale every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// In-place `self += alpha * rhs` (axpy), shape-checked.
+    pub fn axpy(&mut self, alpha: f32, rhs: &Tensor) {
+        assert_eq!(self.shape, rhs.shape, "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Squared L2 norm.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// L2 norm.
+    pub fn norm(&self) -> f32 {
+        self.sq_norm().sqrt()
+    }
+
+    /// Per-row argmax for rank-2 tensors (used for classification accuracy).
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.shape.len(), 2);
+        let n = self.shape[1];
+        (0..self.shape[0])
+            .map(|r| {
+                let row = &self.data[r * n..(r + 1) * n];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Extract row `r` of a rank-2 tensor as a rank-1 tensor.
+    pub fn row(&self, r: usize) -> Tensor {
+        assert_eq!(self.shape.len(), 2);
+        let n = self.shape[1];
+        Tensor::from_vec(&[n], self.data[r * n..(r + 1) * n].to_vec())
+    }
+
+    /// Stack rank-1 rows into a rank-2 tensor; panics on ragged input.
+    pub fn stack_rows(rows: &[Tensor]) -> Tensor {
+        assert!(!rows.is_empty(), "cannot stack zero rows");
+        let n = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * n);
+        for r in rows {
+            assert_eq!(r.len(), n, "ragged rows in stack_rows");
+            data.extend_from_slice(r.data());
+        }
+        Tensor::from_vec(&[rows.len(), n], data)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.data.len() <= 8 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(f, " [{:.4}, {:.4}, …]", self.data[0], self.data[1])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Tensor::from_vec(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().at(2, 1), 6.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::from_slice(&[1.0, 2.0]);
+        a.axpy(0.5, &Tensor::from_slice(&[4.0, 8.0]));
+        assert_eq!(a.data(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_max() {
+        let t = Tensor::from_vec(&[2, 3], vec![0.1, 0.9, 0.0, 0.3, 0.2, 0.5]);
+        assert_eq!(t.argmax_rows(), vec![1, 2]);
+    }
+
+    #[test]
+    fn stack_rows_round_trip() {
+        let rows = vec![Tensor::from_slice(&[1., 2.]), Tensor::from_slice(&[3., 4.])];
+        let m = Tensor::stack_rows(&rows);
+        assert_eq!(m.shape(), &[2, 2]);
+        assert_eq!(m.row(1).data(), &[3., 4.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn from_vec_rejects_wrong_len() {
+        Tensor::from_vec(&[2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn cols_flattens_trailing_dims() {
+        let t = Tensor::zeros(&[4, 3, 2, 2]);
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.cols(), 12);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests over the tensor substrate.
+
+use pipedream_tensor::data::blobs;
+use pipedream_tensor::init::{normal, rng};
+use pipedream_tensor::layers::{Linear, Relu, Tanh};
+use pipedream_tensor::{softmax_cross_entropy, Layer, Sequential, Tensor};
+use proptest::prelude::*;
+
+fn arb_matrix(max: usize) -> impl Strategy<Value = (usize, usize, u64)> {
+    (1..=max, 1..=max, any::<u64>())
+}
+
+fn close(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-3 * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (A·B)ᵀ = Bᵀ·Aᵀ
+    #[test]
+    fn matmul_transpose_identity((m, k, s1) in arb_matrix(6), (n, _, s2) in arb_matrix(6)) {
+        let a = normal(&[m, k], 1.0, &mut rng(s1));
+        let b = normal(&[k, n], 1.0, &mut rng(s2));
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert_eq!(lhs.shape(), rhs.shape());
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!(close(*x, *y), "{x} vs {y}");
+        }
+    }
+
+    /// A·(B + C) = A·B + A·C
+    #[test]
+    fn matmul_distributes((m, k, s1) in arb_matrix(5), (n, _, s2) in arb_matrix(5), s3 in any::<u64>()) {
+        let a = normal(&[m, k], 1.0, &mut rng(s1));
+        let b = normal(&[k, n], 1.0, &mut rng(s2));
+        let c = normal(&[k, n], 1.0, &mut rng(s3));
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!(close(*x, *y), "{x} vs {y}");
+        }
+    }
+
+    /// Transpose is an involution; reshape preserves data.
+    #[test]
+    fn transpose_involution((m, n, s) in arb_matrix(8)) {
+        let a = normal(&[m, n], 1.0, &mut rng(s));
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        let reshaped = a.reshape(&[n * m]);
+        prop_assert_eq!(reshaped.data(), a.data());
+    }
+
+    /// axpy(α, x) equals add(scale(x, α)).
+    #[test]
+    fn axpy_matches_add_scale(n in 1usize..64, alpha in -3.0f32..3.0, s in any::<u64>()) {
+        let x = normal(&[n], 1.0, &mut rng(s));
+        let y = normal(&[n], 1.0, &mut rng(s ^ 1));
+        let mut via_axpy = y.clone();
+        via_axpy.axpy(alpha, &x);
+        let via_ops = y.add(&x.scale(alpha));
+        for (a, b) in via_axpy.data().iter().zip(via_ops.data().iter()) {
+            prop_assert!(close(*a, *b));
+        }
+    }
+
+    /// Cross-entropy loss is non-negative and its gradient rows sum to 0
+    /// (softmax probabilities minus a one-hot, scaled by 1/batch).
+    #[test]
+    fn cross_entropy_grad_rows_sum_to_zero(b in 1usize..6, k in 2usize..8, s in any::<u64>()) {
+        let logits = normal(&[b, k], 2.0, &mut rng(s));
+        let labels: Vec<usize> = (0..b).map(|i| i % k).collect();
+        let out = softmax_cross_entropy(&logits, &labels);
+        prop_assert!(out.loss >= 0.0);
+        for r in 0..b {
+            let row_sum: f32 = (0..k).map(|c| out.grad.at(r, c)).sum();
+            prop_assert!(row_sum.abs() < 1e-5, "row {r} sums to {row_sum}");
+        }
+    }
+
+    /// Splitting a model at any boundary and composing the stages computes
+    /// the same function as the whole model.
+    #[test]
+    fn split_compose_equivalence(boundary in 1usize..5, s in any::<u64>()) {
+        let build = |seed: u64| {
+            let mut r = rng(seed);
+            Sequential::new("p")
+                .push(Linear::new(4, 8, &mut r))
+                .push(Tanh::new())
+                .push(Linear::new(8, 8, &mut r))
+                .push(Relu::new())
+                .push(Linear::new(8, 3, &mut r))
+        };
+        let mut whole = build(s);
+        let stages = build(s).split_off(&[boundary]);
+        let mut it = stages.into_iter();
+        let (mut s0, mut s1) = (it.next().unwrap(), it.next().unwrap());
+        let x = normal(&[3, 4], 1.0, &mut rng(s ^ 99));
+        let y1 = whole.forward(&x, 0);
+        let y2 = s1.forward(&s0.forward(&x, 0), 0);
+        for (a, b) in y1.data().iter().zip(y2.data().iter()) {
+            prop_assert!(close(*a, *b));
+        }
+    }
+
+    /// Snapshot → perturb → restore is the identity on parameters.
+    #[test]
+    fn snapshot_restore_roundtrip(s in any::<u64>(), noise in 0.1f32..5.0) {
+        let mut r = rng(s);
+        let mut m = Sequential::new("r")
+            .push(Linear::new(3, 5, &mut r))
+            .push(Linear::new(5, 2, &mut r));
+        let snap = m.snapshot();
+        for p in m.params_mut() {
+            let shape = p.value.shape().to_vec();
+            p.value = Tensor::full(&shape, noise);
+        }
+        m.restore(&snap);
+        prop_assert_eq!(m.snapshot(), snap);
+    }
+
+    /// Dataset minibatches partition the dataset exactly.
+    #[test]
+    fn minibatches_partition_dataset(n in 1usize..100, batch in 1usize..20, s in any::<u64>()) {
+        let d = blobs(n, 4, 2, 0.5, s);
+        let mut rows = 0usize;
+        for i in 0..d.num_minibatches(batch) {
+            let (x, y) = d.minibatch(i, batch);
+            prop_assert_eq!(x.rows(), y.len());
+            rows += y.len();
+        }
+        prop_assert_eq!(rows, n);
+    }
+
+    /// Layer slot caches are fully independent: interleaved forwards of two
+    /// minibatches backward to the same gradients as serial execution.
+    #[test]
+    fn interleaved_slots_match_serial(s in any::<u64>()) {
+        let mk = || Linear::new(4, 4, &mut rng(s));
+        let xa = normal(&[2, 4], 1.0, &mut rng(s ^ 2));
+        let xb = normal(&[2, 4], 1.0, &mut rng(s ^ 3));
+        let g = normal(&[2, 4], 1.0, &mut rng(s ^ 4));
+
+        let mut serial = mk();
+        serial.forward(&xa, 0);
+        let da_serial = serial.backward(&g, 0);
+        serial.zero_grad();
+        serial.forward(&xb, 1);
+        let db_serial = serial.backward(&g, 1);
+
+        let mut inter = mk();
+        inter.forward(&xa, 0);
+        inter.forward(&xb, 1);
+        let da_inter = inter.backward(&g, 0);
+        let db_inter = inter.backward(&g, 1);
+
+        prop_assert_eq!(da_serial, da_inter);
+        prop_assert_eq!(db_serial, db_inter);
+    }
+}

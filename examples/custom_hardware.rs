@@ -1,0 +1,85 @@
+//! Bring your own hardware and your own model: profile a real
+//! `pipedream-tensor` network (the paper's Figure-6 profiling step), define
+//! a custom cluster topology, and let the optimizer partition across it.
+//!
+//! ```text
+//! cargo run --example custom_hardware
+//! ```
+
+use pipedream::core::Planner;
+use pipedream::hw::{Device, Level, LinkModel, Topology};
+use pipedream::model::profiler::profile_sequential;
+use pipedream::tensor::init::rng;
+use pipedream::tensor::layers::{Linear, Relu};
+use pipedream::tensor::{Sequential, Tensor};
+
+fn main() {
+    // A custom accelerator: a modest 5 TFLOPS edge device with 8 GB.
+    let device = Device {
+        name: "EdgeTPU-ish".into(),
+        peak_flops: 5e12,
+        efficiency: 0.8,
+        mem_bytes: 8 << 30,
+    };
+
+    // A custom two-level cluster: 2 boxes × 4 devices, fast internal
+    // fabric, slow 1 Gbps uplink between boxes.
+    let topo = Topology::new(
+        device.clone(),
+        vec![
+            Level {
+                name: "in-box fabric".into(),
+                arity: 4,
+                link: LinkModel::from_gbytes(6.0, 5e-6),
+            },
+            Level {
+                name: "1 Gbps uplink".into(),
+                arity: 2,
+                link: LinkModel::from_gbps(1.0, 100e-6),
+            },
+        ],
+    );
+
+    // A real model, profiled by running it (Figure 6's profiling step):
+    // a bottom-heavy MLP whose last layer is a big classifier.
+    let mut r = rng(7);
+    let mut model = Sequential::new("custom-mlp")
+        .push(Linear::new(128, 256, &mut r))
+        .push(Relu::new())
+        .push(Linear::new(256, 256, &mut r))
+        .push(Relu::new())
+        .push(Linear::new(256, 256, &mut r))
+        .push(Relu::new())
+        .push(Linear::new(256, 16384, &mut r)); // dense head
+    let input = Tensor::zeros(&[32, 128]);
+    let profile = profile_sequential(&mut model, &input, 2, 5, &device);
+
+    println!("measured profile ({} layers):", profile.num_layers());
+    for l in &profile.layers {
+        println!(
+            "  {:<16} {:>10.0} FLOPs/sample  act {:>8} elems  weights {:>9} params",
+            l.name, l.flops_fwd, l.activation_elems, l.weight_params
+        );
+    }
+
+    let planner = Planner::from_costs(
+        profile.costs(&device, 32, pipedream::hw::Precision::Fp32),
+        &topo,
+    );
+    let plan = planner.plan();
+    println!(
+        "\nplanned configuration: {} ({})",
+        plan.config,
+        plan.config.label()
+    );
+    println!(
+        "predicted throughput: {:.0} samples/s",
+        plan.samples_per_sec
+    );
+    for (i, st) in plan.config.stages().iter().enumerate() {
+        println!(
+            "  stage {i}: layers {}..={} on {} worker(s)",
+            st.first_layer, st.last_layer, st.replicas
+        );
+    }
+}

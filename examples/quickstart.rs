@@ -1,0 +1,62 @@
+//! Quickstart: partition a model with PipeDream's optimizer and inspect
+//! the plan.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use pipedream::core::Planner;
+use pipedream::hw::ClusterPreset;
+use pipedream::model::zoo;
+
+fn main() {
+    // The paper's headline setup: VGG-16 on four Cluster-A servers
+    // (16 V100s, shared PCIe inside each server, 10 Gbps Ethernet across).
+    let model = zoo::vgg16();
+    let topo = ClusterPreset::A.with_servers(4);
+
+    println!(
+        "model: {} ({} layers, {:.0} M parameters)",
+        model.name,
+        model.num_layers(),
+        model.total_params() as f64 / 1e6
+    );
+    println!(
+        "cluster: {} workers across {} servers\n",
+        topo.total_workers(),
+        topo.arity(2)
+    );
+
+    let planner = Planner::new(&model, &topo);
+
+    // The paper's hierarchical dynamic program (§3.1)…
+    let plan = planner.plan();
+    println!("hierarchical plan: {}", plan.config);
+    println!(
+        "  predicted throughput: {:.0} samples/s",
+        plan.samples_per_sec
+    );
+    println!(
+        "  NOAM (in-flight minibatches per input replica): {}",
+        plan.noam
+    );
+
+    // …and the worker-granular flat variant, which can express Table 1's
+    // exact 15-1 configuration.
+    let flat = planner.plan_flat();
+    println!("\nflat plan: {} ({})", flat.config, flat.config.label());
+    println!(
+        "  predicted throughput: {:.0} samples/s",
+        flat.samples_per_sec
+    );
+
+    for (i, stage) in flat.config.stages().iter().enumerate() {
+        println!(
+            "  stage {i}: layers {}..={} ({}), {} replica(s)",
+            stage.first_layer,
+            stage.last_layer,
+            planner.costs().layers[stage.first_layer].name,
+            stage.replicas
+        );
+    }
+}
