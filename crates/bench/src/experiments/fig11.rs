@@ -70,7 +70,7 @@ pub fn run(epochs: usize) -> Fig11 {
             gnmt().epochs_to_target(Mode::WeightStashing).unwrap(),
         ),
     ];
-    let data = blobs(256, 8, 4, 1.0, 7);
+    let data = blobs(256, 8, 4, 1.0, 2);
     let opts = TrainOpts {
         epochs,
         batch: 16,

@@ -16,6 +16,7 @@ pub mod fig6_7;
 pub mod fig9;
 pub mod gpipe;
 pub mod opt;
+pub mod recovery;
 pub mod sensitivity;
 pub mod table1;
 pub mod table2;

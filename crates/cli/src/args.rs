@@ -18,6 +18,9 @@ USAGE:
                      [--gpus N] [--fp16] [--json] [--topology @topo.json]
   pipedream train    [--stages N] [--epochs N] [--batch N] [--lr X]
                      [--semantics stashed|naive|vsync|gpipe] [--seed N]
+                     [--fault kill:stage=S,mb=N | delay:stage=S,mb=N,ms=M |
+                              drop:stage=S,mb=N | corrupt:stage=S,epoch=E]
+                     [--checkpoint-dir DIR]
   pipedream export   (--model <NAME> | --cluster <A|B|C> --servers N)
                      [--out file.json]
   pipedream inspect  --model <NAME|@profile.json> [--batch N]
@@ -140,6 +143,12 @@ pub struct TrainArgs {
     pub semantics: String,
     /// RNG seed.
     pub seed: u64,
+    /// Fault-injection spec (e.g. `kill:stage=1,mb=37`), run under the
+    /// recovery supervisor.
+    pub fault: Option<String>,
+    /// Checkpoint directory (per-stage epoch-boundary checkpoints; defaults
+    /// to a temp dir when `--fault` needs one).
+    pub checkpoint_dir: Option<String>,
 }
 
 /// Parsing failure with a user-facing message.
@@ -308,6 +317,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 .cloned()
                 .unwrap_or_else(|| "stashed".into()),
             seed: get(&map, "seed", 1u64)?,
+            fault: map.get("fault").cloned(),
+            checkpoint_dir: map.get("checkpoint-dir").cloned(),
         })),
         other => Err(ParseError(format!(
             "unknown subcommand '{other}'; try `pipedream help`"
@@ -369,6 +380,22 @@ mod tests {
         assert_eq!(a.semantics, "gpipe");
         assert_eq!(a.epochs, 3);
         assert_eq!(a.stages, 4);
+        assert_eq!(a.fault, None);
+    }
+
+    #[test]
+    fn train_fault_flag_parses() {
+        let cmd = parse(&s(&[
+            "train",
+            "--fault",
+            "kill:stage=1,mb=37",
+            "--checkpoint-dir",
+            "/tmp/ck",
+        ]))
+        .unwrap();
+        let Command::Train(a) = cmd else { panic!() };
+        assert_eq!(a.fault.as_deref(), Some("kill:stage=1,mb=37"));
+        assert_eq!(a.checkpoint_dir.as_deref(), Some("/tmp/ck"));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::args::{DpArgs, ExportArgs, InspectArgs, PlanArgs, SimulateArgs, Target, TrainArgs};
 use pipedream_core::schedule::Schedule;
 use pipedream_core::{PipelineConfig, Planner};
+use pipedream_ft::{train_with_recovery, FaultPlan};
 use pipedream_hw::{ClusterPreset, Precision, Topology};
 use pipedream_model::{zoo, ModelProfile};
 use pipedream_runtime::trainer::evaluate;
@@ -240,6 +241,15 @@ pub fn train(a: TrainArgs) -> Result<String, String> {
 
     let data = blobs(256, 8, 4, 0.8, a.seed ^ 0xda7a);
     let (train_set, test_set) = data.split(0.25);
+    // --fault implies checkpointing so the recovery supervisor has
+    // something to restart from.
+    let checkpoint_dir = match (&a.checkpoint_dir, &a.fault) {
+        (Some(d), _) => Some(std::path::PathBuf::from(d)),
+        (None, Some(_)) => {
+            Some(std::env::temp_dir().join(format!("pipedream-train-ckpt-{}", std::process::id())))
+        }
+        (None, None) => None,
+    };
     let opts = TrainOpts {
         epochs: a.epochs,
         batch: a.batch,
@@ -249,18 +259,50 @@ pub fn train(a: TrainArgs) -> Result<String, String> {
         },
         semantics,
         lr_schedule: LrSchedule::Constant,
-        checkpoint_dir: None,
+        checkpoint_dir,
         resume: false,
         depth: None,
         trace: false,
     };
-    let (mut trained, report) = train_pipeline(model, &config, &train_set, &opts);
+    let mut fault_fired = true;
+    let (mut trained, report) = match &a.fault {
+        None => train_pipeline(model, &config, &train_set, &opts),
+        Some(spec) => {
+            let plan =
+                std::sync::Arc::new(FaultPlan::parse(spec).map_err(|e| format!("--fault: {e}"))?);
+            let result = train_with_recovery(&model, &config, &train_set, &opts, plan.clone())
+                .map_err(|e| e.to_string())?;
+            fault_fired = plan.fired();
+            result
+        }
+    };
     let mut out = String::new();
     let _ = writeln!(
         out,
         "trained {}-stage pipeline ({:?}) for {} epochs on 4-class blobs",
         a.stages, semantics, a.epochs
     );
+    if let Some(rec) = &report.recovery {
+        if fault_fired {
+            let _ = writeln!(
+                out,
+                "injected fault `{}`: detected in {:.1} ms, resumed from {}, {} epoch(s) redone",
+                rec.fault,
+                rec.detection_latency_s * 1e3,
+                match rec.resumed_from_epoch {
+                    Some(e) => format!("epoch-{e} checkpoint"),
+                    None => "nothing (no restart needed)".to_string(),
+                },
+                rec.epochs_redone
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "fault `{}` never fired (no op matched the spec); training ran clean",
+                rec.fault
+            );
+        }
+    }
     for e in &report.per_epoch {
         let _ = writeln!(
             out,
@@ -457,9 +499,48 @@ mod tests {
             lr: 0.05,
             semantics: "stashed".into(),
             seed: 3,
+            fault: None,
+            checkpoint_dir: None,
         })
         .unwrap();
         assert!(out.contains("held-out accuracy"));
+        assert!(!out.contains("injected fault"));
+    }
+
+    #[test]
+    fn train_with_fault_recovers() {
+        let dir = std::env::temp_dir().join(format!("pd-cli-fault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = train(TrainArgs {
+            stages: 3,
+            epochs: 3,
+            batch: 16,
+            lr: 0.05,
+            semantics: "stashed".into(),
+            seed: 3,
+            fault: Some("kill:stage=1,mb=20".into()),
+            checkpoint_dir: Some(dir.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        assert!(out.contains("injected fault `kill:stage=1,mb=20`"), "{out}");
+        assert!(out.contains("held-out accuracy"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn train_rejects_bad_fault_spec() {
+        let err = train(TrainArgs {
+            stages: 3,
+            epochs: 2,
+            batch: 16,
+            lr: 0.05,
+            semantics: "stashed".into(),
+            seed: 3,
+            fault: Some("explode:stage=1".into()),
+            checkpoint_dir: None,
+        })
+        .unwrap_err();
+        assert!(err.contains("--fault"), "{err}");
     }
 
     #[test]

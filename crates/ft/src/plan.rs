@@ -1,0 +1,349 @@
+//! Deterministic fault-injection plans.
+//!
+//! A plan names one fault and the exact point in the schedule where it
+//! fires, so every run of a faulted training job fails identically —
+//! recovery tests stay reproducible. Specs are compact strings, designed
+//! for a CLI flag:
+//!
+//! ```text
+//! kill:stage=1,mb=37            crash stage 1 (replica 0) at minibatch 37
+//! kill:stage=1,replica=1,mb=37  crash a specific replica
+//! delay:stage=0,mb=5,ms=40      delay one activation send by 40 ms
+//! drop:stage=0,mb=5             lose one activation send on the wire
+//! corrupt:stage=2,epoch=1       corrupt stage 2's epoch-1 checkpoint
+//! corrupt:stage=2,epoch=1,mode=truncate   …by truncating it instead
+//! ```
+//!
+//! Each plan fires exactly once (atomic one-shot) and records the instant
+//! it fired, which the supervisor subtracts from the coordinator's
+//! detection time to measure detection latency.
+
+use pipedream_core::schedule::Op;
+use pipedream_runtime::fault::{FaultAction, FaultHook, SendAction};
+use std::fs;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How a `corrupt:` fault damages the checkpoint file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptMode {
+    /// Overwrite the file with non-JSON garbage.
+    Garbage,
+    /// Cut the file in half mid-JSON, like a writer that died without the
+    /// atomic rename.
+    Truncate,
+}
+
+/// The fault a plan injects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Crash `stage`/`replica` just before it executes its op for
+    /// minibatch `mb` — a silent death, like a machine failure.
+    Kill {
+        /// Stage to kill.
+        stage: usize,
+        /// Replica within the stage.
+        replica: usize,
+        /// Minibatch whose op triggers the crash.
+        mb: u64,
+    },
+    /// Delay `stage`'s activation send for minibatch `mb` once.
+    Delay {
+        /// Sending stage.
+        stage: usize,
+        /// Delayed minibatch.
+        mb: u64,
+        /// Delay duration.
+        ms: u64,
+    },
+    /// Drop `stage`'s activation send for minibatch `mb` once. The
+    /// receiver stalls until the plan's receive timeout expires, then
+    /// fails; the supervisor restarts from the last checkpoint.
+    Drop {
+        /// Sending stage.
+        stage: usize,
+        /// Dropped minibatch.
+        mb: u64,
+    },
+    /// Corrupt the checkpoint `stage` writes at the end of `epoch`.
+    Corrupt {
+        /// Stage whose checkpoint is damaged.
+        stage: usize,
+        /// Epoch of the damaged checkpoint.
+        epoch: usize,
+        /// Kind of damage.
+        mode: CorruptMode,
+    },
+}
+
+/// A one-shot fault-injection plan; implements the runtime's
+/// [`FaultHook`].
+pub struct FaultPlan {
+    fault: Fault,
+    spec: String,
+    fired: AtomicBool,
+    injected_at: Mutex<Option<Instant>>,
+}
+
+impl FaultPlan {
+    /// Plan for `fault`, described by `spec` in reports.
+    pub fn new(fault: Fault, spec: impl Into<String>) -> Self {
+        FaultPlan {
+            fault,
+            spec: spec.into(),
+            fired: AtomicBool::new(false),
+            injected_at: Mutex::new(None),
+        }
+    }
+
+    /// Parse a plan from its spec string (see the module docs for the
+    /// grammar).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (kind, rest) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("fault spec '{spec}' missing ':' (want kind:k=v,...)"))?;
+        let mut stage = None;
+        let mut replica = 0usize;
+        let mut mb = None;
+        let mut ms = None;
+        let mut epoch = None;
+        let mut mode = CorruptMode::Garbage;
+        for pair in rest.split(',').filter(|p| !p.is_empty()) {
+            let (k, v) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec field '{pair}' is not k=v"))?;
+            let num = |v: &str| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("fault spec field '{k}={v}' is not a number"))
+            };
+            match k {
+                "stage" => stage = Some(num(v)? as usize),
+                "replica" => replica = num(v)? as usize,
+                "mb" => mb = Some(num(v)?),
+                "ms" => ms = Some(num(v)?),
+                "epoch" => epoch = Some(num(v)? as usize),
+                "mode" => {
+                    mode = match v {
+                        "garbage" => CorruptMode::Garbage,
+                        "truncate" => CorruptMode::Truncate,
+                        _ => return Err(format!("unknown corrupt mode '{v}'")),
+                    }
+                }
+                _ => return Err(format!("unknown fault spec field '{k}'")),
+            }
+        }
+        let stage = stage.ok_or_else(|| format!("fault spec '{spec}' missing stage="))?;
+        let need_mb = || mb.ok_or_else(|| format!("fault spec '{spec}' missing mb="));
+        let fault = match kind {
+            "kill" => Fault::Kill {
+                stage,
+                replica,
+                mb: need_mb()?,
+            },
+            "delay" => Fault::Delay {
+                stage,
+                mb: need_mb()?,
+                ms: ms.ok_or_else(|| format!("fault spec '{spec}' missing ms="))?,
+            },
+            "drop" => Fault::Drop {
+                stage,
+                mb: need_mb()?,
+            },
+            "corrupt" => Fault::Corrupt {
+                stage,
+                epoch: epoch.ok_or_else(|| format!("fault spec '{spec}' missing epoch="))?,
+                mode,
+            },
+            _ => {
+                return Err(format!(
+                    "unknown fault kind '{kind}' (want kill|delay|drop|corrupt)"
+                ))
+            }
+        };
+        Ok(FaultPlan::new(fault, spec))
+    }
+
+    /// The fault this plan injects.
+    pub fn fault(&self) -> &Fault {
+        &self.fault
+    }
+
+    /// The spec string, for reports.
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+
+    /// Whether the fault has fired.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// When the fault fired, if it has.
+    pub fn injected_at(&self) -> Option<Instant> {
+        *self.injected_at.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Atomically claim the one shot; true exactly once.
+    fn fire(&self) -> bool {
+        let first = !self.fired.swap(true, Ordering::SeqCst);
+        if first {
+            *self.injected_at.lock().unwrap_or_else(|e| e.into_inner()) = Some(Instant::now());
+        }
+        first
+    }
+}
+
+impl FaultHook for FaultPlan {
+    fn before_op(&self, stage: usize, replica: usize, op: &Op) -> FaultAction {
+        if let Fault::Kill {
+            stage: s,
+            replica: r,
+            mb,
+        } = self.fault
+        {
+            if stage == s && replica == r && op.minibatch() == Some(mb) && self.fire() {
+                return FaultAction::Kill;
+            }
+        }
+        FaultAction::Continue
+    }
+
+    fn on_forward_send(&self, stage: usize, mb: u64) -> SendAction {
+        match self.fault {
+            Fault::Delay {
+                stage: s,
+                mb: m,
+                ms,
+            } if stage == s && mb == m && self.fire() => {
+                SendAction::Delay(Duration::from_millis(ms))
+            }
+            Fault::Drop { stage: s, mb: m } if stage == s && mb == m && self.fire() => {
+                SendAction::Drop
+            }
+            _ => SendAction::Deliver,
+        }
+    }
+
+    fn on_checkpoint_written(&self, path: &Path, stage: usize, epoch: usize) {
+        if let Fault::Corrupt {
+            stage: s,
+            epoch: e,
+            mode,
+        } = self.fault
+        {
+            if stage == s && epoch == e && self.fire() {
+                match mode {
+                    CorruptMode::Garbage => {
+                        let _ = fs::write(path, "\x7fELF not a checkpoint");
+                    }
+                    CorruptMode::Truncate => {
+                        if let Ok(full) = fs::read(path) {
+                            let _ = fs::write(path, &full[..full.len() / 2]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn recv_timeout(&self) -> Option<Duration> {
+        // Only drop faults can stall a worker forever; bound their waits
+        // so the stalled receiver fails and the supervisor takes over.
+        match self.fault {
+            Fault::Drop { .. } => Some(Duration::from_millis(400)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_kind() {
+        let p = FaultPlan::parse("kill:stage=1,mb=37").unwrap();
+        assert_eq!(
+            *p.fault(),
+            Fault::Kill {
+                stage: 1,
+                replica: 0,
+                mb: 37
+            }
+        );
+        let p = FaultPlan::parse("kill:stage=2,replica=1,mb=9").unwrap();
+        assert_eq!(
+            *p.fault(),
+            Fault::Kill {
+                stage: 2,
+                replica: 1,
+                mb: 9
+            }
+        );
+        let p = FaultPlan::parse("delay:stage=0,mb=5,ms=40").unwrap();
+        assert_eq!(
+            *p.fault(),
+            Fault::Delay {
+                stage: 0,
+                mb: 5,
+                ms: 40
+            }
+        );
+        let p = FaultPlan::parse("drop:stage=0,mb=5").unwrap();
+        assert_eq!(*p.fault(), Fault::Drop { stage: 0, mb: 5 });
+        let p = FaultPlan::parse("corrupt:stage=2,epoch=1,mode=truncate").unwrap();
+        assert_eq!(
+            *p.fault(),
+            Fault::Corrupt {
+                stage: 2,
+                epoch: 1,
+                mode: CorruptMode::Truncate
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(FaultPlan::parse("kill").is_err());
+        assert!(FaultPlan::parse("explode:stage=1,mb=2").is_err());
+        assert!(FaultPlan::parse("kill:stage=1").is_err()); // missing mb
+        assert!(FaultPlan::parse("kill:mb=2").is_err()); // missing stage
+        assert!(FaultPlan::parse("kill:stage=x,mb=2").is_err());
+        assert!(FaultPlan::parse("corrupt:stage=1,epoch=0,mode=eat").is_err());
+    }
+
+    #[test]
+    fn kill_fires_exactly_once_at_the_right_op() {
+        let p = FaultPlan::parse("kill:stage=1,mb=3").unwrap();
+        assert_eq!(
+            p.before_op(0, 0, &Op::Forward { mb: 3 }),
+            FaultAction::Continue
+        );
+        assert_eq!(
+            p.before_op(1, 0, &Op::Forward { mb: 2 }),
+            FaultAction::Continue
+        );
+        assert!(!p.fired());
+        assert_eq!(p.before_op(1, 0, &Op::Forward { mb: 3 }), FaultAction::Kill);
+        assert!(p.fired());
+        assert!(p.injected_at().is_some());
+        // One-shot: a replay of the same op no longer kills.
+        assert_eq!(
+            p.before_op(1, 0, &Op::Backward { mb: 3 }),
+            FaultAction::Continue
+        );
+    }
+
+    #[test]
+    fn drop_bounds_recv_waits() {
+        let p = FaultPlan::parse("drop:stage=0,mb=5").unwrap();
+        assert!(p.recv_timeout().is_some());
+        assert_eq!(p.on_forward_send(0, 4), SendAction::Deliver);
+        assert_eq!(p.on_forward_send(0, 5), SendAction::Drop);
+        assert_eq!(p.on_forward_send(0, 5), SendAction::Deliver); // one-shot
+        let p = FaultPlan::parse("kill:stage=0,mb=5").unwrap();
+        assert!(p.recv_timeout().is_none());
+    }
+}

@@ -1,0 +1,155 @@
+//! The recovery supervisor (paper §4).
+//!
+//! Runs pipeline training under a [`FaultPlan`]. If the injected fault
+//! kills the run, every stage's channels disconnect and the runtime joins
+//! all workers with typed errors — the supervisor then restarts training
+//! from the last *complete* per-stage checkpoint using the runtime's
+//! resume machinery, exactly as the paper prescribes ("restarting entails
+//! starting from the last successfully created checkpoint for all
+//! stages"). The final [`TrainReport`] carries a
+//! [`RecoveryRecord`] quantifying the recovery: detection latency, the
+//! epoch resumed from, how many epochs of work were redone (the paper's
+//! bound: at most one, with per-epoch checkpoints), and end quality.
+
+use crate::plan::{Fault, FaultPlan};
+use pipedream_core::PipelineConfig;
+use pipedream_runtime::checkpoint::latest_complete_epoch;
+use pipedream_runtime::fault::FaultHook;
+use pipedream_runtime::report::RecoveryRecord;
+use pipedream_runtime::trainer::{try_train_pipeline, TrainOpts};
+use pipedream_runtime::TrainReport;
+use pipedream_tensor::data::Dataset;
+use pipedream_tensor::Sequential;
+use std::fmt;
+use std::sync::Arc;
+
+/// Why supervised training could not produce a recovered run.
+#[derive(Debug)]
+pub enum SupervisorError {
+    /// The plan's fault needs checkpoints to recover from, but
+    /// `TrainOpts::checkpoint_dir` is unset.
+    MissingCheckpointDir,
+    /// Training failed before the plan's fault fired — an organic bug,
+    /// not the injected fault.
+    UnexpectedFailure(String),
+    /// The restarted (post-fault) run failed too.
+    RestartFailed(String),
+}
+
+impl fmt::Display for SupervisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SupervisorError::MissingCheckpointDir => write!(
+                f,
+                "fault plan requires a checkpoint_dir to recover from (set TrainOpts::checkpoint_dir)"
+            ),
+            SupervisorError::UnexpectedFailure(e) => {
+                write!(f, "training failed before the fault fired: {e}")
+            }
+            SupervisorError::RestartFailed(e) => write!(f, "restarted run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SupervisorError {}
+
+/// Train under `plan`, recovering from the injected fault if it brings
+/// the pipeline down.
+///
+/// Returns the trained model and a report whose
+/// [`TrainReport::recovery`] records what happened. The report's
+/// `per_epoch` covers the *whole* logical run: epochs completed (and
+/// checkpointed) before the fault, then the epochs the restarted run
+/// trained.
+pub fn train_with_recovery(
+    model: &Sequential,
+    config: &PipelineConfig,
+    dataset: &Dataset,
+    opts: &TrainOpts,
+    plan: Arc<FaultPlan>,
+) -> Result<(Sequential, TrainReport), SupervisorError> {
+    if opts.checkpoint_dir.is_none() && !matches!(plan.fault(), Fault::Delay { .. }) {
+        return Err(SupervisorError::MissingCheckpointDir);
+    }
+    let hook: Arc<dyn FaultHook> = plan.clone();
+    match try_train_pipeline(model.clone(), config, dataset, opts, Some(hook)) {
+        Ok((trained, mut report)) => {
+            // Non-fatal fault (a delay, a corrupted checkpoint the run
+            // never needed): training completed in one attempt.
+            report.recovery = Some(RecoveryRecord {
+                fault: plan.spec().to_string(),
+                detection_latency_s: 0.0,
+                resumed_from_epoch: None,
+                epochs_redone: 0,
+                final_loss: report.final_loss(),
+                final_accuracy: report.final_accuracy(),
+                baseline_loss: None,
+                baseline_accuracy: None,
+            });
+            Ok((trained, report))
+        }
+        Err(e) => {
+            if !plan.fired() {
+                return Err(SupervisorError::UnexpectedFailure(e.to_string()));
+            }
+            let detection_latency_s = plan
+                .injected_at()
+                .map(|t0| e.detected_at.duration_since(t0).as_secs_f64())
+                .unwrap_or(0.0);
+            let dir = opts
+                .checkpoint_dir
+                .as_ref()
+                .ok_or(SupervisorError::MissingCheckpointDir)?;
+
+            // §4: restart every stage from the last epoch whose *every*
+            // stage checkpoint is intact. The runtime's resume machinery
+            // does the restore; we only size the remaining work.
+            let stages = config.stages().len();
+            let ckpt_epoch = latest_complete_epoch(dir, stages);
+            let resume_start = ckpt_epoch.map_or(0, |c| c + 1);
+            let mut resumed_opts = opts.clone();
+            resumed_opts.resume = true;
+            resumed_opts.epochs = opts.epochs.saturating_sub(resume_start);
+            let (trained, resumed_report) =
+                try_train_pipeline(model.clone(), config, dataset, &resumed_opts, None)
+                    .map_err(|e| SupervisorError::RestartFailed(e.to_string()))?;
+
+            // Work redone = epochs after the checkpoint that had already
+            // been (at least partially) executed when the fault hit.
+            let mbs_per_epoch = dataset.num_minibatches(opts.batch).max(1) as u64;
+            let fault_epoch = match *plan.fault() {
+                Fault::Kill { mb, .. } | Fault::Delay { mb, .. } | Fault::Drop { mb, .. } => {
+                    (mb / mbs_per_epoch) as usize
+                }
+                Fault::Corrupt { epoch, .. } => epoch,
+            };
+            let epochs_redone = (fault_epoch + 1).saturating_sub(resume_start);
+
+            // Stitch the logical run back together: checkpointed epochs
+            // from the faulted attempt, then everything the restart
+            // trained.
+            let mut per_epoch: Vec<_> = e
+                .partial
+                .per_epoch
+                .iter()
+                .filter(|s| s.epoch < resume_start)
+                .copied()
+                .collect();
+            per_epoch.extend(resumed_report.per_epoch.iter().copied());
+            let mut report = resumed_report.clone();
+            report.per_epoch = per_epoch;
+            report.wall_time_s += e.partial.wall_time_s;
+            report.recovery = Some(RecoveryRecord {
+                fault: plan.spec().to_string(),
+                detection_latency_s,
+                resumed_from_epoch: ckpt_epoch,
+                epochs_redone,
+                final_loss: report.final_loss(),
+                final_accuracy: report.final_accuracy(),
+                baseline_loss: None,
+                baseline_accuracy: None,
+            });
+            Ok((trained, report))
+        }
+    }
+}

@@ -52,6 +52,7 @@ pub fn train_sequential(
             version_trace: Vec::new(),
             per_minibatch: Vec::new(),
             op_trace: Vec::new(),
+            recovery: None,
             wall_time_s: started.elapsed().as_secs_f64(),
         },
     )
@@ -139,6 +140,7 @@ pub fn train_bsp_dp(
             version_trace: Vec::new(),
             per_minibatch: Vec::new(),
             op_trace: Vec::new(),
+            recovery: None,
             wall_time_s: started.elapsed().as_secs_f64(),
         },
     )
@@ -224,6 +226,7 @@ pub fn train_asp(
             version_trace: Vec::new(),
             per_minibatch: Vec::new(),
             op_trace: Vec::new(),
+            recovery: None,
             wall_time_s: started.elapsed().as_secs_f64(),
         },
     )

@@ -4,13 +4,63 @@
 //! dumps its model parameters locally when it performs the backward pass
 //! for the last minibatch in an epoch." Checkpoints here are JSON files of
 //! the stage's parameter tensors, one file per (stage, epoch).
+//!
+//! Loading distinguishes *missing* checkpoints from *corrupt* ones
+//! ([`CheckpointError`]): a truncated or garbled file — e.g. from a crash
+//! mid-write on a filesystem without atomic rename, or disk corruption —
+//! must not wedge recovery. [`latest_complete_epoch`] therefore treats an
+//! unreadable stage file the same as an absent one and falls back to the
+//! newest epoch whose *every* stage file parses.
 
 use pipedream_tensor::Tensor;
+use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-fn stage_file(dir: &Path, stage: usize, epoch: usize) -> PathBuf {
+/// Why a checkpoint could not be loaded.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The file could not be read (missing, permissions, ...).
+    Io(io::Error),
+    /// The file exists but does not parse as a parameter dump — a
+    /// truncated or corrupted write.
+    Corrupt {
+        /// Offending file.
+        path: PathBuf,
+        /// Parse failure detail.
+        message: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Corrupt { path, message } => {
+                write!(f, "corrupt checkpoint {}: {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Path of stage `stage`'s checkpoint for `epoch` under `dir`.
+pub fn stage_path(dir: &Path, stage: usize, epoch: usize) -> PathBuf {
     dir.join(format!("stage{stage}_epoch{epoch}.json"))
 }
 
@@ -22,20 +72,25 @@ pub fn save_stage(dir: &Path, stage: usize, epoch: usize, params: &[Tensor]) -> 
     // checkpoint.
     let tmp = dir.join(format!(".stage{stage}_epoch{epoch}.tmp"));
     fs::write(&tmp, json)?;
-    fs::rename(tmp, stage_file(dir, stage, epoch))
+    fs::rename(tmp, stage_path(dir, stage, epoch))
 }
 
 /// Load stage `stage`'s parameters from `epoch`'s checkpoint.
-pub fn load_stage(dir: &Path, stage: usize, epoch: usize) -> io::Result<Vec<Tensor>> {
-    let json = fs::read_to_string(stage_file(dir, stage, epoch))?;
-    serde_json::from_str(&json).map_err(io::Error::other)
+pub fn load_stage(dir: &Path, stage: usize, epoch: usize) -> Result<Vec<Tensor>, CheckpointError> {
+    let path = stage_path(dir, stage, epoch);
+    let json = fs::read_to_string(&path)?;
+    serde_json::from_str(&json).map_err(|e| CheckpointError::Corrupt {
+        path,
+        message: e.to_string(),
+    })
 }
 
-/// Latest epoch for which *all* `stages` checkpoints exist — the epoch a
-/// restarted run resumes from (§4: "restarting entails starting from the
-/// last successfully created checkpoint for all stages").
+/// Latest epoch for which *all* `stages` checkpoints exist **and parse** —
+/// the epoch a restarted run resumes from (§4: "restarting entails
+/// starting from the last successfully created checkpoint for all
+/// stages"). A half-written or corrupted stage file disqualifies its
+/// epoch, falling back to the newest fully-intact one.
 pub fn latest_complete_epoch(dir: &Path, stages: usize) -> Option<usize> {
-    let mut best: Option<usize> = None;
     let entries = fs::read_dir(dir).ok()?;
     let mut epochs: Vec<usize> = entries
         .flatten()
@@ -46,12 +101,12 @@ pub fn latest_complete_epoch(dir: &Path, stages: usize) -> Option<usize> {
         })
         .collect();
     epochs.sort_unstable();
-    for epoch in epochs {
-        if (0..stages).all(|s| stage_file(dir, s, epoch).exists()) {
-            best = Some(epoch);
-        }
-    }
-    best
+    // Scan newest-first so intact-epoch validation loads as few files as
+    // possible in the common (uncorrupted) case.
+    epochs
+        .into_iter()
+        .rev()
+        .find(|&epoch| (0..stages).all(|s| load_stage(dir, s, epoch).is_ok()))
 }
 
 #[cfg(test)]
@@ -91,5 +146,48 @@ mod tests {
     #[test]
     fn missing_dir_is_none() {
         assert_eq!(latest_complete_epoch(Path::new("/nonexistent-pd"), 1), None);
+    }
+
+    #[test]
+    fn load_distinguishes_missing_from_corrupt() {
+        let dir = tmpdir("corrupt-kind");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            load_stage(&dir, 0, 0),
+            Err(CheckpointError::Io(_))
+        ));
+        fs::write(
+            stage_path(&dir, 0, 0),
+            "[{\"shape\": [2
+",
+        )
+        .unwrap(); // half-written
+        assert!(matches!(
+            load_stage(&dir, 0, 0),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn latest_complete_skips_corrupt_epochs() {
+        let dir = tmpdir("corrupt-skip");
+        let p = vec![Tensor::from_slice(&[0.5, 1.5])];
+        save_stage(&dir, 0, 0, &p).unwrap();
+        save_stage(&dir, 1, 0, &p).unwrap();
+        save_stage(&dir, 0, 1, &p).unwrap();
+        save_stage(&dir, 1, 1, &p).unwrap();
+        // Truncate stage 1's epoch-1 file mid-JSON, as if the writer died
+        // without the atomic rename.
+        let full = fs::read_to_string(stage_path(&dir, 1, 1)).unwrap();
+        fs::write(stage_path(&dir, 1, 1), &full[..full.len() / 2]).unwrap();
+        assert_eq!(latest_complete_epoch(&dir, 2), Some(0));
+        // Garbage (non-JSON) is equally disqualifying.
+        fs::write(stage_path(&dir, 1, 1), "not json at all").unwrap();
+        assert_eq!(latest_complete_epoch(&dir, 2), Some(0));
+        // Restoring a valid file for the epoch re-qualifies it.
+        save_stage(&dir, 1, 1, &p).unwrap();
+        assert_eq!(latest_complete_epoch(&dir, 2), Some(1));
+        fs::remove_dir_all(&dir).unwrap();
     }
 }

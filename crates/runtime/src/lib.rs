@@ -25,6 +25,7 @@
 pub mod baselines;
 pub mod checkpoint;
 pub mod data;
+pub mod fault;
 pub mod message;
 pub mod report;
 pub mod sync;
@@ -33,5 +34,8 @@ pub mod worker;
 
 pub use baselines::{train_asp, train_bsp_dp, train_sequential};
 pub use data::TrainData;
-pub use report::{EpochStats, TrainReport, VersionRecord};
-pub use trainer::{train_pipeline, LrSchedule, OptimKind, Semantics, TrainOpts};
+pub use fault::{FaultAction, FaultHook, SendAction, WorkerError};
+pub use report::{EpochStats, RecoveryRecord, TrainReport, VersionRecord};
+pub use trainer::{
+    train_pipeline, try_train_pipeline, LrSchedule, OptimKind, Semantics, TrainError, TrainOpts,
+};

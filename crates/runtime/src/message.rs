@@ -50,4 +50,26 @@ pub enum MetricMsg {
         /// forward pass).
         version: u64,
     },
+    /// Periodic liveness signal, sent only when a fault hook is installed.
+    /// A worker that stops heartbeating without finishing is presumed
+    /// dead (§4: failures are detected, then all stages restart from the
+    /// last complete checkpoint).
+    Heartbeat {
+        /// Global worker id.
+        worker: usize,
+        /// Ops executed so far.
+        ops_done: u64,
+    },
+    /// A worker failed with a typed error. Injected kills do *not* send
+    /// this — a crashed machine doesn't announce itself — but surviving
+    /// peers that fail as collateral do.
+    Failure {
+        /// Failing stage.
+        stage: usize,
+        /// Failing replica.
+        replica: usize,
+        /// The error, rendered (the typed value travels via the worker's
+        /// join handle).
+        message: String,
+    },
 }

@@ -42,6 +42,38 @@ pub struct OpTrace {
     pub end_s: f64,
 }
 
+/// What happened when a fault was injected and the run recovered (§4).
+///
+/// Produced by the `pipedream-ft` supervisor; quantifies the paper's
+/// claim that epoch-boundary checkpointing bounds redone work to at most
+/// one epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryRecord {
+    /// Human-readable description of the injected fault
+    /// (e.g. `kill:stage=1,mb=37`).
+    pub fault: String,
+    /// Seconds from fault injection to the coordinator observing the
+    /// failure (via peer errors, channel disconnects, or stalled
+    /// heartbeats).
+    pub detection_latency_s: f64,
+    /// Epoch the restarted run resumed from (`None` when no restart was
+    /// needed — e.g. a delayed send that only slowed the run down).
+    pub resumed_from_epoch: Option<usize>,
+    /// Epochs of work re-executed because they post-dated the last
+    /// complete checkpoint. The paper's bound: ≤ 1 with per-epoch
+    /// checkpoints.
+    pub epochs_redone: usize,
+    /// Final training loss of the recovered run.
+    pub final_loss: f32,
+    /// Final training accuracy of the recovered run.
+    pub final_accuracy: f32,
+    /// Final loss of an identical run without the fault, when measured.
+    pub baseline_loss: Option<f32>,
+    /// Final accuracy of an identical run without the fault, when
+    /// measured.
+    pub baseline_accuracy: Option<f32>,
+}
+
 /// Output of a training run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TrainReport {
@@ -56,6 +88,8 @@ pub struct TrainReport {
     pub op_trace: Vec<OpTrace>,
     /// Wall-clock duration of the run in seconds.
     pub wall_time_s: f64,
+    /// Fault-recovery record, when the run survived an injected fault.
+    pub recovery: Option<RecoveryRecord>,
 }
 
 impl TrainReport {

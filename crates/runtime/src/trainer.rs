@@ -3,20 +3,22 @@
 //! trained model.
 
 use crate::data::TrainData;
+use crate::fault::{FaultHook, WorkerError};
 use crate::message::{ActMsg, GradMsg, MetricMsg};
 use crate::report::{EpochStats, OpTrace, TrainReport, VersionRecord};
 use crate::sync::GradSyncGroup;
 use crate::worker::StageWorker;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use pipedream_core::schedule::Schedule;
 use pipedream_core::PipelineConfig;
 use pipedream_tensor::data::Dataset;
 use pipedream_tensor::{Adam, Layer, Optimizer, Sequential, Sgd};
 use std::collections::HashMap;
+use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Weight-versioning semantics for pipelined training.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,6 +157,43 @@ impl Default for TrainOpts {
     }
 }
 
+/// Pipeline training failed: one or more workers died.
+///
+/// Carries every worker's typed error (the injected fault first, when one
+/// is present), the instant the coordinator first observed the failure
+/// (for detection-latency measurements), and the partial training report
+/// accumulated before the collapse.
+#[derive(Debug)]
+pub struct TrainError {
+    /// All worker errors, injected faults sorted first.
+    pub errors: Vec<WorkerError>,
+    /// When the coordinator first saw evidence of the failure (a peer's
+    /// failure report, or heartbeat silence).
+    pub detected_at: Instant,
+    /// Metrics gathered before the pipeline collapsed.
+    pub partial: TrainReport,
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} worker(s) failed: ", self.errors.len())?;
+        for (i, e) in self.errors.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Coordinator-side polling interval when a fault hook is installed.
+const DETECT_POLL: Duration = Duration::from_millis(50);
+/// Heartbeat silence after which the coordinator presumes a failure.
+const STALL_WINDOW: Duration = Duration::from_secs(2);
+
 /// Train `model` pipeline-parallel under `config` on `dataset`.
 ///
 /// The model is split at the configuration's stage boundaries; each stage
@@ -162,12 +201,39 @@ impl Default for TrainOpts {
 /// static schedule. Returns the trained model (reassembled from the
 /// stages — replica 0 where replicated, which gradient sync keeps
 /// identical to its peers) and the training report.
+///
+/// Panics if a worker fails; use [`try_train_pipeline`] for typed errors
+/// and fault injection.
 pub fn train_pipeline(
     model: Sequential,
     config: &PipelineConfig,
     dataset: &Dataset,
     opts: &TrainOpts,
 ) -> (Sequential, TrainReport) {
+    match try_train_pipeline(model, config, dataset, opts, None) {
+        Ok(out) => out,
+        Err(e) => panic!("pipeline training failed: {e}"),
+    }
+}
+
+/// Fallible [`train_pipeline`] with an optional fault-injection hook.
+///
+/// Worker failures — injected or organic — surface as a [`TrainError`]
+/// after every surviving worker has been joined (a dead stage's channels
+/// disconnect, cascading typed failures through its peers), so the caller
+/// gets a fully-torn-down pipeline it can restart from the last complete
+/// checkpoint (§4). This is the entry point the `pipedream-ft` supervisor
+/// builds on.
+// The Err variant carries the partial report a recovery needs; failures
+// happen at most once per training run, so the size is irrelevant.
+#[allow(clippy::result_large_err)]
+pub fn try_train_pipeline(
+    model: Sequential,
+    config: &PipelineConfig,
+    dataset: &Dataset,
+    opts: &TrainOpts,
+    hook: Option<Arc<dyn FaultHook>>,
+) -> Result<(Sequential, TrainReport), TrainError> {
     config
         .validate(model.len())
         .expect("configuration does not match the model's layer count");
@@ -254,6 +320,7 @@ pub fn train_pipeline(
         let worker = StageWorker {
             stage,
             replica,
+            worker_id: w,
             num_stages: stages.len(),
             model: stage_models[stage].clone(),
             ops: schedule.workers[w].ops.clone(),
@@ -274,6 +341,7 @@ pub fn train_pipeline(
             epoch_offset,
             lr_schedule: opts.lr_schedule,
             trace_from: opts.trace.then_some((w, started)),
+            hook: hook.clone(),
         };
         handles.push(thread::spawn(move || worker.run()));
     }
@@ -282,46 +350,76 @@ pub fn train_pipeline(
     drop(fwd_tx);
     drop(grad_tx);
 
-    // Aggregate metrics.
+    // Aggregate metrics. With a fault hook installed the loop also plays
+    // failure detector: it timestamps the first failure report and treats
+    // prolonged heartbeat silence as a presumed failure (§4).
     let mut epoch_acc: HashMap<usize, (f64, usize, usize)> = HashMap::new(); // loss-sum, correct, count
     let mut version_trace = Vec::new();
     let mut op_trace: Vec<OpTrace> = Vec::new();
     let mut per_minibatch: Vec<(u64, f32)> = Vec::new();
-    for msg in metrics_rx.iter() {
-        match msg {
-            MetricMsg::Loss {
-                mb,
-                loss,
-                correct,
-                count,
-            } => {
-                let e = data.epoch_of(mb);
-                let entry = epoch_acc.entry(e).or_default();
-                entry.0 += loss as f64 * count as f64;
-                entry.1 += correct;
-                entry.2 += count;
-                per_minibatch.push((mb, loss));
+    let mut heartbeats: HashMap<usize, u64> = HashMap::new();
+    let mut first_failure: Option<Instant> = None;
+    let mut handle_msg = |msg: MetricMsg, first_failure: &mut Option<Instant>| match msg {
+        MetricMsg::Loss {
+            mb,
+            loss,
+            correct,
+            count,
+        } => {
+            let e = data.epoch_of(mb);
+            let entry = epoch_acc.entry(e).or_default();
+            entry.0 += loss as f64 * count as f64;
+            entry.1 += correct;
+            entry.2 += count;
+            per_minibatch.push((mb, loss));
+        }
+        MetricMsg::FwdVersion { stage, mb, version } => {
+            version_trace.push(VersionRecord { stage, mb, version });
+        }
+        MetricMsg::Op(t) => op_trace.push(t),
+        MetricMsg::Heartbeat { worker, ops_done } => {
+            heartbeats.insert(worker, ops_done);
+        }
+        MetricMsg::Failure { .. } => {
+            first_failure.get_or_insert_with(Instant::now);
+        }
+    };
+    if hook.is_some() {
+        let mut last_sign_of_life = Instant::now();
+        loop {
+            match metrics_rx.recv_timeout(DETECT_POLL) {
+                Ok(msg) => {
+                    last_sign_of_life = Instant::now();
+                    handle_msg(msg, &mut first_failure);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if first_failure.is_none() && last_sign_of_life.elapsed() >= STALL_WINDOW {
+                        // Heartbeats stopped without the run finishing:
+                        // presume a failure even before peers report one.
+                        first_failure = Some(Instant::now());
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
             }
-            MetricMsg::FwdVersion { stage, mb, version } => {
-                version_trace.push(VersionRecord { stage, mb, version });
-            }
-            MetricMsg::Op(t) => op_trace.push(t),
+        }
+    } else {
+        for msg in metrics_rx.iter() {
+            handle_msg(msg, &mut first_failure);
         }
     }
 
     // Reassemble the trained model: take each stage's replica-0 result.
     let mut stage_results: Vec<Option<Sequential>> = (0..stages.len()).map(|_| None).collect();
+    let mut worker_errors: Vec<WorkerError> = Vec::new();
     for (w, h) in handles.into_iter().enumerate() {
-        let trained = h.join().expect("worker thread panicked");
-        let (stage, replica) = config.stage_of_worker(w);
-        if replica == 0 {
-            stage_results[stage] = Some(trained);
-        }
-    }
-    let mut full = Sequential::new("trained");
-    for sr in stage_results.into_iter() {
-        for layer in sr.expect("every stage returned").into_layers() {
-            full.push_boxed(layer);
+        match h.join().expect("worker thread panicked") {
+            Ok(trained) => {
+                let (stage, replica) = config.stage_of_worker(w);
+                if replica == 0 {
+                    stage_results[stage] = Some(trained);
+                }
+            }
+            Err(e) => worker_errors.push(e),
         }
     }
 
@@ -338,17 +436,32 @@ pub fn train_pipeline(
     version_trace.sort_by_key(|r| (r.mb, r.stage));
     op_trace.sort_by(|a, b| a.start_s.partial_cmp(&b.start_s).unwrap());
     per_minibatch.sort_by_key(|&(mb, _)| mb);
+    let report = TrainReport {
+        per_epoch,
+        version_trace,
+        per_minibatch,
+        op_trace,
+        wall_time_s: started.elapsed().as_secs_f64(),
+        recovery: None,
+    };
 
-    (
-        full,
-        TrainReport {
-            per_epoch,
-            version_trace,
-            per_minibatch,
-            op_trace,
-            wall_time_s: started.elapsed().as_secs_f64(),
-        },
-    )
+    if !worker_errors.is_empty() {
+        // Injected faults first, so `errors[0]` names the root cause.
+        worker_errors.sort_by_key(|e| (!e.is_injected(), e.stage()));
+        return Err(TrainError {
+            errors: worker_errors,
+            detected_at: first_failure.unwrap_or_else(Instant::now),
+            partial: report,
+        });
+    }
+
+    let mut full = Sequential::new("trained");
+    for sr in stage_results.into_iter() {
+        for layer in sr.expect("every stage returned").into_layers() {
+            full.push_boxed(layer);
+        }
+    }
+    Ok((full, report))
 }
 
 /// Classification accuracy of `model` on `dataset` (forward only).

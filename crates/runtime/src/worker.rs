@@ -9,19 +9,31 @@
 //! [`pipedream_core::schedule::Schedule`]; the worker blocks on channels
 //! when data has not arrived yet, exactly like PipeDream's runtime blocks
 //! on its work queues (§4).
+//!
+//! Failures are *typed*: instead of panicking, a worker that loses a peer
+//! (or is killed by an installed [`FaultHook`]) returns a
+//! [`WorkerError`] through its join handle and, unless silently killed,
+//! announces the failure on the metrics channel so the coordinator can
+//! react (§4's failure detection + checkpoint restart).
 
 use crate::checkpoint;
 use crate::data::TrainData;
+use crate::fault::{FaultAction, FaultHook, SendAction, WorkerError};
 use crate::message::{ActMsg, GradMsg, MetricMsg};
 use crate::sync::GradSyncGroup;
 use crate::trainer::{LrSchedule, OptimKind, Semantics};
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use pipedream_core::schedule::Op;
 use pipedream_core::stash::WeightStash;
 use pipedream_tensor::{softmax_cross_entropy, Layer, Sequential, Tensor};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Ops between heartbeat messages (only sent when a fault hook is
+/// installed).
+const HEARTBEAT_EVERY: usize = 16;
 
 /// Everything a stage worker needs to run.
 pub struct StageWorker {
@@ -29,6 +41,8 @@ pub struct StageWorker {
     pub stage: usize,
     /// Replica index within the stage.
     pub replica: usize,
+    /// Global worker id (for heartbeats and traces).
+    pub worker_id: usize,
     /// Total pipeline stages.
     pub num_stages: usize,
     /// This replica's copy of the stage layers.
@@ -63,6 +77,9 @@ pub struct StageWorker {
     pub lr_schedule: LrSchedule,
     /// `(worker id, run start)` when tracing is enabled.
     pub trace_from: Option<(usize, std::time::Instant)>,
+    /// Fault-injection hook, if any. `None` in production runs: the
+    /// fault-free path costs one `Option` check per op.
+    pub hook: Option<Arc<dyn FaultHook>>,
 }
 
 /// Per-run mutable state.
@@ -85,11 +102,32 @@ struct WorkerState {
     updates: u64,
     /// Backward passes since the last flush (GPipe gradient aggregation).
     since_flush: u32,
+    /// Receive timeout from the fault hook (None = block forever).
+    recv_timeout: Option<Duration>,
 }
 
 impl StageWorker {
-    /// Run the worker to completion; returns the trained stage model.
-    pub fn run(mut self) -> Sequential {
+    /// Run the worker to completion; returns the trained stage model, or
+    /// the typed error it died with. All failures except a silent
+    /// [`WorkerError::Killed`] are also announced on the metrics channel.
+    pub fn run(self) -> Result<Sequential, WorkerError> {
+        let stage = self.stage;
+        let replica = self.replica;
+        let metrics = self.metrics.clone();
+        let result = self.run_inner();
+        if let Err(e) = &result {
+            if !e.is_injected() {
+                let _ = metrics.send(MetricMsg::Failure {
+                    stage,
+                    replica,
+                    message: e.to_string(),
+                });
+            }
+        }
+        result
+    }
+
+    fn run_inner(mut self) -> Result<Sequential, WorkerError> {
         let mut st = WorkerState {
             optimizer: self.optim.build(),
             stash: WeightStash::new(self.model.snapshot()),
@@ -100,15 +138,32 @@ impl StageWorker {
             grad_buffer: HashMap::new(),
             updates: 0,
             since_flush: 0,
+            recv_timeout: self.hook.as_ref().and_then(|h| h.recv_timeout()),
         };
         let ops = std::mem::take(&mut self.ops);
-        for op in ops {
+        for (ops_done, op) in ops.into_iter().enumerate() {
+            if let Some(hook) = &self.hook {
+                if hook.before_op(self.stage, self.replica, &op) == FaultAction::Kill {
+                    // Die like a crashed machine: no farewell message.
+                    return Err(WorkerError::Killed {
+                        stage: self.stage,
+                        replica: self.replica,
+                        mb: op.minibatch().unwrap_or(u64::MAX),
+                    });
+                }
+                if ops_done.is_multiple_of(HEARTBEAT_EVERY) {
+                    let _ = self.metrics.send(MetricMsg::Heartbeat {
+                        worker: self.worker_id,
+                        ops_done: ops_done as u64,
+                    });
+                }
+            }
             let t0 = self
                 .trace_from
                 .map(|(_, start)| (std::time::Instant::now(), start));
             match op {
-                Op::Forward { mb } => self.forward(&mut st, mb),
-                Op::Backward { mb } => self.backward(&mut st, mb),
+                Op::Forward { mb } => self.forward(&mut st, mb)?,
+                Op::Backward { mb } => self.backward(&mut st, mb)?,
                 Op::Flush => self.flush(&mut st),
             }
             if let (Some((op_start, run_start)), Some((worker, _)), Some(mb)) =
@@ -123,52 +178,72 @@ impl StageWorker {
                 }));
             }
         }
-        self.model
+        Ok(self.model)
     }
 
-    fn recv_act(&self, st: &mut WorkerState, mb: u64) -> ActMsg {
+    fn recv_act(&self, st: &mut WorkerState, mb: u64) -> Result<ActMsg, WorkerError> {
         if let Some(m) = st.act_buffer.remove(&mb) {
-            return m;
+            return Ok(m);
         }
         let rx = self.fwd_in.as_ref().expect("non-input stage has fwd_in");
         loop {
-            let m = rx.recv().unwrap_or_else(|_| {
-                panic!(
-                    "stage {} lost upstream while waiting for mb {mb}",
-                    self.stage
-                )
-            });
+            let m = match st.recv_timeout {
+                None => rx.recv().map_err(|_| WorkerError::UpstreamLost {
+                    stage: self.stage,
+                    mb,
+                })?,
+                Some(t) => rx.recv_timeout(t).map_err(|e| match e {
+                    RecvTimeoutError::Timeout => WorkerError::Stalled {
+                        stage: self.stage,
+                        mb,
+                    },
+                    RecvTimeoutError::Disconnected => WorkerError::UpstreamLost {
+                        stage: self.stage,
+                        mb,
+                    },
+                })?,
+            };
             if m.mb == mb {
-                return m;
+                return Ok(m);
             }
             st.act_buffer.insert(m.mb, m);
         }
     }
 
-    fn recv_grad(&self, st: &mut WorkerState, mb: u64) -> GradMsg {
+    fn recv_grad(&self, st: &mut WorkerState, mb: u64) -> Result<GradMsg, WorkerError> {
         if let Some(m) = st.grad_buffer.remove(&mb) {
-            return m;
+            return Ok(m);
         }
         let rx = self.grad_in.as_ref().expect("non-output stage has grad_in");
         loop {
-            let m = rx.recv().unwrap_or_else(|_| {
-                panic!(
-                    "stage {} lost downstream while waiting for mb {mb}",
-                    self.stage
-                )
-            });
+            let m = match st.recv_timeout {
+                None => rx.recv().map_err(|_| WorkerError::DownstreamLost {
+                    stage: self.stage,
+                    mb,
+                })?,
+                Some(t) => rx.recv_timeout(t).map_err(|e| match e {
+                    RecvTimeoutError::Timeout => WorkerError::Stalled {
+                        stage: self.stage,
+                        mb,
+                    },
+                    RecvTimeoutError::Disconnected => WorkerError::DownstreamLost {
+                        stage: self.stage,
+                        mb,
+                    },
+                })?,
+            };
             if m.mb == mb {
-                return m;
+                return Ok(m);
             }
             st.grad_buffer.insert(m.mb, m);
         }
     }
 
-    fn forward(&mut self, st: &mut WorkerState, mb: u64) {
+    fn forward(&mut self, st: &mut WorkerState, mb: u64) -> Result<(), WorkerError> {
         let (input, mut version_tag) = if self.stage == 0 {
             (self.data.input(mb), 0)
         } else {
-            let msg = self.recv_act(st, mb);
+            let msg = self.recv_act(st, mb)?;
             (msg.data, msg.version_tag)
         };
 
@@ -194,13 +269,11 @@ impl StageWorker {
                 let w = st
                     .versions
                     .get(&version_tag)
-                    .unwrap_or_else(|| {
-                        panic!(
-                            "stage {}: version {version_tag} unavailable (have {:?})",
-                            self.stage,
-                            st.versions.keys().collect::<Vec<_>>()
-                        )
-                    })
+                    .ok_or(WorkerError::VersionMissing {
+                        stage: self.stage,
+                        mb,
+                        version: version_tag,
+                    })?
                     .clone();
                 st.mb_version_tags.insert(mb, version_tag);
                 let min_needed = *st.mb_version_tags.values().min().expect("just inserted");
@@ -225,6 +298,15 @@ impl StageWorker {
         let out = self.model.forward(&input, mb);
 
         if self.stage + 1 < self.num_stages {
+            match self
+                .hook
+                .as_ref()
+                .map_or(SendAction::Deliver, |h| h.on_forward_send(self.stage, mb))
+            {
+                SendAction::Deliver => {}
+                SendAction::Delay(d) => std::thread::sleep(d),
+                SendAction::Drop => return Ok(()), // lost on the wire
+            }
             let dst = (mb % self.fwd_out.len() as u64) as usize;
             self.fwd_out[dst]
                 .send(ActMsg {
@@ -232,7 +314,11 @@ impl StageWorker {
                     version_tag,
                     data: out,
                 })
-                .expect("downstream alive");
+                .map_err(|_| WorkerError::PeerSendFailed {
+                    stage: self.stage,
+                    mb,
+                    backward: false,
+                })?;
         } else {
             // Output stage: compute the loss now; the gradient is consumed
             // by this minibatch's backward op.
@@ -246,9 +332,10 @@ impl StageWorker {
             });
             st.pending_loss_grad.insert(mb, loss.grad);
         }
+        Ok(())
     }
 
-    fn backward(&mut self, st: &mut WorkerState, mb: u64) {
+    fn backward(&mut self, st: &mut WorkerState, mb: u64) -> Result<(), WorkerError> {
         // Apply the epoch's learning rate before the update lands.
         let epoch = self.data.epoch_of(mb) + self.epoch_offset;
         st.optimizer
@@ -258,7 +345,7 @@ impl StageWorker {
                 .remove(&mb)
                 .expect("loss gradient pending from forward")
         } else {
-            self.recv_grad(st, mb).data
+            self.recv_grad(st, mb)?.data
         };
 
         // Run the backward pass against the weight version the paper's
@@ -278,9 +365,13 @@ impl StageWorker {
             }
             Semantics::VerticalSync => {
                 let latest = self.model.snapshot();
-                let tagged = self
-                    .version_for_backward(st, mb)
-                    .expect("vertical-sync version retained");
+                let tagged =
+                    self.version_for_backward(st, mb)
+                        .ok_or(WorkerError::VersionMissing {
+                            stage: self.stage,
+                            mb,
+                            version: st.updates,
+                        })?;
                 self.model.restore(&tagged);
                 self.model.zero_grad();
                 let g = self.model.backward(&grad_out, mb);
@@ -308,7 +399,11 @@ impl StageWorker {
             let dst = (mb % self.grad_out.len() as u64) as usize;
             self.grad_out[dst]
                 .send(GradMsg { mb, data: grad_in })
-                .expect("upstream alive");
+                .map_err(|_| WorkerError::PeerSendFailed {
+                    stage: self.stage,
+                    mb,
+                    backward: true,
+                })?;
         }
 
         // Per-stage checkpoint at epoch boundaries (§4), written by
@@ -316,15 +411,24 @@ impl StageWorker {
         if self.replica == 0 && self.data.is_epoch_end(mb) {
             if let Some(dir) = &self.checkpoint_dir {
                 let snap = self.model.snapshot();
-                checkpoint::save_stage(
-                    dir,
-                    self.stage,
-                    self.data.epoch_of(mb) + self.epoch_offset,
-                    &snap,
-                )
-                .expect("checkpoint write");
+                let ckpt_epoch = self.data.epoch_of(mb) + self.epoch_offset;
+                checkpoint::save_stage(dir, self.stage, ckpt_epoch, &snap).map_err(|e| {
+                    WorkerError::CheckpointWrite {
+                        stage: self.stage,
+                        epoch: ckpt_epoch,
+                        message: e.to_string(),
+                    }
+                })?;
+                if let Some(hook) = &self.hook {
+                    hook.on_checkpoint_written(
+                        &checkpoint::stage_path(dir, self.stage, ckpt_epoch),
+                        self.stage,
+                        ckpt_epoch,
+                    );
+                }
             }
         }
+        Ok(())
     }
 
     /// Vertical sync: the version tagged for `mb`'s backward is the same

@@ -1,0 +1,180 @@
+//! Runtime-level fault recovery (paper §4): a stage worker dies
+//! mid-training, the pipeline tears itself down with typed errors, and a
+//! resumed run continues from the last complete checkpoint with correct
+//! epoch numbering and a matching loss trajectory.
+//!
+//! These tests drive the runtime's [`FaultHook`] seam directly (the
+//! richer plan/supervisor layer lives in the `pipedream-ft` crate).
+
+use pipedream_core::schedule::Op;
+use pipedream_core::PipelineConfig;
+use pipedream_runtime::checkpoint::latest_complete_epoch;
+use pipedream_runtime::fault::{FaultAction, FaultHook, WorkerError};
+use pipedream_runtime::trainer::try_train_pipeline;
+use pipedream_runtime::{LrSchedule, OptimKind, Semantics, TrainOpts};
+use pipedream_tensor::data::blobs;
+use pipedream_tensor::init::rng;
+use pipedream_tensor::layers::{Linear, Relu, Scale, Tanh};
+use pipedream_tensor::Sequential;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Kill one (stage, mb) op, once.
+struct KillAt {
+    stage: usize,
+    mb: u64,
+    fired: AtomicBool,
+}
+
+impl KillAt {
+    fn new(stage: usize, mb: u64) -> Self {
+        KillAt {
+            stage,
+            mb,
+            fired: AtomicBool::new(false),
+        }
+    }
+}
+
+impl FaultHook for KillAt {
+    fn before_op(&self, stage: usize, _replica: usize, op: &Op) -> FaultAction {
+        if stage == self.stage
+            && op.minibatch() == Some(self.mb)
+            && !self.fired.swap(true, Ordering::SeqCst)
+        {
+            FaultAction::Kill
+        } else {
+            FaultAction::Continue
+        }
+    }
+}
+
+fn mlp(seed: u64) -> Sequential {
+    let mut r = rng(seed);
+    Sequential::new("fr-mlp")
+        .push(Linear::new(8, 32, &mut r))
+        .push(Tanh::new())
+        .push(Linear::new(32, 32, &mut r))
+        .push(Relu::new())
+        .push(Linear::new(32, 32, &mut r))
+        .push(Tanh::new())
+        .push(Scale::new(32))
+        .push(Linear::new(32, 4, &mut r))
+}
+
+fn opts(epochs: usize, dir: &std::path::Path, resume: bool) -> TrainOpts {
+    TrainOpts {
+        epochs,
+        batch: 16,
+        optim: OptimKind::Sgd {
+            lr: 0.05,
+            momentum: 0.0,
+        },
+        semantics: Semantics::Stashed,
+        lr_schedule: LrSchedule::Constant,
+        checkpoint_dir: Some(dir.to_path_buf()),
+        resume,
+        depth: None,
+        trace: false,
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("pd-fr-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Kill stage 1 during epoch 1 (of 2), then resume: the run fails with
+/// typed errors — the injected kill first — the epoch-0 checkpoint
+/// survives, and the resumed run's `EpochStats` continue from the correct
+/// `epoch_offset` with a loss trajectory that keeps descending.
+#[test]
+fn killed_run_resumes_with_correct_epoch_numbering() {
+    let dir = tmpdir("resume");
+    let data = blobs(256, 8, 4, 0.6, 7);
+    let config = PipelineConfig::straight(8, &[1, 3, 5]); // 4 stages
+    let hook: Arc<dyn FaultHook> = Arc::new(KillAt::new(1, 20)); // epoch 1 (16 mb/epoch)
+
+    let err = match try_train_pipeline(mlp(70), &config, &data, &opts(2, &dir, false), Some(hook)) {
+        Err(e) => e,
+        Ok(_) => panic!("killed run must fail"),
+    };
+    assert!(
+        err.errors[0].is_injected(),
+        "root cause should sort first, got {:?}",
+        err.errors
+    );
+    assert!(matches!(
+        err.errors[0],
+        WorkerError::Killed {
+            stage: 1,
+            replica: 0,
+            mb: 20
+        }
+    ));
+    // Survivors failed as collateral, with typed errors of their own.
+    assert!(err.errors.len() > 1, "peers fail too: {:?}", err.errors);
+    // Epoch 0 finished before the fault; its stats and checkpoint exist.
+    assert_eq!(err.partial.per_epoch[0].epoch, 0);
+    assert_eq!(latest_complete_epoch(&dir, 4), Some(0));
+    let epoch0_loss = err.partial.per_epoch[0].loss;
+
+    // Resume for the remaining epoch: numbering continues at 1.
+    let (_, resumed) = try_train_pipeline(mlp(71), &config, &data, &opts(1, &dir, true), None)
+        .expect("resumed run completes");
+    let epochs: Vec<usize> = resumed.per_epoch.iter().map(|e| e.epoch).collect();
+    assert_eq!(epochs, vec![1]);
+    // Loss trajectory matches a run that continued: epoch 1's loss keeps
+    // descending from the checkpointed epoch 0.
+    assert!(
+        resumed.per_epoch[0].loss < epoch0_loss,
+        "resumed epoch-1 loss {} should improve on epoch-0 loss {epoch0_loss}",
+        resumed.per_epoch[0].loss
+    );
+    // And the checkpoint trail now extends through the resumed epoch.
+    assert_eq!(latest_complete_epoch(&dir, 4), Some(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Killing the *input* stage exercises the other disconnect direction:
+/// downstream stages starve on `recv` rather than failing on `send`.
+#[test]
+fn killing_input_stage_cascades_typed_errors() {
+    let dir = tmpdir("stage0");
+    let data = blobs(256, 8, 4, 0.6, 7);
+    let config = PipelineConfig::straight(8, &[2, 5]);
+    let hook: Arc<dyn FaultHook> = Arc::new(KillAt::new(0, 18));
+
+    let err = match try_train_pipeline(mlp(70), &config, &data, &opts(2, &dir, false), Some(hook)) {
+        Err(e) => e,
+        Ok(_) => panic!("killed run must fail"),
+    };
+    assert!(matches!(
+        err.errors[0],
+        WorkerError::Killed { stage: 0, .. }
+    ));
+    for e in &err.errors[1..] {
+        assert!(
+            !e.is_injected(),
+            "only one injected fault: {:?}",
+            err.errors
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Without a hook the fault path is dormant: training succeeds and the
+/// report carries no recovery record.
+#[test]
+fn unfaulted_run_has_no_recovery_record() {
+    let dir = tmpdir("clean");
+    let data = blobs(256, 8, 4, 0.6, 7);
+    let config = PipelineConfig::straight(8, &[2, 5]);
+    let (_, report) = try_train_pipeline(mlp(70), &config, &data, &opts(2, &dir, false), None)
+        .expect("clean run succeeds");
+    assert!(report.recovery.is_none());
+    assert_eq!(report.per_epoch.len(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -141,16 +141,16 @@ fn naive_pipelining_learns_worse_than_stashing() {
     // §3.3: without weight stashing the backward pass uses different
     // weights than the forward pass — an invalid gradient. On a hard task
     // with momentum the mismatch visibly hurts the final loss.
-    let data = spirals(384, 8, 0.05, 11);
+    let data = spirals(384, 8, 0.05, 9);
     let mut opts = default_opts(12);
     opts.optim = OptimKind::Sgd {
         lr: 0.12,
         momentum: 0.9,
     };
     let config = PipelineConfig::straight(8, &[1, 3, 5]);
-    let (_, stashed) = train_pipeline(mlp(6, 8, 2), &config, &data, &opts);
+    let (_, stashed) = train_pipeline(mlp(3, 8, 2), &config, &data, &opts);
     opts.semantics = Semantics::Naive;
-    let (_, naive) = train_pipeline(mlp(6, 8, 2), &config, &data, &opts);
+    let (_, naive) = train_pipeline(mlp(3, 8, 2), &config, &data, &opts);
     assert!(
         stashed.final_loss() < naive.final_loss(),
         "stashed {} vs naive {}",
@@ -381,12 +381,12 @@ fn resume_continues_from_checkpoint() {
         depth: None,
         trace: false,
     };
-    let (first_model, first) = train_pipeline(mlp(40, 8, 4), &config, &data, &mk_opts(2, false));
+    let (first_model, first) = train_pipeline(mlp(70, 8, 4), &config, &data, &mk_opts(2, false));
     assert_eq!(checkpoint::latest_complete_epoch(&dir, 4), Some(1));
 
     // Resume with a FRESH (differently seeded) model: the checkpoint must
     // override its initialization entirely.
-    let (resumed_model, resumed) = train_pipeline(mlp(41, 8, 4), &config, &data, &mk_opts(2, true));
+    let (resumed_model, resumed) = train_pipeline(mlp(71, 8, 4), &config, &data, &mk_opts(2, true));
     assert_eq!(resumed.per_epoch[0].epoch, 2, "epoch numbering continues");
     assert_eq!(resumed.per_epoch[1].epoch, 3);
     assert_eq!(checkpoint::latest_complete_epoch(&dir, 4), Some(3));
@@ -399,7 +399,7 @@ fn resume_continues_from_checkpoint() {
         checkpoint_dir: Some(dir2.clone()),
         ..mk_opts(4, false)
     };
-    let (straight_model, straight) = train_pipeline(mlp(40, 8, 4), &config, &data, &straight_opts);
+    let (straight_model, straight) = train_pipeline(mlp(70, 8, 4), &config, &data, &straight_opts);
     use pipedream_tensor::Layer;
     let _ = (first_model, first);
     // Note: a resumed run re-enters the pipeline with a drained schedule, so

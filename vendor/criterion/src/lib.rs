@@ -1,0 +1,200 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API shape the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!` — with a deliberately small
+//! measurement loop: one warm-up call, then a handful of timed iterations,
+//! reporting the mean to stdout. No statistics, plots, or baselines. When
+//! the binary is run with `--test` (as `cargo test` does for bench
+//! targets), everything executes exactly once so the suite stays fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Number of timed iterations per benchmark outside test mode.
+const TIMED_ITERS: u32 = 5;
+
+/// Re-export position matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            test_mode: self.test_mode,
+        }
+    }
+
+    /// Run a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), self.test_mode, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup {
+    name: String,
+    test_mode: bool,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the stand-in's iteration count is
+    /// fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id.into()),
+            self.test_mode,
+            &mut f,
+        );
+        self
+    }
+
+    /// Run a parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.test_mode,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Function name plus parameter.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    iters: u32,
+    total: Duration,
+    measured: bool,
+}
+
+impl Bencher {
+    /// Time `f` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, and the only call in test mode
+        if self.iters == 0 {
+            self.measured = true;
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.total = start.elapsed();
+        self.measured = true;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, test_mode: bool, f: &mut F) {
+    let mut b = Bencher {
+        iters: if test_mode { 0 } else { TIMED_ITERS },
+        total: Duration::ZERO,
+        measured: false,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("{label}: ok (test mode)");
+    } else if b.measured {
+        let mean = b.total / TIMED_ITERS;
+        println!("{label}: {mean:?} (mean of {TIMED_ITERS})");
+    } else {
+        println!("{label}: no measurement (closure never called iter)");
+    }
+}
+
+/// Collect benchmark functions into a single runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("group");
+        g.sample_size(10);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn api_shape_works_end_to_end() {
+        let mut c = Criterion { test_mode: true };
+        sample_bench(&mut c);
+        c.bench_function(format!("fmt_{}", 1), |b| b.iter(|| 1 + 1));
+        let id = BenchmarkId::new("name", "param");
+        assert_eq!(id.label, "name/param");
+    }
+}

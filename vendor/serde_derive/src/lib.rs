@@ -1,0 +1,411 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored serde's simplified data model
+//! (`Serialize::to_value` / `Deserialize::from_value`) for named structs,
+//! unit structs, and enums with unit / tuple / struct variants — the full
+//! set of shapes this workspace derives. No `syn`/`quote`: the input
+//! `TokenStream` is walked directly and the impl is emitted as a string.
+//!
+//! JSON conventions match serde's externally-tagged defaults:
+//! struct → object; unit variant → `"Name"`; newtype variant →
+//! `{"Name": value}`; tuple variant → `{"Name": [..]}`; struct variant →
+//! `{"Name": {..}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+enum Input {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, VariantShape)>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let code = match &parsed {
+        Input::Struct { name, fields } => {
+            let mut body = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                let _ = writeln!(
+                    body,
+                    "__m.insert(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f}));"
+                );
+            }
+            body.push_str("::serde::Value::Object(__m)");
+            impl_block(
+                name,
+                "Serialize",
+                &format!("fn to_value(&self) -> ::serde::Value {{ {body} }}"),
+            )
+        }
+        Input::UnitStruct { name } => impl_block(
+            name,
+            "Serialize",
+            "fn to_value(&self) -> ::serde::Value { ::serde::Value::Object(::serde::Map::new()) }",
+        ),
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => {
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{v} => ::serde::Value::String(::std::string::String::from(\"{v}\")),"
+                        );
+                    }
+                    VariantShape::Tuple(1) => {
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{v}(__f0) => {{ \
+                             let mut __m = ::serde::Map::new(); \
+                             __m.insert(::std::string::String::from(\"{v}\"), \
+                             ::serde::Serialize::to_value(__f0)); \
+                             ::serde::Value::Object(__m) }},"
+                        );
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{v}({}) => {{ \
+                             let mut __m = ::serde::Map::new(); \
+                             __m.insert(::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Array(vec![{}])); \
+                             ::serde::Value::Object(__m) }},",
+                            binds.join(", "),
+                            elems.join(", ")
+                        );
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from("let mut __i = ::serde::Map::new();");
+                        for f in fields {
+                            let _ = write!(
+                                inner,
+                                " __i.insert(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f}));"
+                            );
+                        }
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{v} {{ {binds} }} => {{ {inner} \
+                             let mut __m = ::serde::Map::new(); \
+                             __m.insert(::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Object(__i)); \
+                             ::serde::Value::Object(__m) }},"
+                        );
+                    }
+                }
+            }
+            impl_block(
+                name,
+                "Serialize",
+                &format!("fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}"),
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Serialize impl did not parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let code = match &parsed {
+        Input::Struct { name, fields } => {
+            let mut body = format!(
+                "let __m = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::msg(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                let _ = writeln!(body, "{f}: {},", field_expr(name, "__m", f));
+            }
+            body.push_str("})");
+            impl_block(name, "Deserialize", &from_value_fn(&body))
+        }
+        Input::UnitStruct { name } => impl_block(
+            name,
+            "Deserialize",
+            &from_value_fn(&format!("let _ = __v; ::std::result::Result::Ok({name})")),
+        ),
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => {
+                        let _ = writeln!(
+                            unit_arms,
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}),"
+                        );
+                    }
+                    VariantShape::Tuple(1) => {
+                        let _ = writeln!(
+                            payload_arms,
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::from_value(__p)?)),"
+                        );
+                    }
+                    VariantShape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        let _ = writeln!(
+                            payload_arms,
+                            "\"{v}\" => {{ \
+                             let __a = __p.as_array().ok_or_else(|| \
+                             ::serde::Error::msg(\"expected array for {name}::{v}\"))?; \
+                             if __a.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::Error::msg(\"wrong arity for {name}::{v}\")); }} \
+                             ::std::result::Result::Ok({name}::{v}({})) }},",
+                            elems.join(", ")
+                        );
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut inner = String::new();
+                        for f in fields {
+                            let _ = writeln!(inner, "{f}: {},", field_expr(name, "__i", f));
+                        }
+                        let _ = writeln!(
+                            payload_arms,
+                            "\"{v}\" => {{ \
+                             let __i = __p.as_object().ok_or_else(|| \
+                             ::serde::Error::msg(\"expected object for {name}::{v}\"))?; \
+                             ::std::result::Result::Ok({name}::{v} {{ {inner} }}) }},"
+                        );
+                    }
+                }
+            }
+            let body = format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(\
+                 format!(\"unknown variant {{__other}} for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __p) = __m.iter().next().unwrap();\n\
+                 match __k.as_str() {{\n\
+                 {payload_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(\
+                 format!(\"unknown variant {{__other}} for {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::msg(\
+                 \"expected string or single-key object for {name}\")),\n\
+                 }}"
+            );
+            impl_block(name, "Deserialize", &from_value_fn(&body))
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Deserialize impl did not parse")
+}
+
+fn impl_block(name: &str, trait_name: &str, body: &str) -> String {
+    format!("impl ::serde::{trait_name} for {name} {{ {body} }}")
+}
+
+fn from_value_fn(body: &str) -> String {
+    format!(
+        "fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }}"
+    )
+}
+
+fn field_expr(type_name: &str, map_var: &str, field: &str) -> String {
+    format!(
+        "::serde::Deserialize::from_value({map_var}.get(\"{field}\")\
+         .unwrap_or(&::serde::Value::Null))\
+         .map_err(|e| e.context(\"{type_name}.{field}\"))?"
+    )
+}
+
+// ---- input parsing (no syn) -------------------------------------------
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde_derive: expected `struct` or `enum`, got {t}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde_derive: expected type name, got {t}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stand-in does not support generic types ({name})");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::Struct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input::UnitStruct { name },
+            other => panic!(
+                "serde_derive stand-in supports named-field or unit structs only ({name}: {other:?})"
+            ),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive: malformed enum {name}: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+/// Advance past attributes (`#[...]`, including doc comments) and
+/// visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("serde_derive: expected field name, got {t}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            t => panic!("serde_derive: expected `:` after field `{field}`, got {t}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(field);
+    }
+    fields
+}
+
+/// Advance past a type, stopping after the field-separating comma (or at
+/// end of stream). Commas nested in `<...>` belong to the type; commas in
+/// parens/brackets are inside `Group`s and invisible at this level.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantShape)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("serde_derive: expected variant name, got {t}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push((name, shape));
+    }
+    variants
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0usize;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
