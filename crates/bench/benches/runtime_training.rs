@@ -35,6 +35,7 @@ fn opts() -> TrainOpts {
         semantics: Semantics::Stashed,
         lr_schedule: LrSchedule::Constant,
         checkpoint_dir: None,
+        checkpoint_every: None,
         resume: false,
         depth: None,
         trace: false,

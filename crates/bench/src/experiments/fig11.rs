@@ -81,6 +81,7 @@ pub fn run(epochs: usize) -> Fig11 {
         semantics: Semantics::Stashed,
         lr_schedule: LrSchedule::Constant,
         checkpoint_dir: None,
+        checkpoint_every: None,
         resume: false,
         depth: None,
         trace: false,

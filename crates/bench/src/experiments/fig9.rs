@@ -45,6 +45,7 @@ pub fn run() -> Fig9 {
         semantics: Semantics::Stashed,
         lr_schedule: LrSchedule::Constant,
         checkpoint_dir: None,
+        checkpoint_every: None,
         resume: false,
         depth: None,
         trace: false,

@@ -20,7 +20,8 @@ USAGE:
                      [--semantics stashed|naive|vsync|gpipe] [--seed N]
                      [--fault kill:stage=S,mb=N | delay:stage=S,mb=N,ms=M |
                               drop:stage=S,mb=N | corrupt:stage=S,epoch=E]
-                     [--checkpoint-dir DIR]
+                     [--checkpoint-dir DIR] [--checkpoint-every K]
+                     [--report file.json]
   pipedream export   (--model <NAME> | --cluster <A|B|C> --servers N)
                      [--out file.json]
   pipedream inspect  --model <NAME|@profile.json> [--batch N]
@@ -149,6 +150,11 @@ pub struct TrainArgs {
     /// Checkpoint directory (per-stage epoch-boundary checkpoints; defaults
     /// to a temp dir when `--fault` needs one).
     pub checkpoint_dir: Option<String>,
+    /// Also checkpoint every K minibatches mid-epoch, tightening the
+    /// recovery redo bound to ≤ K minibatches.
+    pub checkpoint_every: Option<u64>,
+    /// Write the final TrainReport as JSON to this path.
+    pub report: Option<String>,
 }
 
 /// Parsing failure with a user-facing message.
@@ -319,6 +325,16 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             seed: get(&map, "seed", 1u64)?,
             fault: map.get("fault").cloned(),
             checkpoint_dir: map.get("checkpoint-dir").cloned(),
+            checkpoint_every: map
+                .get("checkpoint-every")
+                .map(|v| {
+                    v.parse::<u64>()
+                        .ok()
+                        .filter(|&k| k >= 1)
+                        .ok_or_else(|| ParseError("--checkpoint-every: need a number ≥ 1".into()))
+                })
+                .transpose()?,
+            report: map.get("report").cloned(),
         })),
         other => Err(ParseError(format!(
             "unknown subcommand '{other}'; try `pipedream help`"
@@ -396,6 +412,24 @@ mod tests {
         let Command::Train(a) = cmd else { panic!() };
         assert_eq!(a.fault.as_deref(), Some("kill:stage=1,mb=37"));
         assert_eq!(a.checkpoint_dir.as_deref(), Some("/tmp/ck"));
+        assert_eq!(a.checkpoint_every, None);
+    }
+
+    #[test]
+    fn train_checkpoint_every_and_report_parse() {
+        let cmd = parse(&s(&[
+            "train",
+            "--checkpoint-every",
+            "8",
+            "--report",
+            "/tmp/report.json",
+        ]))
+        .unwrap();
+        let Command::Train(a) = cmd else { panic!() };
+        assert_eq!(a.checkpoint_every, Some(8));
+        assert_eq!(a.report.as_deref(), Some("/tmp/report.json"));
+        assert!(parse(&s(&["train", "--checkpoint-every", "0"])).is_err());
+        assert!(parse(&s(&["train", "--checkpoint-every", "x"])).is_err());
     }
 
     #[test]

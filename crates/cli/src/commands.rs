@@ -260,6 +260,7 @@ pub fn train(a: TrainArgs) -> Result<String, String> {
         semantics,
         lr_schedule: LrSchedule::Constant,
         checkpoint_dir,
+        checkpoint_every: a.checkpoint_every,
         resume: false,
         depth: None,
         trace: false,
@@ -286,15 +287,23 @@ pub fn train(a: TrainArgs) -> Result<String, String> {
         if fault_fired {
             let _ = writeln!(
                 out,
-                "injected fault `{}`: detected in {:.1} ms, resumed from {}, {} epoch(s) redone",
+                "injected fault `{}`: detected in {:.1} ms, resumed from {}, {} epoch(s) / {} minibatch(es) redone",
                 rec.fault,
                 rec.detection_latency_s * 1e3,
-                match rec.resumed_from_epoch {
-                    Some(e) => format!("epoch-{e} checkpoint"),
-                    None => "nothing (no restart needed)".to_string(),
+                match (rec.resumed_from_epoch, rec.resumed_from_mb) {
+                    (Some(e), Some(g)) => format!("epoch-{e} checkpoint (global mb {g})"),
+                    (Some(e), None) => format!("epoch-{e} checkpoint"),
+                    _ => "nothing (no restart needed)".to_string(),
                 },
-                rec.epochs_redone
+                rec.epochs_redone,
+                rec.minibatches_redone,
             );
+            if let Some(k) = rec.checkpoint_every {
+                let _ = writeln!(
+                    out,
+                    "mid-epoch checkpoints every {k} minibatches bound the redo to ≤ {k} + in-flight"
+                );
+            }
         } else {
             let _ = writeln!(
                 out,
@@ -319,6 +328,11 @@ pub fn train(a: TrainArgs) -> Result<String, String> {
         report.wall_time_s,
         config.total_workers()
     );
+    if let Some(path) = &a.report {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("--report {path}: {e}"))?;
+        let _ = writeln!(out, "wrote TrainReport JSON to {path}");
+    }
     Ok(out)
 }
 
@@ -501,6 +515,8 @@ mod tests {
             seed: 3,
             fault: None,
             checkpoint_dir: None,
+            checkpoint_every: None,
+            report: None,
         })
         .unwrap();
         assert!(out.contains("held-out accuracy"));
@@ -520,6 +536,8 @@ mod tests {
             seed: 3,
             fault: Some("kill:stage=1,mb=20".into()),
             checkpoint_dir: Some(dir.to_string_lossy().into_owned()),
+            checkpoint_every: None,
+            report: None,
         })
         .unwrap();
         assert!(out.contains("injected fault `kill:stage=1,mb=20`"), "{out}");
@@ -538,6 +556,8 @@ mod tests {
             seed: 3,
             fault: Some("explode:stage=1".into()),
             checkpoint_dir: None,
+            checkpoint_every: None,
+            report: None,
         })
         .unwrap_err();
         assert!(err.contains("--fault"), "{err}");

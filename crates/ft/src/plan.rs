@@ -256,6 +256,13 @@ impl FaultHook for FaultPlan {
             _ => None,
         }
     }
+
+    fn sync_deadline(&self) -> Option<Duration> {
+        // Any injected fault may strand a replicated stage mid-all_reduce;
+        // tighten the production deadline so the survivors' SyncStalled
+        // surfaces (and the supervisor restarts) within test-scale time.
+        Some(Duration::from_secs(2))
+    }
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 
 use crate::plan::{Fault, FaultPlan};
 use pipedream_core::PipelineConfig;
-use pipedream_runtime::checkpoint::latest_complete_epoch;
+use pipedream_runtime::checkpoint::latest_complete_point;
 use pipedream_runtime::fault::FaultHook;
 use pipedream_runtime::report::RecoveryRecord;
 use pipedream_runtime::trainer::{try_train_pipeline, TrainOpts};
@@ -80,7 +80,10 @@ pub fn train_with_recovery(
                 fault: plan.spec().to_string(),
                 detection_latency_s: 0.0,
                 resumed_from_epoch: None,
+                resumed_from_mb: None,
                 epochs_redone: 0,
+                minibatches_redone: 0,
+                checkpoint_every: opts.checkpoint_every,
                 final_loss: report.final_loss(),
                 final_accuracy: report.final_accuracy(),
                 baseline_loss: None,
@@ -101,12 +104,15 @@ pub fn train_with_recovery(
                 .as_ref()
                 .ok_or(SupervisorError::MissingCheckpointDir)?;
 
-            // §4: restart every stage from the last epoch whose *every*
-            // stage checkpoint is intact. The runtime's resume machinery
-            // does the restore; we only size the remaining work.
+            // §4: restart every stage from the last training point whose
+            // *every* stage checkpoint is intact — an epoch boundary, or a
+            // mid-epoch `(epoch, minibatch)` dump when the run used
+            // `checkpoint_every`. The runtime's resume machinery does the
+            // restore and the dataloader seek; we only size the remaining
+            // work.
             let stages = config.stages().len();
-            let ckpt_epoch = latest_complete_epoch(dir, stages);
-            let resume_start = ckpt_epoch.map_or(0, |c| c + 1);
+            let point = latest_complete_point(dir, stages);
+            let resume_start = point.map_or(0, |p| p.resume_epoch());
             let mut resumed_opts = opts.clone();
             resumed_opts.resume = true;
             resumed_opts.epochs = opts.epochs.saturating_sub(resume_start);
@@ -114,16 +120,19 @@ pub fn train_with_recovery(
                 try_train_pipeline(model.clone(), config, dataset, &resumed_opts, None)
                     .map_err(|e| SupervisorError::RestartFailed(e.to_string()))?;
 
-            // Work redone = epochs after the checkpoint that had already
+            // Work redone = training past the checkpoint that had already
             // been (at least partially) executed when the fault hit.
             let mbs_per_epoch = dataset.num_minibatches(opts.batch).max(1) as u64;
-            let fault_epoch = match *plan.fault() {
-                Fault::Kill { mb, .. } | Fault::Delay { mb, .. } | Fault::Drop { mb, .. } => {
-                    (mb / mbs_per_epoch) as usize
-                }
-                Fault::Corrupt { epoch, .. } => epoch,
+            let resumed_from_mb = point.map(|p| p.global_mb(mbs_per_epoch as usize));
+            let g0 = resumed_from_mb.unwrap_or(0);
+            // First global minibatch *not* reached when the fault fired.
+            let fault_frontier = match *plan.fault() {
+                Fault::Kill { mb, .. } | Fault::Delay { mb, .. } | Fault::Drop { mb, .. } => mb + 1,
+                Fault::Corrupt { epoch, .. } => (epoch as u64 + 1) * mbs_per_epoch,
             };
+            let fault_epoch = ((fault_frontier - 1) / mbs_per_epoch) as usize;
             let epochs_redone = (fault_epoch + 1).saturating_sub(resume_start);
+            let minibatches_redone = fault_frontier.saturating_sub(g0);
 
             // Stitch the logical run back together: checkpointed epochs
             // from the faulted attempt, then everything the restart
@@ -142,8 +151,11 @@ pub fn train_with_recovery(
             report.recovery = Some(RecoveryRecord {
                 fault: plan.spec().to_string(),
                 detection_latency_s,
-                resumed_from_epoch: ckpt_epoch,
+                resumed_from_epoch: point.map(|p| p.epoch()),
+                resumed_from_mb,
                 epochs_redone,
+                minibatches_redone,
+                checkpoint_every: opts.checkpoint_every,
                 final_loss: report.final_loss(),
                 final_accuracy: report.final_accuracy(),
                 baseline_loss: None,

@@ -42,6 +42,7 @@ fn opts(epochs: usize, dir: Option<PathBuf>) -> TrainOpts {
         semantics: Semantics::Stashed,
         lr_schedule: LrSchedule::Constant,
         checkpoint_dir: dir,
+        checkpoint_every: None,
         resume: false,
         depth: None,
         trace: false,

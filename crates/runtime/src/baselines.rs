@@ -100,7 +100,9 @@ pub fn train_bsp_dp(
                     // every replica keeps weights in lock-step.
                     let grads: Vec<Tensor> =
                         model.params().iter().map(|p| p.grad.clone()).collect();
-                    let avg = sync.allreduce(w, grads);
+                    let avg = sync
+                        .allreduce(w, grads)
+                        .expect("BSP all_reduce has no fault injection");
                     for (p, g) in model.params_mut().into_iter().zip(avg) {
                         p.grad = g;
                     }

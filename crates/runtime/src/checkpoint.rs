@@ -64,25 +64,193 @@ pub fn stage_path(dir: &Path, stage: usize, epoch: usize) -> PathBuf {
     dir.join(format!("stage{stage}_epoch{epoch}.json"))
 }
 
+/// Path of stage `stage`'s mid-epoch checkpoint after within-epoch
+/// minibatch `mb` of `epoch`.
+pub fn mb_stage_path(dir: &Path, stage: usize, epoch: usize, mb: u64) -> PathBuf {
+    dir.join(format!("stage{stage}_epoch{epoch}_mb{mb}.json"))
+}
+
+/// Atomic write-then-rename of `json` to `path`: a crash mid-write leaves
+/// only a `.tmp` litter file, never a torn "latest" checkpoint.
+fn write_atomic(dir: &Path, path: &Path, json: &str) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("ckpt");
+    let tmp = dir.join(format!(".{name}.tmp"));
+    fs::write(&tmp, json)?;
+    fs::rename(tmp, path)
+}
+
 /// Write stage `stage`'s parameters at the end of `epoch`.
 pub fn save_stage(dir: &Path, stage: usize, epoch: usize, params: &[Tensor]) -> io::Result<()> {
-    fs::create_dir_all(dir)?;
     let json = serde_json::to_string(params).map_err(io::Error::other)?;
-    // Write-then-rename so a crash mid-write never corrupts the previous
-    // checkpoint.
-    let tmp = dir.join(format!(".stage{stage}_epoch{epoch}.tmp"));
-    fs::write(&tmp, json)?;
-    fs::rename(tmp, stage_path(dir, stage, epoch))
+    write_atomic(dir, &stage_path(dir, stage, epoch), &json)
+}
+
+/// Write stage `stage`'s parameters after within-epoch minibatch `mb` of
+/// `epoch` — the minibatch-granularity checkpoint that tightens the §4
+/// redo bound below one epoch. Same atomic rename-on-complete as
+/// [`save_stage`], so a torn write can never be picked as "latest".
+pub fn save_stage_at(
+    dir: &Path,
+    stage: usize,
+    epoch: usize,
+    mb: u64,
+    params: &[Tensor],
+) -> io::Result<()> {
+    let json = serde_json::to_string(params).map_err(io::Error::other)?;
+    write_atomic(dir, &mb_stage_path(dir, stage, epoch, mb), &json)
 }
 
 /// Load stage `stage`'s parameters from `epoch`'s checkpoint.
 pub fn load_stage(dir: &Path, stage: usize, epoch: usize) -> Result<Vec<Tensor>, CheckpointError> {
-    let path = stage_path(dir, stage, epoch);
+    load_file(stage_path(dir, stage, epoch))
+}
+
+/// Load stage `stage`'s parameters from the mid-epoch checkpoint at
+/// `(epoch, mb)`.
+pub fn load_stage_at(
+    dir: &Path,
+    stage: usize,
+    epoch: usize,
+    mb: u64,
+) -> Result<Vec<Tensor>, CheckpointError> {
+    load_file(mb_stage_path(dir, stage, epoch, mb))
+}
+
+fn load_file(path: PathBuf) -> Result<Vec<Tensor>, CheckpointError> {
     let json = fs::read_to_string(&path)?;
     serde_json::from_str(&json).map_err(|e| CheckpointError::Corrupt {
         path,
         message: e.to_string(),
     })
+}
+
+/// A point in training that a complete set of stage checkpoints captures.
+///
+/// Ordered by training progress: later epochs beat earlier ones, and
+/// within an epoch the epoch-end dump beats any mid-epoch dump (the
+/// epoch-end dump covers every minibatch of the epoch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointPoint {
+    /// Mid-epoch checkpoint taken after within-epoch minibatch `mb` of
+    /// `epoch` (file layout `stage{s}_epoch{e}_mb{m}.json`).
+    MidEpoch {
+        /// Epoch the dump belongs to.
+        epoch: usize,
+        /// Last within-epoch minibatch the dump covers.
+        mb: u64,
+    },
+    /// Epoch-boundary checkpoint of `epoch` (file layout
+    /// `stage{s}_epoch{e}.json`).
+    EpochEnd {
+        /// Completed epoch.
+        epoch: usize,
+    },
+}
+
+impl CheckpointPoint {
+    fn sort_key(&self) -> (usize, u8, u64) {
+        match *self {
+            CheckpointPoint::MidEpoch { epoch, mb } => (epoch, 0, mb),
+            CheckpointPoint::EpochEnd { epoch } => (epoch, 1, 0),
+        }
+    }
+
+    /// Epoch the dump itself belongs to.
+    pub fn epoch(&self) -> usize {
+        match *self {
+            CheckpointPoint::MidEpoch { epoch, .. } | CheckpointPoint::EpochEnd { epoch } => epoch,
+        }
+    }
+
+    /// Epoch a resumed run continues in (possibly partially done).
+    pub fn resume_epoch(&self) -> usize {
+        match *self {
+            CheckpointPoint::MidEpoch { epoch, .. } => epoch,
+            CheckpointPoint::EpochEnd { epoch } => epoch + 1,
+        }
+    }
+
+    /// Within-epoch minibatch index the resumed run starts at.
+    pub fn mb_offset(&self) -> u64 {
+        match *self {
+            CheckpointPoint::MidEpoch { mb, .. } => mb + 1,
+            CheckpointPoint::EpochEnd { .. } => 0,
+        }
+    }
+
+    /// Global minibatches fully covered by this point — the first global
+    /// minibatch id a resumed run re-executes.
+    pub fn global_mb(&self, mbs_per_epoch: usize) -> u64 {
+        self.resume_epoch() as u64 * mbs_per_epoch as u64 + self.mb_offset()
+    }
+}
+
+impl PartialOrd for CheckpointPoint {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CheckpointPoint {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.sort_key().cmp(&other.sort_key())
+    }
+}
+
+impl fmt::Display for CheckpointPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CheckpointPoint::MidEpoch { epoch, mb } => write!(f, "epoch {epoch} mb {mb}"),
+            CheckpointPoint::EpochEnd { epoch } => write!(f, "end of epoch {epoch}"),
+        }
+    }
+}
+
+/// Load stage `stage`'s parameters from the checkpoint at `point`.
+pub fn load_stage_point(
+    dir: &Path,
+    stage: usize,
+    point: CheckpointPoint,
+) -> Result<Vec<Tensor>, CheckpointError> {
+    match point {
+        CheckpointPoint::MidEpoch { epoch, mb } => load_stage_at(dir, stage, epoch, mb),
+        CheckpointPoint::EpochEnd { epoch } => load_stage(dir, stage, epoch),
+    }
+}
+
+/// Parse a stage-0 checkpoint file name into its [`CheckpointPoint`].
+fn parse_point(name: &str) -> Option<CheckpointPoint> {
+    let rest = name.strip_prefix("stage0_epoch")?.strip_suffix(".json")?;
+    match rest.split_once("_mb") {
+        None => Some(CheckpointPoint::EpochEnd {
+            epoch: rest.parse().ok()?,
+        }),
+        Some((e, m)) => Some(CheckpointPoint::MidEpoch {
+            epoch: e.parse().ok()?,
+            mb: m.parse().ok()?,
+        }),
+    }
+}
+
+/// Latest training point for which *all* `stages` checkpoints exist **and
+/// parse**, considering both epoch-end and mid-epoch dumps. This is the
+/// point a restarted run resumes from; with `--checkpoint-every k` it is
+/// at most `k` minibatches behind the fault, PipeDream's "redo only the
+/// in-flight minibatches" intent.
+pub fn latest_complete_point(dir: &Path, stages: usize) -> Option<CheckpointPoint> {
+    let entries = fs::read_dir(dir).ok()?;
+    let mut points: Vec<CheckpointPoint> = entries
+        .flatten()
+        .filter_map(|e| parse_point(&e.file_name().into_string().ok()?))
+        .collect();
+    points.sort_unstable();
+    // Scan newest-first so intact-point validation loads as few files as
+    // possible in the common (uncorrupted) case.
+    points
+        .into_iter()
+        .rev()
+        .find(|&point| (0..stages).all(|s| load_stage_point(dir, s, point).is_ok()))
 }
 
 /// Latest epoch for which *all* `stages` checkpoints exist **and parse** —
@@ -166,6 +334,77 @@ mod tests {
             load_stage(&dir, 0, 0),
             Err(CheckpointError::Corrupt { .. })
         ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn point_ordering_and_resume_arithmetic() {
+        let mid = CheckpointPoint::MidEpoch { epoch: 2, mb: 7 };
+        let end = CheckpointPoint::EpochEnd { epoch: 2 };
+        let later_mid = CheckpointPoint::MidEpoch { epoch: 3, mb: 0 };
+        // Epoch-end covers the whole epoch, so it beats any mid-epoch dump
+        // of the same epoch; a later epoch's dump beats both.
+        assert!(mid < end);
+        assert!(end < later_mid);
+        assert!(CheckpointPoint::MidEpoch { epoch: 2, mb: 3 } < mid);
+
+        assert_eq!(mid.resume_epoch(), 2);
+        assert_eq!(mid.mb_offset(), 8);
+        assert_eq!(mid.global_mb(10), 28);
+        assert_eq!(end.resume_epoch(), 3);
+        assert_eq!(end.mb_offset(), 0);
+        assert_eq!(end.global_mb(10), 30);
+    }
+
+    #[test]
+    fn mid_epoch_round_trip_and_latest_point() {
+        let dir = tmpdir("mb-rt");
+        let p = vec![Tensor::from_slice(&[1.25, -0.5])];
+        save_stage(&dir, 0, 0, &p).unwrap();
+        save_stage(&dir, 1, 0, &p).unwrap();
+        assert_eq!(
+            latest_complete_point(&dir, 2),
+            Some(CheckpointPoint::EpochEnd { epoch: 0 })
+        );
+        // A mid-epoch dump of the *next* epoch becomes the new latest…
+        save_stage_at(&dir, 0, 1, 7, &p).unwrap();
+        save_stage_at(&dir, 1, 1, 7, &p).unwrap();
+        assert_eq!(
+            latest_complete_point(&dir, 2),
+            Some(CheckpointPoint::MidEpoch { epoch: 1, mb: 7 })
+        );
+        assert_eq!(load_stage_at(&dir, 1, 1, 7).unwrap(), p);
+        // …but an incomplete set (stage 1 missing) does not qualify.
+        save_stage_at(&dir, 0, 1, 15, &p).unwrap();
+        assert_eq!(
+            latest_complete_point(&dir, 2),
+            Some(CheckpointPoint::MidEpoch { epoch: 1, mb: 7 })
+        );
+        // Epoch 1's end dump then outranks its mid-epoch dumps.
+        save_stage(&dir, 0, 1, &p).unwrap();
+        save_stage(&dir, 1, 1, &p).unwrap();
+        assert_eq!(
+            latest_complete_point(&dir, 2),
+            Some(CheckpointPoint::EpochEnd { epoch: 1 })
+        );
+        // The epoch-only scan ignores mid-epoch files entirely.
+        assert_eq!(latest_complete_epoch(&dir, 2), Some(1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_mid_epoch_point_falls_back() {
+        let dir = tmpdir("mb-corrupt");
+        let p = vec![Tensor::from_slice(&[2.0])];
+        save_stage_at(&dir, 0, 0, 3, &p).unwrap();
+        save_stage_at(&dir, 1, 0, 3, &p).unwrap();
+        save_stage_at(&dir, 0, 0, 7, &p).unwrap();
+        save_stage_at(&dir, 1, 0, 7, &p).unwrap();
+        fs::write(mb_stage_path(&dir, 1, 0, 7), "{torn").unwrap();
+        assert_eq!(
+            latest_complete_point(&dir, 2),
+            Some(CheckpointPoint::MidEpoch { epoch: 0, mb: 3 })
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -74,6 +74,15 @@ pub trait FaultHook: Send + Sync {
     fn recv_timeout(&self) -> Option<Duration> {
         None
     }
+
+    /// Deadline for gradient-sync (all_reduce) waits on replicated
+    /// stages. `None` (the default) keeps the trainer's production
+    /// deadline; hooks that kill replicas should return a tight bound so
+    /// the stranded partners' [`WorkerError::SyncStalled`] surfaces
+    /// quickly in tests.
+    fn sync_deadline(&self) -> Option<Duration> {
+        None
+    }
 }
 
 /// Typed failure of one stage worker.
@@ -115,6 +124,20 @@ pub enum WorkerError {
         /// Minibatch being awaited.
         mb: u64,
     },
+    /// Gradient sync across stage replicas failed: a partner replica died
+    /// mid-round (poisoning the group) or the sync deadline expired. The
+    /// replicated stage can no longer make progress, so this cascades
+    /// teardown exactly like a channel disconnect.
+    SyncStalled {
+        /// Failing stage.
+        stage: usize,
+        /// Replica that observed the failure.
+        replica: usize,
+        /// Minibatch whose update was being synchronized.
+        mb: u64,
+        /// The underlying [`crate::sync::SyncError`], rendered.
+        reason: String,
+    },
     /// A vertical-sync weight version needed for a backward or forward
     /// pass was not retained.
     VersionMissing {
@@ -154,6 +177,7 @@ impl WorkerError {
             | WorkerError::DownstreamLost { stage, .. }
             | WorkerError::PeerSendFailed { stage, .. }
             | WorkerError::Stalled { stage, .. }
+            | WorkerError::SyncStalled { stage, .. }
             | WorkerError::VersionMissing { stage, .. }
             | WorkerError::CheckpointWrite { stage, .. }
             | WorkerError::Killed { stage, .. } => stage,
@@ -189,6 +213,15 @@ impl fmt::Display for WorkerError {
             WorkerError::Stalled { stage, mb } => {
                 write!(f, "stage {stage}: stalled awaiting mb {mb} (recv timeout)")
             }
+            WorkerError::SyncStalled {
+                stage,
+                replica,
+                mb,
+                reason,
+            } => write!(
+                f,
+                "stage {stage} replica {replica}: gradient sync for mb {mb} failed: {reason}"
+            ),
             WorkerError::VersionMissing { stage, mb, version } => write!(
                 f,
                 "stage {stage}: weight version {version} for mb {mb} not retained"

@@ -56,13 +56,24 @@ pub struct RecoveryRecord {
     /// failure (via peer errors, channel disconnects, or stalled
     /// heartbeats).
     pub detection_latency_s: f64,
-    /// Epoch the restarted run resumed from (`None` when no restart was
-    /// needed — e.g. a delayed send that only slowed the run down).
+    /// Epoch of the checkpoint the restarted run resumed from (`None`
+    /// when no restart was needed — e.g. a delayed send that only slowed
+    /// the run down).
     pub resumed_from_epoch: Option<usize>,
+    /// Global minibatch the restarted run resumed at — the first
+    /// minibatch it re-executed (`None` when no restart was needed).
+    pub resumed_from_mb: Option<u64>,
     /// Epochs of work re-executed because they post-dated the last
     /// complete checkpoint. The paper's bound: ≤ 1 with per-epoch
     /// checkpoints.
     pub epochs_redone: usize,
+    /// Minibatches of work re-executed: faulted minibatch + 1 minus the
+    /// resume point's global minibatch. With `--checkpoint-every k` the
+    /// bound tightens from ≤ 1 epoch to ≤ `k` minibatches (plus the
+    /// pipeline's in-flight window).
+    pub minibatches_redone: u64,
+    /// Mid-epoch checkpoint interval the run used, if any.
+    pub checkpoint_every: Option<u64>,
     /// Final training loss of the recovered run.
     pub final_loss: f32,
     /// Final training accuracy of the recovered run.

@@ -6,34 +6,124 @@
 //! routing, but each performs the same number of backward passes at the
 //! same cadence, so a round-based all_reduce is deadlock-free: the `k`-th
 //! backward pass of every replica contributes to round `k`.
+//!
+//! That deadlock-freedom argument assumes every participant stays alive.
+//! A replica that crashes mid-round would strand its partners inside the
+//! rendezvous forever, so the group is **unstrandable** by construction:
+//!
+//! * [`GradSyncGroup::allreduce`] is fallible — it returns
+//!   [`SyncError::PeerLost`] the moment the group is poisoned and
+//!   [`SyncError::Timeout`] when the configured deadline expires;
+//! * a dying participant (typed worker error, fault-injected kill, or
+//!   channel disconnect) calls [`GradSyncGroup::poison`], waking every
+//!   blocked partner immediately;
+//! * a participant that *panics* inside the rendezvous — even between its
+//!   deposit and the wake-up notification — poisons the group from the
+//!   drop glue of an internal in-flight guard, so a partial round is
+//!   always detectable and never waits on a notification that was lost
+//!   with the panicking thread;
+//! * the first participant to hit its deadline also poisons the group, so
+//!   one detected stall fails the whole rendezvous fast instead of
+//!   serializing `replicas` individual timeouts.
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use pipedream_tensor::Tensor;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Why an all_reduce rendezvous failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncError {
+    /// A participant died (or timed out) and poisoned the group; every
+    /// other participant observes this error instead of blocking forever.
+    PeerLost {
+        /// The replica that poisoned the group.
+        replica: usize,
+    },
+    /// This participant's own deadline expired with the round incomplete.
+    /// The group is poisoned as a side effect, so partners fail with
+    /// [`SyncError::PeerLost`] rather than waiting out their own deadlines.
+    Timeout {
+        /// How long this participant waited before giving up.
+        waited_ms: u64,
+    },
+}
+
+impl fmt::Display for SyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncError::PeerLost { replica } => {
+                write!(f, "gradient sync poisoned: replica {replica} lost")
+            }
+            SyncError::Timeout { waited_ms } => {
+                write!(f, "gradient sync deadline expired after {waited_ms} ms")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SyncError {}
 
 struct State {
     deposits: Vec<Option<Vec<Tensor>>>,
     average: Option<Vec<Tensor>>,
     collected: usize,
+    /// Replica that poisoned the group, if any. Once set the group is
+    /// permanently failed: every current and future `allreduce` errs.
+    poisoned: Option<usize>,
 }
 
 /// A reusable all_reduce rendezvous for one replicated stage (or a BSP
 /// data-parallel worker group).
 pub struct GradSyncGroup {
     replicas: usize,
+    /// Upper bound on any single blocking wait inside `allreduce`; `None`
+    /// blocks until completion or poisoning.
+    deadline: Option<Duration>,
     state: Mutex<State>,
     cv: Condvar,
 }
 
+/// Poisons the group if an in-flight `allreduce` unwinds before
+/// completing its round — e.g. a tensor op panicking between the deposit
+/// and the wake-up notification. Disarmed on every orderly exit.
+struct InFlightGuard<'a> {
+    group: &'a GradSyncGroup,
+    replica: usize,
+    armed: bool,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.group.poison(self.replica);
+        }
+    }
+}
+
 impl GradSyncGroup {
-    /// Group for `replicas` participants.
+    /// Group for `replicas` participants with no wait deadline (waits end
+    /// only on round completion or poisoning).
     pub fn new(replicas: usize) -> Self {
+        Self::build(replicas, None)
+    }
+
+    /// Group for `replicas` participants whose blocking waits give up
+    /// (and poison the group) after `deadline`.
+    pub fn with_deadline(replicas: usize, deadline: Duration) -> Self {
+        Self::build(replicas, Some(deadline))
+    }
+
+    fn build(replicas: usize, deadline: Option<Duration>) -> Self {
         assert!(replicas >= 1);
         GradSyncGroup {
             replicas,
+            deadline,
             state: Mutex::new(State {
                 deposits: vec![None; replicas],
                 average: None,
                 collected: 0,
+                poisoned: None,
             }),
             cv: Condvar::new(),
         }
@@ -44,20 +134,92 @@ impl GradSyncGroup {
         self.replicas
     }
 
+    /// The configured per-wait deadline, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The replica that poisoned the group, if the group is poisoned.
+    pub fn poisoned_by(&self) -> Option<usize> {
+        self.state.lock().poisoned
+    }
+
+    /// Mark `replica` as lost, failing the group permanently and waking
+    /// every blocked participant with [`SyncError::PeerLost`]. Idempotent;
+    /// the first poisoner wins.
+    pub fn poison(&self, replica: usize) {
+        let mut st = self.state.lock();
+        if st.poisoned.is_none() {
+            st.poisoned = Some(replica);
+        }
+        self.cv.notify_all();
+    }
+
+    /// One bounded wait step: sleeps until notified, `Err(PeerLost)` if
+    /// the group is poisoned, `Err(Timeout)` (poisoning the group) once
+    /// `start + deadline` passes.
+    fn wait_step(
+        &self,
+        st: &mut MutexGuard<'_, State>,
+        replica: usize,
+        start: Instant,
+    ) -> Result<(), SyncError> {
+        if let Some(p) = st.poisoned {
+            return Err(SyncError::PeerLost { replica: p });
+        }
+        match self.deadline {
+            None => {
+                self.cv.wait(st);
+            }
+            Some(limit) => {
+                let waited = start.elapsed();
+                if waited >= limit {
+                    // First to give up poisons, so partners fail fast.
+                    if st.poisoned.is_none() {
+                        st.poisoned = Some(replica);
+                    }
+                    self.cv.notify_all();
+                    return Err(SyncError::Timeout {
+                        waited_ms: waited.as_millis() as u64,
+                    });
+                }
+                self.cv.wait_for(st, limit - waited);
+            }
+        }
+        if let Some(p) = st.poisoned {
+            return Err(SyncError::PeerLost { replica: p });
+        }
+        Ok(())
+    }
+
     /// Contribute this replica's gradients and receive the element-wise
     /// average across all replicas. Blocks until every replica of the
-    /// current round has contributed.
-    pub fn allreduce(&self, replica: usize, grads: Vec<Tensor>) -> Vec<Tensor> {
+    /// current round has contributed, the group's deadline expires, or a
+    /// peer is lost — the latter two fail with a typed [`SyncError`]
+    /// instead of hanging.
+    pub fn allreduce(&self, replica: usize, grads: Vec<Tensor>) -> Result<Vec<Tensor>, SyncError> {
         assert!(replica < self.replicas);
         if self.replicas == 1 {
-            return grads;
+            return Ok(grads);
         }
+        let start = Instant::now();
+        let mut guard = InFlightGuard {
+            group: self,
+            replica,
+            armed: false,
+        };
         let mut st = self.state.lock();
+        if let Some(p) = st.poisoned {
+            return Err(SyncError::PeerLost { replica: p });
+        }
         // Wait for the previous round to fully drain before depositing.
         while st.deposits[replica].is_some() || st.average.is_some() {
-            self.cv.wait(&mut st);
+            self.wait_step(&mut st, replica, start)?;
         }
         st.deposits[replica] = Some(grads);
+        // From the deposit until this round's result is consumed, an
+        // unwind would leave a partial round behind: arm the poison guard.
+        guard.armed = true;
         if st.deposits.iter().all(Option::is_some) {
             // Last depositor computes the average.
             let mut acc: Option<Vec<Tensor>> = None;
@@ -81,7 +243,7 @@ impl GradSyncGroup {
             self.cv.notify_all();
         } else {
             while st.average.is_none() {
-                self.cv.wait(&mut st);
+                self.wait_step(&mut st, replica, start)?;
             }
         }
         let out = st.average.clone().expect("average present");
@@ -91,13 +253,15 @@ impl GradSyncGroup {
             st.collected = 0;
             self.cv.notify_all();
         }
-        out
+        guard.armed = false;
+        Ok(out)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crossbeam::channel::{unbounded, RecvTimeoutError};
     use std::sync::Arc;
     use std::thread;
 
@@ -105,10 +269,28 @@ mod tests {
         Tensor::from_slice(v)
     }
 
+    /// Run `f` on a watchdog: panic if it does not finish within `limit`.
+    /// A reintroduced all_reduce hang fails the test instead of wedging
+    /// the whole test run.
+    fn with_hard_timeout<T: Send + 'static>(
+        limit: Duration,
+        f: impl FnOnce() -> T + Send + 'static,
+    ) -> T {
+        let (tx, rx) = unbounded();
+        thread::spawn(move || {
+            let _ = tx.send(f());
+        });
+        match rx.recv_timeout(limit) {
+            Ok(v) => v,
+            Err(RecvTimeoutError::Timeout) => panic!("deadlocked: no result within {limit:?}"),
+            Err(RecvTimeoutError::Disconnected) => panic!("worker panicked before producing"),
+        }
+    }
+
     #[test]
     fn single_replica_is_identity() {
         let g = GradSyncGroup::new(1);
-        let out = g.allreduce(0, vec![t(&[1.0, 2.0])]);
+        let out = g.allreduce(0, vec![t(&[1.0, 2.0])]).unwrap();
         assert_eq!(out[0].data(), &[1.0, 2.0]);
     }
 
@@ -116,8 +298,8 @@ mod tests {
     fn two_replicas_average() {
         let g = Arc::new(GradSyncGroup::new(2));
         let g2 = Arc::clone(&g);
-        let h = thread::spawn(move || g2.allreduce(1, vec![t(&[3.0])]));
-        let a = g.allreduce(0, vec![t(&[1.0])]);
+        let h = thread::spawn(move || g2.allreduce(1, vec![t(&[3.0])]).unwrap());
+        let a = g.allreduce(0, vec![t(&[1.0])]).unwrap();
         let b = h.join().unwrap();
         assert_eq!(a[0].data(), &[2.0]);
         assert_eq!(b[0].data(), &[2.0]);
@@ -132,7 +314,7 @@ mod tests {
             handles.push(thread::spawn(move || {
                 let mut sum = 0.0f32;
                 for round in 0..50 {
-                    let out = g.allreduce(r, vec![t(&[(r + round) as f32])]);
+                    let out = g.allreduce(r, vec![t(&[(r + round) as f32])]).unwrap();
                     sum += out[0].data()[0];
                 }
                 sum
@@ -148,6 +330,110 @@ mod tests {
             (sums[0] - expected).abs() < 1e-3,
             "{} vs {expected}",
             sums[0]
+        );
+    }
+
+    /// The headline guarantee: one of three replicas dies mid-round and
+    /// both survivors return `SyncError::PeerLost` within the deadline
+    /// rather than deadlocking. Run under a hard watchdog so a regression
+    /// fails the test instead of hanging it.
+    #[test]
+    fn killed_replica_fails_survivors_within_deadline() {
+        with_hard_timeout(Duration::from_secs(10), || {
+            let g = Arc::new(GradSyncGroup::with_deadline(3, Duration::from_secs(5)));
+            let mut survivors = Vec::new();
+            for r in 0..2usize {
+                let g = Arc::clone(&g);
+                survivors.push(thread::spawn(move || {
+                    // Round 0 completes (all three deposit), round 1 is
+                    // where replica 2 has died.
+                    g.allreduce(r, vec![t(&[1.0])]).unwrap();
+                    let start = Instant::now();
+                    let err = g.allreduce(r, vec![t(&[2.0])]).unwrap_err();
+                    (err, start.elapsed())
+                }));
+            }
+            // Replica 2 completes round 0, then "crashes" before round 1:
+            // its teardown path poisons the group.
+            let g2 = Arc::clone(&g);
+            let killed = thread::spawn(move || {
+                g2.allreduce(2, vec![t(&[3.0])]).unwrap();
+                thread::sleep(Duration::from_millis(50));
+                g2.poison(2);
+            });
+            killed.join().unwrap();
+            for h in survivors {
+                let (err, waited) = h.join().unwrap();
+                assert_eq!(err, SyncError::PeerLost { replica: 2 });
+                assert!(
+                    waited < Duration::from_secs(5),
+                    "survivor should wake well before the deadline, waited {waited:?}"
+                );
+            }
+            assert_eq!(g.poisoned_by(), Some(2));
+        });
+    }
+
+    /// Without an explicit poison, the deadline bounds the wait: the
+    /// blocked survivors fail with Timeout/PeerLost instead of hanging.
+    #[test]
+    fn missing_peer_times_out_and_poisons() {
+        with_hard_timeout(Duration::from_secs(10), || {
+            let g = Arc::new(GradSyncGroup::with_deadline(3, Duration::from_millis(100)));
+            let mut handles = Vec::new();
+            for r in 0..2usize {
+                let g = Arc::clone(&g);
+                handles.push(thread::spawn(move || {
+                    g.allreduce(r, vec![t(&[1.0])]).unwrap_err()
+                }));
+            }
+            let errs: Vec<SyncError> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            // The first to expire reports Timeout and poisons; the other
+            // either also timed out or observed the poison.
+            assert!(errs.iter().any(|e| matches!(e, SyncError::Timeout { .. })
+                || matches!(e, SyncError::PeerLost { .. })));
+            assert!(g.poisoned_by().is_some());
+            // The group stays failed: later rounds err immediately.
+            assert!(matches!(
+                g.allreduce(0, vec![t(&[9.0])]),
+                Err(SyncError::PeerLost { .. })
+            ));
+        });
+    }
+
+    /// A depositor that panics between its deposit and the round's
+    /// completion poisons the group from the in-flight guard's drop glue,
+    /// so the partial round is detectable (the sync.rs:57 missed-wakeup
+    /// regression).
+    #[test]
+    fn panicking_depositor_poisons_partial_round() {
+        with_hard_timeout(Duration::from_secs(10), || {
+            let g = Arc::new(GradSyncGroup::new(2));
+            let g2 = Arc::clone(&g);
+            let panicker = thread::spawn(move || {
+                // Deposit second (replica 0 deposits immediately below), so
+                // this thread is the round's averaging depositor; the
+                // mismatched tensor lengths make the averaging panic *after*
+                // both deposits are in — exactly the deposit→notify window.
+                thread::sleep(Duration::from_millis(100));
+                let _ = g2.allreduce(1, vec![t(&[1.0, 2.0, 3.0])]);
+            });
+            let err = g.allreduce(0, vec![t(&[1.0])]).unwrap_err();
+            assert!(panicker.join().is_err(), "depositor should have panicked");
+            assert_eq!(err, SyncError::PeerLost { replica: 1 });
+            assert_eq!(g.poisoned_by(), Some(1));
+        });
+    }
+
+    #[test]
+    fn poisoned_group_rejects_all_future_rounds() {
+        let g = GradSyncGroup::new(3);
+        g.poison(1);
+        g.poison(2); // idempotent: first poisoner wins
+        assert_eq!(g.poisoned_by(), Some(1));
+        assert_eq!(
+            g.allreduce(0, vec![t(&[1.0])]),
+            Err(SyncError::PeerLost { replica: 1 })
         );
     }
 }

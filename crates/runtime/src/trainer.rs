@@ -126,10 +126,17 @@ pub struct TrainOpts {
     pub lr_schedule: LrSchedule,
     /// Per-stage checkpoint directory (§4), if any.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Also checkpoint every `k` minibatches mid-epoch (in addition to the
+    /// epoch-boundary dumps), tightening the recovery redo bound from
+    /// ≤ 1 epoch to ≤ `k` minibatches. Requires `checkpoint_dir`.
+    pub checkpoint_every: Option<u64>,
     /// Resume from the last complete checkpoint in `checkpoint_dir` (§4:
     /// "restarting entails starting from the last successfully created
-    /// checkpoint for all stages"): stage parameters are restored and epoch
-    /// numbering continues after the checkpointed epoch.
+    /// checkpoint for all stages"): stage parameters are restored, epoch
+    /// numbering continues after the checkpointed point, and — for a
+    /// mid-epoch point — the dataloader seeks to the restored minibatch
+    /// offset. `epochs` then counts the *remaining* passes, the first of
+    /// which may be partial.
     pub resume: bool,
     /// Override the 1F1B in-flight depth (defaults to NOAM).
     pub depth: Option<usize>,
@@ -150,6 +157,7 @@ impl Default for TrainOpts {
             semantics: Semantics::Stashed,
             lr_schedule: LrSchedule::Constant,
             checkpoint_dir: None,
+            checkpoint_every: None,
             resume: false,
             depth: None,
             trace: false,
@@ -193,6 +201,13 @@ impl std::error::Error for TrainError {}
 const DETECT_POLL: Duration = Duration::from_millis(50);
 /// Heartbeat silence after which the coordinator presumes a failure.
 const STALL_WINDOW: Duration = Duration::from_secs(2);
+/// Production deadline for gradient-sync rounds on replicated stages.
+/// Generous next to a round's microseconds of real work, but bounded: a
+/// partner that dies without poisoning the group (e.g. SIGKILL of a real
+/// process) can stall a round for at most this long before the survivors
+/// fail typed instead of hanging. Fault hooks may tighten it via
+/// [`FaultHook::sync_deadline`].
+const SYNC_DEADLINE: Duration = Duration::from_secs(30);
 
 /// Train `model` pipeline-parallel under `config` on `dataset`.
 ///
@@ -238,8 +253,34 @@ pub fn try_train_pipeline(
         .validate(model.len())
         .expect("configuration does not match the model's layer count");
     let started = Instant::now();
-    let data = Arc::new(TrainData::new(dataset.clone(), opts.batch));
-    let total_mbs = (opts.epochs * data.minibatches_per_epoch()) as u64;
+    let stages = config.stages();
+
+    // Resume: locate the last complete checkpoint point *before* building
+    // the dataloader — a mid-epoch point seeks the data view to its
+    // restored minibatch offset instead of replaying the epoch.
+    let mut epoch_offset = 0usize;
+    let mut mb_offset = 0usize;
+    let mut resume_point = None;
+    if opts.resume {
+        let dir = opts
+            .checkpoint_dir
+            .as_ref()
+            .expect("resume requires a checkpoint_dir");
+        if let Some(point) = crate::checkpoint::latest_complete_point(dir, stages.len()) {
+            epoch_offset = point.resume_epoch();
+            mb_offset = point.mb_offset() as usize;
+            resume_point = Some(point);
+        }
+    }
+
+    let data = Arc::new(TrainData::with_start(
+        dataset.clone(),
+        opts.batch,
+        mb_offset,
+    ));
+    // When resumed mid-epoch, `epochs` counts the remaining passes and the
+    // first one is partial: the seeked-past minibatches come off the top.
+    let total_mbs = (opts.epochs * data.minibatches_per_epoch() - mb_offset) as u64;
 
     let schedule = match opts.semantics {
         Semantics::GPipe { microbatches } => Schedule::gpipe(config, total_mbs, microbatches),
@@ -251,28 +292,21 @@ pub fn try_train_pipeline(
     schedule.validate().expect("generated schedule is legal");
 
     // Split the model into per-stage chunks, cloned per replica.
-    let stages = config.stages();
     let boundaries: Vec<usize> = stages[..stages.len() - 1]
         .iter()
         .map(|s| s.last_layer + 1)
         .collect();
     let mut stage_models = model.split_off(&boundaries);
 
-    // Resume: restore every stage from the last complete checkpoint and
-    // continue epoch numbering after it.
-    let mut epoch_offset = 0usize;
-    if opts.resume {
-        let dir = opts
-            .checkpoint_dir
-            .as_ref()
-            .expect("resume requires a checkpoint_dir");
-        if let Some(e0) = crate::checkpoint::latest_complete_epoch(dir, stages.len()) {
-            for (si, sm) in stage_models.iter_mut().enumerate() {
-                let params = crate::checkpoint::load_stage(dir, si, e0)
-                    .expect("complete checkpoint is loadable");
-                sm.restore(&params);
-            }
-            epoch_offset = e0 + 1;
+    // Restore every stage from the resume point (§4: "restarting entails
+    // starting from the last successfully created checkpoint for all
+    // stages").
+    if let Some(point) = resume_point {
+        let dir = opts.checkpoint_dir.as_ref().expect("checked above");
+        for (si, sm) in stage_models.iter_mut().enumerate() {
+            let params = crate::checkpoint::load_stage_point(dir, si, point)
+                .expect("complete checkpoint is loadable");
+            sm.restore(&params);
         }
     }
 
@@ -293,9 +327,16 @@ pub fn try_train_pipeline(
     let (metrics_tx, metrics_rx) = unbounded::<MetricMsg>();
 
     let assignment = config.worker_assignment();
+    let sync_deadline = hook
+        .as_ref()
+        .and_then(|h| h.sync_deadline())
+        .unwrap_or(SYNC_DEADLINE);
     let sync_groups: Vec<Option<Arc<GradSyncGroup>>> = stages
         .iter()
-        .map(|s| (s.replicas > 1).then(|| Arc::new(GradSyncGroup::new(s.replicas))))
+        .map(|s| {
+            (s.replicas > 1)
+                .then(|| Arc::new(GradSyncGroup::with_deadline(s.replicas, sync_deadline)))
+        })
         .collect();
 
     let mut handles = Vec::with_capacity(workers);
@@ -338,6 +379,7 @@ pub fn try_train_pipeline(
             metrics: metrics_tx.clone(),
             data: Arc::clone(&data),
             checkpoint_dir: opts.checkpoint_dir.clone(),
+            checkpoint_every: opts.checkpoint_every,
             epoch_offset,
             lr_schedule: opts.lr_schedule,
             trace_from: opts.trace.then_some((w, started)),

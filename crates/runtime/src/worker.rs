@@ -71,6 +71,9 @@ pub struct StageWorker {
     pub data: Arc<TrainData>,
     /// Checkpoint directory (replica 0 dumps at epoch boundaries).
     pub checkpoint_dir: Option<PathBuf>,
+    /// Also checkpoint every `k` minibatches mid-epoch (tightens the §4
+    /// redo bound from ≤ 1 epoch to ≤ `k` minibatches).
+    pub checkpoint_every: Option<u64>,
     /// Epoch-number offset when resuming from a checkpoint.
     pub epoch_offset: usize,
     /// Per-epoch learning-rate schedule.
@@ -110,12 +113,22 @@ impl StageWorker {
     /// Run the worker to completion; returns the trained stage model, or
     /// the typed error it died with. All failures except a silent
     /// [`WorkerError::Killed`] are also announced on the metrics channel.
+    ///
+    /// A dying worker of a *replicated* stage poisons its gradient-sync
+    /// group first — even on a silent kill, standing in for the broken
+    /// transport a real machine failure produces — so partners blocked in
+    /// `allreduce` wake with [`WorkerError::SyncStalled`] instead of
+    /// waiting for a contribution that will never arrive.
     pub fn run(self) -> Result<Sequential, WorkerError> {
         let stage = self.stage;
         let replica = self.replica;
         let metrics = self.metrics.clone();
+        let sync = self.sync.clone();
         let result = self.run_inner();
         if let Err(e) = &result {
+            if let Some(group) = &sync {
+                group.poison(replica);
+            }
             if !e.is_injected() {
                 let _ = metrics.send(MetricMsg::Failure {
                     stage,
@@ -164,7 +177,7 @@ impl StageWorker {
             match op {
                 Op::Forward { mb } => self.forward(&mut st, mb)?,
                 Op::Backward { mb } => self.backward(&mut st, mb)?,
-                Op::Flush => self.flush(&mut st),
+                Op::Flush => self.flush(&mut st)?,
             }
             if let (Some((op_start, run_start)), Some((worker, _)), Some(mb)) =
                 (t0, self.trace_from, op.minibatch())
@@ -360,7 +373,7 @@ impl StageWorker {
                 let g = self.model.backward(&grad_out, mb);
                 st.stash.complete_backward(mb);
                 self.model.restore(&latest);
-                self.apply_update(st);
+                self.apply_update(st, mb)?;
                 g
             }
             Semantics::VerticalSync => {
@@ -376,7 +389,7 @@ impl StageWorker {
                 self.model.zero_grad();
                 let g = self.model.backward(&grad_out, mb);
                 self.model.restore(&latest);
-                self.apply_update(st);
+                self.apply_update(st, mb)?;
                 g
             }
             Semantics::Naive => {
@@ -384,7 +397,7 @@ impl StageWorker {
                 // *now*, which generally differ from the forward's.
                 self.model.zero_grad();
                 let g = self.model.backward(&grad_out, mb);
-                self.apply_update(st);
+                self.apply_update(st, mb)?;
                 g
             }
             Semantics::GPipe { .. } => {
@@ -406,25 +419,42 @@ impl StageWorker {
                 })?;
         }
 
-        // Per-stage checkpoint at epoch boundaries (§4), written by
-        // replica 0 after gradient sync makes replicas identical.
-        if self.replica == 0 && self.data.is_epoch_end(mb) {
+        // Per-stage checkpoints (§4), written by replica 0 after gradient
+        // sync makes replicas identical: a full dump at every epoch
+        // boundary, plus — when `checkpoint_every = Some(k)` — a
+        // minibatch-granularity dump every `k` minibatches mid-epoch, so
+        // recovery redoes at most `k` minibatches instead of an epoch.
+        if self.replica == 0 {
             if let Some(dir) = &self.checkpoint_dir {
-                let snap = self.model.snapshot();
                 let ckpt_epoch = self.data.epoch_of(mb) + self.epoch_offset;
-                checkpoint::save_stage(dir, self.stage, ckpt_epoch, &snap).map_err(|e| {
-                    WorkerError::CheckpointWrite {
-                        stage: self.stage,
-                        epoch: ckpt_epoch,
-                        message: e.to_string(),
+                if self.data.is_epoch_end(mb) {
+                    let snap = self.model.snapshot();
+                    checkpoint::save_stage(dir, self.stage, ckpt_epoch, &snap).map_err(|e| {
+                        WorkerError::CheckpointWrite {
+                            stage: self.stage,
+                            epoch: ckpt_epoch,
+                            message: e.to_string(),
+                        }
+                    })?;
+                    if let Some(hook) = &self.hook {
+                        hook.on_checkpoint_written(
+                            &checkpoint::stage_path(dir, self.stage, ckpt_epoch),
+                            self.stage,
+                            ckpt_epoch,
+                        );
                     }
-                })?;
-                if let Some(hook) = &self.hook {
-                    hook.on_checkpoint_written(
-                        &checkpoint::stage_path(dir, self.stage, ckpt_epoch),
-                        self.stage,
-                        ckpt_epoch,
-                    );
+                } else if let Some(k) = self.checkpoint_every {
+                    let m = self.data.mb_in_epoch(mb);
+                    if (m + 1).is_multiple_of(k) {
+                        let snap = self.model.snapshot();
+                        checkpoint::save_stage_at(dir, self.stage, ckpt_epoch, m, &snap).map_err(
+                            |e| WorkerError::CheckpointWrite {
+                                stage: self.stage,
+                                epoch: ckpt_epoch,
+                                message: e.to_string(),
+                            },
+                        )?;
+                    }
                 }
             }
         }
@@ -445,10 +475,22 @@ impl StageWorker {
 
     /// Average gradients across replicas (if replicated), then apply the
     /// update to the latest weights, bumping the local version counter.
-    fn apply_update(&mut self, st: &mut WorkerState) {
+    ///
+    /// A failed rendezvous — a partner replica died and poisoned the
+    /// group, or the sync deadline expired — surfaces as
+    /// [`WorkerError::SyncStalled`], cascading teardown exactly like a
+    /// channel disconnect.
+    fn apply_update(&mut self, st: &mut WorkerState, mb: u64) -> Result<(), WorkerError> {
         if let Some(sync) = &self.sync {
             let grads: Vec<Tensor> = self.model.params().iter().map(|p| p.grad.clone()).collect();
-            let avg = sync.allreduce(self.replica, grads);
+            let avg =
+                sync.allreduce(self.replica, grads)
+                    .map_err(|e| WorkerError::SyncStalled {
+                        stage: self.stage,
+                        replica: self.replica,
+                        mb,
+                        reason: e.to_string(),
+                    })?;
             for (p, g) in self.model.params_mut().into_iter().zip(avg) {
                 p.grad = g;
             }
@@ -466,19 +508,21 @@ impl StageWorker {
             }
             _ => {}
         }
+        Ok(())
     }
 
     /// GPipe flush: average the accumulated microbatch gradients and apply
     /// one synchronous update.
-    fn flush(&mut self, st: &mut WorkerState) {
+    fn flush(&mut self, st: &mut WorkerState) -> Result<(), WorkerError> {
         if st.since_flush == 0 {
-            return;
+            return Ok(());
         }
         let scale = 1.0 / st.since_flush as f32;
         for p in self.model.params_mut() {
             p.grad = p.grad.scale(scale);
         }
-        self.apply_update(st);
+        self.apply_update(st, u64::MAX)?;
         st.since_flush = 0;
+        Ok(())
     }
 }

@@ -7,8 +7,10 @@
 //! richer plan/supervisor layer lives in the `pipedream-ft` crate).
 
 use pipedream_core::schedule::Op;
-use pipedream_core::PipelineConfig;
-use pipedream_runtime::checkpoint::latest_complete_epoch;
+use pipedream_core::{PipelineConfig, StagePlan};
+use pipedream_runtime::checkpoint::{
+    latest_complete_epoch, latest_complete_point, CheckpointPoint,
+};
 use pipedream_runtime::fault::{FaultAction, FaultHook, WorkerError};
 use pipedream_runtime::trainer::try_train_pipeline;
 use pipedream_runtime::{LrSchedule, OptimKind, Semantics, TrainOpts};
@@ -19,18 +21,26 @@ use pipedream_tensor::Sequential;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-/// Kill one (stage, mb) op, once.
+/// Kill one (stage, replica, mb) op, once. `sync_deadline` is tightened so
+/// stranded gradient-sync partners fail fast in tests.
 struct KillAt {
     stage: usize,
+    replica: usize,
     mb: u64,
     fired: AtomicBool,
 }
 
 impl KillAt {
     fn new(stage: usize, mb: u64) -> Self {
+        Self::replica(stage, 0, mb)
+    }
+
+    fn replica(stage: usize, replica: usize, mb: u64) -> Self {
         KillAt {
             stage,
+            replica,
             mb,
             fired: AtomicBool::new(false),
         }
@@ -38,8 +48,9 @@ impl KillAt {
 }
 
 impl FaultHook for KillAt {
-    fn before_op(&self, stage: usize, _replica: usize, op: &Op) -> FaultAction {
+    fn before_op(&self, stage: usize, replica: usize, op: &Op) -> FaultAction {
         if stage == self.stage
+            && replica == self.replica
             && op.minibatch() == Some(self.mb)
             && !self.fired.swap(true, Ordering::SeqCst)
         {
@@ -47,6 +58,10 @@ impl FaultHook for KillAt {
         } else {
             FaultAction::Continue
         }
+    }
+
+    fn sync_deadline(&self) -> Option<Duration> {
+        Some(Duration::from_secs(2))
     }
 }
 
@@ -74,6 +89,7 @@ fn opts(epochs: usize, dir: &std::path::Path, resume: bool) -> TrainOpts {
         semantics: Semantics::Stashed,
         lr_schedule: LrSchedule::Constant,
         checkpoint_dir: Some(dir.to_path_buf()),
+        checkpoint_every: None,
         resume,
         depth: None,
         trace: false,
@@ -162,6 +178,136 @@ fn killing_input_stage_cascades_typed_errors() {
             err.errors
         );
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Run `f` on a helper thread and fail loudly if it exceeds `limit`: a
+/// hang regression (e.g. a stranded all_reduce partner) must fail the
+/// test run, not wedge it.
+fn with_hard_timeout<T: Send + 'static>(
+    limit: Duration,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(limit)
+        .expect("test exceeded its hard timeout — hang regression")
+}
+
+/// The un-strandable-replicas guarantee, end to end: killing one replica
+/// of a data-parallel stage mid-training makes its sync partner fail with
+/// a typed [`WorkerError::SyncStalled`] (the poisoned gradient-sync group
+/// wakes it) instead of blocking forever inside `allreduce`, and the whole
+/// pipeline tears down within the configured deadline.
+#[test]
+fn killed_replica_fails_sync_partner_typed_not_hung() {
+    let err = with_hard_timeout(Duration::from_secs(30), || {
+        let dir = tmpdir("replicated-kill");
+        let data = blobs(256, 8, 4, 0.6, 7);
+        // 3 stages; the middle one is replicated ×2 (round-robin routing).
+        let config = PipelineConfig::new(vec![
+            StagePlan::new(0, 2, 1),
+            StagePlan::new(3, 5, 2),
+            StagePlan::new(6, 7, 1),
+        ]);
+        // Replica 1 handles odd minibatches; kill it mid-epoch-1.
+        let hook: Arc<dyn FaultHook> = Arc::new(KillAt::replica(1, 1, 21));
+        let err =
+            match try_train_pipeline(mlp(70), &config, &data, &opts(2, &dir, false), Some(hook)) {
+                Err(e) => e,
+                Ok(_) => panic!("killed run must fail"),
+            };
+        let _ = std::fs::remove_dir_all(&dir);
+        err
+    });
+    assert!(matches!(
+        err.errors[0],
+        WorkerError::Killed {
+            stage: 1,
+            replica: 1,
+            mb: 21
+        }
+    ));
+    // The surviving replica was woken out of the poisoned sync group with
+    // a typed error naming the dead partner — not stranded, not a generic
+    // channel disconnect.
+    let stalled: Vec<_> = err
+        .errors
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                WorkerError::SyncStalled {
+                    stage: 1,
+                    replica: 0,
+                    ..
+                }
+            )
+        })
+        .collect();
+    assert_eq!(
+        stalled.len(),
+        1,
+        "surviving replica reports SyncStalled: {:?}",
+        err.errors
+    );
+    if let WorkerError::SyncStalled { reason, .. } = stalled[0] {
+        assert!(
+            reason.contains("replica 1"),
+            "reason names the lost peer: {reason}"
+        );
+    }
+}
+
+/// Minibatch-granularity checkpoints tighten the §4 redo bound: with
+/// `checkpoint_every = 4` a kill at minibatch 22 resumes from the
+/// mid-epoch `(epoch 1, mb 3)` point — 2 minibatches behind the fault —
+/// instead of the epoch-0 boundary 6 minibatches back, and the resumed
+/// run seeks the dataloader to the restored offset.
+#[test]
+fn mid_epoch_checkpoint_resume_seeks_dataloader() {
+    let dir = tmpdir("mb-resume");
+    let data = blobs(256, 8, 4, 0.6, 7); // 16 minibatches/epoch
+    let config = PipelineConfig::straight(8, &[2, 5]); // 3 stages
+    let mut o = opts(2, &dir, false);
+    o.checkpoint_every = Some(4);
+    let hook: Arc<dyn FaultHook> = Arc::new(KillAt::new(1, 22));
+
+    let err = match try_train_pipeline(mlp(70), &config, &data, &o, Some(hook)) {
+        Err(e) => e,
+        Ok(_) => panic!("killed run must fail"),
+    };
+    assert!(err.errors[0].is_injected());
+
+    // Checkpoints every 4 minibatches: global boundaries 3, 7, 11, 15
+    // (epoch end), 19, … — the last one complete on every stage before the
+    // kill at mb 22 is (epoch 1, within-epoch mb 3) = global mb 19.
+    let point = latest_complete_point(&dir, 3).expect("mid-epoch checkpoints written");
+    assert_eq!(point, CheckpointPoint::MidEpoch { epoch: 1, mb: 3 });
+    assert_eq!(point.global_mb(16), 20);
+    // The epoch-granular view still sees only the epoch-0 boundary.
+    assert_eq!(latest_complete_epoch(&dir, 3), Some(0));
+
+    // Resume: one remaining (partial) epoch, starting at within-epoch
+    // minibatch 4.
+    let mut resumed_opts = opts(1, &dir, true);
+    resumed_opts.checkpoint_every = Some(4);
+    let (_, resumed) = try_train_pipeline(mlp(71), &config, &data, &resumed_opts, None)
+        .expect("resumed run completes");
+    let epochs: Vec<usize> = resumed.per_epoch.iter().map(|e| e.epoch).collect();
+    assert_eq!(epochs, vec![1], "partial epoch keeps its numbering");
+    // The partial epoch trains exactly the remaining 12 minibatches.
+    assert_eq!(resumed.per_minibatch.len(), 12);
+    // Its samples are the tail of the epoch the fresh run would see.
+    assert_eq!(resumed.per_epoch[0].samples, 12 * 16);
+    // Finishing the epoch writes its boundary checkpoint, which outranks
+    // every mid-epoch dump.
+    assert_eq!(
+        latest_complete_point(&dir, 3),
+        Some(CheckpointPoint::EpochEnd { epoch: 1 })
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -40,6 +40,7 @@ fn default_opts(epochs: usize) -> TrainOpts {
         semantics: Semantics::Stashed,
         lr_schedule: LrSchedule::Constant,
         checkpoint_dir: None,
+        checkpoint_every: None,
         resume: false,
         depth: None,
         trace: false,
@@ -317,6 +318,7 @@ fn sequence_model_trains_through_pipeline() {
         semantics: Semantics::Stashed,
         lr_schedule: LrSchedule::Constant,
         checkpoint_dir: None,
+        checkpoint_every: None,
         resume: false,
         depth: None,
         trace: false,
@@ -377,6 +379,7 @@ fn resume_continues_from_checkpoint() {
         semantics: Semantics::Stashed,
         lr_schedule: LrSchedule::Constant,
         checkpoint_dir: Some(dir.clone()),
+        checkpoint_every: None,
         resume,
         depth: None,
         trace: false,
@@ -397,6 +400,7 @@ fn resume_continues_from_checkpoint() {
     let _ = std::fs::remove_dir_all(&dir2);
     let straight_opts = TrainOpts {
         checkpoint_dir: Some(dir2.clone()),
+        checkpoint_every: None,
         ..mk_opts(4, false)
     };
     let (straight_model, straight) = train_pipeline(mlp(70, 8, 4), &config, &data, &straight_opts);
@@ -571,6 +575,7 @@ fn cnn_trains_through_pipeline() {
         semantics: Semantics::Stashed,
         lr_schedule: LrSchedule::Constant,
         checkpoint_dir: None,
+        checkpoint_every: None,
         resume: false,
         depth: None,
         trace: false,
@@ -630,6 +635,7 @@ fn gru_sequence_model_trains_through_pipeline() {
         semantics: Semantics::Stashed,
         lr_schedule: LrSchedule::Constant,
         checkpoint_dir: None,
+        checkpoint_every: None,
         resume: false,
         depth: None,
         trace: false,

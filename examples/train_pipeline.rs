@@ -43,6 +43,7 @@ fn main() {
         semantics: Semantics::Stashed,
         lr_schedule: LrSchedule::Constant,
         checkpoint_dir: None,
+        checkpoint_every: None,
         resume: false,
         depth: None,
         trace: false,

@@ -74,6 +74,7 @@ fn profiled_model_plans_and_trains_under_that_plan() {
         semantics: Semantics::Stashed,
         lr_schedule: LrSchedule::Constant,
         checkpoint_dir: None,
+        checkpoint_every: None,
         resume: false,
         depth: None,
         trace: false,
@@ -110,6 +111,7 @@ fn checkpoint_restart_resumes_identically() {
         semantics: Semantics::Stashed,
         lr_schedule: LrSchedule::Constant,
         checkpoint_dir: Some(dir.clone()),
+        checkpoint_every: None,
         resume: false,
         depth: None,
         trace: false,

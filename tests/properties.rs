@@ -183,6 +183,7 @@ mod runtime_properties {
                 semantics: Semantics::Stashed,
                 lr_schedule: LrSchedule::Constant,
                 checkpoint_dir: None,
+                checkpoint_every: None,
                 resume: false,
                 depth: None,
                 trace: false,

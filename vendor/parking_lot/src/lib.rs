@@ -72,6 +72,21 @@ impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// Result of a timed condition-variable wait, mirroring parking_lot's
+/// `WaitTimeoutResult`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed (rather than a
+    /// notification).
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
 /// Condition variable with parking_lot's `wait(&mut guard)` signature.
 #[derive(Debug, Default)]
 pub struct Condvar {
@@ -95,6 +110,24 @@ impl Condvar {
             .wait(std_guard)
             .unwrap_or_else(|e| e.into_inner());
         guard.inner = Some(std_guard);
+    }
+
+    /// Like [`Condvar::wait`], but gives up after `timeout` and reports
+    /// whether the wait timed out (parking_lot's `wait_for`).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard present");
+        let (std_guard, res) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(std_guard);
+        WaitTimeoutResult {
+            timed_out: res.timed_out(),
+        }
     }
 
     /// Wake one waiter.
@@ -157,6 +190,16 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock();
+        let res = cv.wait_for(&mut ready, std::time::Duration::from_millis(10));
+        assert!(res.timed_out());
+        assert!(!*ready); // guard is re-acquired and usable
     }
 
     #[test]
