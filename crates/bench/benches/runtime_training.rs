@@ -39,6 +39,7 @@ fn opts() -> TrainOpts {
         resume: false,
         depth: None,
         trace: false,
+        obs: None,
     }
 }
 

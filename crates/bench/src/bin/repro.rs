@@ -12,7 +12,7 @@
 //!
 //! Experiment ids: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 //! fig12 fig13 fig14 fig15 fig16 fig17 fig18 table1 table2 table3 asp gpipe
-//! opt ablations trend verify sensitivity recovery.
+//! opt ablations trend verify sensitivity recovery trace-validate.
 
 use pipedream_bench::experiments as e;
 use std::fs;
@@ -48,6 +48,7 @@ const ALL: &[&str] = &[
     "verify",
     "sensitivity",
     "recovery",
+    "trace-validate",
 ];
 
 /// Run one experiment; returns `(title, rendered text, optional CSV,
@@ -236,6 +237,15 @@ fn run_one(id: &str) -> Option<(&'static str, String, Option<String>, Option<Str
             let r = e::recovery::run(4);
             (
                 "Fault tolerance (§4): recovery from injected failures",
+                r.to_string(),
+                Some(r.to_csv()),
+                None,
+            )
+        }
+        "trace-validate" => {
+            let r = e::trace_validate::run(3);
+            (
+                "Trace validation: measured vs planned stage times",
                 r.to_string(),
                 Some(r.to_csv()),
                 None,

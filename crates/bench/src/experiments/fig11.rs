@@ -85,6 +85,7 @@ pub fn run(epochs: usize) -> Fig11 {
         resume: false,
         depth: None,
         trace: false,
+        obs: None,
     };
     let config = PipelineConfig::straight(8, &[1, 3, 5]);
     let (_, seq) = train_sequential(mlp(3), &data, &opts);

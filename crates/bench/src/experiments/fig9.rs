@@ -49,6 +49,7 @@ pub fn run() -> Fig9 {
         resume: false,
         depth: None,
         trace: false,
+        obs: None,
     };
     let (_, report) = train_pipeline(model, &config, &data, &opts);
     let records = report

@@ -22,5 +22,6 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod timelines;
+pub mod trace_validate;
 pub mod trend;
 pub mod verify;

@@ -71,6 +71,7 @@ pub fn run(epochs: usize) -> Recovery {
         resume: false,
         depth: None,
         trace: false,
+        obs: None,
     };
 
     let (_, baseline) = train_pipeline(mlp(70), &config, &data, &opts(None));

@@ -21,7 +21,8 @@ USAGE:
                      [--fault kill:stage=S,mb=N | delay:stage=S,mb=N,ms=M |
                               drop:stage=S,mb=N | corrupt:stage=S,epoch=E]
                      [--checkpoint-dir DIR] [--checkpoint-every K]
-                     [--report file.json]
+                     [--report file.json] [--trace out.json] [--metrics]
+                     [--timeline]
   pipedream export   (--model <NAME> | --cluster <A|B|C> --servers N)
                      [--out file.json]
   pipedream inspect  --model <NAME|@profile.json> [--batch N]
@@ -155,6 +156,12 @@ pub struct TrainArgs {
     pub checkpoint_every: Option<u64>,
     /// Write the final TrainReport as JSON to this path.
     pub report: Option<String>,
+    /// Write a Chrome trace_event JSON of the run to this path.
+    pub trace: Option<String>,
+    /// Print the session's metrics in Prometheus text format.
+    pub metrics: bool,
+    /// Render the measured run as an ASCII timeline.
+    pub timeline: bool,
 }
 
 /// Parsing failure with a user-facing message.
@@ -174,7 +181,7 @@ fn flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), Pars
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
             // Boolean flags take no value; everything else consumes one.
-            let boolean = matches!(name, "flat" | "json" | "timeline" | "fp16");
+            let boolean = matches!(name, "flat" | "json" | "timeline" | "fp16" | "metrics");
             if boolean {
                 map.insert(name.to_string(), "true".to_string());
             } else {
@@ -335,6 +342,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 })
                 .transpose()?,
             report: map.get("report").cloned(),
+            trace: map.get("trace").cloned(),
+            metrics: map.contains_key("metrics"),
+            timeline: map.contains_key("timeline"),
         })),
         other => Err(ParseError(format!(
             "unknown subcommand '{other}'; try `pipedream help`"
@@ -397,6 +407,29 @@ mod tests {
         assert_eq!(a.epochs, 3);
         assert_eq!(a.stages, 4);
         assert_eq!(a.fault, None);
+        assert_eq!(a.trace, None);
+        assert!(!a.metrics && !a.timeline);
+    }
+
+    #[test]
+    fn train_trace_flags_parse() {
+        let cmd = parse(&s(&[
+            "train",
+            "--trace",
+            "/tmp/run.json",
+            "--metrics",
+            "--timeline",
+            "--epochs",
+            "2",
+        ]))
+        .unwrap();
+        let Command::Train(a) = cmd else { panic!() };
+        assert_eq!(a.trace.as_deref(), Some("/tmp/run.json"));
+        assert!(a.metrics);
+        assert!(a.timeline);
+        assert_eq!(a.epochs, 2);
+        // --trace is a value flag: bare `--trace` must be rejected.
+        assert!(parse(&s(&["train", "--trace"])).is_err());
     }
 
     #[test]

@@ -250,6 +250,14 @@ pub fn train(a: TrainArgs) -> Result<String, String> {
         }
         (None, None) => None,
     };
+    // Any observability flag opens a trace session shared by the workers,
+    // the gradient-sync groups, and (under --fault) the recovery
+    // supervisor.
+    let session = if a.trace.is_some() || a.metrics || a.timeline {
+        Some(pipedream_obs::TraceSession::new())
+    } else {
+        None
+    };
     let opts = TrainOpts {
         epochs: a.epochs,
         batch: a.batch,
@@ -263,7 +271,8 @@ pub fn train(a: TrainArgs) -> Result<String, String> {
         checkpoint_every: a.checkpoint_every,
         resume: false,
         depth: None,
-        trace: false,
+        trace: a.trace.is_some(),
+        obs: session.clone(),
     };
     let mut fault_fired = true;
     let (mut trained, report) = match &a.fault {
@@ -332,6 +341,24 @@ pub fn train(a: TrainArgs) -> Result<String, String> {
         let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
         std::fs::write(path, json).map_err(|e| format!("--report {path}: {e}"))?;
         let _ = writeln!(out, "wrote TrainReport JSON to {path}");
+    }
+    if let Some(session) = &session {
+        let snap = session.snapshot();
+        if a.timeline {
+            let timeline = pipedream_obs::to_timeline(&snap);
+            let _ = writeln!(out, "\n{}", render_timeline(&timeline, 100));
+        }
+        if let Some(path) = &a.trace {
+            let json = pipedream_obs::render_chrome_trace(&snap);
+            fs::write(path, json).map_err(|e| format!("--trace {path}: {e}"))?;
+            let _ = writeln!(
+                out,
+                "wrote Chrome trace to {path} (load in Perfetto or chrome://tracing)"
+            );
+        }
+        if a.metrics {
+            let _ = writeln!(out, "\n{}", session.metrics().render_prometheus());
+        }
     }
     Ok(out)
 }
@@ -517,6 +544,9 @@ mod tests {
             checkpoint_dir: None,
             checkpoint_every: None,
             report: None,
+            trace: None,
+            metrics: false,
+            timeline: false,
         })
         .unwrap();
         assert!(out.contains("held-out accuracy"));
@@ -538,11 +568,61 @@ mod tests {
             checkpoint_dir: Some(dir.to_string_lossy().into_owned()),
             checkpoint_every: None,
             report: None,
+            trace: None,
+            metrics: false,
+            timeline: false,
         })
         .unwrap();
         assert!(out.contains("injected fault `kill:stage=1,mb=20`"), "{out}");
         assert!(out.contains("held-out accuracy"), "{out}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn train_trace_metrics_timeline_outputs() {
+        let dir = std::env::temp_dir().join(format!("pd-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run-trace.json");
+        let out = train(TrainArgs {
+            stages: 2,
+            epochs: 2,
+            batch: 16,
+            lr: 0.05,
+            semantics: "stashed".into(),
+            seed: 3,
+            fault: None,
+            checkpoint_dir: None,
+            checkpoint_every: None,
+            report: None,
+            trace: Some(path.to_string_lossy().into_owned()),
+            metrics: true,
+            timeline: true,
+        })
+        .unwrap();
+        assert!(out.contains("wrote Chrome trace"), "{out}");
+        assert!(out.contains("minibatches_total"), "{out}");
+        assert!(out.contains("worker  0 |"), "timeline rendered: {out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap().clone();
+        assert!(!events.is_empty());
+        // One metadata record per worker track.
+        let names: Vec<String> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert!(names.contains(&"stage0.replica0".to_string()), "{names:?}");
+        assert!(names.contains(&"stage1.replica0".to_string()), "{names:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -558,6 +638,9 @@ mod tests {
             checkpoint_dir: None,
             checkpoint_every: None,
             report: None,
+            trace: None,
+            metrics: false,
+            timeline: false,
         })
         .unwrap_err();
         assert!(err.contains("--fault"), "{err}");

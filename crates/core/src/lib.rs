@@ -25,6 +25,6 @@ pub mod schedule;
 pub mod stash;
 
 pub use config::{PipelineConfig, StagePlan};
-pub use planner::{Plan, Planner};
+pub use planner::{Plan, Planner, StagePrediction};
 pub use schedule::{Op, Schedule};
 pub use stash::WeightStash;

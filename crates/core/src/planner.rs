@@ -51,6 +51,23 @@ pub struct Plan {
     pub noam: usize,
 }
 
+/// Planner-predicted timing of a single pipeline stage, as produced by
+/// [`Planner::predicted_stage_times`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StagePrediction {
+    /// Pipeline stage index.
+    pub stage: usize,
+    /// Predicted forward + backward compute for one minibatch on one
+    /// replica (seconds).
+    pub compute_s: f64,
+    /// Predicted weight all_reduce time across the stage's replicas
+    /// (seconds; 0 for unreplicated stages).
+    pub sync_s: f64,
+    /// Predicted effective per-minibatch time:
+    /// `max(compute, sync) / replicas`.
+    pub effective_s: f64,
+}
+
 /// The partitioning optimizer: binds a model profile to a topology.
 ///
 /// ```
@@ -437,6 +454,38 @@ impl<'a> Planner<'a> {
         }
     }
 
+    /// Per-stage predicted times for `config` under the same cost model as
+    /// [`Planner::evaluate`], broken out per stage instead of reduced to
+    /// the bottleneck. Used by the observability subsystem to diff
+    /// measured stage times against the plan (`repro trace-validate`).
+    pub fn predicted_stage_times(&self, config: &PipelineConfig) -> Vec<StagePrediction> {
+        config
+            .validate(self.costs.num_layers())
+            .expect("configuration does not match model");
+        let assignment = config.worker_assignment();
+        config
+            .stages()
+            .iter()
+            .enumerate()
+            .map(|(si, stage)| {
+                let (i, j, m) = (stage.first_layer, stage.last_layer, stage.replicas);
+                let compute_s = self.costs.total_compute(i, j);
+                let sync_s = if m > 1 {
+                    let w = self.costs.weight_bytes(i, j);
+                    self.topo.allreduce_time_spanning(&assignment[si], w)
+                } else {
+                    0.0
+                };
+                StagePrediction {
+                    stage: si,
+                    compute_s,
+                    sync_s,
+                    effective_s: compute_s.max(sync_s) / m as f64,
+                }
+            })
+            .collect()
+    }
+
     /// Enumerate a family of candidate configurations for this model and
     /// worker count: data parallelism, straight pipelines of various
     /// depths (compute-balanced splits), and two-stage replicated splits
@@ -787,6 +836,30 @@ mod tests {
             eval.bottleneck_s,
             plan.bottleneck_s
         );
+    }
+
+    #[test]
+    fn predicted_stage_times_match_evaluate_bottleneck() {
+        let profile = zoo::uniform(8, 2e9, 100_000, 500_000);
+        let topo = flat_topo(4, 10.0);
+        let planner = Planner::new(&profile, &topo);
+        let plan = planner.plan_flat();
+        let preds = planner.predicted_stage_times(&plan.config);
+        assert_eq!(preds.len(), plan.config.num_stages());
+        for (si, p) in preds.iter().enumerate() {
+            assert_eq!(p.stage, si);
+            assert!(p.compute_s > 0.0);
+            let m = plan.config.stages()[si].replicas;
+            assert!((p.effective_s - p.compute_s.max(p.sync_s) / m as f64).abs() < 1e-15);
+            if m == 1 {
+                assert_eq!(p.sync_s, 0.0);
+            }
+        }
+        // The slowest predicted stage is the bottleneck evaluate() reports,
+        // unless a boundary link dominates.
+        let eval = planner.evaluate(&plan.config);
+        let worst = preds.iter().map(|p| p.effective_s).fold(0.0, f64::max);
+        assert!(worst <= eval.bottleneck_s + 1e-12);
     }
 
     #[test]

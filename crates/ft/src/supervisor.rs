@@ -95,6 +95,18 @@ pub fn train_with_recovery(
             if !plan.fired() {
                 return Err(SupervisorError::UnexpectedFailure(e.to_string()));
             }
+            // Detection and recovery land on a dedicated supervisor track,
+            // so a traced fault-injected run shows the kill and the restart
+            // alongside the worker rows.
+            let supervisor = opts
+                .obs
+                .as_ref()
+                .map(|s| s.recorder("supervisor"))
+                .unwrap_or_default();
+            supervisor.instant(pipedream_obs::SpanKind::Fault);
+            if let Some(session) = &opts.obs {
+                session.metrics().counter("faults_detected_total").inc();
+            }
             let detection_latency_s = plan
                 .injected_at()
                 .map(|t0| e.detected_at.duration_since(t0).as_secs_f64())
@@ -119,6 +131,10 @@ pub fn train_with_recovery(
             let (trained, resumed_report) =
                 try_train_pipeline(model.clone(), config, dataset, &resumed_opts, None)
                     .map_err(|e| SupervisorError::RestartFailed(e.to_string()))?;
+            supervisor.instant(pipedream_obs::SpanKind::Recovery);
+            if let Some(session) = &opts.obs {
+                session.metrics().counter("faults_recovered_total").inc();
+            }
 
             // Work redone = training past the checkpoint that had already
             // been (at least partially) executed when the fault hit.

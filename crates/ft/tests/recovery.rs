@@ -46,6 +46,7 @@ fn opts(epochs: usize, dir: Option<PathBuf>) -> TrainOpts {
         resume: false,
         depth: None,
         trace: false,
+        obs: None,
     }
 }
 
@@ -183,5 +184,51 @@ fn corrupt_checkpoint_falls_back_to_previous_epoch() {
     // Epoch 2 has a truncated stage-1 file, so the last *complete* epoch
     // is 1 — a resumed run must not trust the damaged checkpoint.
     assert_eq!(latest_complete_epoch(&dir, 3), Some(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A traced fault-injected run shows the kill and the recovery on the
+/// timeline: the supervisor track carries Fault + Recovery instants, the
+/// restarted workers get fresh rows, and the fault counters tick.
+#[test]
+fn traced_fault_run_records_kill_and_recovery() {
+    let dir = tmpdir("trace");
+    let data = data();
+    let config = PipelineConfig::straight(8, &[2, 5]); // 3 stages
+    let session = pipedream_obs::TraceSession::new();
+    let mut o = opts(3, Some(dir.clone()));
+    o.obs = Some(session.clone());
+    let plan = Arc::new(FaultPlan::parse("kill:stage=1,mb=20").unwrap());
+    let (_, report) = train_with_recovery(&mlp(70), &config, &data, &o, plan.clone()).unwrap();
+    assert!(plan.fired());
+    assert!(report.recovery.is_some());
+
+    let snap = session.snapshot();
+    // Two attempts × 3 workers, plus the supervisor track.
+    assert_eq!(
+        snap.tracks.len(),
+        7,
+        "tracks: {:?}",
+        snap.tracks
+            .iter()
+            .map(|t| t.name.clone())
+            .collect::<Vec<_>>()
+    );
+    let sup = snap.tracks.iter().find(|t| t.name == "supervisor").unwrap();
+    let kinds: Vec<_> = sup.events.iter().map(|e| e.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            pipedream_obs::SpanKind::Fault,
+            pipedream_obs::SpanKind::Recovery
+        ]
+    );
+    assert_eq!(session.metrics().counter("faults_detected_total").get(), 1);
+    assert_eq!(session.metrics().counter("faults_recovered_total").get(), 1);
+
+    // The rendered Chrome trace carries both instants.
+    let json = pipedream_obs::render_chrome_trace(&snap);
+    assert!(json.contains("\"name\":\"fault\""), "{json}");
+    assert!(json.contains("\"name\":\"recovery\""), "{json}");
     let _ = std::fs::remove_dir_all(&dir);
 }

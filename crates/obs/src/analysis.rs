@@ -1,0 +1,369 @@
+//! Post-run trace analysis: per-stage aggregates, conversion to the
+//! simulator's [`Timeline`] for ASCII/SVG rendering, and validation of a
+//! measured run against planner-predicted stage times and simulated
+//! steady-state throughput (the feedback loop the paper closes by
+//! profiling before partitioning, §3.1).
+
+use crate::event::SpanKind;
+use crate::metrics::MetricsRegistry;
+use crate::recorder::TraceSnapshot;
+use pipedream_sim::{Timeline, WorkKind};
+use serde::{Deserialize, Serialize};
+
+/// Aggregated busy time for one pipeline stage, summed over its replica
+/// tracks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageTimes {
+    /// Pipeline stage index.
+    pub stage: usize,
+    /// Number of tracks (replicas) contributing.
+    pub tracks: usize,
+    /// Total forward span time (includes nested receive waits).
+    pub fwd_s: f64,
+    /// Total backward span time (includes nested receive waits).
+    pub bwd_s: f64,
+    /// Total gradient-sync rendezvous time.
+    pub sync_s: f64,
+    /// Total time blocked on upstream/downstream receives (nested inside
+    /// forward/backward spans).
+    pub recv_wait_s: f64,
+    /// Total checkpoint write time.
+    pub checkpoint_s: f64,
+    /// Backward passes completed (minibatches finished by this stage).
+    pub minibatches: u64,
+    /// Fraction of wall time this stage spent computing, averaged over
+    /// its replicas.
+    pub busy_frac: f64,
+    /// `1 - busy_frac`: pipeline bubble plus communication waits.
+    pub bubble_frac: f64,
+}
+
+impl StageTimes {
+    /// Pure compute: forward + backward with the nested receive waits
+    /// subtracted back out.
+    pub fn compute_s(&self) -> f64 {
+        (self.fwd_s + self.bwd_s - self.recv_wait_s).max(0.0)
+    }
+
+    /// Mean per-minibatch compute time (0 when no backward completed).
+    pub fn compute_per_minibatch_s(&self) -> f64 {
+        if self.minibatches == 0 {
+            0.0
+        } else {
+            self.compute_s() / self.minibatches as f64
+        }
+    }
+}
+
+/// Sum span durations per stage across a snapshot's stage tracks.
+/// Tracks without a stage (supervisor, coordinator) are ignored.
+pub fn stage_times(snap: &TraceSnapshot) -> Vec<StageTimes> {
+    let n_stages = snap
+        .tracks
+        .iter()
+        .filter_map(|t| t.stage)
+        .max()
+        .map(|s| s + 1)
+        .unwrap_or(0);
+    let mut out: Vec<StageTimes> = (0..n_stages)
+        .map(|stage| StageTimes {
+            stage,
+            ..StageTimes::default()
+        })
+        .collect();
+    let wall = snap.span_s();
+    for track in &snap.tracks {
+        let Some(stage) = track.stage else { continue };
+        let st = &mut out[stage];
+        st.tracks += 1;
+        for ev in &track.events {
+            let d = ev.duration_s();
+            match ev.kind {
+                SpanKind::Fwd { .. } => st.fwd_s += d,
+                SpanKind::Bwd { .. } => {
+                    st.bwd_s += d;
+                    st.minibatches += 1;
+                }
+                SpanKind::GradSync => st.sync_s += d,
+                SpanKind::RecvWait { .. } | SpanKind::SendWait { .. } => st.recv_wait_s += d,
+                SpanKind::Checkpoint => st.checkpoint_s += d,
+                _ => {}
+            }
+        }
+    }
+    for st in &mut out {
+        if wall > 0.0 && st.tracks > 0 {
+            st.busy_frac = (st.compute_s() / (wall * st.tracks as f64)).min(1.0);
+            st.bubble_frac = 1.0 - st.busy_frac;
+        }
+    }
+    out
+}
+
+/// Convert a measured snapshot into the simulator's [`Timeline`] so the
+/// same `render_timeline` / `render_svg` code draws real runs. One lane
+/// per track; stash/receive bookkeeping and instant events are omitted
+/// (they nest inside or annotate the compute spans).
+pub fn to_timeline(snap: &TraceSnapshot) -> Timeline {
+    let mut tl = Timeline::new(snap.tracks.len());
+    for (w, track) in snap.tracks.iter().enumerate() {
+        for ev in &track.events {
+            if ev.is_instant() {
+                continue;
+            }
+            let kind = match ev.kind {
+                SpanKind::Fwd { mb } => WorkKind::Forward(mb),
+                SpanKind::Bwd { mb } => WorkKind::Backward(mb),
+                SpanKind::GradSync => WorkKind::Sync,
+                SpanKind::Checkpoint => WorkKind::Checkpoint,
+                SpanKind::Stalled => WorkKind::Stall,
+                _ => continue,
+            };
+            tl.record(w, ev.start_ns as f64 * 1e-9, ev.end_ns as f64 * 1e-9, kind);
+        }
+    }
+    tl
+}
+
+/// Measured-vs-predicted comparison for one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageValidation {
+    /// Pipeline stage index.
+    pub stage: usize,
+    /// Measured per-minibatch compute time (receive waits excluded).
+    pub measured_s: f64,
+    /// Planner-predicted per-minibatch stage time.
+    pub predicted_s: f64,
+    /// `measured / predicted - 1`; positive means slower than planned.
+    pub error_frac: f64,
+}
+
+/// Outcome of diffing a measured run against the planner's per-stage
+/// predictions and the simulator's steady-state throughput.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceValidation {
+    /// Per-stage measured vs predicted compute time.
+    pub per_stage: Vec<StageValidation>,
+    /// Measured steady-state seconds per minibatch (slope of the middle
+    /// half of stage-0 backward completions).
+    pub measured_per_minibatch_s: f64,
+    /// Simulated steady-state seconds per minibatch.
+    pub simulated_per_minibatch_s: f64,
+    /// `measured / simulated - 1` for per-minibatch time; positive means
+    /// the real pipeline is slower than the simulation.
+    pub throughput_error_frac: f64,
+    /// Measured samples/second at the given minibatch size.
+    pub measured_samples_per_sec: f64,
+    /// Simulated samples/second at the given minibatch size.
+    pub simulated_samples_per_sec: f64,
+}
+
+/// Steady-state seconds per minibatch, measured as the slope of stage-0
+/// backward completion times. The middle half of the completions is used
+/// so warmup (pipeline fill) and drain don't skew the estimate.
+pub fn measured_per_minibatch_s(snap: &TraceSnapshot) -> f64 {
+    let mut ends: Vec<u64> = snap
+        .tracks
+        .iter()
+        .filter(|t| t.stage == Some(0))
+        .flat_map(|t| t.events.iter())
+        .filter(|e| matches!(e.kind, SpanKind::Bwd { .. }))
+        .map(|e| e.end_ns)
+        .collect();
+    ends.sort_unstable();
+    let len = ends.len();
+    if len < 2 {
+        return 0.0;
+    }
+    let q = len / 4;
+    let (lo, hi) = (q, len - 1 - q);
+    if hi <= lo {
+        return (ends[len - 1] - ends[0]) as f64 * 1e-9 / (len - 1) as f64;
+    }
+    (ends[hi] - ends[lo]) as f64 * 1e-9 / (hi - lo) as f64
+}
+
+/// Diff a measured snapshot against planner-predicted per-stage times and
+/// the simulator's steady-state per-minibatch time. `minibatch_size` is
+/// the number of samples per minibatch, used to express throughput in
+/// samples/second.
+pub fn validate(
+    snap: &TraceSnapshot,
+    predicted_stage_s: &[f64],
+    simulated_per_minibatch_s: f64,
+    minibatch_size: usize,
+) -> TraceValidation {
+    let per_stage = stage_times(snap)
+        .iter()
+        .map(|st| {
+            let predicted = predicted_stage_s.get(st.stage).copied().unwrap_or(0.0);
+            let measured = st.compute_per_minibatch_s();
+            StageValidation {
+                stage: st.stage,
+                measured_s: measured,
+                predicted_s: predicted,
+                error_frac: if predicted > 0.0 {
+                    measured / predicted - 1.0
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+    let measured_mb = measured_per_minibatch_s(snap);
+    TraceValidation {
+        per_stage,
+        measured_per_minibatch_s: measured_mb,
+        simulated_per_minibatch_s,
+        throughput_error_frac: if simulated_per_minibatch_s > 0.0 {
+            measured_mb / simulated_per_minibatch_s - 1.0
+        } else {
+            0.0
+        },
+        measured_samples_per_sec: if measured_mb > 0.0 {
+            minibatch_size as f64 / measured_mb
+        } else {
+            0.0
+        },
+        simulated_samples_per_sec: if simulated_per_minibatch_s > 0.0 {
+            minibatch_size as f64 / simulated_per_minibatch_s
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Fold a snapshot into registry gauges/histograms: per-stage busy% and
+/// bubble%, per-kind span duration histograms, and the total events lost
+/// to the rings' drop-oldest policy.
+pub fn record_snapshot_metrics(metrics: &MetricsRegistry, snap: &TraceSnapshot) {
+    for st in stage_times(snap) {
+        metrics
+            .gauge(&format!("stage{}_busy_frac", st.stage))
+            .set(st.busy_frac);
+        metrics
+            .gauge(&format!("stage{}_bubble_frac", st.stage))
+            .set(st.bubble_frac);
+        metrics
+            .gauge(&format!("stage{}_sync_wait_seconds", st.stage))
+            .set(st.sync_s);
+    }
+    let mut dropped = 0;
+    for track in &snap.tracks {
+        dropped += track.dropped;
+        for ev in &track.events {
+            if !ev.is_instant() {
+                metrics
+                    .histogram(&format!("span_seconds_{}", ev.kind.name()))
+                    .observe_secs(ev.duration_s());
+            }
+        }
+    }
+    metrics.counter("trace_events_dropped_total").add(dropped);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::recorder::TrackEvents;
+
+    const MS: u64 = 1_000_000;
+
+    fn span(kind: SpanKind, start_ms: u64, end_ms: u64) -> Event {
+        Event {
+            kind,
+            start_ns: start_ms * MS,
+            end_ns: end_ms * MS,
+        }
+    }
+
+    /// Two stages, one track each: stage 0 does 4 fwd/bwd pairs with the
+    /// backwards completing every 10 ms in steady state.
+    fn sample() -> TraceSnapshot {
+        let mut s0 = Vec::new();
+        for mb in 0..4u64 {
+            let t = mb * 10;
+            s0.push(span(SpanKind::Fwd { mb }, t, t + 3));
+            s0.push(span(SpanKind::RecvWait { mb }, t + 1, t + 2));
+            s0.push(span(SpanKind::Bwd { mb }, t + 4, t + 8));
+        }
+        let s1 = vec![
+            span(SpanKind::Fwd { mb: 0 }, 3, 6),
+            span(SpanKind::Bwd { mb: 0 }, 6, 9),
+            span(SpanKind::Checkpoint, 30, 34),
+        ];
+        TraceSnapshot {
+            tracks: vec![
+                TrackEvents {
+                    name: "stage0.replica0".into(),
+                    stage: Some(0),
+                    events: s0,
+                    dropped: 2,
+                },
+                TrackEvents {
+                    name: "stage1.replica0".into(),
+                    stage: Some(1),
+                    events: s1,
+                    dropped: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn stage_times_aggregate_and_subtract_waits() {
+        let st = stage_times(&sample());
+        assert_eq!(st.len(), 2);
+        assert_eq!(st[0].minibatches, 4);
+        assert!((st[0].fwd_s - 4.0 * 3e-3).abs() < 1e-9);
+        assert!((st[0].recv_wait_s - 4.0 * 1e-3).abs() < 1e-9);
+        // compute = 4*(3+4) - 4*1 = 24 ms
+        assert!((st[0].compute_s() - 24e-3).abs() < 1e-9);
+        assert!((st[0].compute_per_minibatch_s() - 6e-3).abs() < 1e-9);
+        assert!((st[1].checkpoint_s - 4e-3).abs() < 1e-9);
+        assert!(st[0].busy_frac > 0.0 && st[0].busy_frac <= 1.0);
+        assert!((st[0].busy_frac + st[0].bubble_frac - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeline_conversion_maps_kinds_and_skips_bookkeeping() {
+        let tl = to_timeline(&sample());
+        assert_eq!(tl.per_worker.len(), 2);
+        // RecvWait spans are skipped: 4 fwd + 4 bwd on stage 0.
+        assert_eq!(tl.per_worker[0].len(), 8);
+        assert!(tl.per_worker[1]
+            .iter()
+            .any(|i| i.kind == WorkKind::Checkpoint));
+        assert!((tl.makespan() - 38e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_state_slope_uses_middle_half() {
+        // Backward completions at 8, 18, 28, 38 ms → slope 10 ms/mb.
+        let mb = measured_per_minibatch_s(&sample());
+        assert!((mb - 10e-3).abs() < 1e-9, "got {mb}");
+    }
+
+    #[test]
+    fn validate_reports_per_stage_and_throughput_error() {
+        let v = validate(&sample(), &[6e-3, 12e-3], 8e-3, 16);
+        assert_eq!(v.per_stage.len(), 2);
+        // Stage 0 measured exactly matches the prediction.
+        assert!(v.per_stage[0].error_frac.abs() < 1e-9);
+        // Stage 1 measured half the predicted 12 ms.
+        assert!((v.per_stage[1].error_frac + 0.5).abs() < 1e-9);
+        // 10 ms measured vs 8 ms simulated → +25%.
+        assert!((v.throughput_error_frac - 0.25).abs() < 1e-9);
+        assert!((v.measured_samples_per_sec - 16.0 / 10e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn snapshot_metrics_fold_into_registry() {
+        let reg = MetricsRegistry::new();
+        record_snapshot_metrics(&reg, &sample());
+        assert!(reg.gauge("stage0_busy_frac").get() > 0.0);
+        assert_eq!(reg.counter("trace_events_dropped_total").get(), 2);
+        assert_eq!(reg.histogram("span_seconds_bwd").count(), 5);
+    }
+}

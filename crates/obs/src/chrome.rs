@@ -1,0 +1,175 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Produces the JSON Array Format variant of the Trace Event spec inside a
+//! `{"traceEvents": [...]}` envelope, loadable in `chrome://tracing` and
+//! Perfetto. One thread (`tid`) per track: a `thread_name` metadata event
+//! names it, complete (`"ph":"X"`) events carry the spans, and instant
+//! (`"ph":"i"`) events mark faults/recoveries. Timestamps are microseconds
+//! with nanosecond precision kept in the fraction.
+//!
+//! The document is built by hand rather than through a serializer so the
+//! byte output is deterministic for golden-file tests.
+
+use crate::recorder::TraceSnapshot;
+use std::fmt::Write as _;
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Microseconds with the nanosecond remainder as a 3-digit fraction.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Render a snapshot as a Chrome trace_event JSON document.
+pub fn render_chrome_trace(snap: &TraceSnapshot) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |line: String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(&line);
+    };
+    for (tid, track) in snap.tracks.iter().enumerate() {
+        push(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(&track.name)
+            ),
+            &mut first,
+        );
+        for ev in &track.events {
+            let name = ev.kind.name();
+            let cat = ev.kind.category();
+            let args = match ev.kind.minibatch() {
+                Some(mb) => format!(",\"args\":{{\"mb\":{mb}}}"),
+                None => String::new(),
+            };
+            if ev.is_instant() {
+                push(
+                    format!(
+                        "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\
+                         \"ts\":{},\"pid\":0,\"tid\":{tid}{args}}}",
+                        us(ev.start_ns)
+                    ),
+                    &mut first,
+                );
+            } else {
+                push(
+                    format!(
+                        "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{},\
+                         \"dur\":{},\"pid\":0,\"tid\":{tid}{args}}}",
+                        us(ev.start_ns),
+                        us(ev.end_ns - ev.start_ns)
+                    ),
+                    &mut first,
+                );
+            }
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, SpanKind};
+    use crate::recorder::TrackEvents;
+
+    fn sample() -> TraceSnapshot {
+        TraceSnapshot {
+            tracks: vec![
+                TrackEvents {
+                    name: "stage0.replica0".into(),
+                    stage: Some(0),
+                    events: vec![
+                        Event {
+                            kind: SpanKind::Fwd { mb: 0 },
+                            start_ns: 1_500,
+                            end_ns: 11_500,
+                        },
+                        Event {
+                            kind: SpanKind::Bwd { mb: 0 },
+                            start_ns: 20_000,
+                            end_ns: 45_250,
+                        },
+                        Event {
+                            kind: SpanKind::Checkpoint,
+                            start_ns: 50_000,
+                            end_ns: 60_000,
+                        },
+                    ],
+                    dropped: 0,
+                },
+                TrackEvents {
+                    name: "supervisor".into(),
+                    stage: None,
+                    events: vec![Event {
+                        kind: SpanKind::Fault,
+                        start_ns: 70_000,
+                        end_ns: 70_000,
+                    }],
+                    dropped: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_events() {
+        let doc = render_chrome_trace(&sample());
+        let v: serde_json::Value = serde_json::from_str(&doc).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 metadata + 3 spans + 1 instant.
+        assert_eq!(events.len(), 6);
+        let f = |i: usize, k: &str| events[i].get(k).unwrap().clone();
+        assert_eq!(f(0, "ph").as_str(), Some("M"));
+        assert_eq!(
+            f(0, "args").get("name").unwrap().as_str(),
+            Some("stage0.replica0")
+        );
+        assert_eq!(f(1, "ph").as_str(), Some("X"));
+        assert_eq!(f(1, "name").as_str(), Some("fwd"));
+        assert_eq!(f(1, "args").get("mb").unwrap().as_u64(), Some(0));
+        assert_eq!(f(5, "ph").as_str(), Some("i"));
+        assert_eq!(f(5, "name").as_str(), Some("fault"));
+        // µs timestamps: 1500 ns → 1.5 µs.
+        assert_eq!(f(1, "ts").as_f64(), Some(1.5));
+        assert_eq!(f(1, "dur").as_f64(), Some(10.0));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut snap = sample();
+        snap.tracks[0].name = "we\"ird\\name".into();
+        let doc = render_chrome_trace(&snap);
+        assert!(serde_json::from_str::<serde_json::Value>(&doc).is_ok());
+    }
+
+    #[test]
+    fn golden_file_matches() {
+        let doc = render_chrome_trace(&sample());
+        let golden = include_str!("../tests/golden/chrome_trace.json");
+        assert_eq!(
+            doc, golden,
+            "Chrome trace output drifted from tests/golden/chrome_trace.json; \
+             update the golden file if the change is intentional"
+        );
+    }
+}

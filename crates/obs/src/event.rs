@@ -1,0 +1,198 @@
+//! The typed event model recorded by workers.
+//!
+//! Events are plain-old-data — every field fits in a machine word — so they
+//! can live in the lock-free ring's atomic slots without allocation.
+
+use serde::{Deserialize, Serialize};
+
+/// What a recorded span covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// Forward pass of a minibatch (includes any upstream receive wait,
+    /// which nests inside as a separate [`SpanKind::RecvWait`] span).
+    Fwd {
+        /// Minibatch id.
+        mb: u64,
+    },
+    /// Backward pass of a minibatch.
+    Bwd {
+        /// Minibatch id.
+        mb: u64,
+    },
+    /// Gradient all_reduce rendezvous across stage replicas.
+    GradSync,
+    /// A weight snapshot entered the stash (weight stashing, §3.3).
+    StashPush {
+        /// Minibatch pinning the snapshot.
+        mb: u64,
+    },
+    /// A stashed snapshot was released after its backward pass.
+    StashPop {
+        /// Minibatch that released it.
+        mb: u64,
+    },
+    /// Per-stage checkpoint write (§4).
+    Checkpoint,
+    /// Blocked waiting for an upstream activation or downstream gradient.
+    RecvWait {
+        /// Minibatch being waited for.
+        mb: u64,
+    },
+    /// Blocked sending to a peer (only with bounded transports; the
+    /// in-process channel runtime never blocks on send).
+    SendWait {
+        /// Minibatch being sent.
+        mb: u64,
+    },
+    /// A bounded wait gave up: sync deadline expired or a peer was lost.
+    Stalled,
+    /// A fault was detected (instant event on the supervisor track).
+    Fault,
+    /// Recovery from a checkpoint completed (instant event).
+    Recovery,
+}
+
+impl SpanKind {
+    /// Stable numeric tag for the ring's atomic slots.
+    pub(crate) fn tag(self) -> u64 {
+        match self {
+            SpanKind::Fwd { .. } => 0,
+            SpanKind::Bwd { .. } => 1,
+            SpanKind::GradSync => 2,
+            SpanKind::StashPush { .. } => 3,
+            SpanKind::StashPop { .. } => 4,
+            SpanKind::Checkpoint => 5,
+            SpanKind::RecvWait { .. } => 6,
+            SpanKind::SendWait { .. } => 7,
+            SpanKind::Stalled => 8,
+            SpanKind::Fault => 9,
+            SpanKind::Recovery => 10,
+        }
+    }
+
+    /// Minibatch payload, when the kind carries one.
+    pub fn minibatch(self) -> Option<u64> {
+        match self {
+            SpanKind::Fwd { mb }
+            | SpanKind::Bwd { mb }
+            | SpanKind::StashPush { mb }
+            | SpanKind::StashPop { mb }
+            | SpanKind::RecvWait { mb }
+            | SpanKind::SendWait { mb } => Some(mb),
+            _ => None,
+        }
+    }
+
+    /// Inverse of [`SpanKind::tag`]; `None` for a torn/invalid slot.
+    pub(crate) fn from_tag(tag: u64, mb: u64) -> Option<SpanKind> {
+        Some(match tag {
+            0 => SpanKind::Fwd { mb },
+            1 => SpanKind::Bwd { mb },
+            2 => SpanKind::GradSync,
+            3 => SpanKind::StashPush { mb },
+            4 => SpanKind::StashPop { mb },
+            5 => SpanKind::Checkpoint,
+            6 => SpanKind::RecvWait { mb },
+            7 => SpanKind::SendWait { mb },
+            8 => SpanKind::Stalled,
+            9 => SpanKind::Fault,
+            10 => SpanKind::Recovery,
+            _ => return None,
+        })
+    }
+
+    /// Display name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Fwd { .. } => "fwd",
+            SpanKind::Bwd { .. } => "bwd",
+            SpanKind::GradSync => "grad_sync",
+            SpanKind::StashPush { .. } => "stash_push",
+            SpanKind::StashPop { .. } => "stash_pop",
+            SpanKind::Checkpoint => "checkpoint",
+            SpanKind::RecvWait { .. } => "recv_wait",
+            SpanKind::SendWait { .. } => "send_wait",
+            SpanKind::Stalled => "stalled",
+            SpanKind::Fault => "fault",
+            SpanKind::Recovery => "recovery",
+        }
+    }
+
+    /// Chrome-trace category used by the exporters.
+    pub fn category(self) -> &'static str {
+        match self {
+            SpanKind::Fwd { .. } | SpanKind::Bwd { .. } => "compute",
+            SpanKind::GradSync | SpanKind::RecvWait { .. } | SpanKind::SendWait { .. } => "comm",
+            SpanKind::StashPush { .. } | SpanKind::StashPop { .. } => "stash",
+            SpanKind::Checkpoint => "checkpoint",
+            SpanKind::Stalled | SpanKind::Fault | SpanKind::Recovery => "fault",
+        }
+    }
+}
+
+/// One recorded span: a kind plus start/end nanoseconds since the trace
+/// session began. Instant events have `start_ns == end_ns`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// What happened.
+    pub kind: SpanKind,
+    /// Start, nanoseconds since session start.
+    pub start_ns: u64,
+    /// End, nanoseconds since session start.
+    pub end_ns: u64,
+}
+
+impl Event {
+    /// Span duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.end_ns.saturating_sub(self.start_ns) as f64 * 1e-9
+    }
+
+    /// Whether this is an instant (zero-duration) event.
+    pub fn is_instant(&self) -> bool {
+        self.start_ns == self.end_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_round_trips_every_kind() {
+        let kinds = [
+            SpanKind::Fwd { mb: 7 },
+            SpanKind::Bwd { mb: 7 },
+            SpanKind::GradSync,
+            SpanKind::StashPush { mb: 7 },
+            SpanKind::StashPop { mb: 7 },
+            SpanKind::Checkpoint,
+            SpanKind::RecvWait { mb: 7 },
+            SpanKind::SendWait { mb: 7 },
+            SpanKind::Stalled,
+            SpanKind::Fault,
+            SpanKind::Recovery,
+        ];
+        for k in kinds {
+            assert_eq!(SpanKind::from_tag(k.tag(), 7), Some(k));
+        }
+        assert_eq!(SpanKind::from_tag(999, 0), None);
+    }
+
+    #[test]
+    fn duration_and_instant() {
+        let e = Event {
+            kind: SpanKind::GradSync,
+            start_ns: 1_000,
+            end_ns: 2_500,
+        };
+        assert!((e.duration_s() - 1.5e-6).abs() < 1e-15);
+        assert!(!e.is_instant());
+        let i = Event {
+            kind: SpanKind::Fault,
+            start_ns: 5,
+            end_ns: 5,
+        };
+        assert!(i.is_instant());
+    }
+}

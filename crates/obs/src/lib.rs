@@ -1,0 +1,43 @@
+//! Runtime observability for the PipeDream reproduction: lock-free
+//! per-worker event rings, a process-wide metrics registry, Chrome
+//! `trace_event` export, and measured-vs-planned validation.
+//!
+//! The subsystem is built around two ideas:
+//!
+//! 1. **Recording must be free when off and cheap when on.** Workers hold
+//!    a [`Recorder`] — a clonable handle that is a single branch when
+//!    disabled (mirroring the runtime's `FaultHook` seam) and a clock
+//!    read plus a lock-free ring push when enabled. Each worker gets its
+//!    own fixed-capacity [`EventRing`] that drops the oldest events once
+//!    full, so tracing never allocates on the hot path and never stalls
+//!    the pipeline.
+//! 2. **Measured runs should close the loop with the planner.** The paper
+//!    partitions from profiles (§3.1); [`analysis::validate`] diffs what
+//!    a traced run actually did against the planner's predicted per-stage
+//!    times and the simulator's steady-state throughput, so a bad
+//!    partition or an optimistic profile shows up as a number, not a
+//!    hunch.
+//!
+//! A typical run: create a [`TraceSession`], hand each stage worker a
+//! recorder from [`TraceSession::stage_recorder`], train, then
+//! [`TraceSession::snapshot`] and export with
+//! [`chrome::render_chrome_trace`] (open in Perfetto) or fold into the
+//! [`MetricsRegistry`] with [`analysis::record_snapshot_metrics`] and dump
+//! Prometheus text via [`MetricsRegistry::render_prometheus`].
+
+pub mod analysis;
+pub mod chrome;
+pub mod event;
+pub mod metrics;
+pub mod recorder;
+pub mod ring;
+
+pub use analysis::{
+    measured_per_minibatch_s, record_snapshot_metrics, stage_times, to_timeline, validate,
+    StageTimes, StageValidation, TraceValidation,
+};
+pub use chrome::render_chrome_trace;
+pub use event::{Event, SpanKind};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use recorder::{Recorder, SpanStart, TraceSession, TraceSnapshot, TrackEvents};
+pub use ring::EventRing;

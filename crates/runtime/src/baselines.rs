@@ -52,6 +52,8 @@ pub fn train_sequential(
             version_trace: Vec::new(),
             per_minibatch: Vec::new(),
             op_trace: Vec::new(),
+            stage_obs: Vec::new(),
+            validation: None,
             recovery: None,
             wall_time_s: started.elapsed().as_secs_f64(),
         },
@@ -142,6 +144,8 @@ pub fn train_bsp_dp(
             version_trace: Vec::new(),
             per_minibatch: Vec::new(),
             op_trace: Vec::new(),
+            stage_obs: Vec::new(),
+            validation: None,
             recovery: None,
             wall_time_s: started.elapsed().as_secs_f64(),
         },
@@ -228,6 +232,8 @@ pub fn train_asp(
             version_trace: Vec::new(),
             per_minibatch: Vec::new(),
             op_trace: Vec::new(),
+            stage_obs: Vec::new(),
+            validation: None,
             recovery: None,
             wall_time_s: started.elapsed().as_secs_f64(),
         },

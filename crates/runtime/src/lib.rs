@@ -35,7 +35,7 @@ pub mod worker;
 pub use baselines::{train_asp, train_bsp_dp, train_sequential};
 pub use data::TrainData;
 pub use fault::{FaultAction, FaultHook, SendAction, WorkerError};
-pub use report::{EpochStats, RecoveryRecord, TrainReport, VersionRecord};
+pub use report::{EpochStats, RecoveryRecord, StageObsRecord, TrainReport, VersionRecord};
 pub use trainer::{
     train_pipeline, try_train_pipeline, LrSchedule, OptimKind, Semantics, TrainError, TrainOpts,
 };

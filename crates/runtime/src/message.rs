@@ -50,6 +50,9 @@ pub enum MetricMsg {
         /// forward pass).
         version: u64,
     },
+    /// Per-worker stash/staleness observations, sent once when the
+    /// worker's op sequence completes successfully.
+    StageObs(crate::report::StageObsRecord),
     /// Periodic liveness signal, sent only when a fault hook is installed.
     /// A worker that stops heartbeating without finishing is presumed
     /// dead (§4: failures are detected, then all stages restart from the

@@ -42,6 +42,28 @@ pub struct OpTrace {
     pub end_s: f64,
 }
 
+/// Per-worker stash/staleness observations, reported once when a worker
+/// completes its op sequence.
+///
+/// These quantify §3.3's memory claims directly from a real run: the
+/// input stage stashes at most NOAM weight versions, and a stage `s` of an
+/// `n`-deep pipeline sees a steady-state weight-stashing staleness of
+/// `n − 1 − s` updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageObsRecord {
+    /// Pipeline stage.
+    pub stage: usize,
+    /// Replica within the stage.
+    pub replica: usize,
+    /// Peak number of in-flight minibatches holding a stashed version.
+    pub stash_depth_max: usize,
+    /// Peak number of distinct weight snapshots held at once.
+    pub versions_held_max: usize,
+    /// Peak observed weight-version staleness: updates applied between a
+    /// minibatch's forward version and its backward.
+    pub staleness_max: u64,
+}
+
 /// What happened when a fault was injected and the run recovered (§4).
 ///
 /// Produced by the `pipedream-ft` supervisor; quantifies the paper's
@@ -97,6 +119,12 @@ pub struct TrainReport {
     pub per_minibatch: Vec<(u64, f32)>,
     /// Real execution trace (when `TrainOpts::trace` is set).
     pub op_trace: Vec<OpTrace>,
+    /// Per-worker stash depth / staleness observations, sorted by
+    /// (stage, replica). Empty for non-pipeline baselines.
+    pub stage_obs: Vec<StageObsRecord>,
+    /// Measured-vs-planned validation, attached by callers that diff a
+    /// traced run against planner predictions (`repro trace-validate`).
+    pub validation: Option<pipedream_obs::TraceValidation>,
     /// Wall-clock duration of the run in seconds.
     pub wall_time_s: f64,
     /// Fault-recovery record, when the run survived an injected fault.

@@ -27,6 +27,7 @@
 //!   serializing `replicas` individual timeouts.
 
 use parking_lot::{Condvar, Mutex, MutexGuard};
+use pipedream_obs::{Recorder, SpanKind};
 use pipedream_tensor::Tensor;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -80,6 +81,10 @@ pub struct GradSyncGroup {
     /// Upper bound on any single blocking wait inside `allreduce`; `None`
     /// blocks until completion or poisoning.
     deadline: Option<Duration>,
+    /// Per-replica trace recorders (empty when tracing is off): the time
+    /// spent inside a rendezvous is recorded as a `GradSync` span on the
+    /// calling replica's track, or `Stalled` when the round fails.
+    recorders: Vec<Recorder>,
     state: Mutex<State>,
     cv: Condvar,
 }
@@ -119,6 +124,7 @@ impl GradSyncGroup {
         GradSyncGroup {
             replicas,
             deadline,
+            recorders: Vec::new(),
             state: Mutex::new(State {
                 deposits: vec![None; replicas],
                 average: None,
@@ -127,6 +133,15 @@ impl GradSyncGroup {
             }),
             cv: Condvar::new(),
         }
+    }
+
+    /// Attach one trace [`Recorder`] per replica (indexed by replica id).
+    /// With recorders attached, each `allreduce` call records its
+    /// rendezvous time as a span on the caller's track.
+    pub fn with_recorders(mut self, recorders: Vec<Recorder>) -> Self {
+        assert!(recorders.is_empty() || recorders.len() == self.replicas);
+        self.recorders = recorders;
+        self
     }
 
     /// Number of participants.
@@ -202,6 +217,29 @@ impl GradSyncGroup {
         if self.replicas == 1 {
             return Ok(grads);
         }
+        match self.recorders.get(replica) {
+            None => self.allreduce_inner(replica, grads),
+            Some(rec) => {
+                let span = rec.begin();
+                let result = self.allreduce_inner(replica, grads);
+                rec.end(
+                    span,
+                    if result.is_ok() {
+                        SpanKind::GradSync
+                    } else {
+                        SpanKind::Stalled
+                    },
+                );
+                result
+            }
+        }
+    }
+
+    fn allreduce_inner(
+        &self,
+        replica: usize,
+        grads: Vec<Tensor>,
+    ) -> Result<Vec<Tensor>, SyncError> {
         let start = Instant::now();
         let mut guard = InFlightGuard {
             group: self,
@@ -423,6 +461,35 @@ mod tests {
             assert_eq!(err, SyncError::PeerLost { replica: 1 });
             assert_eq!(g.poisoned_by(), Some(1));
         });
+    }
+
+    #[test]
+    fn allreduce_records_gradsync_spans() {
+        let session = pipedream_obs::TraceSession::with_capacity(64);
+        let r0 = session.stage_recorder("s0.r0", 0);
+        let r1 = session.stage_recorder("s0.r1", 0);
+        let g = Arc::new(GradSyncGroup::new(2).with_recorders(vec![r0, r1]));
+        let g2 = Arc::clone(&g);
+        let h = thread::spawn(move || g2.allreduce(1, vec![t(&[3.0])]).unwrap());
+        g.allreduce(0, vec![t(&[1.0])]).unwrap();
+        h.join().unwrap();
+        let snap = session.snapshot();
+        assert_eq!(snap.tracks.len(), 2);
+        for track in &snap.tracks {
+            assert_eq!(track.events.len(), 1, "one sync span on {}", track.name);
+            assert_eq!(track.events[0].kind, SpanKind::GradSync);
+        }
+    }
+
+    #[test]
+    fn failed_allreduce_records_stalled_span() {
+        let session = pipedream_obs::TraceSession::with_capacity(64);
+        let r0 = session.stage_recorder("s0.r0", 0);
+        let g = GradSyncGroup::with_deadline(2, Duration::from_millis(50))
+            .with_recorders(vec![r0, Recorder::disabled()]);
+        assert!(g.allreduce(0, vec![t(&[1.0])]).is_err());
+        let snap = session.snapshot();
+        assert_eq!(snap.tracks[0].events[0].kind, SpanKind::Stalled);
     }
 
     #[test]

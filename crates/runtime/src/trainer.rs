@@ -5,7 +5,7 @@
 use crate::data::TrainData;
 use crate::fault::{FaultHook, WorkerError};
 use crate::message::{ActMsg, GradMsg, MetricMsg};
-use crate::report::{EpochStats, OpTrace, TrainReport, VersionRecord};
+use crate::report::{EpochStats, OpTrace, StageObsRecord, TrainReport, VersionRecord};
 use crate::sync::GradSyncGroup;
 use crate::worker::StageWorker;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -143,6 +143,11 @@ pub struct TrainOpts {
     /// Record real per-op wall-clock timestamps in the report
     /// ([`TrainReport::op_trace`]).
     pub trace: bool,
+    /// Observability session: when set, every worker records typed spans
+    /// (forward/backward/sync/stash/checkpoint/waits) into the session's
+    /// per-track rings and the coordinator folds run totals into its
+    /// metrics registry. `None` costs one branch per recording site.
+    pub obs: Option<Arc<pipedream_obs::TraceSession>>,
 }
 
 impl Default for TrainOpts {
@@ -161,6 +166,7 @@ impl Default for TrainOpts {
             resume: false,
             depth: None,
             trace: false,
+            obs: None,
         }
     }
 }
@@ -331,11 +337,34 @@ pub fn try_train_pipeline(
         .as_ref()
         .and_then(|h| h.sync_deadline())
         .unwrap_or(SYNC_DEADLINE);
+    // One trace recorder per worker (disabled no-ops without a session).
+    // A restarted run re-registers its workers and gets fresh timeline
+    // rows, so a fault + recovery shows as two generations of tracks.
+    let recorders: Vec<pipedream_obs::Recorder> = (0..workers)
+        .map(|w| {
+            let (stage, replica) = config.stage_of_worker(w);
+            opts.obs
+                .as_ref()
+                .map(|s| s.stage_recorder(&format!("stage{stage}.replica{replica}"), stage))
+                .unwrap_or_default()
+        })
+        .collect();
     let sync_groups: Vec<Option<Arc<GradSyncGroup>>> = stages
         .iter()
-        .map(|s| {
-            (s.replicas > 1)
-                .then(|| Arc::new(GradSyncGroup::with_deadline(s.replicas, sync_deadline)))
+        .enumerate()
+        .map(|(si, s)| {
+            (s.replicas > 1).then(|| {
+                let mut group = GradSyncGroup::with_deadline(s.replicas, sync_deadline);
+                if opts.obs.is_some() {
+                    group = group.with_recorders(
+                        assignment[si]
+                            .iter()
+                            .map(|&w| recorders[w].clone())
+                            .collect(),
+                    );
+                }
+                Arc::new(group)
+            })
         })
         .collect();
 
@@ -383,6 +412,7 @@ pub fn try_train_pipeline(
             epoch_offset,
             lr_schedule: opts.lr_schedule,
             trace_from: opts.trace.then_some((w, started)),
+            recorder: recorders[w].clone(),
             hook: hook.clone(),
         };
         handles.push(thread::spawn(move || worker.run()));
@@ -398,6 +428,7 @@ pub fn try_train_pipeline(
     let mut epoch_acc: HashMap<usize, (f64, usize, usize)> = HashMap::new(); // loss-sum, correct, count
     let mut version_trace = Vec::new();
     let mut op_trace: Vec<OpTrace> = Vec::new();
+    let mut stage_obs: Vec<StageObsRecord> = Vec::new();
     let mut per_minibatch: Vec<(u64, f32)> = Vec::new();
     let mut heartbeats: HashMap<usize, u64> = HashMap::new();
     let mut first_failure: Option<Instant> = None;
@@ -419,6 +450,7 @@ pub fn try_train_pipeline(
             version_trace.push(VersionRecord { stage, mb, version });
         }
         MetricMsg::Op(t) => op_trace.push(t),
+        MetricMsg::StageObs(o) => stage_obs.push(o),
         MetricMsg::Heartbeat { worker, ops_done } => {
             heartbeats.insert(worker, ops_done);
         }
@@ -477,15 +509,43 @@ pub fn try_train_pipeline(
     per_epoch.sort_by_key(|e| e.epoch);
     version_trace.sort_by_key(|r| (r.mb, r.stage));
     op_trace.sort_by(|a, b| a.start_s.partial_cmp(&b.start_s).unwrap());
+    stage_obs.sort_by_key(|o| (o.stage, o.replica));
     per_minibatch.sort_by_key(|&(mb, _)| mb);
     let report = TrainReport {
         per_epoch,
         version_trace,
         per_minibatch,
         op_trace,
+        stage_obs,
+        validation: None,
         wall_time_s: started.elapsed().as_secs_f64(),
         recovery: None,
     };
+
+    // Fold run totals into the observability session's registry: overall
+    // throughput, per-stage busy/bubble fractions, span histograms, and
+    // the stash/staleness peaks the workers reported.
+    if let Some(session) = &opts.obs {
+        let metrics = session.metrics();
+        metrics
+            .counter("minibatches_total")
+            .add(report.per_minibatch.len() as u64);
+        let samples: usize = report.per_epoch.iter().map(|e| e.samples).sum();
+        if report.wall_time_s > 0.0 {
+            metrics
+                .gauge("throughput_samples_per_sec")
+                .set(samples as f64 / report.wall_time_s);
+        }
+        for o in &report.stage_obs {
+            metrics
+                .gauge(&format!("stage{}_stash_depth_max", o.stage))
+                .set_max(o.stash_depth_max as f64);
+            metrics
+                .gauge(&format!("stage{}_staleness_max", o.stage))
+                .set_max(o.staleness_max as f64);
+        }
+        pipedream_obs::record_snapshot_metrics(metrics, &session.snapshot());
+    }
 
     if !worker_errors.is_empty() {
         // Injected faults first, so `errors[0]` names the root cause.

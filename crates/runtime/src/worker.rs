@@ -25,6 +25,7 @@ use crate::trainer::{LrSchedule, OptimKind, Semantics};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use pipedream_core::schedule::Op;
 use pipedream_core::stash::WeightStash;
+use pipedream_obs::{Recorder, SpanKind};
 use pipedream_tensor::{softmax_cross_entropy, Layer, Sequential, Tensor};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -80,6 +81,10 @@ pub struct StageWorker {
     pub lr_schedule: LrSchedule,
     /// `(worker id, run start)` when tracing is enabled.
     pub trace_from: Option<(usize, std::time::Instant)>,
+    /// Trace recorder for this worker's track. Disabled (a no-op branch
+    /// per use, like the fault hook seam) unless a `TraceSession` is
+    /// attached to the run.
+    pub recorder: Recorder,
     /// Fault-injection hook, if any. `None` in production runs: the
     /// fault-free path costs one `Option` check per op.
     pub hook: Option<Arc<dyn FaultHook>>,
@@ -107,6 +112,13 @@ struct WorkerState {
     since_flush: u32,
     /// Receive timeout from the fault hook (None = block forever).
     recv_timeout: Option<Duration>,
+    /// Peak in-flight minibatches holding a stashed weight version.
+    stash_depth_max: usize,
+    /// Peak distinct weight snapshots held at once.
+    versions_held_max: usize,
+    /// Peak updates applied between a minibatch's forward version and its
+    /// backward pass (§3.3 staleness).
+    staleness_max: u64,
 }
 
 impl StageWorker {
@@ -124,8 +136,12 @@ impl StageWorker {
         let replica = self.replica;
         let metrics = self.metrics.clone();
         let sync = self.sync.clone();
+        let recorder = self.recorder.clone();
         let result = self.run_inner();
         if let Err(e) = &result {
+            // The death shows on this worker's own timeline track, so a
+            // fault-injected kill is visible next to the spans around it.
+            recorder.instant(SpanKind::Fault);
             if let Some(group) = &sync {
                 group.poison(replica);
             }
@@ -152,6 +168,9 @@ impl StageWorker {
             updates: 0,
             since_flush: 0,
             recv_timeout: self.hook.as_ref().and_then(|h| h.recv_timeout()),
+            stash_depth_max: 0,
+            versions_held_max: 0,
+            staleness_max: 0,
         };
         let ops = std::mem::take(&mut self.ops);
         for (ops_done, op) in ops.into_iter().enumerate() {
@@ -175,8 +194,18 @@ impl StageWorker {
                 .trace_from
                 .map(|(_, start)| (std::time::Instant::now(), start));
             match op {
-                Op::Forward { mb } => self.forward(&mut st, mb)?,
-                Op::Backward { mb } => self.backward(&mut st, mb)?,
+                Op::Forward { mb } => {
+                    let span = self.recorder.begin();
+                    let r = self.forward(&mut st, mb);
+                    self.recorder.end(span, SpanKind::Fwd { mb });
+                    r?
+                }
+                Op::Backward { mb } => {
+                    let span = self.recorder.begin();
+                    let r = self.backward(&mut st, mb);
+                    self.recorder.end(span, SpanKind::Bwd { mb });
+                    r?
+                }
                 Op::Flush => self.flush(&mut st)?,
             }
             if let (Some((op_start, run_start)), Some((worker, _)), Some(mb)) =
@@ -191,6 +220,17 @@ impl StageWorker {
                 }));
             }
         }
+        // Report peak stash depth / staleness so the coordinator can check
+        // the §3.3 memory and staleness formulas against a real run.
+        let _ = self
+            .metrics
+            .send(MetricMsg::StageObs(crate::report::StageObsRecord {
+                stage: self.stage,
+                replica: self.replica,
+                stash_depth_max: st.stash_depth_max,
+                versions_held_max: st.versions_held_max,
+                staleness_max: st.staleness_max,
+            }));
         Ok(self.model)
     }
 
@@ -199,7 +239,10 @@ impl StageWorker {
             return Ok(m);
         }
         let rx = self.fwd_in.as_ref().expect("non-input stage has fwd_in");
-        loop {
+        // The blocking path: record it as a `RecvWait` span (nested inside
+        // the surrounding forward span on this worker's track).
+        let wait = self.recorder.begin();
+        let result = (|| loop {
             let m = match st.recv_timeout {
                 None => rx.recv().map_err(|_| WorkerError::UpstreamLost {
                     stage: self.stage,
@@ -220,7 +263,9 @@ impl StageWorker {
                 return Ok(m);
             }
             st.act_buffer.insert(m.mb, m);
-        }
+        })();
+        self.recorder.end(wait, SpanKind::RecvWait { mb });
+        result
     }
 
     fn recv_grad(&self, st: &mut WorkerState, mb: u64) -> Result<GradMsg, WorkerError> {
@@ -228,7 +273,8 @@ impl StageWorker {
             return Ok(m);
         }
         let rx = self.grad_in.as_ref().expect("non-output stage has grad_in");
-        loop {
+        let wait = self.recorder.begin();
+        let result = (|| loop {
             let m = match st.recv_timeout {
                 None => rx.recv().map_err(|_| WorkerError::DownstreamLost {
                     stage: self.stage,
@@ -249,7 +295,9 @@ impl StageWorker {
                 return Ok(m);
             }
             st.grad_buffer.insert(m.mb, m);
-        }
+        })();
+        self.recorder.end(wait, SpanKind::RecvWait { mb });
+        result
     }
 
     fn forward(&mut self, st: &mut WorkerState, mb: u64) -> Result<(), WorkerError> {
@@ -265,6 +313,9 @@ impl StageWorker {
             Semantics::Stashed => {
                 // Latest weights; remember them for the backward pass.
                 st.stash.begin_forward(mb);
+                self.recorder.instant(SpanKind::StashPush { mb });
+                st.stash_depth_max = st.stash_depth_max.max(st.stash.in_flight());
+                st.versions_held_max = st.versions_held_max.max(st.stash.versions_held());
                 let _ = self.metrics.send(MetricMsg::FwdVersion {
                     stage: self.stage,
                     mb,
@@ -292,6 +343,8 @@ impl StageWorker {
                 let min_needed = *st.mb_version_tags.values().min().expect("just inserted");
                 st.versions
                     .retain(|&v, _| v >= min_needed || v == st.updates);
+                st.stash_depth_max = st.stash_depth_max.max(st.mb_version_tags.len());
+                st.versions_held_max = st.versions_held_max.max(st.versions.len());
                 self.model.restore(&w);
                 let _ = self.metrics.send(MetricMsg::FwdVersion {
                     stage: self.stage,
@@ -368,10 +421,17 @@ impl StageWorker {
                 // Backward with the stashed version, update the latest.
                 let latest = self.model.snapshot();
                 let stashed = st.stash.for_backward(mb);
+                // Staleness this minibatch saw: updates applied since its
+                // forward pinned a version (§3.3: `n − 1 − stage` in
+                // steady state).
+                st.staleness_max = st
+                    .staleness_max
+                    .max(st.updates.saturating_sub(st.stash.version_for(mb)));
                 self.model.restore(&stashed);
                 self.model.zero_grad();
                 let g = self.model.backward(&grad_out, mb);
                 st.stash.complete_backward(mb);
+                self.recorder.instant(SpanKind::StashPop { mb });
                 self.model.restore(&latest);
                 self.apply_update(st, mb)?;
                 g
@@ -428,6 +488,7 @@ impl StageWorker {
             if let Some(dir) = &self.checkpoint_dir {
                 let ckpt_epoch = self.data.epoch_of(mb) + self.epoch_offset;
                 if self.data.is_epoch_end(mb) {
+                    let span = self.recorder.begin();
                     let snap = self.model.snapshot();
                     checkpoint::save_stage(dir, self.stage, ckpt_epoch, &snap).map_err(|e| {
                         WorkerError::CheckpointWrite {
@@ -436,6 +497,7 @@ impl StageWorker {
                             message: e.to_string(),
                         }
                     })?;
+                    self.recorder.end(span, SpanKind::Checkpoint);
                     if let Some(hook) = &self.hook {
                         hook.on_checkpoint_written(
                             &checkpoint::stage_path(dir, self.stage, ckpt_epoch),
@@ -446,6 +508,7 @@ impl StageWorker {
                 } else if let Some(k) = self.checkpoint_every {
                     let m = self.data.mb_in_epoch(mb);
                     if (m + 1).is_multiple_of(k) {
+                        let span = self.recorder.begin();
                         let snap = self.model.snapshot();
                         checkpoint::save_stage_at(dir, self.stage, ckpt_epoch, m, &snap).map_err(
                             |e| WorkerError::CheckpointWrite {
@@ -454,6 +517,7 @@ impl StageWorker {
                                 message: e.to_string(),
                             },
                         )?;
+                        self.recorder.end(span, SpanKind::Checkpoint);
                     }
                 }
             }
@@ -468,9 +532,9 @@ impl StageWorker {
     /// the largest id ≤ all later tags). To keep this O(1) we simply keep a
     /// per-minibatch tag map.
     fn version_for_backward(&self, st: &mut WorkerState, mb: u64) -> Option<Vec<Tensor>> {
-        st.mb_version_tags
-            .remove(&mb)
-            .and_then(|v| st.versions.get(&v).cloned())
+        let tag = st.mb_version_tags.remove(&mb)?;
+        st.staleness_max = st.staleness_max.max(st.updates.saturating_sub(tag));
+        st.versions.get(&tag).cloned()
     }
 
     /// Average gradients across replicas (if replicated), then apply the

@@ -93,6 +93,7 @@ fn opts(epochs: usize, dir: &std::path::Path, resume: bool) -> TrainOpts {
         resume,
         depth: None,
         trace: false,
+        obs: None,
     }
 }
 

@@ -44,6 +44,7 @@ fn default_opts(epochs: usize) -> TrainOpts {
         resume: false,
         depth: None,
         trace: false,
+        obs: None,
     }
 }
 
@@ -322,6 +323,7 @@ fn sequence_model_trains_through_pipeline() {
         resume: false,
         depth: None,
         trace: false,
+        obs: None,
     };
     // One stage per "server": embedding | lstm | lstm | head.
     let config = PipelineConfig::straight(5, &[0, 1, 2]);
@@ -383,6 +385,7 @@ fn resume_continues_from_checkpoint() {
         resume,
         depth: None,
         trace: false,
+        obs: None,
     };
     let (first_model, first) = train_pipeline(mlp(70, 8, 4), &config, &data, &mk_opts(2, false));
     assert_eq!(checkpoint::latest_complete_epoch(&dir, 4), Some(1));
@@ -579,6 +582,7 @@ fn cnn_trains_through_pipeline() {
         resume: false,
         depth: None,
         trace: false,
+        obs: None,
     };
     let (mut m, report) = train_pipeline(model, &config, &data, &opts);
     assert!(report.final_loss() < report.per_epoch[0].loss);
@@ -639,6 +643,7 @@ fn gru_sequence_model_trains_through_pipeline() {
         resume: false,
         depth: None,
         trace: false,
+        obs: None,
     };
     let config = PipelineConfig::straight(4, &[0, 1]);
     let (mut m, report) = train_pipeline(model, &config, &data, &opts);

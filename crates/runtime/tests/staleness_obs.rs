@@ -1,0 +1,139 @@
+//! Per-stage observability records (`TrainReport::stage_obs`) checked
+//! against the paper's §3.3 staleness and memory bounds.
+
+use pipedream_core::stash::staleness::weight_stashing_delay;
+use pipedream_core::PipelineConfig;
+use pipedream_runtime::trainer::train_pipeline;
+use pipedream_runtime::{LrSchedule, OptimKind, Semantics, TrainOpts};
+use pipedream_tensor::data::blobs;
+use pipedream_tensor::init::rng;
+use pipedream_tensor::layers::{Linear, Relu, Scale, Tanh};
+use pipedream_tensor::Sequential;
+
+fn mlp(seed: u64) -> Sequential {
+    let mut r = rng(seed);
+    Sequential::new("mlp8")
+        .push(Linear::new(8, 32, &mut r))
+        .push(Tanh::new())
+        .push(Linear::new(32, 32, &mut r))
+        .push(Relu::new())
+        .push(Linear::new(32, 32, &mut r))
+        .push(Tanh::new())
+        .push(Scale::new(32))
+        .push(Linear::new(32, 4, &mut r))
+}
+
+fn opts(epochs: usize, semantics: Semantics) -> TrainOpts {
+    TrainOpts {
+        epochs,
+        batch: 16,
+        optim: OptimKind::Sgd {
+            lr: 0.05,
+            momentum: 0.0,
+        },
+        semantics,
+        lr_schedule: LrSchedule::Constant,
+        checkpoint_dir: None,
+        checkpoint_every: None,
+        resume: false,
+        depth: None,
+        trace: false,
+        obs: None,
+    }
+}
+
+#[test]
+fn stage_obs_staleness_matches_stashing_formula() {
+    // §3.3: stage s of an n-stage stashed pipeline computes gradients with
+    // weights delayed exactly n−1−s updates in steady state; the measured
+    // per-stage staleness_max must hit that formula (the run is long
+    // enough to reach steady state, and staleness never exceeds it).
+    let data = blobs(256, 8, 4, 0.6, 7);
+    let config = PipelineConfig::straight(8, &[1, 3, 5]);
+    let n = 4usize;
+    let (_, report) = train_pipeline(mlp(3), &config, &data, &opts(2, Semantics::Stashed));
+    assert_eq!(report.stage_obs.len(), n, "one record per worker");
+    for o in &report.stage_obs {
+        assert_eq!(
+            o.staleness_max as usize,
+            weight_stashing_delay(o.stage, n),
+            "stage {}: staleness_max {} vs formula {}",
+            o.stage,
+            o.staleness_max,
+            weight_stashing_delay(o.stage, n)
+        );
+    }
+}
+
+#[test]
+fn stage_obs_stash_depth_bounded_by_noam() {
+    // §3.3's memory argument: the input stage holds the most versions, but
+    // never more than NOAM distinct ones; the output stage stashes at most
+    // one minibatch at a time (its backward runs immediately).
+    let data = blobs(256, 8, 4, 0.6, 7);
+    let config = PipelineConfig::straight(8, &[1, 3, 5]);
+    let (_, report) = train_pipeline(mlp(5), &config, &data, &opts(2, Semantics::Stashed));
+    let noam = config.noam();
+    let s0 = report.stage_obs.iter().find(|o| o.stage == 0).unwrap();
+    assert!(
+        s0.stash_depth_max <= noam,
+        "input stage stash depth {} exceeds NOAM {}",
+        s0.stash_depth_max,
+        noam
+    );
+    assert!(
+        s0.versions_held_max <= noam,
+        "input stage held {} versions, NOAM is {}",
+        s0.versions_held_max,
+        noam
+    );
+    let last = report.stage_obs.iter().find(|o| o.stage == 3).unwrap();
+    assert!(
+        last.stash_depth_max <= 1,
+        "output stage stash depth {} (expected ≤ 1)",
+        last.stash_depth_max
+    );
+    // Monotone: deeper stages stash no more than earlier ones.
+    for w in report.stage_obs.windows(2) {
+        assert!(
+            w[1].stash_depth_max <= w[0].stash_depth_max,
+            "stash depth must not grow with stage index: {:?}",
+            report.stage_obs
+        );
+    }
+}
+
+#[test]
+fn stage_obs_present_for_replicated_stages() {
+    // Replicated stages report one record per replica, sorted by
+    // (stage, replica).
+    let data = blobs(256, 8, 4, 0.6, 7);
+    let config = PipelineConfig::from_counts(&[(6, 2), (2, 1)]);
+    let (_, report) = train_pipeline(mlp(9), &config, &data, &opts(2, Semantics::Stashed));
+    let keys: Vec<(usize, usize)> = report
+        .stage_obs
+        .iter()
+        .map(|o| (o.stage, o.replica))
+        .collect();
+    assert_eq!(keys, vec![(0, 0), (0, 1), (1, 0)]);
+}
+
+#[test]
+fn vertical_sync_staleness_is_uniform() {
+    // §3.3: vertical sync pins every stage to the input stage's version —
+    // a uniform delay of n−1 updates at all stages.
+    let data = blobs(256, 8, 4, 0.6, 7);
+    let config = PipelineConfig::straight(8, &[1, 3, 5]);
+    let n = 4usize;
+    let (_, report) = train_pipeline(mlp(7), &config, &data, &opts(2, Semantics::VerticalSync));
+    for o in &report.stage_obs {
+        assert_eq!(
+            o.staleness_max as usize,
+            n - 1,
+            "stage {}: vertical sync staleness {} (expected uniform {})",
+            o.stage,
+            o.staleness_max,
+            n - 1
+        );
+    }
+}

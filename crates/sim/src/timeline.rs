@@ -14,6 +14,11 @@ pub enum WorkKind {
     Sync,
     /// Pipeline flush (GPipe weight update).
     Flush,
+    /// Per-stage checkpoint write (measured runs only).
+    Checkpoint,
+    /// Bounded wait that gave up: sync deadline expired or a peer was
+    /// lost (measured runs only).
+    Stall,
 }
 
 impl WorkKind {
@@ -126,6 +131,8 @@ pub fn render_timeline(timeline: &Timeline, cols: usize) -> String {
                     WorkKind::Backward(_) => '#',
                     WorkKind::Sync => '~',
                     WorkKind::Flush => '|',
+                    WorkKind::Checkpoint => 'C',
+                    WorkKind::Stall => '!',
                 })
                 .unwrap_or('.');
             out.push(cell);
@@ -147,6 +154,8 @@ pub fn describe_timeline(timeline: &Timeline) -> String {
                 WorkKind::Backward(mb) => out.push_str(&format!("B{mb} ")),
                 WorkKind::Sync => out.push_str("S "),
                 WorkKind::Flush => out.push_str("| "),
+                WorkKind::Checkpoint => out.push_str("C "),
+                WorkKind::Stall => out.push_str("! "),
             }
         }
         out.push('\n');
@@ -202,6 +211,18 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_and_stall_render() {
+        let mut t = Timeline::new(1);
+        t.record(0, 0.0, 1.0, WorkKind::Checkpoint);
+        t.record(0, 1.0, 2.0, WorkKind::Stall);
+        let s = render_timeline(&t, 4);
+        assert!(s.contains('C') && s.contains('!'), "{s}");
+        assert!(describe_timeline(&t).contains("C ! "));
+        let svg = render_svg(&t, 300);
+        assert!(svg.contains("#c9a6d6") && svg.contains("#d67a7a"));
+    }
+
+    #[test]
     fn empty_timeline_renders_empty() {
         let t = Timeline::new(1);
         assert_eq!(render_timeline(&t, 10), "");
@@ -251,6 +272,8 @@ pub fn render_svg(timeline: &Timeline, width_px: u32) -> String {
                 WorkKind::Backward(mb) => ("#79b791", Some(mb)),
                 WorkKind::Sync => ("#bbbbbb", None),
                 WorkKind::Flush => ("#e0c068", None),
+                WorkKind::Checkpoint => ("#c9a6d6", None),
+                WorkKind::Stall => ("#d67a7a", None),
             };
             svg.push_str(&format!(
                 "<rect x=\"{x:.1}\" y=\"{y}\" width=\"{w_px:.1}\" height=\"{LANE_H}\" \

@@ -47,6 +47,7 @@ fn main() {
         resume: false,
         depth: None,
         trace: false,
+        obs: None,
     };
     // Four stages over the 8-layer model (Figure 4's shape, for real).
     let config = PipelineConfig::straight(8, &[1, 3, 5]);

@@ -13,7 +13,9 @@
 //! * [`sim`] — a discrete-event cluster simulator executing the schedules;
 //! * [`tensor`] — a from-scratch tensor/layer library for real training;
 //! * [`runtime`] — a multi-threaded pipeline-parallel training runtime;
-//! * [`convergence`] — statistical-efficiency (accuracy-vs-epoch) models.
+//! * [`convergence`] — statistical-efficiency (accuracy-vs-epoch) models;
+//! * [`obs`] — tracing + metrics for measured runs: per-worker event rings,
+//!   Chrome-trace export, and measured-vs-planned validation.
 //!
 //! ## Quickstart
 //!
@@ -31,6 +33,7 @@ pub use pipedream_convergence as convergence;
 pub use pipedream_core as core;
 pub use pipedream_hw as hw;
 pub use pipedream_model as model;
+pub use pipedream_obs as obs;
 pub use pipedream_runtime as runtime;
 pub use pipedream_sim as sim;
 pub use pipedream_tensor as tensor;

@@ -78,6 +78,7 @@ fn profiled_model_plans_and_trains_under_that_plan() {
         resume: false,
         depth: None,
         trace: false,
+        obs: None,
     };
     let (mut trained, report) = train_pipeline(model, &plan.config, &data, &opts);
     assert_eq!(report.per_epoch.len(), 8);
@@ -115,6 +116,7 @@ fn checkpoint_restart_resumes_identically() {
         resume: false,
         depth: None,
         trace: false,
+        obs: None,
     };
 
     // Run 3 epochs with checkpointing.
@@ -166,4 +168,83 @@ fn facade_prelude_compiles_and_plans() {
     let plan = Planner::new(&profile, &topo).plan();
     assert!(plan.samples_per_sec > 0.0);
     assert!(!plan.config.label().is_empty());
+}
+
+#[test]
+fn traced_run_throughput_within_bounds_of_simulation() {
+    // The profile → plan → simulate loop closed against a *measured* run:
+    // train a real pipeline under a TraceSession, extract steady-state
+    // per-minibatch time from the trace, and bound the gap to the
+    // simulator's prediction. The bound is deliberately loose — worker
+    // threads time-share whatever cores CI grants, so on a single core the
+    // measured time approaches the *sum* of stage computes (≈ stages ×
+    // bottleneck) rather than the bottleneck itself — but it still catches
+    // unit mistakes, empty traces, and wildly wrong analysis.
+    let stages = 3usize;
+    let batch = 32usize;
+    let mut r = rng(41);
+    let mut model = Sequential::new("trace-gap").push(Linear::new(16, 128, &mut r));
+    for _ in 0..(stages * 2 - 3) {
+        model.push_boxed(Box::new(Relu::new()));
+        let lin = Linear::new(128, 128, &mut r);
+        model.push_boxed(Box::new(lin));
+    }
+    model.push_boxed(Box::new(Linear::new(128, 4, &mut r)));
+    let topo = Topology::flat(Device::v100(), stages, LinkModel::new(1e14, 0.0), "local");
+    let profile = profile_sequential(&mut model, &Tensor::zeros(&[batch, 16]), 1, 3, &topo.device);
+    let costs = profile.costs(&topo.device, batch, Precision::Fp32);
+    let planner = Planner::from_costs(costs.clone(), &topo);
+    let boundaries = planner.balanced_boundaries(stages).unwrap();
+    let config = PipelineConfig::straight(profile.num_layers(), &boundaries);
+    let predicted: Vec<f64> = planner
+        .predicted_stage_times(&config)
+        .iter()
+        .map(|p| p.effective_s)
+        .collect();
+    let sim = simulate_pipeline(&costs, &topo, &Schedule::one_f_one_b(&config, 48));
+
+    let data = blobs(256, 16, 4, 0.7, 17);
+    let session = pipedream::obs::TraceSession::new();
+    let opts = TrainOpts {
+        epochs: 3,
+        batch,
+        optim: OptimKind::Sgd {
+            lr: 0.05,
+            momentum: 0.0,
+        },
+        semantics: Semantics::Stashed,
+        lr_schedule: LrSchedule::Constant,
+        checkpoint_dir: None,
+        checkpoint_every: None,
+        resume: false,
+        depth: None,
+        trace: false,
+        obs: Some(session.clone()),
+    };
+    let (_, report) = train_pipeline(model, &config, &data, &opts);
+    assert!(report.wall_time_s > 0.0);
+
+    let v = pipedream::obs::validate(&session.snapshot(), &predicted, sim.per_minibatch_s, batch);
+    assert_eq!(v.per_stage.len(), stages);
+    assert!(v.measured_per_minibatch_s.is_finite() && v.measured_per_minibatch_s > 0.0);
+    let ratio = v.measured_per_minibatch_s / v.simulated_per_minibatch_s;
+    assert!(
+        ratio > 0.25 && ratio < 12.0,
+        "measured/simulated per-minibatch ratio {ratio:.2} out of bounds \
+         (measured {:.4}s, simulated {:.4}s)",
+        v.measured_per_minibatch_s,
+        v.simulated_per_minibatch_s
+    );
+    for s in &v.per_stage {
+        assert!(
+            s.measured_s > s.predicted_s * 0.25 && s.measured_s < s.predicted_s * 15.0,
+            "stage {} measured {:.5}s vs predicted {:.5}s",
+            s.stage,
+            s.measured_s,
+            s.predicted_s
+        );
+        // error_frac is consistent with the two times it summarizes.
+        let expect = s.measured_s / s.predicted_s - 1.0;
+        assert!((s.error_frac - expect).abs() < 1e-9);
+    }
 }

@@ -187,6 +187,7 @@ mod runtime_properties {
                 resume: false,
                 depth: None,
                 trace: false,
+                obs: None,
             };
             let config = PipelineConfig::straight(6, &[b1]);
             let (_, seq) = train_sequential(mlp(seed), &data, &opts);
