@@ -40,6 +40,7 @@ fn opts() -> TrainOpts {
         depth: None,
         trace: false,
         obs: None,
+        ..TrainOpts::default()
     }
 }
 

@@ -1,17 +1,26 @@
 //! Micro-benchmarks for the tensor substrate (the runtime's compute cost).
+//!
+//! The fast tiled kernels and their naive scalar references are benched
+//! side by side, so the speedup the kernel swap buys is a number in the
+//! output, not a claim. `kernel_bench` (the bin target) measures the same
+//! shapes with more iterations and writes machine-readable JSON for CI.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipedream_tensor::gemm::{self, Backend};
 use pipedream_tensor::init::{normal, rng};
-use pipedream_tensor::layers::{Conv2d, Linear};
-use pipedream_tensor::{Layer, Tensor};
+use pipedream_tensor::layers::{conv2d_direct, Conv2d, Linear};
+use pipedream_tensor::Layer;
 
 fn bench_matmul(c: &mut Criterion) {
     let mut g = c.benchmark_group("matmul");
-    for n in [32usize, 128] {
+    for n in [32usize, 128, 256] {
         let a = normal(&[n, n], 1.0, &mut rng(1));
         let b_ = normal(&[n, n], 1.0, &mut rng(2));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| std::hint::black_box(a.matmul(&b_)))
+        g.bench_with_input(BenchmarkId::new("fast", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b_)).recycle())
+        });
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul_naive(&b_)).recycle())
         });
     }
     g.finish();
@@ -23,23 +32,31 @@ fn bench_linear_fwd_bwd(c: &mut Criterion) {
     c.bench_function("linear_128x128_fwd_bwd", |b| {
         b.iter(|| {
             let y = layer.forward(&x, 0);
-            std::hint::black_box(layer.backward(&y, 0));
+            std::hint::black_box(layer.backward(&y, 0)).recycle();
         })
     });
 }
 
 fn bench_conv_fwd(c: &mut Criterion) {
     let mut conv = Conv2d::new(8, 16, 3, 1, 1, &mut rng(5));
-    let x = Tensor::zeros(&[4, 8, 16, 16]);
-    c.bench_function("conv8x16k3_fwd", |b| {
+    let x = normal(&[4, 8, 16, 16], 1.0, &mut rng(6));
+    let weight = conv.params()[0].value.clone();
+    let bias = conv.params()[1].value.clone();
+    let mut g = c.benchmark_group("conv8x16k3_fwd");
+    g.bench_function("im2col", |b| {
         let mut slot = 0u64;
+        gemm::set_thread_backend(Backend::Fast);
         b.iter(|| {
             slot += 1;
             let y = conv.forward(&x, slot);
             conv.clear_slots();
-            std::hint::black_box(y)
+            std::hint::black_box(y).recycle()
         })
     });
+    g.bench_function("direct", |b| {
+        b.iter(|| std::hint::black_box(conv2d_direct(&x, &weight, &bias, 1, 1)).recycle())
+    });
+    g.finish();
 }
 
 criterion_group!(benches, bench_matmul, bench_linear_fwd_bwd, bench_conv_fwd);

@@ -86,6 +86,7 @@ pub fn run(epochs: usize) -> Fig11 {
         depth: None,
         trace: false,
         obs: None,
+        ..TrainOpts::default()
     };
     let config = PipelineConfig::straight(8, &[1, 3, 5]);
     let (_, seq) = train_sequential(mlp(3), &data, &opts);

@@ -50,6 +50,7 @@ pub fn run() -> Fig9 {
         depth: None,
         trace: false,
         obs: None,
+        ..TrainOpts::default()
     };
     let (_, report) = train_pipeline(model, &config, &data, &opts);
     let records = report

@@ -72,6 +72,7 @@ pub fn run(epochs: usize) -> Recovery {
         depth: None,
         trace: false,
         obs: None,
+        ..TrainOpts::default()
     };
 
     let (_, baseline) = train_pipeline(mlp(70), &config, &data, &opts(None));

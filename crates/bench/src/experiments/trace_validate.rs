@@ -106,6 +106,7 @@ pub fn run(epochs: usize) -> TraceValidate {
         depth: None,
         trace: false,
         obs: Some(session.clone()),
+        ..TrainOpts::default()
     };
     let (_, report) = train_pipeline(model(5), &config, &data, &opts);
     let validation =

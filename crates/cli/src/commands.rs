@@ -273,6 +273,7 @@ pub fn train(a: TrainArgs) -> Result<String, String> {
         depth: None,
         trace: a.trace.is_some(),
         obs: session.clone(),
+        ..TrainOpts::default()
     };
     let mut fault_fired = true;
     let (mut trained, report) = match &a.fault {

@@ -47,6 +47,7 @@ fn opts(epochs: usize, dir: Option<PathBuf>) -> TrainOpts {
         depth: None,
         trace: false,
         obs: None,
+        ..TrainOpts::default()
     }
 }
 

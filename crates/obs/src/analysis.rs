@@ -262,6 +262,16 @@ pub fn record_snapshot_metrics(metrics: &MetricsRegistry, snap: &TraceSnapshot) 
     metrics.counter("trace_events_dropped_total").add(dropped);
 }
 
+/// Record tensor buffer-pool activity for a run: how many scratch-buffer
+/// requests were served from the free lists versus freshly allocated.
+/// The runtime passes *deltas* over a training run, so in steady state a
+/// healthy pipeline shows `tensor_pool_misses_total` flat while
+/// `tensor_pool_hits_total` grows with minibatch count.
+pub fn record_pool_metrics(metrics: &MetricsRegistry, hits: u64, misses: u64) {
+    metrics.counter("tensor_pool_hits_total").add(hits);
+    metrics.counter("tensor_pool_misses_total").add(misses);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,6 +366,15 @@ mod tests {
         // 10 ms measured vs 8 ms simulated → +25%.
         assert!((v.throughput_error_frac - 0.25).abs() < 1e-9);
         assert!((v.measured_samples_per_sec - 16.0 / 10e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pool_metrics_accumulate_as_counters() {
+        let reg = MetricsRegistry::new();
+        record_pool_metrics(&reg, 100, 7);
+        record_pool_metrics(&reg, 50, 0);
+        assert_eq!(reg.counter("tensor_pool_hits_total").get(), 150);
+        assert_eq!(reg.counter("tensor_pool_misses_total").get(), 7);
     }
 
     #[test]

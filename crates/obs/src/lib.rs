@@ -33,8 +33,8 @@ pub mod recorder;
 pub mod ring;
 
 pub use analysis::{
-    measured_per_minibatch_s, record_snapshot_metrics, stage_times, to_timeline, validate,
-    StageTimes, StageValidation, TraceValidation,
+    measured_per_minibatch_s, record_pool_metrics, record_snapshot_metrics, stage_times,
+    to_timeline, validate, StageTimes, StageValidation, TraceValidation,
 };
 pub use chrome::render_chrome_trace;
 pub use event::{Event, SpanKind};

@@ -18,6 +18,7 @@ pub fn train_sequential(
     opts: &TrainOpts,
 ) -> (Sequential, TrainReport) {
     let started = Instant::now();
+    pipedream_tensor::gemm::set_thread_backend(opts.kernel);
     let mut optimizer = opts.optim.build();
     let mut per_epoch = Vec::with_capacity(opts.epochs);
     let mbs = dataset.num_minibatches(opts.batch);
@@ -89,6 +90,7 @@ pub fn train_bsp_dp(
         let dataset = dataset.clone();
         let opts = opts.clone();
         handles.push(thread::spawn(move || {
+            pipedream_tensor::gemm::set_thread_backend(opts.kernel);
             let mut optimizer = opts.optim.build();
             for epoch in 0..opts.epochs {
                 for round in 0..rounds_per_epoch {
@@ -182,6 +184,7 @@ pub fn train_asp(
         let dataset = dataset.clone();
         let opts = opts.clone();
         handles.push(thread::spawn(move || {
+            pipedream_tensor::gemm::set_thread_backend(opts.kernel);
             for epoch in 0..opts.epochs {
                 for round in 0..rounds_per_epoch {
                     let i = round * workers + w;

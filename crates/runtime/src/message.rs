@@ -1,4 +1,12 @@
 //! Messages exchanged between stage workers and the coordinator.
+//!
+//! Tensor payloads are backed by the thread-local buffer pool
+//! (`pipedream_tensor::pool`). Ownership of the buffer travels with the
+//! message: the *consuming* worker calls [`Tensor::recycle`] once it is
+//! done, which parks the storage in the consumer's pool. In steady-state
+//! 1F1B each channel carries a constant number of in-flight tensors per
+//! direction, so after warm-up every send is served by a buffer recycled
+//! from an earlier minibatch and the pipeline stops allocating.
 
 use pipedream_tensor::Tensor;
 
@@ -10,7 +18,8 @@ pub struct ActMsg {
     /// Weight version pinned at the input stage (vertical sync only;
     /// 0 otherwise).
     pub version_tag: u64,
-    /// Output activations of the producing stage.
+    /// Output activations of the producing stage. The receiver owns the
+    /// buffer and recycles it after its forward pass consumes it.
     pub data: Tensor,
 }
 
@@ -19,7 +28,8 @@ pub struct ActMsg {
 pub struct GradMsg {
     /// Minibatch id.
     pub mb: u64,
-    /// Gradient w.r.t. the consuming stage's output activations.
+    /// Gradient w.r.t. the consuming stage's output activations. The
+    /// receiver owns the buffer and recycles it after its backward pass.
     pub data: Tensor,
 }
 

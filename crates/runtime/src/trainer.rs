@@ -12,6 +12,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use pipedream_core::schedule::Schedule;
 use pipedream_core::PipelineConfig;
 use pipedream_tensor::data::Dataset;
+pub use pipedream_tensor::gemm::Backend;
 use pipedream_tensor::{Adam, Layer, Optimizer, Sequential, Sgd};
 use std::collections::HashMap;
 use std::fmt;
@@ -148,6 +149,15 @@ pub struct TrainOpts {
     /// per-track rings and the coordinator folds run totals into its
     /// metrics registry. `None` costs one branch per recording site.
     pub obs: Option<Arc<pipedream_obs::TraceSession>>,
+    /// Compute-kernel backend every worker thread (and the sequential
+    /// baseline) selects before training: the tiled GEMM/im2col kernels
+    /// ([`Backend::Fast`], the default) or the seed scalar loops
+    /// ([`Backend::Naive`]). The two backends are pinned to each other by
+    /// `crates/tensor/tests/kernel_equiv.rs`: identical summation order
+    /// (bit-for-bit on non-FMA builds) while the inner dimension fits one
+    /// cache block, and ≤ 1e-5 relative drift from FMA single-rounding
+    /// otherwise — the bound the kernel-swap loss guard asserts per epoch.
+    pub kernel: Backend,
 }
 
 impl Default for TrainOpts {
@@ -167,6 +177,7 @@ impl Default for TrainOpts {
             depth: None,
             trace: false,
             obs: None,
+            kernel: Backend::Fast,
         }
     }
 }
@@ -259,6 +270,9 @@ pub fn try_train_pipeline(
         .validate(model.len())
         .expect("configuration does not match the model's layer count");
     let started = Instant::now();
+    // Buffer-pool baseline: the fold at the end records this run's hit/miss
+    // deltas (process-wide counters, so deltas isolate the run).
+    let pool_start = pipedream_tensor::pool::global_stats();
     let stages = config.stages();
 
     // Resume: locate the last complete checkpoint point *before* building
@@ -414,6 +428,7 @@ pub fn try_train_pipeline(
             trace_from: opts.trace.then_some((w, started)),
             recorder: recorders[w].clone(),
             hook: hook.clone(),
+            kernel: opts.kernel,
         };
         handles.push(thread::spawn(move || worker.run()));
     }
@@ -544,6 +559,12 @@ pub fn try_train_pipeline(
                 .gauge(&format!("stage{}_staleness_max", o.stage))
                 .set_max(o.staleness_max as f64);
         }
+        let pool_end = pipedream_tensor::pool::global_stats();
+        pipedream_obs::record_pool_metrics(
+            metrics,
+            pool_end.hits.saturating_sub(pool_start.hits),
+            pool_end.misses.saturating_sub(pool_start.misses),
+        );
         pipedream_obs::record_snapshot_metrics(metrics, &session.snapshot());
     }
 

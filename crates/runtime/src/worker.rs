@@ -88,6 +88,9 @@ pub struct StageWorker {
     /// Fault-injection hook, if any. `None` in production runs: the
     /// fault-free path costs one `Option` check per op.
     pub hook: Option<Arc<dyn FaultHook>>,
+    /// Compute-kernel backend this worker selects for its thread before
+    /// executing any ops (kernel dispatch is thread-local).
+    pub kernel: pipedream_tensor::gemm::Backend,
 }
 
 /// Per-run mutable state.
@@ -157,6 +160,7 @@ impl StageWorker {
     }
 
     fn run_inner(mut self) -> Result<Sequential, WorkerError> {
+        pipedream_tensor::gemm::set_thread_backend(self.kernel);
         let mut st = WorkerState {
             optimizer: self.optim.build(),
             stash: WeightStash::new(self.model.snapshot()),
@@ -362,6 +366,9 @@ impl StageWorker {
         }
 
         let out = self.model.forward(&input, mb);
+        // The stage's layers saved their own copies; the inbound
+        // activation (or dataset minibatch) is dead — pool its buffer.
+        input.recycle();
 
         if self.stage + 1 < self.num_stages {
             match self
@@ -390,6 +397,7 @@ impl StageWorker {
             // by this minibatch's backward op.
             let labels = self.data.labels(mb);
             let loss = softmax_cross_entropy(&out, &labels);
+            out.recycle();
             let _ = self.metrics.send(MetricMsg::Loss {
                 mb,
                 loss: loss.loss,
@@ -433,6 +441,9 @@ impl StageWorker {
                 st.stash.complete_backward(mb);
                 self.recorder.instant(SpanKind::StashPop { mb });
                 self.model.restore(&latest);
+                for t in latest {
+                    t.recycle();
+                }
                 self.apply_update(st, mb)?;
                 g
             }
@@ -449,6 +460,9 @@ impl StageWorker {
                 self.model.zero_grad();
                 let g = self.model.backward(&grad_out, mb);
                 self.model.restore(&latest);
+                for t in latest {
+                    t.recycle();
+                }
                 self.apply_update(st, mb)?;
                 g
             }
@@ -467,6 +481,9 @@ impl StageWorker {
                 g
             }
         };
+        // Layers saved what they needed during forward; the inbound
+        // gradient is dead after the backward pass.
+        grad_out.recycle();
 
         if self.stage > 0 {
             let dst = (mb % self.grad_out.len() as u64) as usize;
@@ -556,7 +573,8 @@ impl StageWorker {
                         reason: e.to_string(),
                     })?;
             for (p, g) in self.model.params_mut().into_iter().zip(avg) {
-                p.grad = g;
+                p.grad.copy_from(&g);
+                g.recycle();
             }
         }
         let mut params = self.model.params_mut();
@@ -583,7 +601,7 @@ impl StageWorker {
         }
         let scale = 1.0 / st.since_flush as f32;
         for p in self.model.params_mut() {
-            p.grad = p.grad.scale(scale);
+            p.grad.scale_inplace(scale);
         }
         self.apply_update(st, u64::MAX)?;
         st.since_flush = 0;

@@ -94,6 +94,7 @@ fn opts(epochs: usize, dir: &std::path::Path, resume: bool) -> TrainOpts {
         depth: None,
         trace: false,
         obs: None,
+        ..TrainOpts::default()
     }
 }
 

@@ -41,6 +41,7 @@ fn wall_time(session: Option<std::sync::Arc<pipedream_obs::TraceSession>>) -> f6
         depth: None,
         trace: false,
         obs: session,
+        ..TrainOpts::default()
     };
     let (_, report) = train_pipeline(mlp(3), &config, &data, &opts);
     report.wall_time_s
@@ -60,6 +61,29 @@ fn tracing_overhead_under_five_percent() {
     assert!(
         enabled <= disabled * 1.05 + 0.12,
         "tracing overhead too high: enabled {enabled:.3}s vs disabled {disabled:.3}s"
+    );
+}
+
+/// The trainer folds the buffer pool's hit/miss delta into the metrics
+/// registry, so a healthy run's Prometheus dump carries nonzero
+/// `tensor_pool_hits_total` (reuse happening) alongside a bounded
+/// `tensor_pool_misses_total` (warm-up allocations only).
+#[test]
+fn pool_counters_land_in_metrics_registry() {
+    let session = pipedream_obs::TraceSession::new();
+    wall_time(Some(session.clone()));
+    let metrics = session.metrics();
+    let hits = metrics.counter("tensor_pool_hits_total").get();
+    let misses = metrics.counter("tensor_pool_misses_total").get();
+    assert!(hits > 0, "training never reused a pooled buffer");
+    assert!(
+        hits > misses,
+        "pool mostly missing: {hits} hits vs {misses} misses"
+    );
+    let dump = metrics.render_prometheus();
+    assert!(
+        dump.contains("tensor_pool_hits_total") && dump.contains("tensor_pool_misses_total"),
+        "pool counters missing from Prometheus dump:\n{dump}"
     );
 }
 
@@ -84,6 +108,7 @@ fn session_captures_without_perturbing_results() {
         depth: None,
         trace: false,
         obs,
+        ..TrainOpts::default()
     };
     let session = pipedream_obs::TraceSession::new();
     let (_, bare) = train_pipeline(mlp(11), &config, &data, &mk(None));

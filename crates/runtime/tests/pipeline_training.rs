@@ -45,6 +45,7 @@ fn default_opts(epochs: usize) -> TrainOpts {
         depth: None,
         trace: false,
         obs: None,
+        ..TrainOpts::default()
     }
 }
 
@@ -324,6 +325,7 @@ fn sequence_model_trains_through_pipeline() {
         depth: None,
         trace: false,
         obs: None,
+        ..TrainOpts::default()
     };
     // One stage per "server": embedding | lstm | lstm | head.
     let config = PipelineConfig::straight(5, &[0, 1, 2]);
@@ -386,6 +388,7 @@ fn resume_continues_from_checkpoint() {
         depth: None,
         trace: false,
         obs: None,
+        ..TrainOpts::default()
     };
     let (first_model, first) = train_pipeline(mlp(70, 8, 4), &config, &data, &mk_opts(2, false));
     assert_eq!(checkpoint::latest_complete_epoch(&dir, 4), Some(1));
@@ -583,6 +586,7 @@ fn cnn_trains_through_pipeline() {
         depth: None,
         trace: false,
         obs: None,
+        ..TrainOpts::default()
     };
     let (mut m, report) = train_pipeline(model, &config, &data, &opts);
     assert!(report.final_loss() < report.per_epoch[0].loss);
@@ -644,6 +648,7 @@ fn gru_sequence_model_trains_through_pipeline() {
         depth: None,
         trace: false,
         obs: None,
+        ..TrainOpts::default()
     };
     let config = PipelineConfig::straight(4, &[0, 1]);
     let (mut m, report) = train_pipeline(model, &config, &data, &opts);
@@ -678,4 +683,52 @@ fn per_minibatch_losses_cover_every_minibatch() {
         .map(|&(_, l)| l)
         .sum();
     assert!(late < early, "late {late} vs early {early}");
+}
+
+#[test]
+fn kernel_swap_preserves_per_epoch_losses() {
+    // The tiled GEMM keeps the naive kernel's per-element summation order
+    // whenever the inner dimension fits one KC cache block (all layers
+    // here), and Linear adds bias after the product on both backends — so
+    // swapping `TrainOpts.kernel` must reproduce the same per-epoch
+    // losses. On builds without the `fma` target feature that means
+    // *bit-identical*; with FMA (the default under `target-cpu=native`)
+    // the fast kernel rounds each product+add once instead of twice, and
+    // the documented tolerance is 1e-5 relative on the per-epoch loss —
+    // observed drift is ~1 ulp. Any genuine reordering of the reduction
+    // (a real semantics change) blows well past that bound.
+    use pipedream_runtime::trainer::Backend;
+    let fma = cfg!(target_feature = "fma");
+    let same = |a: f32, b: f32, what: &str, epoch: usize| {
+        if fma {
+            let denom = a.abs().max(b.abs()).max(1.0);
+            assert!(
+                (a - b).abs() / denom <= 1e-5,
+                "{what} epoch {epoch}: {a} vs {b} beyond FMA rounding"
+            );
+        } else {
+            assert_eq!(a, b, "{what} epoch {epoch} diverged across kernels");
+        }
+    };
+    let data = easy_data();
+    let config = PipelineConfig::straight(8, &[3]); // 2 stages
+    let fast_opts = default_opts(3);
+    assert_eq!(fast_opts.kernel, Backend::Fast, "Fast must be the default");
+    let naive_opts = TrainOpts {
+        kernel: Backend::Naive,
+        ..default_opts(3)
+    };
+    let (_, fast) = train_pipeline(mlp(21, 8, 4), &config, &data, &fast_opts);
+    let (_, naive) = train_pipeline(mlp(21, 8, 4), &config, &data, &naive_opts);
+    assert_eq!(fast.per_epoch.len(), naive.per_epoch.len());
+    for (a, b) in fast.per_epoch.iter().zip(naive.per_epoch.iter()) {
+        same(a.loss, b.loss, "pipeline loss", a.epoch);
+        same(a.accuracy, b.accuracy, "pipeline accuracy", a.epoch);
+    }
+    // And the sequential baseline agrees with itself across the swap.
+    let (_, seq_fast) = train_sequential(mlp(21, 8, 4), &data, &fast_opts);
+    let (_, seq_naive) = train_sequential(mlp(21, 8, 4), &data, &naive_opts);
+    for (a, b) in seq_fast.per_epoch.iter().zip(seq_naive.per_epoch.iter()) {
+        same(a.loss, b.loss, "sequential loss", a.epoch);
+    }
 }

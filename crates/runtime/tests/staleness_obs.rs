@@ -39,6 +39,7 @@ fn opts(epochs: usize, semantics: Semantics) -> TrainOpts {
         depth: None,
         trace: false,
         obs: None,
+        ..TrainOpts::default()
     }
 }
 

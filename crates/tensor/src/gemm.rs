@@ -1,0 +1,566 @@
+//! Register-blocked, tiled single-precision GEMM.
+//!
+//! The seed implementation of `Tensor::matmul` was a scalar `ikj` loop
+//! with a branchy zero-skip — fine for toy shapes, but PipeDream's whole
+//! premise (§3.1) is that per-layer *compute* dominates, so the compute
+//! kernel is the lever that makes every pipeline measurement meaningful.
+//! This module is the classic three-level blocking scheme (Goto-style,
+//! the structure BLIS and OpenBLAS use):
+//!
+//! * the innermost **micro-kernel** computes an `MR × NR` tile of `C`
+//!   with the whole accumulator held in registers — the `k` loop streams
+//!   packed operand panels with no bounds checks or branches, so LLVM
+//!   autovectorizes it (no `unsafe`, no intrinsics, per this crate's
+//!   charter);
+//! * operands are **packed** into contiguous panels (`A` in `MR`-row
+//!   panels, `B` in `NR`-column panels) so the micro-kernel's loads are
+//!   unit-stride regardless of the caller's layout — which also makes
+//!   transposed operands free (`trans_a`/`trans_b` only change packing
+//!   indices), eliminating the materialized `transpose()` calls the
+//!   layer backward passes used to do;
+//! * outer loops block over `KC`/`MC`/`NC` so panels stay cache-resident.
+//!
+//! **Summation-order guarantee:** each `C[i][j]` accumulates its `k`
+//! products in strictly ascending `k` order, exactly like the naive
+//! kernel, as long as `k ≤ KC` (a single `k`-block). Two effects can
+//! still perturb the low bits relative to [`gemm_reference`]:
+//!
+//! * on targets with FMA (any `target-cpu=native` build on modern x86 —
+//!   see `.cargo/config.toml`), the micro-kernel uses `f32::mul_add`, so
+//!   each product+add rounds **once** where the scalar reference rounds
+//!   twice — a ≤ 1-ulp difference per accumulation step. Without the
+//!   `fma` target feature the kernels are bit-identical in this regime
+//!   (the differential suite asserts exact equality there);
+//! * for `k > KC` the per-block partial sums are combined
+//!   block-at-a-time, which genuinely reorders the reduction.
+//!
+//! Both effects are bounded by the differential suite's 1e-5 relative
+//! tolerance (`crates/tensor/tests/kernel_equiv.rs`), and the runtime's
+//! kernel-swap loss guard pins the end-to-end consequence: per-epoch
+//! training losses across a backend swap agree to 1e-5 relative (and
+//! exactly, without FMA).
+//!
+//! The scalar kernel is kept as [`gemm_reference`] and selectable at
+//! runtime via [`set_thread_backend`] so tests and benches can run both
+//! sides by side.
+
+use crate::pool;
+use std::cell::Cell;
+
+/// Micro-kernel tile rows (accumulator height).
+pub const MR: usize = 6;
+/// Micro-kernel tile columns (accumulator width). Sized so the
+/// `MR × NR` accumulator fills the architectural vector file without
+/// spilling: 12 zmm registers on AVX-512 targets, 12 ymm otherwise.
+pub const NR: usize = if cfg!(target_feature = "avx512f") {
+    32
+} else {
+    16
+};
+/// `k`-dimension block: one packed `A` panel column-depth. Also the
+/// bit-identical-summation envelope (see module docs).
+pub const KC: usize = 256;
+/// `m`-dimension block: rows of `A` packed at once (`MC·KC` floats ≈
+/// 64 KiB, L2-resident).
+pub const MC: usize = 60;
+/// `n`-dimension block: columns of `B` packed at once.
+pub const NC: usize = 512;
+
+/// Which matmul kernel [`gemm`] dispatches to on this thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The tiled, register-blocked kernel (default).
+    #[default]
+    Fast,
+    /// The seed scalar `ikj` kernel — kept for differential tests,
+    /// benches, and the kernel-swap loss guard.
+    Naive,
+}
+
+thread_local! {
+    static BACKEND: Cell<Backend> = const { Cell::new(Backend::Fast) };
+}
+
+/// Select the kernel used by [`gemm`] (and therefore every
+/// `Tensor`/layer matmul) on the *current thread*. Thread-local so a
+/// test or a pipeline worker can pin a backend without racing other
+/// threads.
+pub fn set_thread_backend(b: Backend) {
+    BACKEND.with(|c| c.set(b));
+}
+
+/// The current thread's kernel selection.
+pub fn thread_backend() -> Backend {
+    BACKEND.with(|c| c.get())
+}
+
+/// `C (+)= op(A)·op(B)` on row-major storage, dispatching on the
+/// thread's [`Backend`].
+///
+/// * `m, k, n`: dimensions of the *operation* — `op(A)` is `[m, k]`,
+///   `op(B)` is `[k, n]`, `C` is `[m, n]`.
+/// * `trans_a`: when set, `A` is stored `[k, m]` and used transposed
+///   (likewise `trans_b` / `[n, k]`). Transposition happens during
+///   packing; nothing is materialized.
+/// * `accumulate`: when set, adds into the existing contents of `C`
+///   (`C += …`); otherwise `C` is overwritten.
+// The nine parameters are the standard BLAS sgemm surface; bundling them
+// into a struct would only rename the problem at every call site.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    trans_a: bool,
+    trans_b: bool,
+    accumulate: bool,
+) {
+    match thread_backend() {
+        Backend::Fast => gemm_fast(c, a, b, m, k, n, trans_a, trans_b, accumulate),
+        Backend::Naive => gemm_reference(c, a, b, m, k, n, trans_a, trans_b, accumulate),
+    }
+}
+
+fn check_dims(c: &[f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    assert!(a.len() >= m * k, "gemm: A has {} < {}·{}", a.len(), m, k);
+    assert!(b.len() >= k * n, "gemm: B has {} < {}·{}", b.len(), k, n);
+    assert!(c.len() >= m * n, "gemm: C has {} < {}·{}", c.len(), m, n);
+}
+
+/// The tiled kernel (see module docs). Prefer [`gemm`], which respects
+/// the thread backend; this entry point exists for differential tests
+/// and benches that need the fast path explicitly.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_fast(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    trans_a: bool,
+    trans_b: bool,
+    accumulate: bool,
+) {
+    check_dims(c, a, b, m, k, n);
+    if m == 0 || n == 0 || k == 0 {
+        if !accumulate {
+            c[..m * n].fill(0.0);
+        }
+        return;
+    }
+    let mut a_pack = pool::take_zeroed(MC.min(m).next_multiple_of(MR) * KC.min(k));
+    let mut b_pack = pool::take_zeroed(KC.min(k) * NC.min(n).next_multiple_of(NR));
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            // The first k-block *writes* C (β = 0) unless the caller asked
+            // to accumulate — no pre-zeroing pass, no C read stream.
+            let overwrite = !accumulate && pc == 0;
+            pack_b(&mut b_pack, b, pc, jc, kc, nc, trans_b, k, n);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                pack_a(&mut a_pack, a, ic, pc, mc, kc, trans_a, m, k);
+                for jr in (0..nc).step_by(NR) {
+                    let bp = &b_pack[(jr / NR) * kc * NR..][..kc * NR];
+                    for ir in (0..mc).step_by(MR) {
+                        let ap = &a_pack[(ir / MR) * kc * MR..][..kc * MR];
+                        micro_kernel(
+                            &mut c[(ic + ir) * n + jc + jr..],
+                            n,
+                            ap,
+                            bp,
+                            MR.min(mc - ir),
+                            NR.min(nc - jr),
+                            overwrite,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    pool::give(a_pack);
+    pool::give(b_pack);
+}
+
+/// Pack `A[ic.., pc..]` (`mc × kc` of the op view) into `MR`-row panels:
+/// panel `ip` holds rows `ic+ip·MR ..`, laid out `k`-major so the
+/// micro-kernel reads `MR` consecutive floats per `k` step. Short edge
+/// panels are zero-padded (0·x contributes exactly 0).
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    a_pack: &mut [f32],
+    a: &[f32],
+    ic: usize,
+    pc: usize,
+    mc: usize,
+    kc: usize,
+    trans_a: bool,
+    m: usize,
+    k: usize,
+) {
+    let mut idx = 0;
+    for ip in (0..mc).step_by(MR) {
+        let rows = MR.min(mc - ip);
+        if rows == MR && trans_a {
+            // Aᵀ is stored [k, m]: the MR rows of a panel are contiguous
+            // per k step, so a full panel is straight memcpy rows.
+            for p in 0..kc {
+                let src = &a[(pc + p) * m + ic + ip..][..MR];
+                a_pack[idx..idx + MR].copy_from_slice(src);
+                idx += MR;
+            }
+        } else if rows == MR {
+            // Row-major A: each source row is contiguous; write it down
+            // the panel at stride MR. Branch-free so the copy pipelines.
+            for (r, panel_row) in a.chunks_exact(k).skip(ic + ip).take(MR).enumerate() {
+                let seg = &panel_row[pc..pc + kc];
+                for (p, &v) in seg.iter().enumerate() {
+                    a_pack[idx + p * MR + r] = v;
+                }
+            }
+            idx += kc * MR;
+        } else {
+            for p in 0..kc {
+                for r in 0..MR {
+                    a_pack[idx] = if r < rows {
+                        let (row, col) = (ic + ip + r, pc + p);
+                        if trans_a {
+                            a[col * m + row]
+                        } else {
+                            a[row * k + col]
+                        }
+                    } else {
+                        0.0
+                    };
+                    idx += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Pack `B[pc.., jc..]` (`kc × nc` of the op view) into `NR`-column
+/// panels, `k`-major, zero-padded at the right edge.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    b_pack: &mut [f32],
+    b: &[f32],
+    pc: usize,
+    jc: usize,
+    kc: usize,
+    nc: usize,
+    trans_b: bool,
+    k: usize,
+    n: usize,
+) {
+    let mut idx = 0;
+    for jp in (0..nc).step_by(NR) {
+        let cols = NR.min(nc - jp);
+        if cols == NR && !trans_b {
+            // Row-major B: the NR panel columns are contiguous per k
+            // step, so a full panel is straight memcpy rows.
+            for p in 0..kc {
+                let src = &b[(pc + p) * n + jc + jp..][..NR];
+                b_pack[idx..idx + NR].copy_from_slice(src);
+                idx += NR;
+            }
+        } else if cols == NR {
+            // Bᵀ is stored [n, k]: each panel column is a contiguous k
+            // run; write it across the panel at stride NR.
+            for (cix, col_run) in b.chunks_exact(k).skip(jc + jp).take(NR).enumerate() {
+                let seg = &col_run[pc..pc + kc];
+                for (p, &v) in seg.iter().enumerate() {
+                    b_pack[idx + p * NR + cix] = v;
+                }
+            }
+            idx += kc * NR;
+        } else {
+            for p in 0..kc {
+                for cix in 0..NR {
+                    b_pack[idx] = if cix < cols {
+                        let (row, col) = (pc + p, jc + jp + cix);
+                        if trans_b {
+                            b[col * k + row]
+                        } else {
+                            b[row * n + col]
+                        }
+                    } else {
+                        0.0
+                    };
+                    idx += 1;
+                }
+            }
+        }
+    }
+}
+
+/// `MR × NR` register tile: `C[..mr_eff, ..nr_eff] (+)= Aᵖ·Bᵖ` over one
+/// packed `k` panel. The accumulator array never leaves registers; the
+/// `k` loop is branch-free over `chunks_exact`, which is what lets LLVM
+/// keep it vectorized (out-of-line on purpose — inlining it into the
+/// blocking loops defeats the loop vectorizer and degrades the FMAs to
+/// scalars). With `overwrite` the tile is stored with β = 0 semantics:
+/// no read of the destination, no prior zero-fill needed.
+#[inline(never)]
+fn micro_kernel(
+    c: &mut [f32],
+    ldc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    mr_eff: usize,
+    nr_eff: usize,
+    overwrite: bool,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (av, bv) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        for r in 0..MR {
+            let ar = av[r];
+            let row = &mut acc[r];
+            if cfg!(target_feature = "fma") {
+                for j in 0..NR {
+                    row[j] = ar.mul_add(bv[j], row[j]);
+                }
+            } else {
+                for j in 0..NR {
+                    row[j] += ar * bv[j];
+                }
+            }
+        }
+    }
+    if mr_eff == MR && nr_eff == NR {
+        for (r, accr) in acc.iter().enumerate() {
+            let crow = &mut c[r * ldc..r * ldc + NR];
+            if overwrite {
+                crow.copy_from_slice(accr);
+            } else {
+                for j in 0..NR {
+                    crow[j] += accr[j];
+                }
+            }
+        }
+    } else {
+        for r in 0..mr_eff {
+            let crow = &mut c[r * ldc..r * ldc + nr_eff];
+            for (dst, &src) in crow.iter_mut().zip(acc[r].iter()) {
+                if overwrite {
+                    *dst = src;
+                } else {
+                    *dst += src;
+                }
+            }
+        }
+    }
+}
+
+/// The seed scalar kernel: `ikj` loops with the original zero-skip
+/// branch, extended with `trans`/`accumulate` handling so every call
+/// site can swap backends. This is the differential-testing reference.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_reference(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    trans_a: bool,
+    trans_b: bool,
+    accumulate: bool,
+) {
+    check_dims(c, a, b, m, k, n);
+    if !accumulate {
+        c[..m * n].fill(0.0);
+    }
+    if !trans_a && !trans_b {
+        // Fast-ish slice form, byte-for-byte the seed `Tensor::matmul`.
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut c[i * n..(i + 1) * n];
+            for (p, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    } else {
+        for i in 0..m {
+            for p in 0..k {
+                let av = if trans_a { a[p * m + i] } else { a[i * k + p] };
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    let bv = if trans_b { b[j * k + p] } else { b[p * n + j] };
+                    c[i * n + j] += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Cache-blocked out-of-place transpose: `dst[j][i] = src[i][j]` for an
+/// `m × n` source. 32×32 tiles keep both the read and write streams
+/// within a few cache lines.
+pub fn transpose_into(dst: &mut [f32], src: &[f32], m: usize, n: usize) {
+    assert!(src.len() >= m * n && dst.len() >= m * n);
+    const TB: usize = 32;
+    for ib in (0..m).step_by(TB) {
+        let imax = (ib + TB).min(m);
+        for jb in (0..n).step_by(TB) {
+            let jmax = (jb + TB).min(n);
+            for i in ib..imax {
+                for j in jb..jmax {
+                    dst[j * m + i] = src[i * n + j];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{normal, rng};
+
+    fn run_both(
+        m: usize,
+        k: usize,
+        n: usize,
+        trans_a: bool,
+        trans_b: bool,
+        accumulate: bool,
+    ) -> (Vec<f32>, Vec<f32>) {
+        let a = normal(&[m * k], 1.0, &mut rng(m as u64 * 31 + k as u64));
+        let b = normal(&[k * n], 1.0, &mut rng(n as u64 * 17 + k as u64 + 1));
+        let seed_c = normal(&[m * n], 1.0, &mut rng(99));
+        let mut c1 = seed_c.data().to_vec();
+        let mut c2 = seed_c.data().to_vec();
+        gemm_fast(
+            &mut c1,
+            a.data(),
+            b.data(),
+            m,
+            k,
+            n,
+            trans_a,
+            trans_b,
+            accumulate,
+        );
+        gemm_reference(
+            &mut c2,
+            a.data(),
+            b.data(),
+            m,
+            k,
+            n,
+            trans_a,
+            trans_b,
+            accumulate,
+        );
+        (c1, c2)
+    }
+
+    fn assert_close(c1: &[f32], c2: &[f32]) {
+        for (x, y) in c1.iter().zip(c2.iter()) {
+            let denom = 1.0f32.max(x.abs()).max(y.abs());
+            assert!((x - y).abs() / denom < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn known_2x3_by_3x2() {
+        let a = [1., 2., 3., 4., 5., 6.];
+        let b = [7., 8., 9., 10., 11., 12.];
+        let mut c = [0.0; 4];
+        gemm_fast(&mut c, &a, &b, 2, 3, 2, false, false, false);
+        assert_eq!(c, [58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matches_reference_across_edge_shapes() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (MR, KC, NR),
+            (MR + 1, 3, NR + 1),
+            (MC + 5, KC + 7, NC / 8 + 3),
+            (3, 70, 130),
+        ] {
+            let (c1, c2) = run_both(m, k, n, false, false, false);
+            assert_close(&c1, &c2);
+        }
+    }
+
+    #[test]
+    fn summation_order_is_preserved_when_k_fits_one_block() {
+        // The kernel-swap loss guard rests on this: a single k-block
+        // preserves the naive kernel's summation order. Without FMA that
+        // means bit-identical results; with FMA each step rounds once
+        // instead of twice, so the drift is at most ~1 ulp per step.
+        for &(m, k, n) in &[(5, 17, 9), (32, KC, 32), (MR, 1, NR)] {
+            let (c1, c2) = run_both(m, k, n, false, false, false);
+            if cfg!(target_feature = "fma") {
+                for (x, y) in c1.iter().zip(c2.iter()) {
+                    let denom = 1.0f32.max(x.abs()).max(y.abs());
+                    assert!(
+                        (x - y).abs() / denom < 1e-5,
+                        "({m},{k},{n}): {x} vs {y} beyond FMA rounding"
+                    );
+                }
+            } else {
+                assert_eq!(c1, c2, "({m},{k},{n}) must be bit-identical");
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_operands_match_reference() {
+        for &(ta, tb) in &[(true, false), (false, true), (true, true)] {
+            let (c1, c2) = run_both(13, 29, 11, ta, tb, false);
+            assert_close(&c1, &c2);
+        }
+    }
+
+    #[test]
+    fn accumulate_adds_into_existing_c() {
+        let (c1, c2) = run_both(9, 21, 14, false, false, true);
+        assert_close(&c1, &c2);
+        // And really did accumulate: a zero product leaves C untouched.
+        let mut c = vec![3.0; 4];
+        gemm_fast(&mut c, &[0.0; 2], &[0.0; 2], 2, 1, 2, false, false, true);
+        assert_eq!(c, vec![3.0; 4]);
+    }
+
+    #[test]
+    fn k_beyond_one_block_stays_within_tolerance() {
+        let (c1, c2) = run_both(4, 2 * KC + 13, 6, false, false, false);
+        assert_close(&c1, &c2);
+    }
+
+    #[test]
+    fn transpose_into_round_trip() {
+        let src = normal(&[7 * 45], 1.0, &mut rng(5));
+        let mut t = vec![0.0; 7 * 45];
+        let mut back = vec![0.0; 7 * 45];
+        transpose_into(&mut t, src.data(), 7, 45);
+        transpose_into(&mut back, &t, 45, 7);
+        assert_eq!(back, src.data());
+        assert_eq!(t[3 * 7 + 2], src.data()[2 * 45 + 3]);
+    }
+
+    #[test]
+    fn thread_backend_dispatch() {
+        assert_eq!(thread_backend(), Backend::Fast);
+        set_thread_backend(Backend::Naive);
+        assert_eq!(thread_backend(), Backend::Naive);
+        set_thread_backend(Backend::Fast);
+    }
+}

@@ -32,12 +32,15 @@ macro_rules! activation_layer {
             }
 
             fn backward(&mut self, grad_out: &Tensor, slot: Slot) -> Tensor {
-                let y = self
+                // The saved output is consumed here, so its buffer becomes
+                // the gradient in place — backward allocates nothing.
+                let mut y = self
                     .saved_output
                     .remove(&slot)
                     .unwrap_or_else(|| panic!("{}: no saved output for slot {slot}", $label));
                 let d: fn(f32) -> f32 = $dfdy;
-                grad_out.zip(&y, |g, yv| g * d(yv))
+                y.zip_inplace(grad_out, |yv, g| g * d(yv));
+                y
             }
 
             fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
@@ -112,12 +115,17 @@ impl Layer for Softmax {
         for r in 0..b {
             let row = &x2.data()[r * k..(r + 1) * k];
             let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
-            let z: f32 = exps.iter().sum();
-            for c in 0..k {
-                *y.at_mut(r, c) = exps[c] / z;
+            let yrow = &mut y.data_mut()[r * k..(r + 1) * k];
+            let mut z = 0.0;
+            for (o, &v) in yrow.iter_mut().zip(row.iter()) {
+                *o = (v - max).exp();
+                z += *o;
+            }
+            for o in yrow.iter_mut() {
+                *o /= z;
             }
         }
+        x2.recycle();
         self.saved_output.insert(slot, y.clone());
         y
     }

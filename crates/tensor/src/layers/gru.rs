@@ -103,6 +103,8 @@ impl Layer for Gru {
                 out.data_mut()[dst..dst + hn]
                     .copy_from_slice(&h_new.data()[row * hn..(row + 1) * hn]);
             }
+            gx.recycle();
+            gh.recycle();
             caches.push(StepCache {
                 x: xs,
                 h_prev: h.clone(),
@@ -111,6 +113,7 @@ impl Layer for Gru {
                 n,
                 pre_hn,
             });
+            h.recycle();
             h = h_new;
         }
         self.saved.insert(slot, caches);
@@ -157,9 +160,10 @@ impl Layer for Gru {
                     *dh_prev.at_mut(row, j) = dh_v * z;
                 }
             }
-            // Parameter grads.
-            self.w_x.grad.axpy(1.0, &c.x.transpose().matmul(&dpre));
-            self.w_h.grad.axpy(1.0, &c.h_prev.transpose().matmul(&dgh));
+            // Parameter grads, accumulated inside the GEMM kernel with the
+            // transposes folded into panel packing.
+            self.w_x.grad.add_matmul_tn(&c.x, &dpre);
+            self.w_h.grad.add_matmul_tn(&c.h_prev, &dgh);
             {
                 let db = self.bias.grad.data_mut();
                 for row in 0..b {
@@ -170,13 +174,19 @@ impl Layer for Gru {
                     }
                 }
             }
-            // Input and recurrent grads.
-            let dxs = dpre.matmul(&self.w_x.value.transpose());
+            // Input and recurrent grads (transposes folded into GEMM; the
+            // recurrent product accumulates straight into dh_prev).
+            let dxs = dpre.matmul_nt(&self.w_x.value);
             for row in 0..b {
                 let dst = (row * t + step) * d;
                 dx.data_mut()[dst..dst + d].copy_from_slice(&dxs.data()[row * d..(row + 1) * d]);
             }
-            dh_prev.axpy(1.0, &dgh.matmul(&self.w_h.value.transpose()));
+            dxs.recycle();
+            dh_prev.add_matmul_nt(&dgh, &self.w_h.value);
+            dh.recycle();
+            dpre.recycle();
+            dgh.recycle();
+            dh_next.recycle();
             dh_next = dh_prev;
         }
         dx
@@ -239,6 +249,12 @@ mod tests {
     fn gradcheck_single_step() {
         let mut g = Gru::new(2, 3, &mut rng(3));
         check_layer_gradients(&mut g, &[3, 1, 2], 6);
+    }
+
+    #[test]
+    fn gradcheck_nonsquare_crossing_tile_edges() {
+        let mut g = Gru::new(9, 5, &mut rng(6));
+        check_layer_gradients(&mut g, &[3, 2, 9], 7);
     }
 
     #[test]

@@ -64,12 +64,14 @@ impl Layer for Linear {
             x.cols()
         );
         let x2 = x.reshape(&[x.rows(), self.in_features]);
+        // Bias is broadcast-added *after* the product in both kernel
+        // backends, so fast and naive forwards share a summation order.
         let mut y = x2.matmul(&self.weight.value);
-        // Broadcast-add bias to every row.
         let b = self.bias.value.data();
-        for r in 0..y.rows() {
-            for c in 0..self.out_features {
-                *y.at_mut(r, c) += b[c];
+        let out = self.out_features;
+        for row in y.data_mut().chunks_exact_mut(out) {
+            for (v, &bv) in row.iter_mut().zip(b.iter()) {
+                *v += bv;
             }
         }
         self.saved_input.insert(slot, x2);
@@ -82,18 +84,19 @@ impl Layer for Linear {
             .remove(&slot)
             .unwrap_or_else(|| panic!("{}: no saved input for slot {slot}", self.name));
         let g = grad_out.reshape(&[grad_out.rows(), self.out_features]);
-        // dW = xᵀ·g ; db = column sums of g ; dx = g·Wᵀ
-        self.weight.grad.axpy(1.0, &x.transpose().matmul(&g));
-        let mut db = vec![0.0f32; self.out_features];
-        for r in 0..g.rows() {
-            for c in 0..self.out_features {
-                db[c] += g.at(r, c);
+        // dW += xᵀ·g (transpose folded into GEMM packing, accumulation
+        // fused into the kernel); db = column sums of g; dx = g·Wᵀ.
+        self.weight.grad.add_matmul_tn(&x, &g);
+        let db = self.bias.grad.data_mut();
+        for row in g.data().chunks_exact(self.out_features) {
+            for (d, &gv) in db.iter_mut().zip(row.iter()) {
+                *d += gv;
             }
         }
-        self.bias
-            .grad
-            .axpy(1.0, &Tensor::from_vec(&[self.out_features], db));
-        g.matmul(&self.weight.value.transpose())
+        let dx = g.matmul_nt(&self.weight.value);
+        x.recycle();
+        g.recycle();
+        dx
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -141,6 +144,14 @@ mod tests {
     fn gradients_match_finite_differences() {
         let mut l = Linear::new(3, 4, &mut rng(1));
         check_layer_gradients(&mut l, &[2, 3], 11);
+    }
+
+    #[test]
+    fn gradients_match_on_nonsquare_shapes_crossing_tile_edges() {
+        // 17→9 with batch 5 exercises every partial-tile path of the 8×8
+        // micro-kernel (m, n and k all off the MR/NR grid).
+        let mut l = Linear::new(17, 9, &mut rng(4));
+        check_layer_gradients(&mut l, &[5, 17], 13);
     }
 
     #[test]

@@ -73,9 +73,10 @@ impl Lstm {
     fn step(&self, x: &Tensor, h_prev: &Tensor, c_prev: &Tensor) -> StepCache {
         let b = x.rows();
         let hn = self.hidden;
-        // pre = x·W_x + h·W_h + bias
+        // pre = x·W_x + h·W_h + bias (recurrent product accumulated
+        // directly into pre by the kernel — no temporary).
         let mut pre = x.matmul(&self.w_x.value);
-        pre.axpy(1.0, &h_prev.matmul(&self.w_h.value));
+        pre.add_matmul(h_prev, &self.w_h.value);
         let bias = self.bias.value.data();
         for r in 0..b {
             for cidx in 0..4 * hn {
@@ -132,6 +133,8 @@ impl Layer for Lstm {
                 xs.data_mut()[dst..dst + d].copy_from_slice(&x.data()[src..src + d]);
             }
             let cache = self.step(&xs, &h, &c);
+            xs.recycle();
+            c.recycle();
             c = cache.c.clone();
             // h = o ⊙ tanh(c)
             let mut ht = Tensor::zeros(&[b, hn]);
@@ -144,6 +147,7 @@ impl Layer for Lstm {
                 let dst = (r * t + step) * hn;
                 out.data_mut()[dst..dst + hn].copy_from_slice(&ht.data()[r * hn..(r + 1) * hn]);
             }
+            h.recycle();
             h = ht;
             caches.push(cache);
         }
@@ -195,11 +199,10 @@ impl Layer for Lstm {
                 }
             }
             // Parameter gradients: dW_x += xᵀ·dpre ; dW_h += h_prevᵀ·dpre ;
-            // db += column sums.
-            self.w_x.grad.axpy(1.0, &cache.x.transpose().matmul(&dpre));
-            self.w_h
-                .grad
-                .axpy(1.0, &cache.h_prev.transpose().matmul(&dpre));
+            // db += column sums. Transposes fold into GEMM packing and the
+            // accumulation happens inside the kernel.
+            self.w_x.grad.add_matmul_tn(&cache.x, &dpre);
+            self.w_h.grad.add_matmul_tn(&cache.h_prev, &dpre);
             {
                 let db = self.bias.grad.data_mut();
                 for r in 0..b {
@@ -208,13 +211,19 @@ impl Layer for Lstm {
                     }
                 }
             }
-            // Input and recurrent gradients.
-            let dxs = dpre.matmul(&self.w_x.value.transpose());
+            // Input and recurrent gradients (transposes folded into GEMM).
+            let dxs = dpre.matmul_nt(&self.w_x.value);
             for r in 0..b {
                 let dst = (r * t + step) * d;
                 dx.data_mut()[dst..dst + d].copy_from_slice(&dxs.data()[r * d..(r + 1) * d]);
             }
-            dh_next = dpre.matmul(&self.w_h.value.transpose());
+            dxs.recycle();
+            dh.recycle();
+            dh_next.recycle();
+            dh_next = dpre.matmul_nt(&self.w_h.value);
+            dpre.recycle();
+            dc.recycle();
+            dc_next.recycle();
             dc_next = dc_prev;
         }
         dx
@@ -355,6 +364,14 @@ mod tests {
     fn gradcheck_single_step() {
         let mut l = Lstm::new(2, 2, &mut rng(4));
         check_layer_gradients(&mut l, &[3, 1, 2], 8);
+    }
+
+    #[test]
+    fn gradcheck_nonsquare_crossing_tile_edges() {
+        // in=9, hidden=5 puts the fused [b, 4·hidden] products off the
+        // 8×8 micro-kernel grid in every dimension.
+        let mut l = Lstm::new(9, 5, &mut rng(8));
+        check_layer_gradients(&mut l, &[3, 2, 9], 9);
     }
 
     #[test]

@@ -16,7 +16,7 @@ mod norm;
 mod pool;
 
 pub use activation::{Relu, Sigmoid, Softmax, Tanh};
-pub use conv::Conv2d;
+pub use conv::{conv2d_direct, conv2d_direct_backward, Conv2d};
 pub use dropout::Dropout;
 pub use embedding::Embedding;
 pub use gru::Gru;
@@ -52,9 +52,9 @@ impl Param {
         }
     }
 
-    /// Reset the gradient to zero.
+    /// Reset the gradient to zero (in place — keeps the buffer).
     pub fn zero_grad(&mut self) {
-        self.grad = Tensor::zeros(self.value.shape());
+        self.grad.fill(0.0);
     }
 }
 
@@ -127,7 +127,7 @@ pub trait Layer: Send {
         );
         for (p, s) in params.iter_mut().zip(snapshot.iter()) {
             assert_eq!(p.value.shape(), s.shape(), "snapshot shape mismatch");
-            p.value = s.clone();
+            p.value.copy_from(s);
         }
     }
 }
@@ -253,19 +253,28 @@ impl Layer for Sequential {
     }
 
     fn forward(&mut self, x: &Tensor, slot: Slot) -> Tensor {
-        let mut cur = x.clone();
+        // Each layer caches whatever it needs internally, so intermediate
+        // activations are dead once the next layer has consumed them —
+        // recycle their storage instead of dropping it.
+        let mut cur: Option<Tensor> = None;
         for l in &mut self.layers {
-            cur = l.forward(&cur, slot);
+            let next = l.forward(cur.as_ref().unwrap_or(x), slot);
+            if let Some(prev) = cur.replace(next) {
+                prev.recycle();
+            }
         }
-        cur
+        cur.unwrap_or_else(|| x.clone())
     }
 
     fn backward(&mut self, grad_out: &Tensor, slot: Slot) -> Tensor {
-        let mut cur = grad_out.clone();
+        let mut cur: Option<Tensor> = None;
         for l in self.layers.iter_mut().rev() {
-            cur = l.backward(&cur, slot);
+            let next = l.backward(cur.as_ref().unwrap_or(grad_out), slot);
+            if let Some(prev) = cur.replace(next) {
+                prev.recycle();
+            }
         }
-        cur
+        cur.unwrap_or_else(|| grad_out.clone())
     }
 
     fn params(&self) -> Vec<&Param> {

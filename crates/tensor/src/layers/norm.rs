@@ -49,8 +49,9 @@ impl Layer for Scale {
             .saved_input
             .remove(&slot)
             .unwrap_or_else(|| panic!("scale: no saved input for slot {slot}"));
-        let g = self.gamma.value.data().to_vec();
-        let gg = self.gamma.grad.data_mut();
+        let gamma = &mut self.gamma;
+        let g = gamma.value.data();
+        let gg = gamma.grad.data_mut();
         let mut dx = grad_out.clone();
         for r in 0..x.rows() {
             for c in 0..self.features {
@@ -58,6 +59,7 @@ impl Layer for Scale {
                 *dx.at_mut(r, c) = grad_out.at(r, c) * g[c];
             }
         }
+        x.recycle();
         dx
     }
 

@@ -18,19 +18,25 @@
 //! * **Explicit backward.** There is no general autograd tape; every layer
 //!   implements its own gradient. Finite-difference tests in each module
 //!   keep the math honest.
-//! * **No `unsafe`**, no external BLAS: matrix multiplies are blocked loops,
-//!   which is plenty for the model sizes the runtime trains.
+//! * **No `unsafe`**, no external BLAS: matrix multiplies go through the
+//!   [`gemm`] module's register-blocked tiled kernel (packed panels, an
+//!   `MR×NR` micro-kernel the compiler can autovectorize), with the seed
+//!   scalar kernel retained as the reference side of a differential test
+//!   suite. Scratch buffers come from a thread-local size-classed
+//!   [`pool`], so steady-state training does not allocate per minibatch.
 
 // Indexed loops over matrix rows/columns are the clearest notation for the
 // hand-written gradient math in this crate; iterator rewrites obscure it.
 #![allow(clippy::needless_range_loop)]
 
 pub mod data;
+pub mod gemm;
 pub mod gradcheck;
 pub mod init;
 pub mod layers;
 pub mod loss;
 pub mod optim;
+pub mod pool;
 pub mod tensor;
 
 pub use layers::{Layer, Param, Sequential, Slot};

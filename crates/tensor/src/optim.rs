@@ -59,17 +59,19 @@ impl Optimizer for Sgd {
             "optimizer bound to a different parameter list"
         );
         for (p, v) in params.iter_mut().zip(self.velocity.iter_mut()) {
-            let mut g = p.grad.clone();
+            // Weight decay folds into the gradient buffer, which is about
+            // to be zeroed anyway — the whole step allocates nothing.
             if self.weight_decay != 0.0 {
-                g.axpy(self.weight_decay, &p.value);
+                p.grad.axpy(self.weight_decay, &p.value);
             }
             if self.momentum != 0.0 {
                 // v ← μv + g ; θ ← θ − lr·v
-                let scaled = v.scale(self.momentum);
-                *v = scaled.add(&g);
+                v.scale_inplace(self.momentum);
+                v.axpy(1.0, &p.grad);
                 p.value.axpy(-self.lr, v);
             } else {
-                p.value.axpy(-self.lr, &g);
+                let Param { value, grad, .. } = &mut **p;
+                value.axpy(-self.lr, grad);
             }
             p.zero_grad();
         }
@@ -128,15 +130,20 @@ impl Optimizer for Adam {
             .zip(self.m.iter_mut())
             .zip(self.v.iter_mut())
         {
-            for i in 0..p.value.len() {
-                let g = p.grad.data()[i];
-                let mi = self.beta1 * m.data()[i] + (1.0 - self.beta1) * g;
-                let vi = self.beta2 * v.data()[i] + (1.0 - self.beta2) * g * g;
-                m.data_mut()[i] = mi;
-                v.data_mut()[i] = vi;
+            let Param { value, grad, .. } = &mut **p;
+            let gd = grad.data();
+            let pv = value.data_mut();
+            let md = m.data_mut();
+            let vd = v.data_mut();
+            for i in 0..pv.len() {
+                let g = gd[i];
+                let mi = self.beta1 * md[i] + (1.0 - self.beta1) * g;
+                let vi = self.beta2 * vd[i] + (1.0 - self.beta2) * g * g;
+                md[i] = mi;
+                vd[i] = vi;
                 let mhat = mi / b1t;
                 let vhat = vi / b2t;
-                p.value.data_mut()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+                pv[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
             }
             p.zero_grad();
         }

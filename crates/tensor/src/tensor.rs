@@ -1,5 +1,7 @@
 //! Dense row-major `f32` tensors.
 
+use crate::gemm;
+use crate::pool;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -8,10 +10,26 @@ use std::fmt;
 /// Shapes are dynamic (a `Vec<usize>`); rank-2 tensors are interpreted as
 /// `[rows, cols]` matrices by the linear-algebra helpers. The first
 /// dimension is the batch dimension throughout the layer library.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Allocation goes through the thread-local [`crate::pool`]: fresh
+/// tensors (including clones and op outputs) reuse recycled buffers, and
+/// [`Tensor::recycle`] hands a tensor's storage back when a hot path
+/// knows it is done with it. Matrix products dispatch through
+/// [`crate::gemm`] (tiled kernel by default, the seed scalar kernel via
+/// [`gemm::set_thread_backend`]).
+#[derive(PartialEq, Serialize, Deserialize)]
 pub struct Tensor {
     shape: Vec<usize>,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Tensor {
+            shape: self.shape.clone(),
+            data: pool::take_copy(&self.data),
+        }
+    }
 }
 
 impl Tensor {
@@ -20,16 +38,18 @@ impl Tensor {
         let n = shape.iter().product();
         Tensor {
             shape: shape.to_vec(),
-            data: vec![0.0; n],
+            data: pool::take_zeroed(n),
         }
     }
 
     /// A tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let n = shape.iter().product();
+        let mut data = pool::take_empty(n);
+        data.resize(n, value);
         Tensor {
             shape: shape.to_vec(),
-            data: vec![value; n],
+            data,
         }
     }
 
@@ -51,7 +71,20 @@ impl Tensor {
 
     /// A rank-1 tensor from a slice.
     pub fn from_slice(data: &[f32]) -> Self {
-        Tensor::from_vec(&[data.len()], data.to_vec())
+        Tensor {
+            shape: vec![data.len()],
+            data: pool::take_copy(data),
+        }
+    }
+
+    /// Return this tensor's storage to the thread-local buffer pool.
+    ///
+    /// Purely an optimization — dropping a tensor is always correct —
+    /// but hot paths (pipeline workers consuming messages, `Sequential`
+    /// discarding intermediate activations) recycle so steady-state
+    /// training stops allocating per minibatch.
+    pub fn recycle(self) {
+        pool::give(self.data);
     }
 
     /// The tensor's shape.
@@ -101,7 +134,12 @@ impl Tensor {
 
     /// Reinterpret with a new shape of equal element count.
     pub fn reshape(&self, shape: &[usize]) -> Tensor {
-        Tensor::from_vec(shape, self.data.clone())
+        let n: usize = shape.iter().product();
+        assert_eq!(n, self.data.len(), "reshape {shape:?} wants {n} elements");
+        Tensor {
+            shape: shape.to_vec(),
+            data: pool::take_copy(&self.data),
+        }
     }
 
     /// Matrix element accessor for rank-2 tensors.
@@ -116,63 +154,171 @@ impl Tensor {
         &mut self.data[r * self.shape[1] + c]
     }
 
-    /// Matrix product `self × rhs` for rank-2 tensors
-    /// (`[m,k] × [k,n] → [m,n]`), written as a cache-friendly ikj loop.
-    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+    fn matmul_dims(&self, rhs: &Tensor) -> (usize, usize, usize) {
         assert_eq!(self.shape.len(), 2, "matmul lhs must be rank-2");
         assert_eq!(rhs.shape.len(), 2, "matmul rhs must be rank-2");
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (rhs.shape[0], rhs.shape[1]);
         assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        (m, k, n)
+    }
+
+    /// Matrix product `self × rhs` for rank-2 tensors
+    /// (`[m,k] × [k,n] → [m,n]`), via the thread's selected GEMM kernel.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        let (m, k, n) = self.matmul_dims(rhs);
+        let mut out = pool::take_zeroed(m * n);
+        gemm::gemm(
+            &mut out, &self.data, &rhs.data, m, k, n, false, false, false,
+        );
         Tensor::from_vec(&[m, n], out)
     }
 
-    /// Transpose a rank-2 tensor.
+    /// `self × rhs` written into `out` (shape-checked), reusing `out`'s
+    /// storage — the allocation-free variant for steady-state loops.
+    pub fn matmul_into(&self, rhs: &Tensor, out: &mut Tensor) {
+        let (m, k, n) = self.matmul_dims(rhs);
+        assert_eq!(out.shape(), &[m, n], "matmul_into output shape");
+        gemm::gemm(
+            &mut out.data,
+            &self.data,
+            &rhs.data,
+            m,
+            k,
+            n,
+            false,
+            false,
+            false,
+        );
+    }
+
+    /// `self × rhsᵀ` for `self: [m,k]`, `rhs: [n,k]` — the transposition
+    /// happens inside the kernel's packing, so nothing is materialized.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be rank-2");
+        assert_eq!(rhs.shape.len(), 2, "matmul rhs must be rank-2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "matmul_nt inner dims {k} vs {k2}");
+        let mut out = pool::take_zeroed(m * n);
+        gemm::gemm(&mut out, &self.data, &rhs.data, m, k, n, false, true, false);
+        Tensor::from_vec(&[m, n], out)
+    }
+
+    /// `selfᵀ × rhs` for `self: [k,m]`, `rhs: [k,n]`.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be rank-2");
+        assert_eq!(rhs.shape.len(), 2, "matmul rhs must be rank-2");
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "matmul_tn inner dims {k} vs {k2}");
+        let mut out = pool::take_zeroed(m * n);
+        gemm::gemm(&mut out, &self.data, &rhs.data, m, k, n, true, false, false);
+        Tensor::from_vec(&[m, n], out)
+    }
+
+    /// `self += aᵀ × b` for `a: [k,m]`, `b: [k,n]`, `self: [m,n]` — the
+    /// gradient-accumulation product (`dW += xᵀ·g`) fused into one pass.
+    pub fn add_matmul_tn(&mut self, a: &Tensor, b: &Tensor) {
+        let (k, m) = (a.shape[0], a.shape[1]);
+        let (k2, n) = (b.shape[0], b.shape[1]);
+        assert_eq!(k, k2, "add_matmul_tn inner dims {k} vs {k2}");
+        assert_eq!(self.shape(), &[m, n], "add_matmul_tn output shape");
+        gemm::gemm(&mut self.data, &a.data, &b.data, m, k, n, true, false, true);
+    }
+
+    /// `self += a × bᵀ` for `a: [m,k]`, `b: [n,k]`, `self: [m,n]`.
+    pub fn add_matmul_nt(&mut self, a: &Tensor, b: &Tensor) {
+        let (m, k) = (a.shape[0], a.shape[1]);
+        let (n, k2) = (b.shape[0], b.shape[1]);
+        assert_eq!(k, k2, "add_matmul_nt inner dims {k} vs {k2}");
+        assert_eq!(self.shape(), &[m, n], "add_matmul_nt output shape");
+        gemm::gemm(&mut self.data, &a.data, &b.data, m, k, n, false, true, true);
+    }
+
+    /// `self += a × b` (both untransposed).
+    pub fn add_matmul(&mut self, a: &Tensor, b: &Tensor) {
+        let (m, k, n) = a.matmul_dims(b);
+        assert_eq!(self.shape(), &[m, n], "add_matmul output shape");
+        gemm::gemm(
+            &mut self.data,
+            &a.data,
+            &b.data,
+            m,
+            k,
+            n,
+            false,
+            false,
+            true,
+        );
+    }
+
+    /// Matrix product through the seed scalar kernel, regardless of the
+    /// thread backend — the reference side of the differential suite.
+    pub fn matmul_naive(&self, rhs: &Tensor) -> Tensor {
+        let (m, k, n) = self.matmul_dims(rhs);
+        let mut out = pool::take_zeroed(m * n);
+        gemm::gemm_reference(
+            &mut out, &self.data, &rhs.data, m, k, n, false, false, false,
+        );
+        Tensor::from_vec(&[m, n], out)
+    }
+
+    /// Transpose a rank-2 tensor (cache-blocked).
     pub fn transpose(&self) -> Tensor {
         assert_eq!(self.shape.len(), 2, "transpose needs rank-2");
         let (m, n) = (self.shape[0], self.shape[1]);
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = self.data[i * n + j];
-            }
-        }
+        let mut out = pool::take_zeroed(m * n);
+        gemm::transpose_into(&mut out, &self.data, m, n);
         Tensor::from_vec(&[n, m], out)
+    }
+
+    /// Transpose into an existing `[n, m]` tensor, reusing its storage.
+    pub fn transpose_into(&self, out: &mut Tensor) {
+        assert_eq!(self.shape.len(), 2, "transpose needs rank-2");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        assert_eq!(out.shape(), &[n, m], "transpose_into output shape");
+        gemm::transpose_into(&mut out.data, &self.data, m, n);
     }
 
     /// Elementwise map.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut data = pool::take_empty(self.data.len());
+        data.extend(self.data.iter().map(|&x| f(x)));
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data,
+        }
+    }
+
+    /// Elementwise map in place — no allocation.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in self.data.iter_mut() {
+            *x = f(*x);
         }
     }
 
     /// Elementwise binary op with a shape-identical tensor.
     pub fn zip(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape, rhs.shape, "zip shape mismatch");
-        Tensor {
-            shape: self.shape.clone(),
-            data: self
-                .data
+        let mut data = pool::take_empty(self.data.len());
+        data.extend(
+            self.data
                 .iter()
                 .zip(rhs.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+                .map(|(&a, &b)| f(a, b)),
+        );
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+
+    /// Elementwise `self = f(self, rhs)` in place — no allocation.
+    pub fn zip_inplace(&mut self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32) {
+        assert_eq!(self.shape, rhs.shape, "zip shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a = f(*a, b);
         }
     }
 
@@ -194,6 +340,26 @@ impl Tensor {
     /// Scale every element by `s`.
     pub fn scale(&self, s: f32) -> Tensor {
         self.map(|x| x * s)
+    }
+
+    /// In-place scaling by `s`.
+    pub fn scale_inplace(&mut self, s: f32) {
+        for x in self.data.iter_mut() {
+            *x *= s;
+        }
+    }
+
+    /// Overwrite every element with `v` (in place; `fill(0.0)` is the
+    /// allocation-free `zero_grad`).
+    pub fn fill(&mut self, v: f32) {
+        self.data.fill(v);
+    }
+
+    /// Overwrite this tensor's contents from a shape-identical source —
+    /// the allocation-free alternative to `*self = src.clone()`.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        assert_eq!(self.shape, src.shape, "copy_from shape mismatch");
+        self.data.copy_from_slice(&src.data);
     }
 
     /// In-place `self += alpha * rhs` (axpy), shape-checked.
@@ -248,14 +414,17 @@ impl Tensor {
     pub fn row(&self, r: usize) -> Tensor {
         assert_eq!(self.shape.len(), 2);
         let n = self.shape[1];
-        Tensor::from_vec(&[n], self.data[r * n..(r + 1) * n].to_vec())
+        Tensor {
+            shape: vec![n],
+            data: pool::take_copy(&self.data[r * n..(r + 1) * n]),
+        }
     }
 
     /// Stack rank-1 rows into a rank-2 tensor; panics on ragged input.
     pub fn stack_rows(rows: &[Tensor]) -> Tensor {
         assert!(!rows.is_empty(), "cannot stack zero rows");
         let n = rows[0].len();
-        let mut data = Vec::with_capacity(rows.len() * n);
+        let mut data = pool::take_empty(rows.len() * n);
         for r in rows {
             assert_eq!(r.len(), n, "ragged rows in stack_rows");
             data.extend_from_slice(r.data());
@@ -294,6 +463,39 @@ mod tests {
         let c = a.matmul(&b);
         assert_eq!(c.shape(), &[2, 2]);
         assert_eq!(c.data(), &[58., 64., 139., 154.]);
+        assert_eq!(a.matmul_naive(&b).data(), c.data());
+    }
+
+    #[test]
+    fn matmul_into_reuses_storage() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let mut out = Tensor::full(&[2, 2], 99.0);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn transposed_products_match_materialized_transpose() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        // a·b == a·(bᵀ)ᵀ via matmul_nt.
+        assert_eq!(a.matmul_nt(&b.transpose()).data(), a.matmul(&b).data());
+        // matmul_tn on the stored transpose recovers a·b.
+        let at = a.transpose();
+        assert_eq!(at.matmul_tn(&b).data(), a.matmul(&b).data());
+    }
+
+    #[test]
+    fn add_matmul_accumulates() {
+        let x = Tensor::from_vec(&[2, 2], vec![1., 0., 0., 1.]);
+        let g = Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]);
+        let mut dw = Tensor::full(&[2, 2], 1.0);
+        dw.add_matmul_tn(&x, &g); // xᵀ·g = g since x = I
+        assert_eq!(dw.data(), &[2., 3., 4., 5.]);
+        let mut c = Tensor::zeros(&[2, 2]);
+        c.add_matmul(&x, &g);
+        assert_eq!(c.data(), g.data());
     }
 
     #[test]
@@ -301,6 +503,30 @@ mod tests {
         let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
         assert_eq!(a.transpose().transpose(), a);
         assert_eq!(a.transpose().at(2, 1), 6.0);
+        let mut out = Tensor::zeros(&[3, 2]);
+        a.transpose_into(&mut out);
+        assert_eq!(out, a.transpose());
+    }
+
+    #[test]
+    fn inplace_ops_match_allocating_ops() {
+        let a = Tensor::from_slice(&[1.0, -2.0, 3.0]);
+        let b = Tensor::from_slice(&[0.5, 0.5, 0.5]);
+        let mut m = a.clone();
+        m.map_inplace(|x| x * 2.0);
+        assert_eq!(m, a.map(|x| x * 2.0));
+        let mut z = a.clone();
+        z.zip_inplace(&b, |x, y| x + y);
+        assert_eq!(z, a.add(&b));
+        let mut s = a.clone();
+        s.scale_inplace(3.0);
+        assert_eq!(s, a.scale(3.0));
+        let mut f = a.clone();
+        f.fill(0.0);
+        assert_eq!(f, Tensor::zeros(&[3]));
+        let mut c = Tensor::zeros(&[3]);
+        c.copy_from(&a);
+        assert_eq!(c, a);
     }
 
     #[test]
@@ -335,5 +561,16 @@ mod tests {
         let t = Tensor::zeros(&[4, 3, 2, 2]);
         assert_eq!(t.rows(), 4);
         assert_eq!(t.cols(), 12);
+    }
+
+    #[test]
+    fn recycled_storage_is_reused() {
+        crate::pool::clear_thread_pool();
+        let a = Tensor::zeros(&[64, 64]);
+        let misses_before = crate::pool::thread_stats().misses;
+        a.recycle();
+        let _b = Tensor::zeros(&[64, 64]);
+        let stats = crate::pool::thread_stats();
+        assert_eq!(stats.misses, misses_before, "second allocation must hit");
     }
 }

@@ -48,6 +48,7 @@ fn main() {
         depth: None,
         trace: false,
         obs: None,
+        ..TrainOpts::default()
     };
     // Four stages over the 8-layer model (Figure 4's shape, for real).
     let config = PipelineConfig::straight(8, &[1, 3, 5]);

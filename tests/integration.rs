@@ -79,6 +79,7 @@ fn profiled_model_plans_and_trains_under_that_plan() {
         depth: None,
         trace: false,
         obs: None,
+        ..TrainOpts::default()
     };
     let (mut trained, report) = train_pipeline(model, &plan.config, &data, &opts);
     assert_eq!(report.per_epoch.len(), 8);
@@ -117,6 +118,7 @@ fn checkpoint_restart_resumes_identically() {
         depth: None,
         trace: false,
         obs: None,
+        ..TrainOpts::default()
     };
 
     // Run 3 epochs with checkpointing.
@@ -220,6 +222,7 @@ fn traced_run_throughput_within_bounds_of_simulation() {
         depth: None,
         trace: false,
         obs: Some(session.clone()),
+        ..TrainOpts::default()
     };
     let (_, report) = train_pipeline(model, &config, &data, &opts);
     assert!(report.wall_time_s > 0.0);

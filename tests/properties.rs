@@ -188,6 +188,7 @@ mod runtime_properties {
                 depth: None,
                 trace: false,
                 obs: None,
+                ..TrainOpts::default()
             };
             let config = PipelineConfig::straight(6, &[b1]);
             let (_, seq) = train_sequential(mlp(seed), &data, &opts);
