@@ -12,7 +12,8 @@
 //!
 //! Experiment ids: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 //! fig12 fig13 fig14 fig15 fig16 fig17 fig18 table1 table2 table3 asp gpipe
-//! opt ablations trend verify sensitivity recovery trace-validate.
+//! opt ablations trend verify sensitivity recovery trace-validate
+//! drift-replan.
 
 use pipedream_bench::experiments as e;
 use std::fs;
@@ -49,12 +50,39 @@ const ALL: &[&str] = &[
     "sensitivity",
     "recovery",
     "trace-validate",
+    "drift-replan",
 ];
 
 /// Run one experiment; returns `(title, rendered text, optional CSV,
-/// optional SVG)`.
+/// optional SVG, optional extra named artifacts)`.
 #[allow(clippy::type_complexity)]
-fn run_one(id: &str) -> Option<(&'static str, String, Option<String>, Option<String>)> {
+fn run_one(
+    id: &str,
+) -> Option<(
+    &'static str,
+    String,
+    Option<String>,
+    Option<String>,
+    Option<Vec<(String, String)>>,
+)> {
+    // drift-replan carries extra JSON artifacts (the drift report and the
+    // advisor's recommended plan); every other experiment has none.
+    if id == "drift-replan" {
+        let r = e::drift_replan::run(3);
+        return Some((
+            "Live drift detection and replan advisor",
+            r.to_string(),
+            Some(r.to_csv()),
+            None,
+            Some(vec![
+                ("drift-report.json".to_string(), r.drift_report_json()),
+                (
+                    "recommended-plan.json".to_string(),
+                    r.recommended_plan_json(),
+                ),
+            ]),
+        ));
+    }
     let out = match id {
         "fig1" => {
             let r = e::fig1::run();
@@ -271,7 +299,8 @@ fn run_one(id: &str) -> Option<(&'static str, String, Option<String>, Option<Str
         ),
         _ => return None,
     };
-    Some(out)
+    let (title, text, csv, svg) = out;
+    Some((title, text, csv, svg, None))
 }
 
 fn main() {
@@ -298,7 +327,7 @@ fn main() {
         fs::create_dir_all(dir).expect("create save dir");
     }
     for id in ids {
-        let Some((title, text, csv, svg)) = run_one(id) else {
+        let Some((title, text, csv, svg, extras)) = run_one(id) else {
             eprintln!("unknown experiment '{id}'; try `repro list`");
             std::process::exit(1);
         };
@@ -313,6 +342,9 @@ fn main() {
             }
             if let Some(svg) = svg {
                 fs::write(dir.join(format!("{id}.svg")), svg).expect("write svg");
+            }
+            for (name, contents) in extras.into_iter().flatten() {
+                fs::write(dir.join(&name), contents).expect("write artifact");
             }
         }
     }

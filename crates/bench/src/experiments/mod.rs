@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod asp;
+pub mod drift_replan;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;

@@ -22,15 +22,21 @@ USAGE:
                               drop:stage=S,mb=N | corrupt:stage=S,epoch=E]
                      [--checkpoint-dir DIR] [--checkpoint-every K]
                      [--report file.json] [--trace out.json] [--metrics]
-                     [--timeline]
+                     [--timeline] [--watch]
+  pipedream top      [--stages N] [--epochs N] [--batch N] [--seed N]
+                     [--refresh-ms M]
   pipedream export   (--model <NAME> | --cluster <A|B|C> --servers N)
                      [--out file.json]
-  pipedream inspect  --model <NAME|@profile.json> [--batch N]
+  pipedream inspect  (--model <NAME|@profile.json> | --from-trace out.json)
+                     [--batch N]
   pipedream help
 
 MODELS: vgg16 resnet50 alexnet gnmt8 gnmt16 awd-lm s2vt, or @file.json with a
 serialized ModelProfile. TOPOLOGY: @file.json with a serialized Topology
-overrides --cluster/--servers.
+overrides --cluster/--servers. `train --watch` prints a live status line per
+snapshot window; `top` runs a demo training job under a live ASCII dashboard;
+`inspect --from-trace` replays a saved Chrome trace into measured per-stage
+costs (combine with --model to diff measured against profiled).
 ";
 
 /// A parsed subcommand.
@@ -44,6 +50,8 @@ pub enum Command {
     Dp(DpArgs),
     /// `pipedream train …`
     Train(TrainArgs),
+    /// `pipedream top …`
+    Top(TopArgs),
     /// `pipedream export …`
     Export(ExportArgs),
     /// `pipedream inspect …`
@@ -55,10 +63,30 @@ pub enum Command {
 /// Arguments for `inspect`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InspectArgs {
-    /// Zoo model name or `@path.json`.
-    pub model: String,
+    /// Zoo model name or `@path.json`. Optional when `--from-trace` is
+    /// given; when both are present the measured table prints next to
+    /// the profiled one.
+    pub model: Option<String>,
     /// Per-GPU minibatch override.
     pub batch: Option<usize>,
+    /// Replay a saved Chrome trace into measured per-stage costs.
+    pub from_trace: Option<String>,
+}
+
+/// Arguments for `top`: a self-contained demo training run rendered as a
+/// live dashboard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopArgs {
+    /// Pipeline stages.
+    pub stages: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Dashboard refresh interval in milliseconds.
+    pub refresh_ms: u64,
 }
 
 /// Arguments for `export`.
@@ -162,6 +190,9 @@ pub struct TrainArgs {
     pub metrics: bool,
     /// Render the measured run as an ASCII timeline.
     pub timeline: bool,
+    /// Print a live status line (throughput, per-stage busy%, ETA) per
+    /// snapshot window while training.
+    pub watch: bool,
 }
 
 /// Parsing failure with a user-facing message.
@@ -181,7 +212,10 @@ fn flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), Pars
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
             // Boolean flags take no value; everything else consumes one.
-            let boolean = matches!(name, "flat" | "json" | "timeline" | "fp16" | "metrics");
+            let boolean = matches!(
+                name,
+                "flat" | "json" | "timeline" | "fp16" | "metrics" | "watch"
+            );
             if boolean {
                 map.insert(name.to_string(), "true".to_string());
             } else {
@@ -283,19 +317,26 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             fp16: map.contains_key("fp16"),
             json: map.contains_key("json"),
         })),
-        "inspect" => Ok(Command::Inspect(InspectArgs {
-            model: map
-                .get("model")
-                .cloned()
-                .ok_or_else(|| ParseError("--model is required".into()))?,
-            batch: map
-                .get("batch")
-                .map(|v| {
-                    v.parse()
-                        .map_err(|_| ParseError("--batch: not a number".into()))
-                })
-                .transpose()?,
-        })),
+        "inspect" => {
+            let model = map.get("model").cloned();
+            let from_trace = map.get("from-trace").cloned();
+            if model.is_none() && from_trace.is_none() {
+                return Err(ParseError(
+                    "inspect needs --model and/or --from-trace".into(),
+                ));
+            }
+            Ok(Command::Inspect(InspectArgs {
+                model,
+                batch: map
+                    .get("batch")
+                    .map(|v| {
+                        v.parse()
+                            .map_err(|_| ParseError("--batch: not a number".into()))
+                    })
+                    .transpose()?,
+                from_trace,
+            }))
+        }
         "export" => {
             let cluster = match map.get("cluster") {
                 None => None,
@@ -345,6 +386,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             trace: map.get("trace").cloned(),
             metrics: map.contains_key("metrics"),
             timeline: map.contains_key("timeline"),
+            watch: map.contains_key("watch"),
+        })),
+        "top" => Ok(Command::Top(TopArgs {
+            stages: get(&map, "stages", 4usize)?,
+            epochs: get(&map, "epochs", 10usize)?,
+            batch: get(&map, "batch", 16usize)?,
+            seed: get(&map, "seed", 1u64)?,
+            refresh_ms: get(&map, "refresh-ms", 250u64)?,
         })),
         other => Err(ParseError(format!(
             "unknown subcommand '{other}'; try `pipedream help`"
@@ -463,6 +512,53 @@ mod tests {
         assert_eq!(a.report.as_deref(), Some("/tmp/report.json"));
         assert!(parse(&s(&["train", "--checkpoint-every", "0"])).is_err());
         assert!(parse(&s(&["train", "--checkpoint-every", "x"])).is_err());
+    }
+
+    #[test]
+    fn train_watch_flag_parses() {
+        let cmd = parse(&s(&["train", "--watch", "--epochs", "2"])).unwrap();
+        let Command::Train(a) = cmd else { panic!() };
+        assert!(a.watch);
+        assert_eq!(a.epochs, 2);
+        let cmd = parse(&s(&["train"])).unwrap();
+        let Command::Train(a) = cmd else { panic!() };
+        assert!(!a.watch);
+    }
+
+    #[test]
+    fn top_defaults_and_overrides() {
+        let cmd = parse(&s(&["top"])).unwrap();
+        let Command::Top(a) = cmd else { panic!() };
+        assert_eq!(a.stages, 4);
+        assert_eq!(a.refresh_ms, 250);
+        let cmd = parse(&s(&["top", "--stages", "2", "--refresh-ms", "100"])).unwrap();
+        let Command::Top(a) = cmd else { panic!() };
+        assert_eq!(a.stages, 2);
+        assert_eq!(a.refresh_ms, 100);
+    }
+
+    #[test]
+    fn inspect_accepts_model_or_trace() {
+        let cmd = parse(&s(&["inspect", "--model", "vgg16"])).unwrap();
+        let Command::Inspect(a) = cmd else { panic!() };
+        assert_eq!(a.model.as_deref(), Some("vgg16"));
+        assert_eq!(a.from_trace, None);
+        let cmd = parse(&s(&["inspect", "--from-trace", "/tmp/run.json"])).unwrap();
+        let Command::Inspect(a) = cmd else { panic!() };
+        assert_eq!(a.model, None);
+        assert_eq!(a.from_trace.as_deref(), Some("/tmp/run.json"));
+        let cmd = parse(&s(&[
+            "inspect",
+            "--model",
+            "vgg16",
+            "--from-trace",
+            "/tmp/run.json",
+        ]))
+        .unwrap();
+        let Command::Inspect(a) = cmd else { panic!() };
+        assert!(a.model.is_some() && a.from_trace.is_some());
+        // Neither is an error.
+        assert!(parse(&s(&["inspect"])).is_err());
     }
 
     #[test]

@@ -1,20 +1,25 @@
 //! Subcommand implementations.
 
-use crate::args::{DpArgs, ExportArgs, InspectArgs, PlanArgs, SimulateArgs, Target, TrainArgs};
+use crate::args::{
+    DpArgs, ExportArgs, InspectArgs, PlanArgs, SimulateArgs, Target, TopArgs, TrainArgs,
+};
 use pipedream_core::schedule::Schedule;
 use pipedream_core::{PipelineConfig, Planner};
 use pipedream_ft::{train_with_recovery, FaultPlan};
 use pipedream_hw::{ClusterPreset, Precision, Topology};
 use pipedream_model::{zoo, ModelProfile};
+use pipedream_obs::{parse_chrome_trace, render_live_dashboard, render_live_status, LiveProfiler};
 use pipedream_runtime::trainer::evaluate;
 use pipedream_runtime::{train_pipeline, LrSchedule, OptimKind, Semantics, TrainOpts};
 use pipedream_sim::{render_timeline, simulate_dp, simulate_pipeline};
-use pipedream_tensor::data::blobs;
+use pipedream_tensor::data::{blobs, Dataset};
 use pipedream_tensor::init::rng;
 use pipedream_tensor::layers::{Linear, Tanh};
 use pipedream_tensor::Sequential;
 use std::fmt::Write as _;
 use std::fs;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 fn load_model(name: &str) -> Result<ModelProfile, String> {
     if let Some(path) = name.strip_prefix('@') {
@@ -213,6 +218,61 @@ pub fn dp(a: DpArgs) -> Result<String, String> {
     ))
 }
 
+/// The synthetic demo pipeline `train` and `top` share: a 2·stages-layer
+/// MLP on the 4-class blobs task, split one boundary per stage.
+fn demo_pipeline(stages: usize, seed: u64) -> (Sequential, PipelineConfig, Dataset) {
+    let width = 32usize;
+    let mut r = rng(seed);
+    let mut model = Sequential::new("cli-mlp").push(Linear::new(8, width, &mut r));
+    for _ in 0..(2 * stages - 3) {
+        model.push_boxed(Box::new(Tanh::new()));
+        let lin = Linear::new(width, width, &mut r);
+        model.push_boxed(Box::new(lin));
+    }
+    model.push_boxed(Box::new(Linear::new(width, 4, &mut r)));
+    let n_layers = model.len();
+    let boundaries: Vec<usize> = (1..stages).map(|i| i * n_layers / stages - 1).collect();
+    let config = PipelineConfig::straight(n_layers, &boundaries);
+    let data = blobs(256, 8, 4, 0.8, seed ^ 0xda7a);
+    (model, config, data)
+}
+
+/// Background thread that drains the session rings every `period` and
+/// prints one [`render_live_status`] line to stderr; returns the final
+/// [`pipedream_obs::LiveSnapshot`] when stopped.
+struct Watcher {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<pipedream_obs::LiveSnapshot>,
+}
+
+impl Watcher {
+    fn spawn(session: Arc<pipedream_obs::TraceSession>, period: std::time::Duration) -> Watcher {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let mut profiler = LiveProfiler::new(session.clone());
+            while !stop2.load(Ordering::Relaxed) {
+                std::thread::sleep(period);
+                let live = profiler.sample();
+                // The trainer publishes the run length once the schedule is
+                // built, which turns the status line into progress + ETA.
+                let total = session.metrics().gauge("train_total_minibatches").get() as u64;
+                eprintln!(
+                    "{}",
+                    render_live_status(&live, (total > 0).then_some(total))
+                );
+            }
+            profiler.sample()
+        });
+        Watcher { stop, handle }
+    }
+
+    fn finish(self) -> pipedream_obs::LiveSnapshot {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle.join().expect("watcher thread panicked")
+    }
+}
+
 /// `pipedream train`.
 pub fn train(a: TrainArgs) -> Result<String, String> {
     if !(2..=8).contains(&a.stages) {
@@ -225,21 +285,7 @@ pub fn train(a: TrainArgs) -> Result<String, String> {
         "gpipe" => Semantics::GPipe { microbatches: 4 },
         other => return Err(format!("unknown semantics '{other}'")),
     };
-    // A 2·stages-layer MLP on the blobs task, split one boundary per stage.
-    let width = 32usize;
-    let mut r = rng(a.seed);
-    let mut model = Sequential::new("cli-mlp").push(Linear::new(8, width, &mut r));
-    for _ in 0..(2 * a.stages - 3) {
-        model.push_boxed(Box::new(Tanh::new()));
-        let lin = Linear::new(width, width, &mut r);
-        model.push_boxed(Box::new(lin));
-    }
-    model.push_boxed(Box::new(Linear::new(width, 4, &mut r)));
-    let n_layers = model.len();
-    let boundaries: Vec<usize> = (1..a.stages).map(|i| i * n_layers / a.stages - 1).collect();
-    let config = PipelineConfig::straight(n_layers, &boundaries);
-
-    let data = blobs(256, 8, 4, 0.8, a.seed ^ 0xda7a);
+    let (model, config, data) = demo_pipeline(a.stages, a.seed);
     let (train_set, test_set) = data.split(0.25);
     // --fault implies checkpointing so the recovery supervisor has
     // something to restart from.
@@ -253,10 +299,17 @@ pub fn train(a: TrainArgs) -> Result<String, String> {
     // Any observability flag opens a trace session shared by the workers,
     // the gradient-sync groups, and (under --fault) the recovery
     // supervisor.
-    let session = if a.trace.is_some() || a.metrics || a.timeline {
+    let session = if a.trace.is_some() || a.metrics || a.timeline || a.watch {
         Some(pipedream_obs::TraceSession::new())
     } else {
         None
+    };
+    let watcher = match (&session, a.watch) {
+        (Some(s), true) => Some(Watcher::spawn(
+            s.clone(),
+            std::time::Duration::from_millis(250),
+        )),
+        _ => None,
     };
     let opts = TrainOpts {
         epochs: a.epochs,
@@ -287,7 +340,15 @@ pub fn train(a: TrainArgs) -> Result<String, String> {
             result
         }
     };
+    let final_live = watcher.map(Watcher::finish);
     let mut out = String::new();
+    if let Some(live) = &final_live {
+        let _ = writeln!(
+            out,
+            "live: {}",
+            render_live_status(live, Some(live.minibatches_total))
+        );
+    }
     let _ = writeln!(
         out,
         "trained {}-stage pipeline ({:?}) for {} epochs on 4-class blobs",
@@ -365,44 +426,134 @@ pub fn train(a: TrainArgs) -> Result<String, String> {
 }
 
 /// `pipedream inspect`: print the per-layer profile table — the paper's
-/// `(T_l, a_l, w_l)` triple for every layer, plus totals.
+/// `(T_l, a_l, w_l)` triple for every layer, plus totals — and/or, with
+/// `--from-trace`, the *measured* per-stage table replayed offline from a
+/// recorded Chrome trace through the same aggregation `--watch` uses live.
 pub fn inspect(a: InspectArgs) -> Result<String, String> {
-    let model = load_model(&a.model)?;
-    let batch = a.batch.unwrap_or(model.default_batch);
-    let device = pipedream_hw::Device::v100();
-    let costs = model.costs(&device, batch, Precision::Fp32);
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{} — {} layers, {:.1} M params ({:.2} GB fp32), per-GPU batch {batch}\n",
-        model.name,
-        model.num_layers(),
-        model.total_params() as f64 / 1e6,
-        model.total_weight_bytes(Precision::Fp32) as f64 / (1u64 << 30) as f64
-    );
-    let _ = writeln!(
-        out,
-        "{:<14} {:>14} {:>12} {:>12} {:>14}",
-        "layer", "fwd+bwd (ms)", "a_l (MB)", "w_l (MB)", "flops/sample"
-    );
-    for (l, c) in model.layers.iter().zip(costs.layers.iter()) {
+    if let Some(name) = &a.model {
+        let model = load_model(name)?;
+        let batch = a.batch.unwrap_or(model.default_batch);
+        let device = pipedream_hw::Device::v100();
+        let costs = model.costs(&device, batch, Precision::Fp32);
         let _ = writeln!(
             out,
-            "{:<14} {:>14.3} {:>12.2} {:>12.2} {:>14.2e}",
-            l.name,
-            c.total_s() * 1e3,
-            c.activation_bytes as f64 / 1e6,
-            c.weight_bytes as f64 / 1e6,
-            l.flops_fwd
+            "{} — {} layers, {:.1} M params ({:.2} GB fp32), per-GPU batch {batch}\n",
+            model.name,
+            model.num_layers(),
+            model.total_params() as f64 / 1e6,
+            model.total_weight_bytes(Precision::Fp32) as f64 / (1u64 << 30) as f64
+        );
+        let _ = writeln!(
+            out,
+            "{:<14} {:>14} {:>12} {:>12} {:>14}",
+            "layer", "fwd+bwd (ms)", "a_l (MB)", "w_l (MB)", "flops/sample"
+        );
+        for (l, c) in model.layers.iter().zip(costs.layers.iter()) {
+            let _ = writeln!(
+                out,
+                "{:<14} {:>14.3} {:>12.2} {:>12.2} {:>14.2e}",
+                l.name,
+                c.total_s() * 1e3,
+                c.activation_bytes as f64 / 1e6,
+                c.weight_bytes as f64 / 1e6,
+                l.flops_fwd
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<14} {:>14.3} {:>12} {:>12.2}",
+            "TOTAL",
+            costs.total_compute_all() * 1e3,
+            "",
+            costs.weight_bytes_all() as f64 / 1e6
         );
     }
+    if let Some(path) = &a.from_trace {
+        let json = fs::read_to_string(path).map_err(|e| format!("--from-trace {path}: {e}"))?;
+        let snap = parse_chrome_trace(&json).map_err(|e| format!("--from-trace {path}: {e}"))?;
+        let live = LiveProfiler::replay(&snap);
+        if !out.is_empty() {
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(
+            out,
+            "measured from {path} — {} track(s), {} minibatch(es), {:.2}s wall\n",
+            snap.tracks.len(),
+            live.minibatches_total,
+            live.t_s
+        );
+        let _ = writeln!(
+            out,
+            "{:<6} {:>5} {:>14} {:>12} {:>12} {:>6} {:>6} {:>8}",
+            "stage", "mbs", "mean/mb (ms)", "p50 (ms)", "p99 (ms)", "busy%", "comm%", "bubble%"
+        );
+        for s in &live.stages {
+            let _ = writeln!(
+                out,
+                "{:<6} {:>5} {:>14.3} {:>12.3} {:>12.3} {:>6.1} {:>6.1} {:>8.1}",
+                s.stage,
+                s.minibatches,
+                s.ewma_compute_per_mb_s * 1e3,
+                s.p50_compute_s * 1e3,
+                s.p99_compute_s * 1e3,
+                s.busy_frac * 100.0,
+                s.comm_frac * 100.0,
+                s.bubble_frac * 100.0,
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// `pipedream top`: run the demo training pipeline with tracing on and
+/// repaint a live per-stage dashboard (EWMA/percentile compute, busy /
+/// comm / bubble split, stash depth, recent-window ASCII timeline) every
+/// `--refresh-ms` until training finishes. Returns the final frame.
+pub fn top(a: TopArgs) -> Result<String, String> {
+    if !(2..=8).contains(&a.stages) {
+        return Err("--stages must be between 2 and 8".into());
+    }
+    let (model, config, data) = demo_pipeline(a.stages, a.seed);
+    let (train_set, _) = data.split(0.25);
+    let session = pipedream_obs::TraceSession::new();
+    let opts = TrainOpts {
+        epochs: a.epochs,
+        batch: a.batch,
+        optim: OptimKind::Sgd {
+            lr: 0.05,
+            momentum: 0.0,
+        },
+        semantics: Semantics::Stashed,
+        lr_schedule: LrSchedule::Constant,
+        obs: Some(session.clone()),
+        ..TrainOpts::default()
+    };
+    let trainer = std::thread::spawn(move || train_pipeline(model, &config, &train_set, &opts));
+    let mut profiler = LiveProfiler::new(session.clone());
+    let period = std::time::Duration::from_millis(a.refresh_ms.max(10));
+    while !trainer.is_finished() {
+        std::thread::sleep(period);
+        let live = profiler.sample();
+        let snap = session.snapshot();
+        // ANSI clear + home, then the current frame.
+        print!(
+            "\x1b[2J\x1b[H{}",
+            render_live_dashboard(&live, &snap, 2.0, 100)
+        );
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+    }
+    let (_, report) = trainer.join().expect("training thread panicked");
+    let live = profiler.sample();
+    let snap = session.snapshot();
+    let mut out = render_live_dashboard(&live, &snap, 2.0, 100);
     let _ = writeln!(
         out,
-        "{:<14} {:>14.3} {:>12} {:>12.2}",
-        "TOTAL",
-        costs.total_compute_all() * 1e3,
-        "",
-        costs.weight_bytes_all() as f64 / 1e6
+        "\ndone: {} epoch(s) in {:.2}s, final loss {:.4}",
+        a.epochs,
+        report.wall_time_s,
+        report.per_epoch.last().map(|e| e.loss).unwrap_or(f32::NAN)
     );
     Ok(out)
 }
@@ -548,6 +699,7 @@ mod tests {
             trace: None,
             metrics: false,
             timeline: false,
+            watch: false,
         })
         .unwrap();
         assert!(out.contains("held-out accuracy"));
@@ -572,6 +724,7 @@ mod tests {
             trace: None,
             metrics: false,
             timeline: false,
+            watch: false,
         })
         .unwrap();
         assert!(out.contains("injected fault `kill:stage=1,mb=20`"), "{out}");
@@ -598,6 +751,7 @@ mod tests {
             trace: Some(path.to_string_lossy().into_owned()),
             metrics: true,
             timeline: true,
+            watch: false,
         })
         .unwrap();
         assert!(out.contains("wrote Chrome trace"), "{out}");
@@ -642,6 +796,7 @@ mod tests {
             trace: None,
             metrics: false,
             timeline: false,
+            watch: false,
         })
         .unwrap_err();
         assert!(err.contains("--fault"), "{err}");
@@ -650,14 +805,112 @@ mod tests {
     #[test]
     fn inspect_prints_layer_table() {
         let out = inspect(InspectArgs {
-            model: "vgg16".into(),
+            model: Some("vgg16".into()),
             batch: None,
+            from_trace: None,
         })
         .unwrap();
         assert!(out.contains("conv1_1"));
         assert!(out.contains("fc8"));
         assert!(out.contains("TOTAL"));
         assert!(out.contains("138.4 M params"));
+    }
+
+    #[test]
+    fn train_watch_appends_final_status_line() {
+        let out = train(TrainArgs {
+            stages: 2,
+            epochs: 2,
+            batch: 16,
+            lr: 0.05,
+            semantics: "stashed".into(),
+            seed: 3,
+            fault: None,
+            checkpoint_dir: None,
+            checkpoint_every: None,
+            report: None,
+            trace: None,
+            metrics: false,
+            timeline: false,
+            watch: true,
+        })
+        .unwrap();
+        assert!(out.contains("live: ["), "{out}");
+        assert!(out.contains("mb/s"), "{out}");
+        assert!(out.contains("held-out accuracy"), "{out}");
+    }
+
+    #[test]
+    fn inspect_from_trace_replays_measured_stages() {
+        // Record a real run, then replay the written Chrome trace offline.
+        let dir = std::env::temp_dir().join(format!("pd-cli-replay-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("watch-trace.json");
+        train(TrainArgs {
+            stages: 2,
+            epochs: 2,
+            batch: 16,
+            lr: 0.05,
+            semantics: "stashed".into(),
+            seed: 3,
+            fault: None,
+            checkpoint_dir: None,
+            checkpoint_every: None,
+            report: None,
+            trace: Some(path.to_string_lossy().into_owned()),
+            metrics: false,
+            timeline: false,
+            watch: false,
+        })
+        .unwrap();
+        let out = inspect(InspectArgs {
+            model: None,
+            batch: None,
+            from_trace: Some(path.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        assert!(out.contains("measured from"), "{out}");
+        assert!(out.contains("busy%"), "{out}");
+        // Both stages of the recorded 2-stage run appear in the table.
+        assert!(out.lines().any(|l| l.starts_with("0 ")), "{out}");
+        assert!(out.lines().any(|l| l.starts_with("1 ")), "{out}");
+        // With a model too, the profiled table precedes the measured one.
+        let both = inspect(InspectArgs {
+            model: Some("alexnet".into()),
+            batch: None,
+            from_trace: Some(path.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        let profiled = both.find("TOTAL").unwrap();
+        let measured = both.find("measured from").unwrap();
+        assert!(profiled < measured, "{both}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn inspect_from_trace_missing_file_is_friendly() {
+        let err = inspect(InspectArgs {
+            model: None,
+            batch: None,
+            from_trace: Some("/nonexistent/trace.json".into()),
+        })
+        .unwrap_err();
+        assert!(err.contains("--from-trace"), "{err}");
+    }
+
+    #[test]
+    fn top_renders_dashboard_and_finishes() {
+        let out = top(TopArgs {
+            stages: 2,
+            epochs: 2,
+            batch: 16,
+            seed: 3,
+            refresh_ms: 50,
+        })
+        .unwrap();
+        assert!(out.contains("ewma/mb"), "{out}");
+        assert!(out.contains("bubble%"), "{out}");
+        assert!(out.contains("done: 2 epoch(s)"), "{out}");
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //!   discrete-event simulator, with optional ASCII timeline;
 //! * `dp` — the data-parallel baseline: iteration time and stall fraction;
 //! * `train` — really train a small model pipeline-parallel on a synthetic
-//!   task with the chosen semantics.
+//!   task with the chosen semantics (add `--watch` for live status lines);
+//! * `top` — live per-stage dashboard over a demo training run;
+//! * `inspect` — per-layer profile tables, including measured ones
+//!   replayed offline from a recorded Chrome trace (`--from-trace`).
 
 pub mod args;
 pub mod commands;
@@ -25,6 +28,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
         Command::Train(a) => commands::train(a),
         Command::Export(a) => commands::export(a),
         Command::Inspect(a) => commands::inspect(a),
+        Command::Top(a) => commands::top(a),
         Command::Help => Ok(args::USAGE.to_string()),
     }
 }

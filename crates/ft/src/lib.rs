@@ -13,10 +13,16 @@
 //!   worker failures the runtime surfaces, restarts from the last
 //!   complete checkpoint with the existing resume machinery, and reports
 //!   a [`pipedream_runtime::report::RecoveryRecord`] quantifying
-//!   detection latency, redone work, and end-quality parity.
+//!   detection latency, redone work, and end-quality parity;
+//! * [`straggler::DelayStraggler`] — a *persistent* slowdown (every
+//!   forward send from one stage delayed) for exercising the live
+//!   drift detector and replan advisor, where a one-shot fault would
+//!   vanish between profiler sample windows.
 
 pub mod plan;
+pub mod straggler;
 pub mod supervisor;
 
 pub use plan::{Fault, FaultPlan};
+pub use straggler::DelayStraggler;
 pub use supervisor::{train_with_recovery, SupervisorError};

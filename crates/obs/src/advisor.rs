@@ -1,0 +1,259 @@
+//! The replan advisor: feeds *measured* per-stage times back into the
+//! partitioning optimizer (paper §3.1) and reports whether a different
+//! partition/replication would beat the current one, with the
+//! simulated-throughput delta.
+//!
+//! The planner wants per-*layer* costs but the live profiler measures
+//! per-*stage* times, so the advisor scales the offline baseline
+//! [`LayerCosts`] layer by layer: every layer in stage `s` has its
+//! forward/backward costs multiplied by `measured_s[s] / predicted_s[s]`.
+//! That keeps the intra-stage cost *shape* from the offline profile
+//! while matching the inter-stage *totals* to what the pipeline is
+//! actually doing — exactly the information a repartition needs (a
+//! straggling stage gets more expensive, so the DP moves layers off it
+//! or throws replicas at it).
+
+use pipedream_core::{PipelineConfig, StagePrediction};
+use pipedream_core::{Planner, Schedule};
+use pipedream_hw::Topology;
+use pipedream_model::LayerCosts;
+use pipedream_sim::simulate_pipeline;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one replan evaluation. Serializable so the recommended
+/// plan can be saved as a CI artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplanAdvice {
+    /// Label of the configuration the pipeline is running.
+    pub current_label: String,
+    /// Label of the configuration the planner recommends under measured
+    /// costs (may equal `current_label`).
+    pub recommended_label: String,
+    /// True when the recommendation differs from the current config.
+    pub changed: bool,
+    /// DP objective (bottleneck seconds/minibatch) of the current config
+    /// under measured costs.
+    pub current_bottleneck_s: f64,
+    /// DP objective of the recommended config under measured costs.
+    pub recommended_bottleneck_s: f64,
+    /// Simulated steady-state throughput of the current config under
+    /// measured costs (samples/second).
+    pub current_sim_samples_per_sec: f64,
+    /// Simulated throughput of the recommended config (samples/second).
+    pub recommended_sim_samples_per_sec: f64,
+    /// `recommended_sim / current_sim` (1.0 when unchanged).
+    pub sim_speedup: f64,
+    /// The recommended configuration itself.
+    pub recommended_config: PipelineConfig,
+    /// The measured-scaled layer costs the recommendation was planned
+    /// from, for reproducibility.
+    pub measured_costs: LayerCosts,
+}
+
+/// Scale the baseline per-layer costs so each stage's total compute
+/// matches its measured time. Stages with no measurement yet (or a zero
+/// prediction) keep their baseline costs.
+pub fn measured_layer_costs(
+    baseline: &LayerCosts,
+    config: &PipelineConfig,
+    predictions: &[StagePrediction],
+    measured_stage_s: &[f64],
+) -> LayerCosts {
+    let mut out = baseline.clone();
+    for (si, stage) in config.stages().iter().enumerate() {
+        let predicted = predictions
+            .iter()
+            .find(|p| p.stage == si)
+            .map(|p| p.compute_s)
+            .unwrap_or(0.0);
+        let measured = measured_stage_s.get(si).copied().unwrap_or(0.0);
+        if predicted <= 0.0 || measured <= 0.0 {
+            continue;
+        }
+        let ratio = measured / predicted;
+        for l in stage.first_layer..=stage.last_layer {
+            if let Some(layer) = out.layers.get_mut(l) {
+                layer.fwd_s *= ratio;
+                layer.bwd_s *= ratio;
+            }
+        }
+    }
+    out
+}
+
+/// Re-run the partitioner over measured costs and compare against the
+/// running configuration. `sim_minibatches` sets the schedule length for
+/// the steady-state throughput simulation (enough to amortize fill/drain;
+/// 48 is plenty for small pipelines).
+pub fn advise_replan(
+    baseline: &LayerCosts,
+    topo: &Topology,
+    current: &PipelineConfig,
+    measured_stage_s: &[f64],
+    sim_minibatches: u64,
+) -> ReplanAdvice {
+    let base_planner = Planner::from_costs(baseline.clone(), topo);
+    let predictions = base_planner.predicted_stage_times(current);
+    let measured = measured_layer_costs(baseline, current, &predictions, measured_stage_s);
+
+    let planner = Planner::from_costs(measured.clone(), topo);
+    let current_plan = planner.evaluate(current);
+    let best = planner.plan_flat();
+    // Only advise a change when the DP objective actually improves;
+    // plan_flat can tie with the current config under different labels.
+    let (recommended, changed) =
+        if best.config != *current && best.bottleneck_s < current_plan.bottleneck_s {
+            (best, true)
+        } else {
+            (current_plan.clone(), false)
+        };
+
+    let sim_cur = simulate_pipeline(
+        &measured,
+        topo,
+        &Schedule::one_f_one_b(current, sim_minibatches),
+    );
+    let sim_rec = if changed {
+        simulate_pipeline(
+            &measured,
+            topo,
+            &Schedule::one_f_one_b(&recommended.config, sim_minibatches),
+        )
+    } else {
+        sim_cur.clone()
+    };
+
+    ReplanAdvice {
+        current_label: current.label(),
+        recommended_label: recommended.config.label(),
+        changed,
+        current_bottleneck_s: current_plan.bottleneck_s,
+        recommended_bottleneck_s: recommended.bottleneck_s,
+        current_sim_samples_per_sec: sim_cur.samples_per_sec,
+        recommended_sim_samples_per_sec: sim_rec.samples_per_sec,
+        sim_speedup: if sim_cur.samples_per_sec > 0.0 {
+            sim_rec.samples_per_sec / sim_cur.samples_per_sec
+        } else {
+            1.0
+        },
+        recommended_config: recommended.config,
+        measured_costs: measured,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipedream_hw::{Device, LinkModel};
+    use pipedream_model::profile::LayerCost;
+
+    /// 4 uniform layers: 1 ms forward, 2 ms backward each.
+    fn uniform_costs() -> LayerCosts {
+        LayerCosts {
+            model: "test".into(),
+            batch: 8,
+            layers: (0..4)
+                .map(|i| LayerCost {
+                    name: format!("l{i}"),
+                    fwd_s: 1e-3,
+                    bwd_s: 2e-3,
+                    activation_bytes: 1024,
+                    weight_bytes: 4096,
+                })
+                .collect(),
+        }
+    }
+
+    fn topo2() -> Topology {
+        Topology::flat(Device::v100(), 2, LinkModel::new(1e14, 0.0), "test")
+    }
+
+    #[test]
+    fn measured_costs_scale_only_the_straggling_stage() {
+        let baseline = uniform_costs();
+        let config = PipelineConfig::straight(4, &[1]);
+        let topo = topo2();
+        let preds = Planner::from_costs(baseline.clone(), &topo).predicted_stage_times(&config);
+        // Stage 0 measured at 3× its prediction, stage 1 on target.
+        let measured = measured_layer_costs(
+            &baseline,
+            &config,
+            &preds,
+            &[preds[0].compute_s * 3.0, preds[1].compute_s],
+        );
+        assert!((measured.layers[0].fwd_s - 3e-3).abs() < 1e-9);
+        assert!((measured.layers[1].bwd_s - 6e-3).abs() < 1e-9);
+        assert!((measured.layers[2].fwd_s - 1e-3).abs() < 1e-9);
+        assert!((measured.layers[3].bwd_s - 2e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unmeasured_stages_keep_baseline_costs() {
+        let baseline = uniform_costs();
+        let config = PipelineConfig::straight(4, &[1]);
+        let topo = topo2();
+        let preds = Planner::from_costs(baseline.clone(), &topo).predicted_stage_times(&config);
+        let measured = measured_layer_costs(&baseline, &config, &preds, &[0.0, 0.0]);
+        assert_eq!(measured, baseline);
+    }
+
+    #[test]
+    fn advisor_beats_a_degraded_partition() {
+        let baseline = uniform_costs();
+        let config = PipelineConfig::straight(4, &[1]);
+        let topo = topo2();
+        let preds = Planner::from_costs(baseline.clone(), &topo).predicted_stage_times(&config);
+        // Stage 0 straggling at 3×: the balanced 2-2 split is now 9 ms vs
+        // 6 ms, so a repartition (or data parallelism) must win.
+        let advice = advise_replan(
+            &baseline,
+            &topo,
+            &config,
+            &[preds[0].compute_s * 3.0, preds[1].compute_s],
+            48,
+        );
+        assert!(advice.changed, "advisor kept a degraded plan: {advice:?}");
+        assert!(
+            advice.recommended_bottleneck_s < advice.current_bottleneck_s,
+            "DP objective did not improve: {advice:?}"
+        );
+        assert!(
+            advice.recommended_sim_samples_per_sec > advice.current_sim_samples_per_sec,
+            "simulated throughput did not improve: {advice:?}"
+        );
+        assert!(advice.sim_speedup > 1.0);
+    }
+
+    #[test]
+    fn healthy_pipeline_keeps_its_plan() {
+        let baseline = uniform_costs();
+        let topo = topo2();
+        // Run the planner's own choice with on-target measurements.
+        let best = Planner::from_costs(baseline.clone(), &topo).plan_flat();
+        let preds =
+            Planner::from_costs(baseline.clone(), &topo).predicted_stage_times(&best.config);
+        let measured: Vec<f64> = preds.iter().map(|p| p.compute_s).collect();
+        let advice = advise_replan(&baseline, &topo, &best.config, &measured, 48);
+        assert!(!advice.changed, "flapped on a healthy plan: {advice:?}");
+        assert_eq!(advice.sim_speedup, 1.0);
+        assert_eq!(advice.current_label, advice.recommended_label);
+    }
+
+    #[test]
+    fn advice_round_trips_through_json() {
+        let baseline = uniform_costs();
+        let config = PipelineConfig::straight(4, &[1]);
+        let topo = topo2();
+        let preds = Planner::from_costs(baseline.clone(), &topo).predicted_stage_times(&config);
+        let advice = advise_replan(
+            &baseline,
+            &topo,
+            &config,
+            &[preds[0].compute_s * 3.0, preds[1].compute_s],
+            24,
+        );
+        let json = serde_json::to_string(&advice).unwrap();
+        let back: ReplanAdvice = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, advice);
+    }
+}

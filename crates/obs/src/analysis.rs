@@ -34,7 +34,11 @@ pub struct StageTimes {
     /// Fraction of wall time this stage spent computing, averaged over
     /// its replicas.
     pub busy_frac: f64,
-    /// `1 - busy_frac`: pipeline bubble plus communication waits.
+    /// Fraction of wall time spent blocked on communication — send/receive
+    /// waits plus the gradient-sync rendezvous — averaged over replicas.
+    pub comm_frac: f64,
+    /// Pipeline bubble: `1 - busy_frac - comm_frac`, idle time that is
+    /// neither compute nor communication.
     pub bubble_frac: f64,
 }
 
@@ -93,8 +97,12 @@ pub fn stage_times(snap: &TraceSnapshot) -> Vec<StageTimes> {
     }
     for st in &mut out {
         if wall > 0.0 && st.tracks > 0 {
-            st.busy_frac = (st.compute_s() / (wall * st.tracks as f64)).min(1.0);
-            st.bubble_frac = 1.0 - st.busy_frac;
+            let denom = wall * st.tracks as f64;
+            st.busy_frac = (st.compute_s() / denom).min(1.0);
+            // Communication is capped by what busy left over, so the
+            // three fractions always sum to exactly 1.
+            st.comm_frac = ((st.recv_wait_s + st.sync_s) / denom).min(1.0 - st.busy_frac);
+            st.bubble_frac = 1.0 - st.busy_frac - st.comm_frac;
         }
     }
     out
@@ -233,29 +241,91 @@ pub fn validate(
     }
 }
 
-/// Fold a snapshot into registry gauges/histograms: per-stage busy% and
-/// bubble%, per-kind span duration histograms, and the total events lost
-/// to the rings' drop-oldest policy.
+/// Which metric names [`record_snapshot_metrics_with`] emits.
+///
+/// The labeled series (`pipedream_stage_busy_frac{stage="2"}`) are the
+/// current interface — stages aggregate in real dashboards. The pre-5.x
+/// flat names (`stage2_busy_frac`) stay available behind `flat_compat`
+/// for one release so existing scrapes keep working, then default off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotMetricsOpts {
+    /// Emit labeled series: `pipedream_stage_*{stage="N"}` gauges and the
+    /// `pipedream_span_seconds{kind="..."}` histogram family.
+    pub labeled: bool,
+    /// Also emit the deprecated flat names (`stageN_busy_frac`,
+    /// `span_seconds_fwd`, ...).
+    pub flat_compat: bool,
+}
+
+impl Default for SnapshotMetricsOpts {
+    fn default() -> Self {
+        SnapshotMetricsOpts {
+            labeled: true,
+            flat_compat: true,
+        }
+    }
+}
+
+/// Fold a snapshot into registry gauges/histograms: per-stage busy%,
+/// comm% and bubble%, per-kind span duration histograms, and the total
+/// events lost to the rings' drop-oldest policy. Emits both labeled and
+/// flat-compat names; use [`record_snapshot_metrics_with`] to choose.
 pub fn record_snapshot_metrics(metrics: &MetricsRegistry, snap: &TraceSnapshot) {
+    record_snapshot_metrics_with(metrics, snap, &SnapshotMetricsOpts::default());
+}
+
+/// [`record_snapshot_metrics`] with explicit control over which metric
+/// naming scheme(s) to emit.
+pub fn record_snapshot_metrics_with(
+    metrics: &MetricsRegistry,
+    snap: &TraceSnapshot,
+    opts: &SnapshotMetricsOpts,
+) {
     for st in stage_times(snap) {
-        metrics
-            .gauge(&format!("stage{}_busy_frac", st.stage))
-            .set(st.busy_frac);
-        metrics
-            .gauge(&format!("stage{}_bubble_frac", st.stage))
-            .set(st.bubble_frac);
-        metrics
-            .gauge(&format!("stage{}_sync_wait_seconds", st.stage))
-            .set(st.sync_s);
+        let stage = st.stage.to_string();
+        if opts.labeled {
+            let labels: [(&str, &str); 1] = [("stage", stage.as_str())];
+            metrics
+                .gauge_labeled("pipedream_stage_busy_frac", &labels)
+                .set(st.busy_frac);
+            metrics
+                .gauge_labeled("pipedream_stage_comm_frac", &labels)
+                .set(st.comm_frac);
+            metrics
+                .gauge_labeled("pipedream_stage_bubble_frac", &labels)
+                .set(st.bubble_frac);
+            metrics
+                .gauge_labeled("pipedream_stage_sync_wait_seconds", &labels)
+                .set(st.sync_s);
+        }
+        if opts.flat_compat {
+            metrics
+                .gauge(&format!("stage{}_busy_frac", st.stage))
+                .set(st.busy_frac);
+            metrics
+                .gauge(&format!("stage{}_bubble_frac", st.stage))
+                .set(st.bubble_frac);
+            metrics
+                .gauge(&format!("stage{}_sync_wait_seconds", st.stage))
+                .set(st.sync_s);
+        }
     }
     let mut dropped = 0;
     for track in &snap.tracks {
         dropped += track.dropped;
         for ev in &track.events {
             if !ev.is_instant() {
-                metrics
-                    .histogram(&format!("span_seconds_{}", ev.kind.name()))
-                    .observe_secs(ev.duration_s());
+                let d = ev.duration_s();
+                if opts.labeled {
+                    metrics
+                        .histogram_labeled("pipedream_span_seconds", &[("kind", ev.kind.name())])
+                        .observe_secs(d);
+                }
+                if opts.flat_compat {
+                    metrics
+                        .histogram(&format!("span_seconds_{}", ev.kind.name()))
+                        .observe_secs(d);
+                }
             }
         }
     }
@@ -333,7 +403,21 @@ mod tests {
         assert!((st[0].compute_per_minibatch_s() - 6e-3).abs() < 1e-9);
         assert!((st[1].checkpoint_s - 4e-3).abs() < 1e-9);
         assert!(st[0].busy_frac > 0.0 && st[0].busy_frac <= 1.0);
-        assert!((st[0].busy_frac + st[0].bubble_frac - 1.0).abs() < 1e-12);
+        // Communication (the 4 ms of receive waits over a 38 ms wall) is
+        // its own fraction, not part of the bubble.
+        assert!(
+            (st[0].comm_frac - 4.0 / 38.0).abs() < 1e-9,
+            "{}",
+            st[0].comm_frac
+        );
+        for s in &st {
+            assert!(
+                (s.busy_frac + s.comm_frac + s.bubble_frac - 1.0).abs() < 1e-12,
+                "stage {}: fractions must sum to 1",
+                s.stage
+            );
+            assert!(s.bubble_frac >= 0.0 && s.comm_frac >= 0.0);
+        }
     }
 
     #[test]
@@ -381,8 +465,52 @@ mod tests {
     fn snapshot_metrics_fold_into_registry() {
         let reg = MetricsRegistry::new();
         record_snapshot_metrics(&reg, &sample());
+        // Compat flat names are still emitted by default...
         assert!(reg.gauge("stage0_busy_frac").get() > 0.0);
         assert_eq!(reg.counter("trace_events_dropped_total").get(), 2);
         assert_eq!(reg.histogram("span_seconds_bwd").count(), 5);
+        // ...alongside the labeled series.
+        let labels: [(&str, &str); 1] = [("stage", "0")];
+        assert!(
+            reg.gauge_labeled("pipedream_stage_busy_frac", &labels)
+                .get()
+                > 0.0
+        );
+        assert!(
+            reg.gauge_labeled("pipedream_stage_comm_frac", &labels)
+                .get()
+                > 0.0
+        );
+        assert_eq!(
+            reg.histogram_labeled("pipedream_span_seconds", &[("kind", "bwd")])
+                .count(),
+            5
+        );
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("pipedream_stage_bubble_frac{stage=\"0\"}"),
+            "labeled stage gauges in the dump:\n{text}"
+        );
+    }
+
+    #[test]
+    fn snapshot_metrics_labeled_only_drops_flat_names() {
+        let reg = MetricsRegistry::new();
+        record_snapshot_metrics_with(
+            &reg,
+            &sample(),
+            &SnapshotMetricsOpts {
+                labeled: true,
+                flat_compat: false,
+            },
+        );
+        let text = reg.render_prometheus();
+        assert!(
+            !text.contains("stage0_busy_frac"),
+            "flat names gone:\n{text}"
+        );
+        assert!(!text.contains("span_seconds_bwd"));
+        assert!(text.contains("pipedream_stage_busy_frac{stage=\"0\"}"));
+        assert!(text.contains("pipedream_span_seconds_bucket{kind=\"bwd\",le="));
     }
 }

@@ -9,8 +9,14 @@
 //!
 //! The document is built by hand rather than through a serializer so the
 //! byte output is deterministic for golden-file tests.
+//!
+//! [`parse_chrome_trace`] is the inverse: it reads an exported document
+//! back into a [`TraceSnapshot`] so the live-profiler aggregation can run
+//! offline over a saved `--trace out.json` (`pipedream inspect
+//! --from-trace`).
 
-use crate::recorder::TraceSnapshot;
+use crate::event::{Event, SpanKind};
+use crate::recorder::{TraceSnapshot, TrackEvents};
 use std::fmt::Write as _;
 
 fn escape(s: &str) -> String {
@@ -84,6 +90,107 @@ pub fn render_chrome_trace(snap: &TraceSnapshot) -> String {
     }
     out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
     out
+}
+
+/// Span kind from its exported name + optional `args.mb` payload.
+fn kind_from_name(name: &str, mb: u64) -> Option<SpanKind> {
+    Some(match name {
+        "fwd" => SpanKind::Fwd { mb },
+        "bwd" => SpanKind::Bwd { mb },
+        "grad_sync" => SpanKind::GradSync,
+        "stash_push" => SpanKind::StashPush { mb },
+        "stash_pop" => SpanKind::StashPop { mb },
+        "checkpoint" => SpanKind::Checkpoint,
+        "recv_wait" => SpanKind::RecvWait { mb },
+        "send_wait" => SpanKind::SendWait { mb },
+        "stalled" => SpanKind::Stalled,
+        "fault" => SpanKind::Fault,
+        "recovery" => SpanKind::Recovery,
+        _ => return None,
+    })
+}
+
+/// Microsecond float (with nanosecond fraction) back to nanoseconds.
+fn ns_from_us(us: f64) -> u64 {
+    (us * 1_000.0).round().max(0.0) as u64
+}
+
+/// Parse an exported Chrome trace document back into a [`TraceSnapshot`].
+///
+/// Track identity comes from the `thread_name` metadata events (one per
+/// `tid`); a stage index is recovered from the `stageN.` name prefix the
+/// runtime uses, leaving supervisor/coordinator tracks stage-less.
+/// Unrecognized event names are skipped (a trace may come from a newer
+/// build), but a document without `traceEvents` is an error.
+pub fn parse_chrome_trace(doc: &str) -> Result<TraceSnapshot, String> {
+    let v: serde_json::Value =
+        serde_json::from_str(doc).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events = v
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .ok_or_else(|| "missing traceEvents array".to_string())?;
+    // tid → track, in first-appearance order (matching export order).
+    let mut order: Vec<u64> = Vec::new();
+    let mut tracks: std::collections::BTreeMap<u64, TrackEvents> =
+        std::collections::BTreeMap::new();
+    for ev in events {
+        let tid = ev.get("tid").and_then(|t| t.as_u64()).unwrap_or(0);
+        let name = ev.get("name").and_then(|n| n.as_str()).unwrap_or("");
+        let ph = ev.get("ph").and_then(|p| p.as_str()).unwrap_or("");
+        let track = tracks.entry(tid).or_insert_with(|| {
+            order.push(tid);
+            TrackEvents {
+                name: format!("track{tid}"),
+                stage: None,
+                events: Vec::new(),
+                dropped: 0,
+            }
+        });
+        match ph {
+            "M" if name == "thread_name" => {
+                if let Some(n) = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|n| n.as_str())
+                {
+                    track.name = n.to_string();
+                    track.stage = n
+                        .strip_prefix("stage")
+                        .and_then(|rest| rest.split('.').next())
+                        .and_then(|digits| digits.parse::<usize>().ok());
+                }
+            }
+            "X" | "i" => {
+                let mb = ev
+                    .get("args")
+                    .and_then(|a| a.get("mb"))
+                    .and_then(|m| m.as_u64())
+                    .unwrap_or(0);
+                let Some(kind) = kind_from_name(name, mb) else {
+                    continue;
+                };
+                let ts = ev.get("ts").and_then(|t| t.as_f64()).unwrap_or(0.0);
+                let start_ns = ns_from_us(ts);
+                let end_ns = if ph == "X" {
+                    start_ns + ns_from_us(ev.get("dur").and_then(|d| d.as_f64()).unwrap_or(0.0))
+                } else {
+                    start_ns
+                };
+                track.events.push(Event {
+                    kind,
+                    start_ns,
+                    end_ns,
+                });
+            }
+            _ => {}
+        }
+    }
+    Ok(TraceSnapshot {
+        tracks: order
+            .into_iter()
+            .map(|tid| tracks.remove(&tid).unwrap())
+            .collect(),
+    })
 }
 
 #[cfg(test)]
@@ -160,6 +267,34 @@ mod tests {
         snap.tracks[0].name = "we\"ird\\name".into();
         let doc = render_chrome_trace(&snap);
         assert!(serde_json::from_str::<serde_json::Value>(&doc).is_ok());
+    }
+
+    #[test]
+    fn parse_round_trips_the_rendered_trace() {
+        let snap = sample();
+        let doc = render_chrome_trace(&snap);
+        let back = parse_chrome_trace(&doc).expect("parses");
+        assert_eq!(back.tracks.len(), 2);
+        assert_eq!(back.tracks[0].name, "stage0.replica0");
+        assert_eq!(back.tracks[0].stage, Some(0));
+        assert_eq!(back.tracks[1].name, "supervisor");
+        assert_eq!(back.tracks[1].stage, None);
+        // Every span survives with nanosecond-exact times (the export
+        // keeps the ns remainder in the µs fraction).
+        assert_eq!(back.tracks[0].events, snap.tracks[0].events);
+        assert_eq!(back.tracks[1].events, snap.tracks[1].events);
+    }
+
+    #[test]
+    fn parse_rejects_non_trace_documents() {
+        assert!(parse_chrome_trace("not json").is_err());
+        assert!(parse_chrome_trace("{\"foo\":1}").is_err());
+        // Unknown event names are skipped, not fatal.
+        let doc = "{\"traceEvents\":[{\"name\":\"mystery\",\"ph\":\"X\",\
+                    \"ts\":1.0,\"dur\":2.0,\"pid\":0,\"tid\":0}]}";
+        let snap = parse_chrome_trace(doc).expect("parses");
+        assert_eq!(snap.tracks.len(), 1);
+        assert!(snap.tracks[0].events.is_empty());
     }
 
     #[test]

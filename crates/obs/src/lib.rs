@@ -24,20 +24,42 @@
 //! [`chrome::render_chrome_trace`] (open in Perfetto) or fold into the
 //! [`MetricsRegistry`] with [`analysis::record_snapshot_metrics`] and dump
 //! Prometheus text via [`MetricsRegistry::render_prometheus`].
+//!
+//! The live layer closes the loop while the run is still going: a
+//! [`LiveProfiler`] periodically drains the rings into rolling-window
+//! per-stage costs (EWMA + p50/p99), a [`DriftDetector`] compares them
+//! hysteretically against planner [`StagePrediction`]s to flag
+//! stragglers and bottleneck shifts, and [`advise_replan`] feeds the
+//! measured costs back into the partitioner to check whether a different
+//! plan would beat the current one (with the simulated-throughput delta).
+//!
+//! [`StagePrediction`]: pipedream_core::StagePrediction
 
+pub mod advisor;
 pub mod analysis;
 pub mod chrome;
+pub mod drift;
 pub mod event;
+pub mod live;
 pub mod metrics;
 pub mod recorder;
 pub mod ring;
 
+pub use advisor::{advise_replan, measured_layer_costs, ReplanAdvice};
 pub use analysis::{
-    measured_per_minibatch_s, record_pool_metrics, record_snapshot_metrics, stage_times,
-    to_timeline, validate, StageTimes, StageValidation, TraceValidation,
+    measured_per_minibatch_s, record_pool_metrics, record_snapshot_metrics,
+    record_snapshot_metrics_with, stage_times, to_timeline, validate, SnapshotMetricsOpts,
+    StageTimes, StageValidation, TraceValidation,
 };
-pub use chrome::render_chrome_trace;
+pub use chrome::{parse_chrome_trace, render_chrome_trace};
+pub use drift::{
+    detect_replica_lag, DriftConfig, DriftDetector, DriftReport, ReplicaLag, StageDrift,
+};
 pub use event::{Event, SpanKind};
+pub use live::{
+    publish_live_metrics, render_live_dashboard, render_live_status, LiveProfiler, LiveSnapshot,
+    StageWindowStats,
+};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use recorder::{Recorder, SpanStart, TraceSession, TraceSnapshot, TrackEvents};
 pub use ring::EventRing;

@@ -178,30 +178,84 @@ impl MetricsRegistry {
         }
     }
 
+    /// Full series key `name{k="v",...}`. Labels render in the given
+    /// order; values are not escaped, so keep them to plain
+    /// identifiers/numbers (stage indices, span-kind names).
+    fn series_key(name: &str, labels: &[(&str, &str)]) -> String {
+        if labels.is_empty() {
+            return name.to_string();
+        }
+        let body: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+        format!("{name}{{{}}}", body.join(","))
+    }
+
+    /// Get or create the counter `name{labels}`. Series of the same
+    /// family share one `# TYPE` line in the Prometheus dump.
+    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.counter(&Self::series_key(name, labels))
+    }
+
+    /// Get or create the gauge `name{labels}`.
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.gauge(&Self::series_key(name, labels))
+    }
+
+    /// Get or create the histogram `name{labels}`. The `le` bucket label
+    /// is merged into the series' label set on export.
+    pub fn histogram_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram(&Self::series_key(name, labels))
+    }
+
     /// Render every metric in the Prometheus text exposition format,
-    /// names sorted, suitable for scraping or a `--metrics` dump.
+    /// names sorted, suitable for scraping or a `--metrics` dump. Labeled
+    /// series registered via the `*_labeled` constructors render with
+    /// their label sets and one `# TYPE` line per metric family.
     pub fn render_prometheus(&self) -> String {
         let m = self.inner.lock();
         let mut out = String::new();
-        for (name, metric) in m.iter() {
+        let mut typed: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for (key, metric) in m.iter() {
+            // A key is either a bare family name or `family{label="v",..}`.
+            let (family, labels) = match key.find('{') {
+                Some(i) => (&key[..i], Some(&key[i + 1..key.len() - 1])),
+                None => (key.as_str(), None),
+            };
+            let mut type_line = |out: &mut String, kind: &str| {
+                if typed.insert(family.to_string()) {
+                    out.push_str(&format!("# TYPE {family} {kind}\n"));
+                }
+            };
             match metric {
                 Metric::Counter(c) => {
-                    out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+                    type_line(&mut out, "counter");
+                    out.push_str(&format!("{key} {}\n", c.get()));
                 }
                 Metric::Gauge(g) => {
-                    out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+                    type_line(&mut out, "gauge");
+                    out.push_str(&format!("{key} {}\n", g.get()));
                 }
                 Metric::Histogram(h) => {
-                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    type_line(&mut out, "histogram");
+                    let bucket = |le: &str| match labels {
+                        Some(body) => format!("{family}_bucket{{{body},le=\"{le}\"}}"),
+                        None => format!("{family}_bucket{{le=\"{le}\"}}"),
+                    };
+                    let suffixed = |suffix: &str| match labels {
+                        Some(body) => format!("{family}_{suffix}{{{body}}}"),
+                        None => format!("{family}_{suffix}"),
+                    };
                     let mut cumulative = 0u64;
                     for (i, &b) in BUCKET_BOUNDS_S.iter().enumerate() {
                         cumulative += h.buckets[i].load(Ordering::Relaxed);
-                        out.push_str(&format!("{name}_bucket{{le=\"{b}\"}} {cumulative}\n"));
+                        out.push_str(&format!("{} {cumulative}\n", bucket(&b.to_string())));
                     }
                     out.push_str(&format!(
-                        "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+                        "{} {}\n{} {}\n{} {}\n",
+                        bucket("+Inf"),
                         h.count(),
+                        suffixed("sum"),
                         h.sum_secs(),
+                        suffixed("count"),
                         h.count()
                     ));
                 }
@@ -263,5 +317,51 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.counter("x");
         reg.gauge("x");
+    }
+
+    #[test]
+    fn labeled_series_share_one_type_line() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_labeled("pipedream_stage_busy_frac", &[("stage", "0")])
+            .set(0.5);
+        reg.gauge_labeled("pipedream_stage_busy_frac", &[("stage", "1")])
+            .set(0.25);
+        reg.counter_labeled("events_total", &[("kind", "fwd"), ("stage", "2")])
+            .add(7);
+        let text = reg.render_prometheus();
+        assert_eq!(
+            text.matches("# TYPE pipedream_stage_busy_frac gauge")
+                .count(),
+            1,
+            "one TYPE line per family:\n{text}"
+        );
+        assert!(text.contains("pipedream_stage_busy_frac{stage=\"0\"} 0.5"));
+        assert!(text.contains("pipedream_stage_busy_frac{stage=\"1\"} 0.25"));
+        assert!(text.contains("events_total{kind=\"fwd\",stage=\"2\"} 7"));
+    }
+
+    #[test]
+    fn labeled_histogram_merges_le_into_label_set() {
+        let reg = MetricsRegistry::new();
+        reg.histogram_labeled("span_seconds", &[("kind", "bwd")])
+            .observe_secs(1e-3);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("span_seconds_bucket{kind=\"bwd\",le=\"0.001\"} 1"),
+            "le merged after existing labels:\n{text}"
+        );
+        assert!(text.contains("span_seconds_bucket{kind=\"bwd\",le=\"+Inf\"} 1"));
+        assert!(text.contains("span_seconds_count{kind=\"bwd\"} 1"));
+        assert!(text.contains("span_seconds_sum{kind=\"bwd\"}"));
+    }
+
+    #[test]
+    fn labeled_handle_is_the_same_series_across_calls() {
+        let reg = MetricsRegistry::new();
+        reg.counter_labeled("c_total", &[("stage", "3")]).add(2);
+        reg.counter_labeled("c_total", &[("stage", "3")]).inc();
+        assert_eq!(reg.counter_labeled("c_total", &[("stage", "3")]).get(), 3);
+        // A different label value is a different series.
+        assert_eq!(reg.counter_labeled("c_total", &[("stage", "4")]).get(), 0);
     }
 }

@@ -1,0 +1,89 @@
+//! Ring overflow must never break `StageTimes` accounting: whatever the
+//! drop-oldest policy discards, the events lost are reported exactly and
+//! the busy/comm/bubble fractions still sum to 1.
+//!
+//! Overflow can strand partial minibatches in the ring — a `RecvWait`
+//! whose enclosing `Fwd` was overwritten, a `Bwd` without its `Fwd` —
+//! which is exactly the input that could push a naive accounting negative
+//! or above 1.
+
+use pipedream_obs::{
+    record_snapshot_metrics, stage_times, Event, EventRing, MetricsRegistry, SpanKind,
+    TraceSnapshot, TrackEvents,
+};
+use proptest::prelude::*;
+
+const MS: u64 = 1_000_000;
+
+/// The i-th event of a steady fwd/wait/bwd workload (3 events per mb).
+fn workload_event(i: u64) -> Event {
+    let mb = i / 3;
+    let t = mb * 10 * MS;
+    match i % 3 {
+        0 => Event {
+            kind: SpanKind::Fwd { mb },
+            start_ns: t,
+            end_ns: t + 3 * MS,
+        },
+        1 => Event {
+            kind: SpanKind::RecvWait { mb },
+            start_ns: t + MS,
+            end_ns: t + 2 * MS,
+        },
+        _ => Event {
+            kind: SpanKind::Bwd { mb },
+            start_ns: t + 4 * MS,
+            end_ns: t + 8 * MS,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn overflow_never_breaks_stage_times_accounting(
+        cap in 1usize..40,
+        pushes in 0u64..200,
+    ) {
+        let ring = EventRing::new(cap);
+        for i in 0..pushes {
+            ring.push(workload_event(i));
+        }
+        let (events, dropped) = ring.snapshot();
+
+        // Events-lost is exact, never hidden.
+        prop_assert_eq!(dropped, pushes.saturating_sub(cap as u64));
+        prop_assert_eq!(events.len() as u64, pushes.min(cap as u64));
+
+        let snap = TraceSnapshot {
+            tracks: vec![TrackEvents {
+                name: "stage0.replica0".into(),
+                stage: Some(0),
+                events,
+                dropped,
+            }],
+        };
+        let st = stage_times(&snap);
+        prop_assert_eq!(st.len(), 1);
+        for s in &st {
+            // All fractions stay in range even when overflow stranded
+            // partial minibatches (waits without their enclosing spans).
+            prop_assert!(s.busy_frac >= 0.0 && s.busy_frac <= 1.0, "busy {}", s.busy_frac);
+            prop_assert!(s.comm_frac >= 0.0 && s.comm_frac <= 1.0, "comm {}", s.comm_frac);
+            prop_assert!(s.bubble_frac >= 0.0 && s.bubble_frac <= 1.0, "bubble {}", s.bubble_frac);
+            if pushes > 0 {
+                prop_assert!(
+                    (s.busy_frac + s.comm_frac + s.bubble_frac - 1.0).abs() < 1e-12,
+                    "fractions must sum to 1: {} + {} + {}",
+                    s.busy_frac, s.comm_frac, s.bubble_frac
+                );
+            }
+        }
+
+        // The metrics fold reports the same loss count.
+        let reg = MetricsRegistry::new();
+        record_snapshot_metrics(&reg, &snap);
+        prop_assert_eq!(reg.counter("trace_events_dropped_total").get(), dropped);
+    }
+}

@@ -311,6 +311,20 @@ pub fn try_train_pipeline(
     };
     schedule.validate().expect("generated schedule is legal");
 
+    // Publish the run's shape up front so live watchers (`train --watch`,
+    // `pipedream top`) can compute progress and ETA without waiting for
+    // the end-of-run metrics fold.
+    if let Some(session) = &opts.obs {
+        let metrics = session.metrics();
+        metrics
+            .gauge("train_total_minibatches")
+            .set(total_mbs as f64);
+        metrics.gauge("train_batch_size").set(opts.batch as f64);
+        metrics
+            .gauge("train_num_stages")
+            .set(config.num_stages() as f64);
+    }
+
     // Split the model into per-stage chunks, cloned per replica.
     let boundaries: Vec<usize> = stages[..stages.len() - 1]
         .iter()

@@ -64,6 +64,54 @@ fn tracing_overhead_under_five_percent() {
     );
 }
 
+/// Wall time of an instrumented run with a concurrent `--watch`-style
+/// sampler draining the rings every few milliseconds.
+fn wall_time_watched() -> f64 {
+    let session = pipedream_obs::TraceSession::new();
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let watcher = {
+        let session = session.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut profiler = pipedream_obs::LiveProfiler::new(session);
+            let mut samples = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                profiler.sample();
+                samples += 1;
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            (samples, profiler.sample())
+        })
+    };
+    let wall = wall_time(Some(session));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let (samples, last) = watcher.join().expect("watcher thread");
+    // The watcher must have actually been sampling the run, not idling.
+    assert!(samples > 0, "watcher never sampled");
+    assert!(
+        last.minibatches_total > 0,
+        "watcher saw no minibatches across the whole run"
+    );
+    wall
+}
+
+#[test]
+fn watch_snapshots_keep_overhead_under_five_percent() {
+    // The live profiler drains full ring snapshots concurrently with the
+    // hot path; the seqlock rings make that read-side work invisible to
+    // the workers, so the same <5% bound must hold with --watch on.
+    let disabled = (0..3)
+        .map(|_| wall_time(None))
+        .fold(f64::INFINITY, f64::min);
+    let watched = (0..3)
+        .map(|_| wall_time_watched())
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        watched <= disabled * 1.05 + 0.12,
+        "watch-mode overhead too high: watched {watched:.3}s vs disabled {disabled:.3}s"
+    );
+}
+
 /// The trainer folds the buffer pool's hit/miss delta into the metrics
 /// registry, so a healthy run's Prometheus dump carries nonzero
 /// `tensor_pool_hits_total` (reuse happening) alongside a bounded
