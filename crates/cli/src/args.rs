@@ -25,6 +25,9 @@ USAGE:
                      [--timeline] [--watch]
   pipedream top      [--stages N] [--epochs N] [--batch N] [--seed N]
                      [--refresh-ms M]
+  pipedream serve    [--addr HOST:PORT] [--threads N] [--queue N]
+                     [--cache N] [--shards N] [--deadline-ms M]
+                     [--for-secs S]
   pipedream export   (--model <NAME> | --cluster <A|B|C> --servers N)
                      [--out file.json]
   pipedream inspect  (--model <NAME|@profile.json> | --from-trace out.json)
@@ -36,7 +39,9 @@ serialized ModelProfile. TOPOLOGY: @file.json with a serialized Topology
 overrides --cluster/--servers. `train --watch` prints a live status line per
 snapshot window; `top` runs a demo training job under a live ASCII dashboard;
 `inspect --from-trace` replays a saved Chrome trace into measured per-stage
-costs (combine with --model to diff measured against profiled).
+costs (combine with --model to diff measured against profiled). `serve`
+runs the planning daemon (POST /plan, /simulate, /validate; GET /metrics,
+/healthz) with a sharded plan cache; --for-secs 0 serves until killed.
 ";
 
 /// A parsed subcommand.
@@ -52,6 +57,8 @@ pub enum Command {
     Train(TrainArgs),
     /// `pipedream top …`
     Top(TopArgs),
+    /// `pipedream serve …`
+    Serve(ServeArgs),
     /// `pipedream export …`
     Export(ExportArgs),
     /// `pipedream inspect …`
@@ -87,6 +94,25 @@ pub struct TopArgs {
     pub seed: u64,
     /// Dashboard refresh interval in milliseconds.
     pub refresh_ms: u64,
+}
+
+/// Arguments for `serve`: the planning daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Bind address (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// Bounded connection-queue depth.
+    pub queue: usize,
+    /// Plan-cache entry bound.
+    pub cache: usize,
+    /// Plan-cache shard count.
+    pub shards: usize,
+    /// Default per-request deadline in ms (0 = none).
+    pub deadline_ms: u64,
+    /// Serve for this many seconds then exit gracefully (0 = forever).
+    pub for_secs: u64,
 }
 
 /// Arguments for `export`.
@@ -388,6 +414,26 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             timeline: map.contains_key("timeline"),
             watch: map.contains_key("watch"),
         })),
+        "serve" => {
+            let a = ServeArgs {
+                addr: map
+                    .get("addr")
+                    .cloned()
+                    .unwrap_or_else(|| "127.0.0.1:7100".into()),
+                threads: get(&map, "threads", 2usize)?,
+                queue: get(&map, "queue", 64usize)?,
+                cache: get(&map, "cache", 256usize)?,
+                shards: get(&map, "shards", 8usize)?,
+                deadline_ms: get(&map, "deadline-ms", 0u64)?,
+                for_secs: get(&map, "for-secs", 0u64)?,
+            };
+            if a.threads == 0 || a.queue == 0 || a.cache == 0 || a.shards == 0 {
+                return Err(ParseError(
+                    "--threads, --queue, --cache and --shards must be ≥ 1".into(),
+                ));
+            }
+            Ok(Command::Serve(a))
+        }
         "top" => Ok(Command::Top(TopArgs {
             stages: get(&map, "stages", 4usize)?,
             epochs: get(&map, "epochs", 10usize)?,
@@ -559,6 +605,38 @@ mod tests {
         assert!(a.model.is_some() && a.from_trace.is_some());
         // Neither is an error.
         assert!(parse(&s(&["inspect"])).is_err());
+    }
+
+    #[test]
+    fn serve_defaults_and_overrides() {
+        let cmd = parse(&s(&["serve"])).unwrap();
+        let Command::Serve(a) = cmd else { panic!() };
+        assert_eq!(a.addr, "127.0.0.1:7100");
+        assert_eq!(a.threads, 2);
+        assert_eq!(a.queue, 64);
+        assert_eq!(a.cache, 256);
+        assert_eq!(a.for_secs, 0);
+        let cmd = parse(&s(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:9000",
+            "--threads",
+            "4",
+            "--cache",
+            "512",
+            "--deadline-ms",
+            "250",
+            "--for-secs",
+            "30",
+        ]))
+        .unwrap();
+        let Command::Serve(a) = cmd else { panic!() };
+        assert_eq!(a.addr, "0.0.0.0:9000");
+        assert_eq!(a.threads, 4);
+        assert_eq!(a.cache, 512);
+        assert_eq!(a.deadline_ms, 250);
+        assert_eq!(a.for_secs, 30);
+        assert!(parse(&s(&["serve", "--threads", "0"])).is_err());
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Subcommand implementations.
 
 use crate::args::{
-    DpArgs, ExportArgs, InspectArgs, PlanArgs, SimulateArgs, Target, TopArgs, TrainArgs,
+    DpArgs, ExportArgs, InspectArgs, PlanArgs, ServeArgs, SimulateArgs, Target, TopArgs,
+    TrainArgs,
 };
 use pipedream_core::schedule::Schedule;
 use pipedream_core::{PipelineConfig, Planner};
@@ -561,6 +562,56 @@ pub fn top(a: TopArgs) -> Result<String, String> {
 /// `pipedream export`: write a zoo model profile and/or a preset topology
 /// as JSON — the same format `--model @file.json` / `--topology @file.json`
 /// accept, so users can start from a preset and edit.
+/// `pipedream serve`: run the planning daemon until `--for-secs` elapses
+/// (0 = forever). Prints the bound address up front so scripts can scrape
+/// it; the returned summary reports traffic and cache behaviour.
+pub fn serve(a: ServeArgs) -> Result<String, String> {
+    use pipedream_obs::MetricsRegistry;
+    use pipedream_serve::{ServeOptions, Server};
+
+    let metrics = Arc::new(MetricsRegistry::new());
+    let server = Server::start(
+        ServeOptions {
+            addr: a.addr.clone(),
+            threads: a.threads,
+            queue: a.queue,
+            cache_capacity: a.cache,
+            cache_shards: a.shards,
+            default_deadline_ms: a.deadline_ms,
+            idle_timeout_ms: 0,
+        },
+        Arc::clone(&metrics),
+    )
+    .map_err(|e| format!("binding {}: {e}", a.addr))?;
+    println!(
+        "pipedream serve listening on http://{} ({} workers, queue {}, cache {}x{} shards)",
+        server.addr(),
+        a.threads,
+        a.queue,
+        a.cache,
+        a.shards
+    );
+    println!("endpoints: POST /plan /simulate /validate · GET /metrics /healthz");
+
+    let started = std::time::Instant::now();
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        if a.for_secs > 0 && started.elapsed().as_secs() >= a.for_secs {
+            break;
+        }
+    }
+    let stats = server.state().cache.stats();
+    server.shutdown();
+    Ok(format!(
+        "served {:.0} s: cache {} hits / {} misses / {} evictions / {} coalesced",
+        started.elapsed().as_secs_f64(),
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.coalesced
+    ))
+}
+
 pub fn export(a: ExportArgs) -> Result<String, String> {
     let mut doc = serde_json::Map::new();
     if let Some(model) = &a.model {

@@ -10,6 +10,9 @@
 //! * `dp` — the data-parallel baseline: iteration time and stall fraction;
 //! * `train` — really train a small model pipeline-parallel on a synthetic
 //!   task with the chosen semantics (add `--watch` for live status lines);
+//! * `serve` — the planning daemon: `POST /plan`, `/simulate`,
+//!   `/validate` over HTTP/1.1 + JSON with a sharded plan cache,
+//!   `/metrics` (Prometheus) and `/healthz`;
 //! * `top` — live per-stage dashboard over a demo training run;
 //! * `inspect` — per-layer profile tables, including measured ones
 //!   replayed offline from a recorded Chrome trace (`--from-trace`).
@@ -26,6 +29,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
         Command::Simulate(a) => commands::simulate(a),
         Command::Dp(a) => commands::dp(a),
         Command::Train(a) => commands::train(a),
+        Command::Serve(a) => commands::serve(a),
         Command::Export(a) => commands::export(a),
         Command::Inspect(a) => commands::inspect(a),
         Command::Top(a) => commands::top(a),

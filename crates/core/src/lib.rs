@@ -16,15 +16,23 @@
 //! [`config`] holds the shared [`config::PipelineConfig`] representation
 //! (the paper's `"15-1"` / `"straight"` / `"16"` notation) and
 //! [`estimates`] the communication-volume and memory-footprint estimators
-//! behind Figures 16 and 17.
+//! behind Figures 16 and 17. [`fingerprint`] canonically hashes planning
+//! inputs — the cache key of the `pipedream serve` daemon, which calls
+//! the planner through its validated [`planner::PlanError`]-typed entry
+//! points.
 
 pub mod config;
 pub mod estimates;
+pub mod fingerprint;
 pub mod planner;
 pub mod schedule;
 pub mod stash;
 
 pub use config::{PipelineConfig, StagePlan};
-pub use planner::{Plan, Planner, StagePrediction};
+pub use fingerprint::{
+    fingerprint_costs, fingerprint_plan_request, fingerprint_profile, fingerprint_topology,
+    FingerprintError, Fingerprinter,
+};
+pub use planner::{Plan, PlanError, Planner, StagePrediction};
 pub use schedule::{Op, Schedule};
 pub use stash::WeightStash;

@@ -51,6 +51,55 @@ pub struct Plan {
     pub noam: usize,
 }
 
+/// Typed failure from the validated planning entry points
+/// ([`Planner::try_plan`] and friends).
+///
+/// The panicking wrappers ([`Planner::plan`], [`Planner::plan_flat`],
+/// [`Planner::plan_greedy`], [`Planner::evaluate`]) are for interactive /
+/// batch use where a degenerate input is a programming error; anything
+/// long-running (the `pipedream serve` daemon) must use the `try_`
+/// variants and map these to a 400 instead of dying.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlanError {
+    /// The model profile has no layers.
+    EmptyProfile,
+    /// The topology has no levels, a zero arity somewhere, or zero total
+    /// workers.
+    NoWorkers,
+    /// The per-GPU minibatch size is zero.
+    ZeroBatch,
+    /// A layer cost is NaN or negative (message names the layer).
+    InvalidCosts(String),
+    /// No partition satisfies the per-worker memory limit.
+    InfeasibleMemory {
+        /// The budget that nothing fit under, in bytes.
+        limit_bytes: u64,
+    },
+    /// A configuration handed to the evaluator does not match the model.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::EmptyProfile => write!(f, "model profile has no layers"),
+            PlanError::NoWorkers => write!(f, "topology has no workers"),
+            PlanError::ZeroBatch => write!(f, "per-GPU minibatch size is zero"),
+            PlanError::InvalidCosts(msg) => write!(f, "invalid layer costs: {msg}"),
+            PlanError::InfeasibleMemory { limit_bytes } => write!(
+                f,
+                "no feasible partition: every configuration exceeds the memory limit \
+                 ({limit_bytes} bytes per worker)"
+            ),
+            PlanError::InvalidConfig(msg) => {
+                write!(f, "configuration does not match model: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 /// Planner-predicted timing of a single pipeline stage, as produced by
 /// [`Planner::predicted_stage_times`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -309,12 +358,12 @@ impl<'a> Planner<'a> {
     /// configuration fits; otherwise search the candidate family (plus
     /// balanced straight pipelines of every depth) for the
     /// fastest-predicted feasible configuration.
-    fn constrain_memory(&self, plan: Plan) -> Plan {
+    fn constrain_memory(&self, plan: Plan) -> Result<Plan, PlanError> {
         let Some(limit) = self.memory_limit else {
-            return plan;
+            return Ok(plan);
         };
         if self.config_fits_memory(&plan.config, limit) {
-            return plan;
+            return Ok(plan);
         }
         let n = self.costs.num_layers();
         let mut candidates = self.enumerate_configs();
@@ -331,12 +380,57 @@ impl<'a> Planner<'a> {
             .filter(|c| self.config_fits_memory(c, limit))
             .map(|c| self.evaluate(&c))
             .min_by(|a, b| a.bottleneck_s.partial_cmp(&b.bottleneck_s).unwrap())
-            .expect("no feasible partition: every configuration exceeds the memory limit")
+            .ok_or(PlanError::InfeasibleMemory { limit_bytes: limit })
+    }
+
+    /// Validate the planning inputs once, shared by every entry point:
+    /// the DP recurrences assume ≥ 1 layer, ≥ 1 worker, a positive batch,
+    /// and finite non-negative layer costs. Rejecting here turns what
+    /// would be index-underflow panics or NaN-poisoned `min`s into typed
+    /// errors a server can map to a 400.
+    fn validate_inputs(&self) -> Result<(), PlanError> {
+        if self.costs.num_layers() == 0 {
+            return Err(PlanError::EmptyProfile);
+        }
+        if self.topo.levels.is_empty() || self.topo.total_workers() == 0 {
+            return Err(PlanError::NoWorkers);
+        }
+        if self.costs.batch == 0 {
+            return Err(PlanError::ZeroBatch);
+        }
+        for l in &self.costs.layers {
+            for (what, v) in [("fwd_s", l.fwd_s), ("bwd_s", l.bwd_s)] {
+                if v.is_nan() || v < 0.0 {
+                    return Err(PlanError::InvalidCosts(format!(
+                        "layer {} has {what} = {v}",
+                        l.name
+                    )));
+                }
+            }
+        }
+        for level in &self.topo.levels {
+            let b = level.link.bandwidth_bytes_per_sec;
+            if !(b > 0.0) {
+                return Err(PlanError::InvalidCosts(format!(
+                    "level {} has bandwidth {b} bytes/s",
+                    level.name
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// The paper's hierarchical DP: solve each level bottom-up and
-    /// reconstruct the flattened configuration.
+    /// reconstruct the flattened configuration. Panics on degenerate
+    /// inputs; see [`Planner::try_plan`] for the checked variant.
     pub fn plan(&self) -> Plan {
+        self.try_plan().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Planner::plan`] with validated inputs and typed errors instead
+    /// of panics.
+    pub fn try_plan(&self) -> Result<Plan, PlanError> {
+        self.validate_inputs()?;
         let n = self.costs.num_layers();
         let sum_compute = |i: usize, j: usize| self.costs.total_compute(i, j);
         let mut tables: Vec<LevelTable> = Vec::with_capacity(self.topo.num_levels());
@@ -358,6 +452,22 @@ impl<'a> Planner<'a> {
         let top = self.topo.num_levels();
         let stages = self.reconstruct_from(top, &tables, 0, n - 1, self.topo.arity(top));
         let bottleneck = tables[top - 1].get(0, n - 1, self.topo.arity(top));
+        self.constrain_memory(self.finish_plan(stages, bottleneck))
+    }
+
+    /// [`Planner::plan_flat`] with validated inputs and typed errors
+    /// instead of panics.
+    pub fn try_plan_flat(&self) -> Result<Plan, PlanError> {
+        self.validate_inputs()?;
+        let n = self.costs.num_layers();
+        let workers = self.topo.total_workers();
+        let link = *self.topo.link(self.topo.num_levels());
+        let sum_compute = |i: usize, j: usize| self.costs.total_compute(i, j);
+        let table = self.solve_level(&sum_compute, workers, 1, &link);
+        let unit = |a: usize, b: usize| vec![StagePlan::new(a, b, 1)];
+        let mut stages = Vec::new();
+        Self::reconstruct_level(&table, 0, n - 1, workers, &unit, &mut stages);
+        let bottleneck = table.get(0, n - 1, workers);
         self.constrain_memory(self.finish_plan(stages, bottleneck))
     }
 
@@ -384,24 +494,16 @@ impl<'a> Planner<'a> {
     /// The flat variant: a single DP level over *all* workers with the
     /// topology's slowest bandwidth. Can express worker-granular
     /// configurations (e.g. `15-1`) that the hierarchical DP quantizes to
-    /// server granularity.
+    /// server granularity. Panics on degenerate inputs; see
+    /// [`Planner::try_plan_flat`] for the checked variant.
     pub fn plan_flat(&self) -> Plan {
-        let n = self.costs.num_layers();
-        let workers = self.topo.total_workers();
-        let link = *self.topo.link(self.topo.num_levels());
-        let sum_compute = |i: usize, j: usize| self.costs.total_compute(i, j);
-        let table = self.solve_level(&sum_compute, workers, 1, &link);
-        let unit = |a: usize, b: usize| vec![StagePlan::new(a, b, 1)];
-        let mut stages = Vec::new();
-        Self::reconstruct_level(&table, 0, n - 1, workers, &unit, &mut stages);
-        let bottleneck = table.get(0, n - 1, workers);
-        self.constrain_memory(self.finish_plan(stages, bottleneck))
+        self.try_plan_flat().unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn finish_plan(&self, stages: Vec<StagePlan>, bottleneck: f64) -> Plan {
-        assert!(
+        debug_assert!(
             bottleneck.is_finite(),
-            "no feasible partition: every configuration exceeds the memory limit"
+            "validated inputs always yield a finite bottleneck"
         );
         let config = PipelineConfig::new(stages);
         debug_assert!(config.validate(self.costs.num_layers()).is_ok());
@@ -420,9 +522,16 @@ impl<'a> Planner<'a> {
     /// the adjacent stages' workers). Used for the Figure-15
     /// predicted-vs-real comparison and the Table-1 baselines.
     pub fn evaluate(&self, config: &PipelineConfig) -> Plan {
+        self.try_evaluate(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Planner::evaluate`] with validated inputs and typed errors
+    /// instead of panics.
+    pub fn try_evaluate(&self, config: &PipelineConfig) -> Result<Plan, PlanError> {
+        self.validate_inputs()?;
         config
             .validate(self.costs.num_layers())
-            .expect("configuration does not match model");
+            .map_err(PlanError::InvalidConfig)?;
         let assignment = config.worker_assignment();
         let mut bottleneck = 0.0f64;
         for (si, stage) in config.stages().iter().enumerate() {
@@ -446,12 +555,12 @@ impl<'a> Planner<'a> {
                 }
             }
         }
-        Plan {
+        Ok(Plan {
             config: config.clone(),
             bottleneck_s: bottleneck,
             samples_per_sec: self.costs.batch as f64 / bottleneck,
             noam: config.noam(),
-        }
+        })
     }
 
     /// Per-stage predicted times for `config` under the same cost model as
@@ -550,8 +659,16 @@ impl<'a> Planner<'a> {
     /// into compute-balanced stages at every feasible depth `d | W`, assign
     /// `W/d` replicas to each stage, and keep the best by the analytic
     /// evaluator. Misses the asymmetric configurations the DP finds (e.g.
-    /// `15-1`); the ablation quantifies the gap.
+    /// `15-1`); the ablation quantifies the gap. Panics on degenerate
+    /// inputs; see [`Planner::try_plan_greedy`] for the checked variant.
     pub fn plan_greedy(&self) -> Plan {
+        self.try_plan_greedy().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Planner::plan_greedy`] with validated inputs and typed errors
+    /// instead of panics.
+    pub fn try_plan_greedy(&self) -> Result<Plan, PlanError> {
+        self.validate_inputs()?;
         let n = self.costs.num_layers();
         let workers = self.topo.total_workers();
         let mut best: Option<Plan> = None;
@@ -583,7 +700,7 @@ impl<'a> Planner<'a> {
             stages.push(StagePlan::new(first, n - 1, r));
             consider(PipelineConfig::new(stages));
         }
-        best.expect("at least DP is considered")
+        Ok(best.expect("at least DP is considered"))
     }
 
     /// Boundaries that split the model into `speeds.len()` stages whose

@@ -241,91 +241,39 @@ pub fn validate(
     }
 }
 
-/// Which metric names [`record_snapshot_metrics_with`] emits.
-///
-/// The labeled series (`pipedream_stage_busy_frac{stage="2"}`) are the
-/// current interface — stages aggregate in real dashboards. The pre-5.x
-/// flat names (`stage2_busy_frac`) stay available behind `flat_compat`
-/// for one release so existing scrapes keep working, then default off.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct SnapshotMetricsOpts {
-    /// Emit labeled series: `pipedream_stage_*{stage="N"}` gauges and the
-    /// `pipedream_span_seconds{kind="..."}` histogram family.
-    pub labeled: bool,
-    /// Also emit the deprecated flat names (`stageN_busy_frac`,
-    /// `span_seconds_fwd`, ...).
-    pub flat_compat: bool,
-}
-
-impl Default for SnapshotMetricsOpts {
-    fn default() -> Self {
-        SnapshotMetricsOpts {
-            labeled: true,
-            flat_compat: true,
-        }
-    }
-}
-
 /// Fold a snapshot into registry gauges/histograms: per-stage busy%,
 /// comm% and bubble%, per-kind span duration histograms, and the total
-/// events lost to the rings' drop-oldest policy. Emits both labeled and
-/// flat-compat names; use [`record_snapshot_metrics_with`] to choose.
+/// events lost to the rings' drop-oldest policy.
+///
+/// Emits the labeled series only: `pipedream_stage_*{stage="N"}` gauges
+/// and the `pipedream_span_seconds{kind="..."}` histogram family. The
+/// pre-5.x flat names (`stage2_busy_frac`, `span_seconds_fwd`) were kept
+/// behind a `flat_compat` shim for one release and are now gone.
 pub fn record_snapshot_metrics(metrics: &MetricsRegistry, snap: &TraceSnapshot) {
-    record_snapshot_metrics_with(metrics, snap, &SnapshotMetricsOpts::default());
-}
-
-/// [`record_snapshot_metrics`] with explicit control over which metric
-/// naming scheme(s) to emit.
-pub fn record_snapshot_metrics_with(
-    metrics: &MetricsRegistry,
-    snap: &TraceSnapshot,
-    opts: &SnapshotMetricsOpts,
-) {
     for st in stage_times(snap) {
         let stage = st.stage.to_string();
-        if opts.labeled {
-            let labels: [(&str, &str); 1] = [("stage", stage.as_str())];
-            metrics
-                .gauge_labeled("pipedream_stage_busy_frac", &labels)
-                .set(st.busy_frac);
-            metrics
-                .gauge_labeled("pipedream_stage_comm_frac", &labels)
-                .set(st.comm_frac);
-            metrics
-                .gauge_labeled("pipedream_stage_bubble_frac", &labels)
-                .set(st.bubble_frac);
-            metrics
-                .gauge_labeled("pipedream_stage_sync_wait_seconds", &labels)
-                .set(st.sync_s);
-        }
-        if opts.flat_compat {
-            metrics
-                .gauge(&format!("stage{}_busy_frac", st.stage))
-                .set(st.busy_frac);
-            metrics
-                .gauge(&format!("stage{}_bubble_frac", st.stage))
-                .set(st.bubble_frac);
-            metrics
-                .gauge(&format!("stage{}_sync_wait_seconds", st.stage))
-                .set(st.sync_s);
-        }
+        let labels: [(&str, &str); 1] = [("stage", stage.as_str())];
+        metrics
+            .gauge_labeled("pipedream_stage_busy_frac", &labels)
+            .set(st.busy_frac);
+        metrics
+            .gauge_labeled("pipedream_stage_comm_frac", &labels)
+            .set(st.comm_frac);
+        metrics
+            .gauge_labeled("pipedream_stage_bubble_frac", &labels)
+            .set(st.bubble_frac);
+        metrics
+            .gauge_labeled("pipedream_stage_sync_wait_seconds", &labels)
+            .set(st.sync_s);
     }
     let mut dropped = 0;
     for track in &snap.tracks {
         dropped += track.dropped;
         for ev in &track.events {
             if !ev.is_instant() {
-                let d = ev.duration_s();
-                if opts.labeled {
-                    metrics
-                        .histogram_labeled("pipedream_span_seconds", &[("kind", ev.kind.name())])
-                        .observe_secs(d);
-                }
-                if opts.flat_compat {
-                    metrics
-                        .histogram(&format!("span_seconds_{}", ev.kind.name()))
-                        .observe_secs(d);
-                }
+                metrics
+                    .histogram_labeled("pipedream_span_seconds", &[("kind", ev.kind.name())])
+                    .observe_secs(ev.duration_s());
             }
         }
     }
@@ -465,11 +413,7 @@ mod tests {
     fn snapshot_metrics_fold_into_registry() {
         let reg = MetricsRegistry::new();
         record_snapshot_metrics(&reg, &sample());
-        // Compat flat names are still emitted by default...
-        assert!(reg.gauge("stage0_busy_frac").get() > 0.0);
         assert_eq!(reg.counter("trace_events_dropped_total").get(), 2);
-        assert_eq!(reg.histogram("span_seconds_bwd").count(), 5);
-        // ...alongside the labeled series.
         let labels: [(&str, &str); 1] = [("stage", "0")];
         assert!(
             reg.gauge_labeled("pipedream_stage_busy_frac", &labels)
@@ -494,16 +438,9 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_metrics_labeled_only_drops_flat_names() {
+    fn snapshot_metrics_emit_labeled_series_only() {
         let reg = MetricsRegistry::new();
-        record_snapshot_metrics_with(
-            &reg,
-            &sample(),
-            &SnapshotMetricsOpts {
-                labeled: true,
-                flat_compat: false,
-            },
-        );
+        record_snapshot_metrics(&reg, &sample());
         let text = reg.render_prometheus();
         assert!(
             !text.contains("stage0_busy_frac"),

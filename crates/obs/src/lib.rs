@@ -47,9 +47,8 @@ pub mod ring;
 
 pub use advisor::{advise_replan, measured_layer_costs, ReplanAdvice};
 pub use analysis::{
-    measured_per_minibatch_s, record_pool_metrics, record_snapshot_metrics,
-    record_snapshot_metrics_with, stage_times, to_timeline, validate, SnapshotMetricsOpts,
-    StageTimes, StageValidation, TraceValidation,
+    measured_per_minibatch_s, record_pool_metrics, record_snapshot_metrics, stage_times,
+    to_timeline, validate, StageTimes, StageValidation, TraceValidation,
 };
 pub use chrome::{parse_chrome_trace, render_chrome_trace};
 pub use drift::{

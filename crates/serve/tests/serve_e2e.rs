@@ -1,0 +1,218 @@
+//! End-to-end daemon tests over real sockets: concurrent mixed traffic,
+//! protocol errors as status codes (never daemon deaths), deadlines,
+//! metrics exposure, and graceful shutdown.
+
+use pipedream_obs::MetricsRegistry;
+use pipedream_serve::{client, Client, ServeOptions, Server};
+use serde::Value;
+use std::sync::Arc;
+use std::thread;
+
+fn start_server() -> Server {
+    Server::start(
+        ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            threads: 3,
+            queue: 16,
+            cache_capacity: 64,
+            cache_shards: 4,
+            default_deadline_ms: 0,
+            idle_timeout_ms: 0,
+        },
+        Arc::new(MetricsRegistry::new()),
+    )
+    .expect("bind on an ephemeral port")
+}
+
+#[test]
+fn concurrent_plan_simulate_validate() {
+    let server = start_server();
+    let addr = server.addr();
+
+    let workers: Vec<_> = (0..3)
+        .map(|i| {
+            thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                for _ in 0..4 {
+                    match i {
+                        0 => {
+                            let r = c
+                                .post("/plan", r#"{"model": "alexnet", "servers": 2}"#)
+                                .unwrap();
+                            assert_eq!(r.status, 200, "{}", r.body);
+                            let v: Value = serde_json::from_str(&r.body).unwrap();
+                            assert!(
+                                v.get("plan")
+                                    .unwrap()
+                                    .get("samples_per_sec")
+                                    .unwrap()
+                                    .as_f64()
+                                    .unwrap()
+                                    > 0.0
+                            );
+                        }
+                        1 => {
+                            let r = c
+                                .post(
+                                    "/simulate",
+                                    r#"{"model": "alexnet", "servers": 2, "minibatches": 8}"#,
+                                )
+                                .unwrap();
+                            assert_eq!(r.status, 200, "{}", r.body);
+                            let v: Value = serde_json::from_str(&r.body).unwrap();
+                            assert!(v.get("makespan_s").unwrap().as_f64().unwrap() > 0.0);
+                        }
+                        _ => {
+                            let r = c
+                                .post(
+                                    "/validate",
+                                    r#"{"model": "alexnet", "servers": 1,
+                                        "config": [[0, 3, 2], [4, 7, 2]]}"#,
+                                )
+                                .unwrap();
+                            assert_eq!(r.status, 200, "{}", r.body);
+                            let v: Value = serde_json::from_str(&r.body).unwrap();
+                            assert_eq!(v.get("valid"), Some(&Value::Bool(true)));
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    // The repeated identical /plan bodies were answered from the cache.
+    let stats = server.state().cache.stats();
+    assert!(stats.hits > 0, "repeat plans hit the cache: {stats:?}");
+    server.shutdown();
+}
+
+#[test]
+fn protocol_errors_are_statuses_not_crashes() {
+    let server = start_server();
+    let addr = server.addr();
+    let mut c = Client::connect(addr).unwrap();
+
+    // Bad requests → 400 with a JSON error body.
+    let r = c.post("/plan", r#"{"model": "made-up"}"#).unwrap();
+    assert_eq!(r.status, 400);
+    let v: Value = serde_json::from_str(&r.body).unwrap();
+    assert!(v.get("error").unwrap().as_str().unwrap().contains("unknown model"));
+    let r = c.post("/plan", "definitely not json").unwrap();
+    assert_eq!(r.status, 400);
+
+    // Degenerate planner inputs → 400 via the typed PlanError path.
+    let r = c
+        .post("/plan", r#"{"profile": {"name": "empty", "layers": [],
+                           "default_batch": 32, "input_elems": 1}, "servers": 1}"#)
+        .unwrap();
+    assert_eq!(r.status, 400, "{}", r.body);
+    assert!(r.body.contains("no layers"), "{}", r.body);
+
+    // Infeasible memory limit → 400, not the CLI's panic.
+    let r = c
+        .post("/plan", r#"{"model": "alexnet", "servers": 1, "memory_limit_bytes": 1}"#)
+        .unwrap();
+    assert_eq!(r.status, 400, "{}", r.body);
+    assert!(r.body.contains("no feasible partition"), "{}", r.body);
+
+    // Unknown route → 404; wrong method → 405.
+    let r = c.get("/nonsense").unwrap();
+    assert_eq!(r.status, 404);
+    let r = c.get("/plan").unwrap();
+    assert_eq!(r.status, 405);
+
+    // The daemon survived all of it.
+    let r = c.get("/healthz").unwrap();
+    assert_eq!(r.status, 200);
+    assert!(r.body.contains("ok"));
+    server.shutdown();
+}
+
+#[test]
+fn metrics_expose_cache_and_latency_series() {
+    let server = start_server();
+    let addr = server.addr();
+    let mut c = Client::connect(addr).unwrap();
+    for _ in 0..3 {
+        let r = c.post("/plan", r#"{"model": "alexnet", "servers": 2}"#).unwrap();
+        assert_eq!(r.status, 200);
+    }
+    let r = c.get("/metrics").unwrap();
+    assert_eq!(r.status, 200);
+    for series in [
+        "serve_requests_total{endpoint=\"plan\",status=\"200\"} 3",
+        "serve_request_seconds_bucket{endpoint=\"plan\",le=",
+        "serve_cache_hits_total 2",
+        "serve_cache_misses_total 1",
+        "serve_queue_depth",
+        "serve_connections_total",
+    ] {
+        assert!(r.body.contains(series), "missing {series} in:\n{}", r.body);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn queue_wait_past_deadline_sheds_with_408() {
+    // One worker with a short idle timeout: an idle connection pins the
+    // worker for ~300 ms, so the next connection's first request waits in
+    // the queue that long. A 40 ms deadline is admission-controlled to a
+    // 408; a generous one still succeeds.
+    let server = Server::start(
+        ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            threads: 1,
+            queue: 16,
+            cache_capacity: 64,
+            cache_shards: 4,
+            default_deadline_ms: 0,
+            idle_timeout_ms: 300,
+        },
+        Arc::new(MetricsRegistry::new()),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Pin the single worker: connect, complete one exchange, go silent.
+    let mut pinner = Client::connect(addr).unwrap();
+    let r = pinner.get("/healthz").unwrap();
+    assert_eq!(r.status, 200);
+
+    // This connection sits in the queue until the pinner idles out.
+    let mut c = Client::connect(addr).unwrap();
+    let r = c
+        .post_with_deadline("/plan", r#"{"model": "alexnet", "servers": 1}"#, 40)
+        .unwrap();
+    assert_eq!(r.status, 408, "{}", r.body);
+    assert!(r.body.contains("deadline"), "{}", r.body);
+
+    // Same connection, next request: never queued, so it runs.
+    let r = c
+        .post_with_deadline("/plan", r#"{"model": "alexnet", "servers": 1}"#, 10_000)
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+
+    // Client think-time does not count against a deadline.
+    thread::sleep(std::time::Duration::from_millis(60));
+    let r = c
+        .post_with_deadline("/plan", r#"{"model": "alexnet", "servers": 1}"#, 40)
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    server.shutdown();
+}
+
+#[test]
+fn one_shot_helpers_and_graceful_shutdown() {
+    let server = start_server();
+    let addr = server.addr();
+    let r = client::get(addr, "/healthz").unwrap();
+    assert_eq!(r.status, 200);
+    let r = client::post(addr, "/plan", r#"{"model": "s2vt", "servers": 1}"#).unwrap();
+    assert_eq!(r.status, 200);
+    server.shutdown();
+    // After shutdown the port no longer answers.
+    assert!(client::get(addr, "/healthz").is_err());
+}
