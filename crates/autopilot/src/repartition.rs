@@ -1,0 +1,119 @@
+//! Checkpointed repartition: re-split a drained per-stage checkpoint
+//! along a *different* plan's stage boundaries.
+//!
+//! The drain protocol leaves one parameter file per stage of the *old*
+//! configuration, all cut at the same `(epoch, minibatch)` point. A new
+//! plan generally has different stage boundaries (and possibly a
+//! different stage *count*), so its workers cannot read those files
+//! directly. The repartitioner reassembles the full model from the old
+//! stage files — restoring each old stage's parameters into the matching
+//! slice of a template model — then re-splits at the new boundaries and
+//! writes one file per *new* stage into a fresh generation directory, at
+//! the same checkpoint point. Generations never share a directory, so a
+//! rollback can still resume the old plan from its own untouched files.
+
+use pipedream_core::PipelineConfig;
+use pipedream_runtime::checkpoint::{
+    load_stage_point, save_stage, save_stage_at, CheckpointError, CheckpointPoint,
+};
+use pipedream_tensor::{Layer, Sequential};
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// Why a checkpoint could not be re-split for the new plan.
+#[derive(Debug)]
+pub enum RepartitionError {
+    /// A plan's stage boundaries do not cover the template model.
+    InvalidConfig(String),
+    /// An old-generation stage file was missing or unreadable.
+    Load(CheckpointError),
+    /// Writing a new-generation stage file failed.
+    Save(io::Error),
+}
+
+impl fmt::Display for RepartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepartitionError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
+            RepartitionError::Load(e) => write!(f, "loading old-generation checkpoint: {e}"),
+            RepartitionError::Save(e) => write!(f, "writing new-generation checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RepartitionError {}
+
+impl From<CheckpointError> for RepartitionError {
+    fn from(e: CheckpointError) -> Self {
+        RepartitionError::Load(e)
+    }
+}
+
+impl From<io::Error> for RepartitionError {
+    fn from(e: io::Error) -> Self {
+        RepartitionError::Save(e)
+    }
+}
+
+/// Layer indices where a config's stages begin (excluding layer 0) —
+/// the `split_off` boundary list.
+fn boundaries(config: &PipelineConfig) -> Vec<usize> {
+    let stages = config.stages();
+    stages[..stages.len() - 1]
+        .iter()
+        .map(|s| s.last_layer + 1)
+        .collect()
+}
+
+/// Re-split the drained checkpoint at `point` from `old_config`'s stage
+/// layout (files in `old_dir`) to `new_config`'s (files written into
+/// `new_dir`). `template` must be an architecture-identical model — its
+/// layer *structure* is used to rebuild the full parameter vector; its
+/// parameter *values* are fully overwritten by the checkpoint before
+/// anything is saved.
+pub fn repartition_checkpoint(
+    old_dir: &Path,
+    old_config: &PipelineConfig,
+    new_dir: &Path,
+    new_config: &PipelineConfig,
+    template: Sequential,
+    point: CheckpointPoint,
+) -> Result<(), RepartitionError> {
+    let num_layers = template.len();
+    old_config
+        .validate(num_layers)
+        .map_err(RepartitionError::InvalidConfig)?;
+    new_config
+        .validate(num_layers)
+        .map_err(RepartitionError::InvalidConfig)?;
+    std::fs::create_dir_all(new_dir)?;
+
+    // Rebuild the full model at the drain point: restore each old
+    // stage's parameters into the matching slice of the template.
+    let mut old_stages = template.split_off(&boundaries(old_config));
+    for (si, stage_model) in old_stages.iter_mut().enumerate() {
+        let params = load_stage_point(old_dir, si, point)?;
+        stage_model.restore(&params);
+    }
+    let mut full = Sequential::new("repartitioned");
+    for stage_model in old_stages {
+        for layer in stage_model.into_layers() {
+            full.push_boxed(layer);
+        }
+    }
+
+    // Re-split at the new boundaries and save each new stage at the
+    // *same* point, into its own generation directory.
+    let new_stages = full.split_off(&boundaries(new_config));
+    for (si, stage_model) in new_stages.iter().enumerate() {
+        let params = stage_model.snapshot();
+        match point {
+            CheckpointPoint::EpochEnd { epoch } => save_stage(new_dir, si, epoch, &params)?,
+            CheckpointPoint::MidEpoch { epoch, mb } => {
+                save_stage_at(new_dir, si, epoch, mb, &params)?
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,213 @@
+//! The reconfiguration state machine.
+//!
+//! Every live repartition walks a fixed ladder of states; the
+//! [`StateLog`] records each transition with a timestamp, mirrors it
+//! into the obs metrics registry (`autopilot_state` gauge plus one
+//! counter per state), and drops a `reconfig` instant on the autopilot's
+//! control track so a traced run shows the reconfiguration alongside the
+//! worker rows.
+
+use pipedream_obs::{Recorder, SpanKind, TraceSession};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Where the control plane is in the reconfiguration ladder.
+///
+/// `Monitoring → DriftConfirmed → Draining → Checkpointing →
+/// Repartitioning → Resuming → Verifying → {Committed | RolledBack}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AutopilotState {
+    /// Sampling the live profiler; no drift confirmed yet.
+    Monitoring,
+    /// The drift detector tripped its hysteresis: a stage is measurably
+    /// off-plan and the advisor will be consulted.
+    DriftConfirmed,
+    /// A drain was requested: the input stage stops admitting new
+    /// minibatches past the cut and in-flight work finishes.
+    Draining,
+    /// All stages reached the cut and are writing the consistent
+    /// `(epoch, minibatch)` checkpoint.
+    Checkpointing,
+    /// The drained checkpoint is being re-split along the new plan's
+    /// stage boundaries.
+    Repartitioning,
+    /// Stage workers are relaunching under the new assignment, resuming
+    /// mid-epoch from the repartitioned checkpoint.
+    Resuming,
+    /// The new configuration is in its probation window: measured
+    /// throughput must beat the degraded baseline by the margin.
+    Verifying,
+    /// Probation passed — the new plan is kept for the rest of the run.
+    Committed,
+    /// Probation failed — the run drained again and resumed the previous
+    /// plan from the same checkpoint.
+    RolledBack,
+}
+
+impl AutopilotState {
+    /// Stable numeric code for the `autopilot_state` gauge (ladder
+    /// order; `Committed`/`RolledBack` share the terminal rung 7/8).
+    pub fn code(self) -> u8 {
+        match self {
+            AutopilotState::Monitoring => 0,
+            AutopilotState::DriftConfirmed => 1,
+            AutopilotState::Draining => 2,
+            AutopilotState::Checkpointing => 3,
+            AutopilotState::Repartitioning => 4,
+            AutopilotState::Resuming => 5,
+            AutopilotState::Verifying => 6,
+            AutopilotState::Committed => 7,
+            AutopilotState::RolledBack => 8,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code), for consumers (like `pipedream
+    /// top`) that read the `autopilot_state` gauge back out of a metrics
+    /// registry. `None` for out-of-range codes.
+    pub fn from_code(code: u8) -> Option<AutopilotState> {
+        Some(match code {
+            0 => AutopilotState::Monitoring,
+            1 => AutopilotState::DriftConfirmed,
+            2 => AutopilotState::Draining,
+            3 => AutopilotState::Checkpointing,
+            4 => AutopilotState::Repartitioning,
+            5 => AutopilotState::Resuming,
+            6 => AutopilotState::Verifying,
+            7 => AutopilotState::Committed,
+            8 => AutopilotState::RolledBack,
+            _ => return None,
+        })
+    }
+
+    /// snake_case name used for metrics series and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            AutopilotState::Monitoring => "monitoring",
+            AutopilotState::DriftConfirmed => "drift_confirmed",
+            AutopilotState::Draining => "draining",
+            AutopilotState::Checkpointing => "checkpointing",
+            AutopilotState::Repartitioning => "repartitioning",
+            AutopilotState::Resuming => "resuming",
+            AutopilotState::Verifying => "verifying",
+            AutopilotState::Committed => "committed",
+            AutopilotState::RolledBack => "rolled_back",
+        }
+    }
+}
+
+impl fmt::Display for AutopilotState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Timestamped transition log shared between the control loop and its
+/// monitor threads. Cloning the `Arc` hands a monitor thread the same
+/// log the pilot writes its own transitions to.
+pub struct StateLog {
+    start: Instant,
+    track: Recorder,
+    session: Option<Arc<TraceSession>>,
+    entries: Mutex<Vec<(AutopilotState, f64)>>,
+}
+
+impl StateLog {
+    /// New log anchored at "now". `session` is the *caller's* obs
+    /// session (if any): transitions publish to its metrics registry and
+    /// the `autopilot` control track, never to the per-segment internal
+    /// sessions the pilot uses for profiling.
+    pub fn new(session: Option<Arc<TraceSession>>) -> Arc<Self> {
+        let track = session
+            .as_ref()
+            .map(|s| s.recorder("autopilot"))
+            .unwrap_or_default();
+        Arc::new(StateLog {
+            start: Instant::now(),
+            track,
+            session,
+            entries: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Record entering `state`: appends to the log, bumps the state
+    /// gauge/counters, and drops a `reconfig` instant on the autopilot
+    /// track.
+    pub fn enter(&self, state: AutopilotState) {
+        let t = self.start.elapsed().as_secs_f64();
+        self.entries.lock().unwrap().push((state, t));
+        self.track.instant(SpanKind::Reconfig);
+        if let Some(session) = &self.session {
+            let m = session.metrics();
+            m.gauge("autopilot_state").set(state.code() as f64);
+            m.counter_labeled("autopilot_transitions_total", &[("state", state.name())])
+                .inc();
+        }
+    }
+
+    /// Every transition so far as `(state, seconds since the log was
+    /// created)`.
+    pub fn history(&self) -> Vec<(AutopilotState, f64)> {
+        self.entries.lock().unwrap().clone()
+    }
+
+    /// The most recent state, if any transition happened.
+    pub fn current(&self) -> Option<AutopilotState> {
+        self.entries.lock().unwrap().last().map(|(s, _)| *s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_codes_are_ordered() {
+        let ladder = [
+            AutopilotState::Monitoring,
+            AutopilotState::DriftConfirmed,
+            AutopilotState::Draining,
+            AutopilotState::Checkpointing,
+            AutopilotState::Repartitioning,
+            AutopilotState::Resuming,
+            AutopilotState::Verifying,
+            AutopilotState::Committed,
+            AutopilotState::RolledBack,
+        ];
+        for w in ladder.windows(2) {
+            assert!(w[0].code() < w[1].code());
+        }
+        for s in ladder {
+            assert_eq!(AutopilotState::from_code(s.code()), Some(s));
+        }
+        assert_eq!(AutopilotState::from_code(9), None);
+    }
+
+    #[test]
+    fn log_records_transitions_in_order() {
+        let log = StateLog::new(None);
+        log.enter(AutopilotState::Monitoring);
+        log.enter(AutopilotState::DriftConfirmed);
+        log.enter(AutopilotState::Draining);
+        let h = log.history();
+        assert_eq!(h.len(), 3);
+        assert_eq!(h[0].0, AutopilotState::Monitoring);
+        assert_eq!(h[2].0, AutopilotState::Draining);
+        assert!(h[0].1 <= h[2].1);
+        assert_eq!(log.current(), Some(AutopilotState::Draining));
+    }
+
+    #[test]
+    fn transitions_publish_metrics() {
+        let session = TraceSession::new();
+        let log = StateLog::new(Some(session.clone()));
+        log.enter(AutopilotState::Monitoring);
+        log.enter(AutopilotState::Committed);
+        assert_eq!(
+            session.metrics().gauge("autopilot_state").get(),
+            AutopilotState::Committed.code() as f64
+        );
+    }
+}

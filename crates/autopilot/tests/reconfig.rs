@@ -1,0 +1,280 @@
+//! End-to-end reconfiguration tests: checkpointed repartition
+//! correctness, loss-trajectory identity across a drain → repartition →
+//! resume cycle, and probation rollback on a forced bad plan.
+
+use pipedream_autopilot::{repartition_checkpoint, train_with_autopilot, AutopilotOpts};
+use pipedream_core::PipelineConfig;
+use pipedream_ft::{resume_training, DelayStraggler};
+use pipedream_hw::{Device, LinkModel, Precision, Topology};
+use pipedream_model::profile_sequential;
+use pipedream_obs::DriftConfig;
+use pipedream_runtime::checkpoint::CheckpointPoint;
+use pipedream_runtime::control::RunControl;
+use pipedream_runtime::report::ReconfigVerdict;
+use pipedream_runtime::trainer::{try_train_pipeline, TrainOpts};
+use pipedream_runtime::{LrSchedule, OptimKind, Semantics};
+use pipedream_tensor::data::blobs;
+use pipedream_tensor::init::rng;
+use pipedream_tensor::layers::{Linear, Tanh};
+use pipedream_tensor::{Layer, Sequential, Tensor};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const BATCH: usize = 16;
+
+/// 6-layer MLP: Linear/Tanh/Linear/Tanh/Linear/Linear — enough layers
+/// for several distinct partitions.
+fn model(seed: u64) -> Sequential {
+    let mut r = rng(seed);
+    let mut m = Sequential::new("reconfig-mlp").push(Linear::new(8, 32, &mut r));
+    m.push_boxed(Box::new(Tanh::new()));
+    m.push_boxed(Box::new(Linear::new(32, 32, &mut r)));
+    m.push_boxed(Box::new(Tanh::new()));
+    m.push_boxed(Box::new(Linear::new(32, 32, &mut r)));
+    m.push_boxed(Box::new(Linear::new(32, 4, &mut r)));
+    m
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("pd-autopilot-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Deterministic single-minibatch-in-flight options: depth 1 means no
+/// weight staleness, and momentum 0 means checkpoints (weights only)
+/// capture the *entire* training state.
+fn deterministic_opts() -> TrainOpts {
+    TrainOpts {
+        epochs: 2,
+        batch: BATCH,
+        optim: OptimKind::Sgd {
+            lr: 0.05,
+            momentum: 0.0,
+        },
+        semantics: Semantics::Stashed,
+        lr_schedule: LrSchedule::Constant,
+        depth: Some(1),
+        ..TrainOpts::default()
+    }
+}
+
+#[test]
+fn repartition_preserves_every_weight() {
+    let dir = tmpdir("resplit");
+    let gen0 = dir.join("gen0");
+    std::fs::create_dir_all(&gen0).unwrap();
+    let full = model(3);
+    let reference = full.snapshot();
+    let n = full.len();
+
+    // Checkpoint under a 2-stage split at a mid-epoch point. Note the
+    // two boundary conventions: `straight(n, &[3])` ends stage 0 *after*
+    // layer 3, so the matching `split_off` boundary (first layer of the
+    // next stage) is 4.
+    let old = PipelineConfig::straight(n, &[3]);
+    let point = CheckpointPoint::MidEpoch { epoch: 1, mb: 5 };
+    let stages = model(3).split_off(&[4]);
+    for (si, sm) in stages.iter().enumerate() {
+        pipedream_runtime::checkpoint::save_stage_at(&gen0, si, 1, 5, &sm.snapshot()).unwrap();
+    }
+
+    // Re-split into 3 stages; the reassembled parameter vector must be
+    // bit-identical.
+    let new = PipelineConfig::straight(n, &[2, 4]);
+    let gen1 = dir.join("gen1");
+    repartition_checkpoint(&gen0, &old, &gen1, &new, model(99), point).unwrap();
+
+    let mut parts = model(99).split_off(&[3, 5]); // template values are fully overwritten
+    for (si, sm) in parts.iter_mut().enumerate() {
+        let params = pipedream_runtime::checkpoint::load_stage_point(&gen1, si, point).unwrap();
+        sm.restore(&params);
+    }
+    let mut rebuilt = Sequential::new("rebuilt");
+    for sm in parts {
+        for l in sm.into_layers() {
+            rebuilt.push_boxed(l);
+        }
+    }
+    let roundtripped = rebuilt.snapshot();
+    assert_eq!(reference.len(), roundtripped.len());
+    for (a, b) in reference.iter().zip(&roundtripped) {
+        assert_eq!(a.data(), b.data(), "weights changed across repartition");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The drain/repartition/resume cycle must be invisible to convergence:
+/// a run drained at an arbitrary minibatch, repartitioned onto different
+/// stage boundaries, and resumed from the checkpoint must produce the
+/// *same per-minibatch loss trajectory* as an uninterrupted run.
+#[test]
+fn repartitioned_resume_matches_uninterrupted_loss_trajectory() {
+    let data = blobs(256, 8, 4, 0.7, 7); // 16 minibatches/epoch at BATCH
+    let n = model(3).len();
+    let old = PipelineConfig::straight(n, &[3]);
+    let new = PipelineConfig::straight(n, &[2, 4]);
+
+    // Reference: the same model trained straight through.
+    let (_, base) = try_train_pipeline(model(3), &old, &data, &deterministic_opts(), None)
+        .expect("uninterrupted run");
+    assert_eq!(base.per_minibatch.len(), 32);
+
+    // Drained run: cut at minibatch 13 (mid-epoch), checkpoint, re-split
+    // to a 3-stage plan, resume to the end.
+    let dir = tmpdir("loss-id");
+    let gen0 = dir.join("gen0");
+    let gate = Arc::new(RunControl::new());
+    gate.drain_at(13);
+    let mut opts1 = deterministic_opts();
+    opts1.checkpoint_dir = Some(gen0.clone());
+    opts1.control = Some(gate.clone());
+    let (_, seg1) = try_train_pipeline(model(3), &old, &data, &opts1, None).expect("drained run");
+    let point = seg1.drained_at.expect("run was cut short");
+    assert_eq!(point, CheckpointPoint::MidEpoch { epoch: 0, mb: 12 });
+    assert_eq!(seg1.per_minibatch.len(), 13);
+
+    let gen1 = dir.join("gen1");
+    repartition_checkpoint(&gen0, &old, &gen1, &new, model(3), point).unwrap();
+
+    let mut opts2 = deterministic_opts();
+    opts2.checkpoint_dir = Some(gen1.clone());
+    let (_, seg2, resumed_from) =
+        resume_training(&model(3), &new, &data, &opts2, None).expect("resumed run");
+    assert_eq!(resumed_from, Some(point));
+
+    // Stitch and compare: identical ids, bit-identical losses.
+    let cut = point.global_mb(16);
+    assert_eq!(cut, 13);
+    let mut stitched: Vec<(u64, f32)> = seg1.per_minibatch.clone();
+    stitched.extend(seg2.per_minibatch.iter().map(|(id, l)| (id + cut, *l)));
+    assert_eq!(stitched.len(), base.per_minibatch.len());
+    for (got, want) in stitched.iter().zip(&base.per_minibatch) {
+        assert_eq!(got.0, want.0, "minibatch ids diverged");
+        assert_eq!(
+            got.1, want.1,
+            "loss diverged at minibatch {} across drain/repartition/resume",
+            got.0
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Probation must catch a bad plan: force the autopilot to "repartition"
+/// onto the *same* straggler-afflicted plan with an unmeetable margin —
+/// the measured throughput cannot clear it, so the run must roll back to
+/// the incumbent plan and still finish training.
+#[test]
+fn forced_bad_plan_rolls_back_and_training_completes() {
+    let topo = Topology::flat(Device::v100(), 2, LinkModel::new(1e14, 0.0), "test");
+    let mut prof = model(3);
+    let profile = profile_sequential(&mut prof, &Tensor::zeros(&[BATCH, 8]), 1, 3, &topo.device);
+    let costs = profile.costs(&topo.device, BATCH, Precision::Fp32);
+    let n = profile.num_layers();
+    let config = PipelineConfig::straight(n, &[3]);
+
+    let data = blobs(512, 8, 4, 0.7, 7); // 32 minibatches/epoch
+    let mut opts = deterministic_opts();
+    opts.epochs = 2;
+    let dir = tmpdir("rollback");
+    opts.checkpoint_dir = Some(dir.clone());
+
+    let auto = AutopilotOpts {
+        drift: DriftConfig {
+            min_minibatches: 1,
+            ..DriftConfig::default()
+        },
+        sample_every: Duration::from_millis(25),
+        probation_windows: 2,
+        // No plan can beat the degraded baseline 100×: probation must fail.
+        probation_margin: 99.0,
+        force_plan: Some(config.clone()),
+        ..AutopilotOpts::default()
+    };
+    // 3 ms per forward send from stage 0: an unambiguous straggler that
+    // also paces the run slowly enough for the monitor to see it.
+    let hook = Arc::new(DelayStraggler::new(0, Duration::from_millis(3)));
+    let (_, report) = train_with_autopilot(
+        &model(3),
+        &config,
+        &data,
+        &opts,
+        &costs,
+        &topo,
+        &auto,
+        Some(hook.clone()),
+    )
+    .expect("autopilot run");
+
+    assert!(hook.times_fired() > 0, "straggler never fired");
+    assert_eq!(report.reconfig.len(), 1, "expected one reconfig attempt");
+    let rec = &report.reconfig[0];
+    assert_eq!(rec.verdict, ReconfigVerdict::RolledBack, "{rec:?}");
+    assert_eq!(rec.old_plan_fingerprint, rec.new_plan_fingerprint);
+    assert!(rec.throughput_before > 0.0);
+
+    // The run still finished: every minibatch of every epoch has a loss,
+    // exactly once, in order.
+    let ids: Vec<u64> = report.per_minibatch.iter().map(|(id, _)| *id).collect();
+    assert_eq!(ids, (0..64).collect::<Vec<u64>>());
+    assert_eq!(report.per_epoch.last().map(|e| e.epoch), Some(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The commit path: force a plan that genuinely fixes the degradation (a
+/// single stage — no inter-stage sends, so a forward-send straggler
+/// physically cannot fire) and probation must commit it.
+#[test]
+fn forced_good_plan_commits() {
+    let topo = Topology::flat(Device::v100(), 2, LinkModel::new(1e14, 0.0), "test");
+    let mut prof = model(3);
+    let profile = profile_sequential(&mut prof, &Tensor::zeros(&[BATCH, 8]), 1, 3, &topo.device);
+    let costs = profile.costs(&topo.device, BATCH, Precision::Fp32);
+    let n = profile.num_layers();
+    let config = PipelineConfig::straight(n, &[3]);
+    let single_stage = PipelineConfig::straight(n, &[]);
+
+    let data = blobs(512, 8, 4, 0.7, 7);
+    let mut opts = deterministic_opts();
+    opts.epochs = 2;
+    let dir = tmpdir("commit");
+    opts.checkpoint_dir = Some(dir.clone());
+
+    let auto = AutopilotOpts {
+        drift: DriftConfig {
+            min_minibatches: 1,
+            ..DriftConfig::default()
+        },
+        sample_every: Duration::from_millis(25),
+        probation_windows: 2,
+        probation_margin: 0.05,
+        force_plan: Some(single_stage.clone()),
+        ..AutopilotOpts::default()
+    };
+    let hook = Arc::new(DelayStraggler::new(0, Duration::from_millis(3)));
+    let (_, report) = train_with_autopilot(
+        &model(3),
+        &config,
+        &data,
+        &opts,
+        &costs,
+        &topo,
+        &auto,
+        Some(hook),
+    )
+    .expect("autopilot run");
+
+    assert_eq!(report.reconfig.len(), 1, "expected one reconfig attempt");
+    let rec = &report.reconfig[0];
+    assert_eq!(rec.verdict, ReconfigVerdict::Committed, "{rec:?}");
+    assert!(
+        rec.throughput_after > rec.throughput_before,
+        "committed plan did not improve throughput: {rec:?}"
+    );
+    assert_eq!(rec.minibatches_redone, 0, "a clean drain redoes nothing");
+    let ids: Vec<u64> = report.per_minibatch.iter().map(|(id, _)| *id).collect();
+    assert_eq!(ids, (0..64).collect::<Vec<u64>>());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -35,7 +35,7 @@ fn bench_table1_cell(c: &mut Criterion) {
     let topo = ClusterPreset::A.with_servers(4);
     c.bench_function("table1_vgg_4x4A", |b| {
         b.iter(|| {
-            let plan = Planner::new(&model, &topo).plan_flat();
+            let plan = Planner::new(&model, &topo).try_plan_flat().unwrap();
             let costs = model.costs(&topo.device, model.default_batch, Precision::Fp32);
             let schedule = Schedule::one_f_one_b(&plan.config, 48);
             std::hint::black_box(simulate_pipeline(&costs, &topo, &schedule))

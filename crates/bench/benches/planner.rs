@@ -15,7 +15,7 @@ fn bench_planner(c: &mut Criterion) {
             g.bench_with_input(id, &topo, |b, topo| {
                 b.iter(|| {
                     let planner = Planner::new(&model, topo);
-                    std::hint::black_box(planner.plan());
+                    std::hint::black_box(planner.try_plan().unwrap());
                 })
             });
         }
@@ -31,7 +31,7 @@ fn bench_planner_flat(c: &mut Criterion) {
         g.bench_function(model.name.clone(), |b| {
             b.iter(|| {
                 let planner = Planner::new(&model, &topo);
-                std::hint::black_box(planner.plan_flat());
+                std::hint::black_box(planner.try_plan_flat().unwrap());
             })
         });
     }

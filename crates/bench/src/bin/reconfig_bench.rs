@@ -1,0 +1,127 @@
+//! `reconfig_bench` — machine-readable live-reconfiguration benchmark.
+//!
+//! Runs the closed-loop drift-replan experiment (straggler injected →
+//! autopilot drains, repartitions, resumes, judges) and writes the
+//! reconfiguration's cost profile as JSON so CI can gate and diff it per
+//! commit:
+//!
+//! ```text
+//! reconfig_bench [OUT.json] [--assert-committed]
+//!                [--assert-max-downtime-ms N] [--assert-max-redone N]
+//! ```
+//!
+//! CI's `replan-smoke` job runs this with all three gates: the applied
+//! replan must commit, pipeline downtime must stay bounded, and a clean
+//! drain must redo zero minibatches.
+
+use pipedream_bench::experiments::drift_replan;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ReconfigBenchReport {
+    /// Probation outcome: `Committed` or `RolledBack`.
+    verdict: String,
+    /// Plan labels before and after the live repartition.
+    old_plan: String,
+    new_plan: String,
+    /// `core::fingerprint` of each plan, hex.
+    old_plan_fingerprint: String,
+    new_plan_fingerprint: String,
+    /// Wall-clock ms the pipeline was not training (drain-complete to the
+    /// relaunched pipeline's first update).
+    downtime_ms: f64,
+    /// Minibatches re-executed because they post-dated the drain cut.
+    minibatches_redone: u64,
+    /// Measured samples/s before (degraded), during (drain + checkpoint +
+    /// relaunch), and after (new plan's probation window).
+    throughput_before: f64,
+    throughput_during: f64,
+    throughput_after: f64,
+    /// Whole-run wall time, seconds.
+    wall_time_s: f64,
+    /// Total minibatches trained across all segments.
+    minibatches: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_reconfig.json".to_string();
+    let mut assert_committed = false;
+    let mut max_downtime_ms: Option<f64> = None;
+    let mut max_redone: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--assert-committed" => assert_committed = true,
+            "--assert-max-downtime-ms" => {
+                i += 1;
+                max_downtime_ms =
+                    Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--assert-max-downtime-ms needs a number");
+                        std::process::exit(2);
+                    }));
+            }
+            "--assert-max-redone" => {
+                i += 1;
+                max_redone = Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--assert-max-redone needs a number");
+                    std::process::exit(2);
+                }));
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}");
+                std::process::exit(2);
+            }
+            path => out_path = path.to_string(),
+        }
+        i += 1;
+    }
+
+    let applied = drift_replan::run_applied(2);
+    let r = &applied.reconfig;
+    let report = ReconfigBenchReport {
+        verdict: r.verdict.to_string(),
+        old_plan: r.old_label.clone(),
+        new_plan: r.new_label.clone(),
+        old_plan_fingerprint: format!("{:016x}", r.old_plan_fingerprint),
+        new_plan_fingerprint: format!("{:016x}", r.new_plan_fingerprint),
+        downtime_ms: r.downtime_ms,
+        minibatches_redone: r.minibatches_redone,
+        throughput_before: r.throughput_before,
+        throughput_during: r.throughput_during,
+        throughput_after: r.throughput_after,
+        wall_time_s: applied.wall_time_s,
+        minibatches: applied.minibatches,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+
+    let mut failed = false;
+    if assert_committed && report.verdict != "Committed" {
+        eprintln!("GATE FAILED: verdict {} (wanted Committed)", report.verdict);
+        failed = true;
+    }
+    if let Some(max) = max_downtime_ms {
+        if report.downtime_ms > max {
+            eprintln!(
+                "GATE FAILED: downtime {:.0} ms > {max:.0} ms",
+                report.downtime_ms
+            );
+            failed = true;
+        }
+    }
+    if let Some(max) = max_redone {
+        if report.minibatches_redone > max {
+            eprintln!(
+                "GATE FAILED: {} minibatches redone > {max}",
+                report.minibatches_redone
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -65,13 +65,15 @@ fn run_one(
     Option<String>,
     Option<Vec<(String, String)>>,
 )> {
-    // drift-replan carries extra JSON artifacts (the drift report and the
-    // advisor's recommended plan); every other experiment has none.
+    // drift-replan carries extra JSON artifacts (the drift report, the
+    // advisor's recommended plan, and the applied run's reconfiguration
+    // record); every other experiment has none.
     if id == "drift-replan" {
         let r = e::drift_replan::run(3);
+        let applied = e::drift_replan::run_applied(2);
         return Some((
-            "Live drift detection and replan advisor",
-            r.to_string(),
+            "Live drift detection, replan advisor, and applied reconfiguration",
+            format!("{r}\n{applied}"),
             Some(r.to_csv()),
             None,
             Some(vec![
@@ -79,6 +81,10 @@ fn run_one(
                 (
                     "recommended-plan.json".to_string(),
                     r.recommended_plan_json(),
+                ),
+                (
+                    "reconfig-report.json".to_string(),
+                    applied.reconfig_report_json(),
                 ),
             ]),
         ));

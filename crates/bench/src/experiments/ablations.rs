@@ -132,8 +132,10 @@ pub fn run() -> Ablations {
     let vgg = zoo::vgg16();
     let vgg_topo = ClusterPreset::A.with_servers(4);
     let vgg_planner = Planner::new(&vgg, &vgg_topo);
-    let dp_plan = vgg_planner.evaluate(&vgg_planner.plan_flat().config);
-    let greedy_plan = vgg_planner.plan_greedy();
+    let dp_plan = vgg_planner
+        .try_evaluate(&vgg_planner.try_plan_flat().expect("flat plan").config)
+        .expect("DP plan evaluates");
+    let greedy_plan = vgg_planner.try_plan_greedy().expect("greedy plan");
 
     Ablations {
         priority: PriorityAblation {

@@ -15,16 +15,26 @@
 //!    [`advise_replan`], which must recommend a partition whose simulated
 //!    throughput beats the degraded pipeline's.
 //!
+//! [`run_applied`] closes the loop for real: the same setup (under a
+//! heavier straggler — see [`APPLIED_DELAY`]) is handed to
+//! [`train_with_autopilot`], which detects the straggler live,
+//! drains to a consistent checkpoint, repartitions onto the advisor's
+//! recommended plan, resumes mid-epoch, and commits (or rolls back) after
+//! a measured probation window — no human in the loop.
+//!
 //! [`StagePrediction`]: pipedream_core::StagePrediction
 
 use crate::util::format_table;
+use pipedream_autopilot::{train_with_autopilot, AutopilotOpts};
 use pipedream_core::{PipelineConfig, Planner};
 use pipedream_ft::DelayStraggler;
 use pipedream_hw::{Device, LinkModel, Precision, Topology};
-use pipedream_model::profile_sequential;
+use pipedream_model::{profile_sequential, LayerCosts};
 use pipedream_obs::{
-    advise_replan, DriftDetector, DriftReport, LiveProfiler, ReplanAdvice, TraceSession,
+    advise_replan, DriftConfig, DriftDetector, DriftReport, LiveProfiler, ReplanAdvice,
+    TraceSession,
 };
+use pipedream_runtime::report::ReconfigReport;
 use pipedream_runtime::trainer::try_train_pipeline;
 use pipedream_runtime::{LrSchedule, OptimKind, Semantics, TrainOpts};
 use pipedream_tensor::data::blobs;
@@ -82,17 +92,15 @@ pub struct DriftReplan {
     pub wall_time_s: f64,
 }
 
-/// Run the experiment: plan healthy, train degraded, detect, re-plan.
-pub fn run(epochs: usize) -> DriftReplan {
+/// Healthy profile → balanced straight plan: the shared starting point of
+/// both the advisory ([`run`]) and applied ([`run_applied`]) experiments.
+fn healthy_plan() -> (Topology, LayerCosts, PipelineConfig) {
     let topo = Topology::flat(
         Device::v100(),
         STAGES,
         LinkModel::new(1e14, 0.0),
         "local-threads",
     );
-
-    // Healthy profile → balanced plan → per-stage predictions. These are
-    // the detector's reference: what the planner *thinks* each stage costs.
     let mut prof_model = model(5);
     let profile = profile_sequential(
         &mut prof_model,
@@ -107,7 +115,18 @@ pub fn run(epochs: usize) -> DriftReplan {
         .balanced_boundaries(STAGES)
         .expect("model splits into stages");
     let config = PipelineConfig::straight(profile.num_layers(), &boundaries);
-    let predictions = planner.predicted_stage_times(&config);
+    (topo, costs, config)
+}
+
+/// Run the experiment: plan healthy, train degraded, detect, re-plan.
+pub fn run(epochs: usize) -> DriftReplan {
+    // Per-stage predictions are the detector's reference: what the planner
+    // *thinks* each stage costs.
+    let (topo, costs, config) = healthy_plan();
+    let planner = Planner::from_costs(costs.clone(), &topo);
+    let predictions = planner
+        .try_predicted_stage_times(&config)
+        .expect("stage predictions");
 
     // Degraded run: the straggler stalls every forward send from one
     // stage, inside the worker's Fwd span, while a watcher thread samples
@@ -288,6 +307,147 @@ impl fmt::Display for DriftReplan {
     }
 }
 
+/// What the closed-loop run did: the autopilot's reconfiguration record
+/// plus the whole-run outcome it was stitched into.
+#[derive(Debug, Clone)]
+pub struct AppliedReplan {
+    /// Stage the straggler was injected into.
+    pub straggler_stage: usize,
+    /// Injected per-send delay, milliseconds.
+    pub injected_delay_ms: f64,
+    /// The autopilot's reconfiguration record: plans, fingerprints,
+    /// downtime, redone work, probation throughputs, verdict.
+    pub reconfig: ReconfigReport,
+    /// Wall time of the whole self-optimizing run, seconds (includes the
+    /// drain, checkpoint, repartition, and probation).
+    pub wall_time_s: f64,
+    /// Final training loss — the run must still converge normally.
+    pub final_loss: f32,
+    /// Total minibatches trained across all segments (each exactly once).
+    pub minibatches: usize,
+}
+
+/// Straggler injected into the *applied* run. Heavier than the advisory
+/// run's [`DELAY`]: the advisor's replacement plan trades the straggling
+/// stage for data-parallel allreduce overhead, and in a release build the
+/// healthy compute is fast enough that a 2 ms stall alone doesn't leave
+/// the new plan a measured win — probation would (correctly) roll the
+/// switch back. 20 ms/minibatch caps the degraded pipeline at ~50 mb/s
+/// under any build profile, so the committed verdict is profile- and
+/// machine-independent.
+const APPLIED_DELAY: Duration = Duration::from_millis(20);
+
+/// Close the loop for real: train the degraded pipeline under
+/// [`train_with_autopilot`] and let it detect, drain, repartition,
+/// resume, and judge the new plan — no human in the loop.
+pub fn run_applied(epochs: usize) -> AppliedReplan {
+    let (topo, costs, config) = healthy_plan();
+    let data = blobs(1024, 16, 4, 0.7, 11);
+    let ckpt = std::env::temp_dir().join(format!("pd-drift-replan-applied-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt);
+    let opts = TrainOpts {
+        epochs,
+        batch: BATCH,
+        optim: OptimKind::Sgd {
+            lr: 0.05,
+            momentum: 0.0,
+        },
+        semantics: Semantics::Stashed,
+        lr_schedule: LrSchedule::Constant,
+        checkpoint_dir: Some(ckpt.clone()),
+        ..TrainOpts::default()
+    };
+    let auto = AutopilotOpts {
+        drift: DriftConfig {
+            min_minibatches: 1,
+            ..DriftConfig::default()
+        },
+        sample_every: SAMPLE_EVERY,
+        probation_windows: 2,
+        probation_margin: 0.05,
+        ..AutopilotOpts::default()
+    };
+    let hook = Arc::new(DelayStraggler::new(STRAGGLER_STAGE, APPLIED_DELAY));
+    let (_, report) = train_with_autopilot(
+        &model(5),
+        &config,
+        &data,
+        &opts,
+        &costs,
+        &topo,
+        &auto,
+        Some(hook.clone()),
+    )
+    .expect("applied autopilot run failed");
+    let _ = std::fs::remove_dir_all(&ckpt);
+    assert!(hook.times_fired() > 0, "straggler never fired");
+    let reconfig = report
+        .reconfig
+        .first()
+        .cloned()
+        .expect("autopilot never attempted a reconfiguration");
+    AppliedReplan {
+        straggler_stage: STRAGGLER_STAGE,
+        injected_delay_ms: APPLIED_DELAY.as_secs_f64() * 1e3,
+        reconfig,
+        wall_time_s: report.wall_time_s,
+        final_loss: report.final_loss(),
+        minibatches: report.per_minibatch.len(),
+    }
+}
+
+impl AppliedReplan {
+    /// The [`ReconfigReport`] as JSON (saved as `reconfig-report.json`).
+    pub fn reconfig_report_json(&self) -> String {
+        serde_json::to_string_pretty(&self.reconfig).expect("reconfig report serializes")
+    }
+}
+
+impl fmt::Display for AppliedReplan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = &self.reconfig;
+        writeln!(
+            f,
+            "Applied (closed-loop) run: {:.0} ms/send straggler in stage {}, autopilot on:\n",
+            self.injected_delay_ms, self.straggler_stage
+        )?;
+        writeln!(
+            f,
+            "  plan {} ({:016x}) -> {} ({:016x})",
+            r.old_label, r.old_plan_fingerprint, r.new_label, r.new_plan_fingerprint
+        )?;
+        writeln!(
+            f,
+            "  drained to checkpoint at epoch {}{}",
+            r.drained_epoch,
+            r.drained_mb
+                .map(|mb| format!(", minibatch {mb}"))
+                .unwrap_or_else(|| " boundary".into())
+        )?;
+        writeln!(
+            f,
+            "  downtime {:.0} ms, {} minibatch(es) redone",
+            r.downtime_ms, r.minibatches_redone
+        )?;
+        writeln!(
+            f,
+            "  measured throughput {:.0} -> {:.0} samples/s ({:.0} during the switch)",
+            r.throughput_before, r.throughput_after, r.throughput_during
+        )?;
+        writeln!(
+            f,
+            "  probation verdict: {} (margin {:.0}%)",
+            r.verdict,
+            r.probation_margin * 100.0
+        )?;
+        writeln!(
+            f,
+            "  run finished: {} minibatches, final loss {:.4}, wall time {:.2}s",
+            self.minibatches, self.final_loss, self.wall_time_s
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,5 +485,37 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("detected after"), "{text}");
         assert!(text.contains("replan advisor"), "{text}");
+    }
+
+    /// The tentpole's end-to-end gate: the straggler is detected live, a
+    /// repartition is applied with no human in the loop, and measured
+    /// throughput recovers (probation commits the new plan).
+    #[test]
+    fn applied_replan_commits_and_throughput_recovers() {
+        let r = run_applied(2);
+        let rec = &r.reconfig;
+        assert_eq!(
+            rec.verdict,
+            pipedream_runtime::report::ReconfigVerdict::Committed,
+            "{rec:?}"
+        );
+        assert_ne!(
+            rec.old_plan_fingerprint, rec.new_plan_fingerprint,
+            "advisor applied the same plan it was fleeing: {rec:?}"
+        );
+        assert!(
+            rec.throughput_after > rec.throughput_before,
+            "throughput did not recover: {rec:?}"
+        );
+        assert_eq!(rec.minibatches_redone, 0, "a clean drain redoes nothing");
+        // Every minibatch of both epochs trained exactly once across the
+        // stitched segments.
+        assert_eq!(r.minibatches, 64);
+        assert!(r.final_loss.is_finite());
+        // The saved artifact round-trips to the same record.
+        let back: ReconfigReport = serde_json::from_str(&r.reconfig_report_json()).unwrap();
+        assert_eq!(back, *rec);
+        let text = r.to_string();
+        assert!(text.contains("probation verdict: Committed"), "{text}");
     }
 }

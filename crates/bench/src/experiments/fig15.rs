@@ -37,13 +37,16 @@ pub fn run() -> Fig15 {
     let topo = ClusterPreset::A.with_servers(4); // 16 workers
     let planner = Planner::new(&model, &topo);
     let mut configs = planner.enumerate_configs();
-    let planned = planner.plan_flat().config;
+    let planned = planner.try_plan_flat().expect("flat plan").config;
     if !configs.contains(&planned) {
         configs.push(planned);
     }
     let mut points = Vec::new();
     for config in configs {
-        let predicted = planner.evaluate(&config).samples_per_sec;
+        let predicted = planner
+            .try_evaluate(&config)
+            .expect("enumerated config")
+            .samples_per_sec;
         let simulated = pipeline_throughput(&model, &topo, &config, 48).samples_per_sec;
         // Disambiguate configs that share a replica pattern but split at
         // different layers: append the per-stage layer counts.

@@ -37,7 +37,7 @@ pub fn fig6() -> Fig6 {
     let topo = ClusterPreset::A.with_servers(1);
     let profile = profile_sequential(&mut model, &Tensor::zeros(&[32, 16]), 2, 4, &topo.device);
     let planner = Planner::from_costs(profile.costs(&topo.device, 32, Precision::Fp32), &topo);
-    let plan = planner.plan();
+    let plan = planner.try_plan().expect("plan");
 
     let mut out = String::new();
     let _ = writeln!(

@@ -41,8 +41,8 @@ pub fn run() -> OptimizerRuntime {
             let topo = cluster.with_servers(servers);
             let t0 = Instant::now();
             let planner = Planner::new(&model, &topo);
-            let plan = planner.plan();
-            let _flat = planner.plan_flat();
+            let plan = planner.try_plan().expect("hierarchical plan");
+            let _flat = planner.try_plan_flat().expect("flat plan");
             rows.push(Row {
                 model: model.name.clone(),
                 cluster: format!("{servers}x{} ({})", topo.arity(1), cluster.name()),

@@ -64,7 +64,10 @@ pub fn best_plan(
 ) -> (PipelineConfig, SimResult) {
     let planner = Planner::new(profile, topo);
     let mut best: Option<(PipelineConfig, SimResult)> = None;
-    for plan in [planner.plan(), planner.plan_flat()] {
+    for plan in [
+        planner.try_plan().expect("hierarchical plan"),
+        planner.try_plan_flat().expect("flat plan"),
+    ] {
         let sim = pipeline_throughput(profile, topo, &plan.config, n_mbs);
         let better = match &best {
             None => true,

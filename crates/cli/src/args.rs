@@ -22,9 +22,9 @@ USAGE:
                               drop:stage=S,mb=N | corrupt:stage=S,epoch=E]
                      [--checkpoint-dir DIR] [--checkpoint-every K]
                      [--report file.json] [--trace out.json] [--metrics]
-                     [--timeline] [--watch]
+                     [--timeline] [--watch] [--auto-replan]
   pipedream top      [--stages N] [--epochs N] [--batch N] [--seed N]
-                     [--refresh-ms M]
+                     [--refresh-ms M] [--auto-replan]
   pipedream serve    [--addr HOST:PORT] [--threads N] [--queue N]
                      [--cache N] [--shards N] [--deadline-ms M]
                      [--for-secs S]
@@ -42,6 +42,13 @@ snapshot window; `top` runs a demo training job under a live ASCII dashboard;
 costs (combine with --model to diff measured against profiled). `serve`
 runs the planning daemon (POST /plan, /simulate, /validate; GET /metrics,
 /healthz) with a sharded plan cache; --for-secs 0 serves until killed.
+`train --auto-replan` runs under the autopilot: if the live profile drifts
+off-plan, the pipeline drains to a checkpoint, repartitions onto the
+advisor's plan, and resumes — committing or rolling back after a measured
+probation window (requires --checkpoint-dir, or a temp dir is used).
+`top --auto-replan` runs the same autopilot demo and adds a control-plane
+status line (state-machine position, reconfiguration attempts / commits /
+rollbacks, last downtime) to every dashboard frame.
 ";
 
 /// A parsed subcommand.
@@ -94,6 +101,9 @@ pub struct TopArgs {
     pub seed: u64,
     /// Dashboard refresh interval in milliseconds.
     pub refresh_ms: u64,
+    /// Run the demo under the autopilot and surface its control-plane
+    /// state (reconfiguration ladder, attempts, verdicts) per frame.
+    pub auto_replan: bool,
 }
 
 /// Arguments for `serve`: the planning daemon.
@@ -219,6 +229,9 @@ pub struct TrainArgs {
     /// Print a live status line (throughput, per-stage busy%, ETA) per
     /// snapshot window while training.
     pub watch: bool,
+    /// Run under the autopilot: reconfigure the pipeline live if the
+    /// measured profile drifts off-plan.
+    pub auto_replan: bool,
 }
 
 /// Parsing failure with a user-facing message.
@@ -240,7 +253,7 @@ fn flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), Pars
             // Boolean flags take no value; everything else consumes one.
             let boolean = matches!(
                 name,
-                "flat" | "json" | "timeline" | "fp16" | "metrics" | "watch"
+                "flat" | "json" | "timeline" | "fp16" | "metrics" | "watch" | "auto-replan"
             );
             if boolean {
                 map.insert(name.to_string(), "true".to_string());
@@ -413,6 +426,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             metrics: map.contains_key("metrics"),
             timeline: map.contains_key("timeline"),
             watch: map.contains_key("watch"),
+            auto_replan: map.contains_key("auto-replan"),
         })),
         "serve" => {
             let a = ServeArgs {
@@ -440,6 +454,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             batch: get(&map, "batch", 16usize)?,
             seed: get(&map, "seed", 1u64)?,
             refresh_ms: get(&map, "refresh-ms", 250u64)?,
+            auto_replan: map.contains_key("auto-replan"),
         })),
         other => Err(ParseError(format!(
             "unknown subcommand '{other}'; try `pipedream help`"
@@ -577,10 +592,20 @@ mod tests {
         let Command::Top(a) = cmd else { panic!() };
         assert_eq!(a.stages, 4);
         assert_eq!(a.refresh_ms, 250);
-        let cmd = parse(&s(&["top", "--stages", "2", "--refresh-ms", "100"])).unwrap();
+        assert!(!a.auto_replan);
+        let cmd = parse(&s(&[
+            "top",
+            "--stages",
+            "2",
+            "--refresh-ms",
+            "100",
+            "--auto-replan",
+        ]))
+        .unwrap();
         let Command::Top(a) = cmd else { panic!() };
         assert_eq!(a.stages, 2);
         assert_eq!(a.refresh_ms, 100);
+        assert!(a.auto_replan);
     }
 
     #[test]

@@ -1,14 +1,14 @@
 //! Subcommand implementations.
 
 use crate::args::{
-    DpArgs, ExportArgs, InspectArgs, PlanArgs, ServeArgs, SimulateArgs, Target, TopArgs,
-    TrainArgs,
+    DpArgs, ExportArgs, InspectArgs, PlanArgs, ServeArgs, SimulateArgs, Target, TopArgs, TrainArgs,
 };
+use pipedream_autopilot::{train_with_autopilot, AutopilotOpts, AutopilotState};
 use pipedream_core::schedule::Schedule;
 use pipedream_core::{PipelineConfig, Planner};
-use pipedream_ft::{train_with_recovery, FaultPlan};
-use pipedream_hw::{ClusterPreset, Precision, Topology};
-use pipedream_model::{zoo, ModelProfile};
+use pipedream_ft::{train_with_recovery, Fault, FaultPlan};
+use pipedream_hw::{ClusterPreset, Device, LinkModel, Precision, Topology};
+use pipedream_model::{profile_sequential, zoo, ModelProfile};
 use pipedream_obs::{parse_chrome_trace, render_live_dashboard, render_live_status, LiveProfiler};
 use pipedream_runtime::trainer::evaluate;
 use pipedream_runtime::{train_pipeline, LrSchedule, OptimKind, Semantics, TrainOpts};
@@ -16,7 +16,7 @@ use pipedream_sim::{render_timeline, simulate_dp, simulate_pipeline};
 use pipedream_tensor::data::{blobs, Dataset};
 use pipedream_tensor::init::rng;
 use pipedream_tensor::layers::{Linear, Tanh};
-use pipedream_tensor::Sequential;
+use pipedream_tensor::{Sequential, Tensor};
 use std::fmt::Write as _;
 use std::fs;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -65,10 +65,11 @@ pub fn plan(a: PlanArgs) -> Result<String, String> {
         planner = planner.with_memory_limit((gb * (1u64 << 30) as f64) as u64);
     }
     let plan = if a.flat {
-        planner.plan_flat()
+        planner.try_plan_flat()
     } else {
-        planner.plan()
-    };
+        planner.try_plan()
+    }
+    .map_err(|e| e.to_string())?;
     if a.json {
         return serde_json::to_string_pretty(&plan).map_err(|e| e.to_string());
     }
@@ -117,7 +118,7 @@ fn resolve_config(
     let n = model.num_layers();
     let w = topo.total_workers();
     match spec {
-        "auto" => Ok(planner.plan_flat().config),
+        "auto" => Ok(planner.try_plan_flat().map_err(|e| e.to_string())?.config),
         "dp" => Ok(PipelineConfig::data_parallel(n, w)),
         "straight" => {
             let d = w.min(n);
@@ -289,13 +290,14 @@ pub fn train(a: TrainArgs) -> Result<String, String> {
     let (model, config, data) = demo_pipeline(a.stages, a.seed);
     let (train_set, test_set) = data.split(0.25);
     // --fault implies checkpointing so the recovery supervisor has
-    // something to restart from.
-    let checkpoint_dir = match (&a.checkpoint_dir, &a.fault) {
+    // something to restart from; --auto-replan implies it so the autopilot
+    // can drain and repartition.
+    let checkpoint_dir = match (&a.checkpoint_dir, a.fault.is_some() || a.auto_replan) {
         (Some(d), _) => Some(std::path::PathBuf::from(d)),
-        (None, Some(_)) => {
+        (None, true) => {
             Some(std::env::temp_dir().join(format!("pipedream-train-ckpt-{}", std::process::id())))
         }
-        (None, None) => None,
+        (None, false) => None,
     };
     // Any observability flag opens a trace session shared by the workers,
     // the gradient-sync groups, and (under --fault) the recovery
@@ -330,15 +332,65 @@ pub fn train(a: TrainArgs) -> Result<String, String> {
         ..TrainOpts::default()
     };
     let mut fault_fired = true;
-    let (mut trained, report) = match &a.fault {
-        None => train_pipeline(model, &config, &train_set, &opts),
-        Some(spec) => {
-            let plan =
-                std::sync::Arc::new(FaultPlan::parse(spec).map_err(|e| format!("--fault: {e}"))?);
-            let result = train_with_recovery(&model, &config, &train_set, &opts, plan.clone())
-                .map_err(|e| e.to_string())?;
-            fault_fired = plan.fired();
-            result
+    let (mut trained, report) = if a.auto_replan {
+        // A fault under the autopilot rides along as a plain hook: only
+        // delay faults make sense (the autopilot reconfigures around a
+        // degraded-but-alive pipeline; crashes need the recovery
+        // supervisor).
+        let plan = match &a.fault {
+            None => None,
+            Some(spec) => {
+                let plan = Arc::new(FaultPlan::parse(spec).map_err(|e| format!("--fault: {e}"))?);
+                if !matches!(plan.fault(), Fault::Delay { .. }) {
+                    return Err(
+                        "--auto-replan combines only with delay:… faults; use kill/drop/corrupt \
+                         without --auto-replan for the recovery supervisor"
+                            .into(),
+                    );
+                }
+                Some(plan)
+            }
+        };
+        // The autopilot re-plans over the measured-vs-profiled gap, so it
+        // needs the healthy per-layer profile and a topology for the
+        // demo's worker threads.
+        let topo = Topology::flat(
+            Device::v100(),
+            a.stages,
+            LinkModel::new(1e14, 0.0),
+            "local-threads",
+        );
+        let mut prof_model = model.clone();
+        let profile = profile_sequential(
+            &mut prof_model,
+            &Tensor::zeros(&[a.batch, 8]),
+            1,
+            3,
+            &topo.device,
+        );
+        let costs = profile.costs(&topo.device, a.batch, Precision::Fp32);
+        let auto = AutopilotOpts::default();
+        let hook = plan
+            .clone()
+            .map(|p| p as Arc<dyn pipedream_runtime::fault::FaultHook>);
+        let result = train_with_autopilot(
+            &model, &config, &train_set, &opts, &costs, &topo, &auto, hook,
+        )
+        .map_err(|e| e.to_string())?;
+        if let Some(p) = &plan {
+            fault_fired = p.fired();
+        }
+        result
+    } else {
+        match &a.fault {
+            None => train_pipeline(model, &config, &train_set, &opts),
+            Some(spec) => {
+                let plan = Arc::new(FaultPlan::parse(spec).map_err(|e| format!("--fault: {e}"))?);
+                let result = train_with_recovery(&model, &config, &train_set, &opts, plan.clone())
+                    .map_err(|e| e.to_string())?;
+                fault_fired = plan.fired();
+                result
+            }
         }
     };
     let final_live = watcher.map(Watcher::finish);
@@ -383,6 +435,30 @@ pub fn train(a: TrainArgs) -> Result<String, String> {
                 rec.fault
             );
         }
+    }
+    for rec in &report.reconfig {
+        let _ = writeln!(
+            out,
+            "autopilot: replanned {} -> {} at epoch {}{}: downtime {:.0} ms, \
+             {} minibatch(es) redone, throughput {:.0} -> {:.0} samples/s, verdict {}",
+            rec.old_label,
+            rec.new_label,
+            rec.drained_epoch,
+            rec.drained_mb
+                .map(|mb| format!(" (minibatch {mb})"))
+                .unwrap_or_default(),
+            rec.downtime_ms,
+            rec.minibatches_redone,
+            rec.throughput_before,
+            rec.throughput_after,
+            rec.verdict,
+        );
+    }
+    if a.auto_replan && report.reconfig.is_empty() {
+        let _ = writeln!(
+            out,
+            "autopilot: no reconfiguration (no sustained drift detected)"
+        );
     }
     for e in &report.per_epoch {
         let _ = writeln!(
@@ -507,10 +583,33 @@ pub fn inspect(a: InspectArgs) -> Result<String, String> {
     Ok(out)
 }
 
+/// One-line autopilot control-plane status read back from the metrics
+/// the pilot publishes to the caller's session: the `autopilot_state`
+/// gauge (position on the reconfiguration ladder) plus the reconfig
+/// attempt/verdict counters and the last measured downtime.
+fn autopilot_status_line(m: &pipedream_obs::MetricsRegistry) -> String {
+    let state = AutopilotState::from_code(m.gauge("autopilot_state").get() as u8)
+        .map(AutopilotState::name)
+        .unwrap_or("unknown");
+    let mut line = format!(
+        "autopilot: state={state}  reconfigs={} (committed {}, rolled back {})",
+        m.counter("reconfig_attempts_total").get(),
+        m.counter("reconfig_committed_total").get(),
+        m.counter("reconfig_rolled_back_total").get(),
+    );
+    let downtime = m.gauge("reconfig_downtime_ms").get();
+    if downtime > 0.0 {
+        let _ = write!(line, "  last downtime {downtime:.0} ms");
+    }
+    line
+}
+
 /// `pipedream top`: run the demo training pipeline with tracing on and
 /// repaint a live per-stage dashboard (EWMA/percentile compute, busy /
 /// comm / bubble split, stash depth, recent-window ASCII timeline) every
-/// `--refresh-ms` until training finishes. Returns the final frame.
+/// `--refresh-ms` until training finishes. With `--auto-replan` the demo
+/// runs under the autopilot and every frame carries a control-plane
+/// status line. Returns the final frame.
 pub fn top(a: TopArgs) -> Result<String, String> {
     if !(2..=8).contains(&a.stages) {
         return Err("--stages must be between 2 and 8".into());
@@ -527,28 +626,79 @@ pub fn top(a: TopArgs) -> Result<String, String> {
         },
         semantics: Semantics::Stashed,
         lr_schedule: LrSchedule::Constant,
+        checkpoint_dir: a.auto_replan.then(|| {
+            std::env::temp_dir().join(format!("pipedream-top-ckpt-{}", std::process::id()))
+        }),
         obs: Some(session.clone()),
         ..TrainOpts::default()
     };
-    let trainer = std::thread::spawn(move || train_pipeline(model, &config, &train_set, &opts));
+    let trainer = if a.auto_replan {
+        // The autopilot replans over the measured-vs-profiled gap, so it
+        // needs the healthy per-layer profile and a topology. Worker
+        // spans land on the pilot's per-segment internal sessions; the
+        // caller's session still carries the control track and metrics
+        // the status line reads.
+        let topo = Topology::flat(
+            Device::v100(),
+            a.stages,
+            LinkModel::new(1e14, 0.0),
+            "local-threads",
+        );
+        let mut prof_model = model.clone();
+        let profile = profile_sequential(
+            &mut prof_model,
+            &Tensor::zeros(&[a.batch, 8]),
+            1,
+            3,
+            &topo.device,
+        );
+        let costs = profile.costs(&topo.device, a.batch, Precision::Fp32);
+        std::thread::spawn(move || {
+            let auto = AutopilotOpts::default();
+            train_with_autopilot(
+                &model, &config, &train_set, &opts, &costs, &topo, &auto, None,
+            )
+            .map_err(|e| e.to_string())
+        })
+    } else {
+        std::thread::spawn(move || Ok(train_pipeline(model, &config, &train_set, &opts)))
+    };
     let mut profiler = LiveProfiler::new(session.clone());
     let period = std::time::Duration::from_millis(a.refresh_ms.max(10));
     while !trainer.is_finished() {
         std::thread::sleep(period);
         let live = profiler.sample();
         let snap = session.snapshot();
+        let mut frame = render_live_dashboard(&live, &snap, 2.0, 100);
+        if a.auto_replan {
+            let _ = write!(frame, "\n{}", autopilot_status_line(session.metrics()));
+        }
         // ANSI clear + home, then the current frame.
-        print!(
-            "\x1b[2J\x1b[H{}",
-            render_live_dashboard(&live, &snap, 2.0, 100)
-        );
+        print!("\x1b[2J\x1b[H{frame}");
         use std::io::Write as _;
         let _ = std::io::stdout().flush();
     }
-    let (_, report) = trainer.join().expect("training thread panicked");
+    let (_, report) = trainer.join().expect("training thread panicked")?;
     let live = profiler.sample();
     let snap = session.snapshot();
     let mut out = render_live_dashboard(&live, &snap, 2.0, 100);
+    if a.auto_replan {
+        let _ = writeln!(out, "\n{}", autopilot_status_line(session.metrics()));
+        for rec in &report.reconfig {
+            let _ = writeln!(
+                out,
+                "autopilot: replanned {} -> {} at epoch {}{}: downtime {:.0} ms, verdict {}",
+                rec.old_label,
+                rec.new_label,
+                rec.drained_epoch,
+                rec.drained_mb
+                    .map(|mb| format!(" (minibatch {mb})"))
+                    .unwrap_or_default(),
+                rec.downtime_ms,
+                rec.verdict,
+            );
+        }
+    }
     let _ = writeln!(
         out,
         "\ndone: {} epoch(s) in {:.2}s, final loss {:.4}",
@@ -751,6 +901,7 @@ mod tests {
             metrics: false,
             timeline: false,
             watch: false,
+            auto_replan: false,
         })
         .unwrap();
         assert!(out.contains("held-out accuracy"));
@@ -776,6 +927,7 @@ mod tests {
             metrics: false,
             timeline: false,
             watch: false,
+            auto_replan: false,
         })
         .unwrap();
         assert!(out.contains("injected fault `kill:stage=1,mb=20`"), "{out}");
@@ -803,6 +955,7 @@ mod tests {
             metrics: true,
             timeline: true,
             watch: false,
+            auto_replan: false,
         })
         .unwrap();
         assert!(out.contains("wrote Chrome trace"), "{out}");
@@ -848,6 +1001,7 @@ mod tests {
             metrics: false,
             timeline: false,
             watch: false,
+            auto_replan: false,
         })
         .unwrap_err();
         assert!(err.contains("--fault"), "{err}");
@@ -884,11 +1038,64 @@ mod tests {
             metrics: false,
             timeline: false,
             watch: true,
+            auto_replan: false,
         })
         .unwrap();
         assert!(out.contains("live: ["), "{out}");
         assert!(out.contains("mb/s"), "{out}");
         assert!(out.contains("held-out accuracy"), "{out}");
+    }
+
+    #[test]
+    fn train_auto_replan_completes_and_reports() {
+        let dir = std::env::temp_dir().join(format!("pd-cli-auto-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = train(TrainArgs {
+            stages: 2,
+            epochs: 2,
+            batch: 16,
+            lr: 0.05,
+            semantics: "stashed".into(),
+            seed: 3,
+            fault: None,
+            checkpoint_dir: Some(dir.to_string_lossy().into_owned()),
+            checkpoint_every: None,
+            report: None,
+            trace: None,
+            metrics: false,
+            timeline: false,
+            watch: false,
+            auto_replan: true,
+        })
+        .unwrap();
+        // Whether or not the tiny demo run drifts, the autopilot reports
+        // its outcome and the run trains to completion.
+        assert!(out.contains("autopilot:"), "{out}");
+        assert!(out.contains("held-out accuracy"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn train_auto_replan_rejects_crash_faults() {
+        let err = train(TrainArgs {
+            stages: 2,
+            epochs: 2,
+            batch: 16,
+            lr: 0.05,
+            semantics: "stashed".into(),
+            seed: 3,
+            fault: Some("kill:stage=1,mb=5".into()),
+            checkpoint_dir: None,
+            checkpoint_every: None,
+            report: None,
+            trace: None,
+            metrics: false,
+            timeline: false,
+            watch: false,
+            auto_replan: true,
+        })
+        .unwrap_err();
+        assert!(err.contains("--auto-replan"), "{err}");
     }
 
     #[test]
@@ -912,6 +1119,7 @@ mod tests {
             metrics: false,
             timeline: false,
             watch: false,
+            auto_replan: false,
         })
         .unwrap();
         let out = inspect(InspectArgs {
@@ -957,10 +1165,31 @@ mod tests {
             batch: 16,
             seed: 3,
             refresh_ms: 50,
+            auto_replan: false,
         })
         .unwrap();
         assert!(out.contains("ewma/mb"), "{out}");
         assert!(out.contains("bubble%"), "{out}");
+        assert!(out.contains("done: 2 epoch(s)"), "{out}");
+        assert!(!out.contains("autopilot:"), "{out}");
+    }
+
+    #[test]
+    fn top_auto_replan_surfaces_control_plane_status() {
+        let out = top(TopArgs {
+            stages: 2,
+            epochs: 2,
+            batch: 16,
+            seed: 3,
+            refresh_ms: 50,
+            auto_replan: true,
+        })
+        .unwrap();
+        // Whether or not the tiny demo run drifts, the final frame must
+        // carry the autopilot status line with a valid ladder state.
+        assert!(out.contains("autopilot: state="), "{out}");
+        assert!(out.contains("reconfigs="), "{out}");
+        assert!(!out.contains("state=unknown"), "{out}");
         assert!(out.contains("done: 2 epoch(s)"), "{out}");
     }
 

@@ -136,7 +136,10 @@ pub fn fingerprint_profile(
 
 /// Fold materialized [`LayerCosts`] into `h` canonically — used when a
 /// plan is requested from measured costs rather than an abstract profile.
-pub fn fingerprint_costs(h: &mut Fingerprinter, costs: &LayerCosts) -> Result<(), FingerprintError> {
+pub fn fingerprint_costs(
+    h: &mut Fingerprinter,
+    costs: &LayerCosts,
+) -> Result<(), FingerprintError> {
     h.write_str("costs");
     h.write_str(&costs.model);
     h.write_usize(costs.batch);
@@ -176,6 +179,30 @@ pub fn fingerprint_topology(
         h.write_bool(level.link.shared);
     }
     Ok(())
+}
+
+/// Fold a [`PipelineConfig`] (the planner's *answer*) into `h`: stage
+/// boundaries and replica counts, length-prefixed. Infallible — configs
+/// hold no floats.
+pub fn fingerprint_config(h: &mut Fingerprinter, config: &crate::PipelineConfig) {
+    h.write_str("config");
+    h.write_usize(config.num_stages());
+    for s in config.stages() {
+        h.write_usize(s.first_layer);
+        h.write_usize(s.last_layer);
+        h.write_usize(s.replicas);
+    }
+}
+
+/// Canonical 64-bit fingerprint of a [`PipelineConfig`] alone. Two plans
+/// with equal fingerprints assign the same layers and replicas to the
+/// same stages, so an *applied* reconfiguration can be matched against
+/// the advisor's *recommended* plan (and against serve-cache entries)
+/// across report files.
+pub fn config_fingerprint(config: &crate::PipelineConfig) -> u64 {
+    let mut h = Fingerprinter::new();
+    fingerprint_config(&mut h, config);
+    h.finish()
 }
 
 /// Canonical fingerprint of a full plan request: the `(profile, topology,
@@ -240,11 +267,23 @@ mod tests {
         assert_ne!(base, fp(&zoo::resnet50(), &topo, 64, "flat", None));
         assert_ne!(
             base,
-            fp(&zoo::vgg16(), &ClusterPreset::A.with_servers(2), 64, "flat", None)
+            fp(
+                &zoo::vgg16(),
+                &ClusterPreset::A.with_servers(2),
+                64,
+                "flat",
+                None
+            )
         );
         assert_ne!(
             base,
-            fp(&zoo::vgg16(), &ClusterPreset::B.with_servers(4), 64, "flat", None)
+            fp(
+                &zoo::vgg16(),
+                &ClusterPreset::B.with_servers(4),
+                64,
+                "flat",
+                None
+            )
         );
         assert_ne!(base, fp(&zoo::vgg16(), &topo, 32, "flat", None));
         assert_ne!(base, fp(&zoo::vgg16(), &topo, 64, "hierarchical", None));
@@ -262,7 +301,10 @@ mod tests {
         let a = zoo::vgg16();
         let mut b = zoo::vgg16();
         b.layers[7].flops_fwd = f64::from_bits(b.layers[7].flops_fwd.to_bits() + 1);
-        assert_ne!(fp(&a, &topo, 64, "flat", None), fp(&b, &topo, 64, "flat", None));
+        assert_ne!(
+            fp(&a, &topo, 64, "flat", None),
+            fp(&b, &topo, 64, "flat", None)
+        );
     }
 
     #[test]
@@ -314,9 +356,30 @@ mod tests {
     }
 
     #[test]
+    fn config_fingerprint_tracks_partition_and_replication() {
+        use crate::{PipelineConfig, StagePlan};
+        let straight = PipelineConfig::straight(8, &[3]);
+        let same = PipelineConfig::new(vec![StagePlan::new(0, 3, 1), StagePlan::new(4, 7, 1)]);
+        assert_eq!(config_fingerprint(&straight), config_fingerprint(&same));
+        let moved = PipelineConfig::straight(8, &[4]);
+        assert_ne!(config_fingerprint(&straight), config_fingerprint(&moved));
+        let replicated =
+            PipelineConfig::new(vec![StagePlan::new(0, 3, 2), StagePlan::new(4, 7, 1)]);
+        assert_ne!(
+            config_fingerprint(&straight),
+            config_fingerprint(&replicated)
+        );
+    }
+
+    #[test]
     fn topology_link_flags_matter() {
         let d = Device::v100();
-        let shared = Topology::flat(d.clone(), 4, LinkModel::new(4e9, 1e-5).shared_medium(), "pcie");
+        let shared = Topology::flat(
+            d.clone(),
+            4,
+            LinkModel::new(4e9, 1e-5).shared_medium(),
+            "pcie",
+        );
         let p2p = Topology::flat(d, 4, LinkModel::new(4e9, 1e-5), "pcie");
         let profile = zoo::alexnet();
         assert_ne!(

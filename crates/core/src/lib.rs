@@ -30,8 +30,8 @@ pub mod stash;
 
 pub use config::{PipelineConfig, StagePlan};
 pub use fingerprint::{
-    fingerprint_costs, fingerprint_plan_request, fingerprint_profile, fingerprint_topology,
-    FingerprintError, Fingerprinter,
+    config_fingerprint, fingerprint_config, fingerprint_costs, fingerprint_plan_request,
+    fingerprint_profile, fingerprint_topology, FingerprintError, Fingerprinter,
 };
 pub use planner::{Plan, PlanError, Planner, StagePrediction};
 pub use schedule::{Op, Schedule};

@@ -126,11 +126,11 @@ pub struct StagePrediction {
 ///
 /// // The paper's headline case: VGG-16 on 4 Cluster-A servers → 15-1.
 /// let topo = ClusterPreset::A.with_servers(4);
-/// let plan = Planner::new(&zoo::vgg16(), &topo).plan_flat();
+/// let plan = Planner::new(&zoo::vgg16(), &topo).try_plan_flat().unwrap();
 /// assert_eq!(plan.config.label(), "15-1");
 ///
 /// // …and ResNet-50 stays data-parallel (§5.2).
-/// let plan = Planner::new(&zoo::resnet50(), &topo).plan();
+/// let plan = Planner::new(&zoo::resnet50(), &topo).try_plan().unwrap();
 /// assert!(plan.config.is_data_parallel());
 /// ```
 pub struct Planner<'a> {
@@ -378,7 +378,7 @@ impl<'a> Planner<'a> {
         candidates
             .into_iter()
             .filter(|c| self.config_fits_memory(c, limit))
-            .map(|c| self.evaluate(&c))
+            .filter_map(|c| self.try_evaluate(&c).ok())
             .min_by(|a, b| a.bottleneck_s.partial_cmp(&b.bottleneck_s).unwrap())
             .ok_or(PlanError::InfeasibleMemory { limit_bytes: limit })
     }
@@ -410,7 +410,8 @@ impl<'a> Planner<'a> {
         }
         for level in &self.topo.levels {
             let b = level.link.bandwidth_bytes_per_sec;
-            if !(b > 0.0) {
+            // NaN must fail this check too, not just zero/negative.
+            if b.is_nan() || b <= 0.0 {
                 return Err(PlanError::InvalidCosts(format!(
                     "level {} has bandwidth {b} bytes/s",
                     level.name
@@ -423,6 +424,10 @@ impl<'a> Planner<'a> {
     /// The paper's hierarchical DP: solve each level bottom-up and
     /// reconstruct the flattened configuration. Panics on degenerate
     /// inputs; see [`Planner::try_plan`] for the checked variant.
+    #[deprecated(
+        since = "0.1.0",
+        note = "panics on degenerate inputs; use try_plan() on any path a live run depends on"
+    )]
     pub fn plan(&self) -> Plan {
         self.try_plan().unwrap_or_else(|e| panic!("{e}"))
     }
@@ -496,6 +501,10 @@ impl<'a> Planner<'a> {
     /// configurations (e.g. `15-1`) that the hierarchical DP quantizes to
     /// server granularity. Panics on degenerate inputs; see
     /// [`Planner::try_plan_flat`] for the checked variant.
+    #[deprecated(
+        since = "0.1.0",
+        note = "panics on degenerate inputs; use try_plan_flat() on any path a live run depends on"
+    )]
     pub fn plan_flat(&self) -> Plan {
         self.try_plan_flat().unwrap_or_else(|e| panic!("{e}"))
     }
@@ -521,6 +530,10 @@ impl<'a> Planner<'a> {
     /// link their replicas span; boundary transfers use the link between
     /// the adjacent stages' workers). Used for the Figure-15
     /// predicted-vs-real comparison and the Table-1 baselines.
+    #[deprecated(
+        since = "0.1.0",
+        note = "panics on degenerate inputs; use try_evaluate() on any path a live run depends on"
+    )]
     pub fn evaluate(&self, config: &PipelineConfig) -> Plan {
         self.try_evaluate(config).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -567,12 +580,26 @@ impl<'a> Planner<'a> {
     /// [`Planner::evaluate`], broken out per stage instead of reduced to
     /// the bottleneck. Used by the observability subsystem to diff
     /// measured stage times against the plan (`repro trace-validate`).
+    ///
+    /// Panics on a config that does not match the model; see
+    /// [`Planner::try_predicted_stage_times`] for the checked variant.
     pub fn predicted_stage_times(&self, config: &PipelineConfig) -> Vec<StagePrediction> {
+        self.try_predicted_stage_times(config)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Planner::predicted_stage_times`] with typed errors instead of
+    /// panics — the variant the live replan loop uses, where a degenerate
+    /// config must never kill the run.
+    pub fn try_predicted_stage_times(
+        &self,
+        config: &PipelineConfig,
+    ) -> Result<Vec<StagePrediction>, PlanError> {
         config
             .validate(self.costs.num_layers())
-            .expect("configuration does not match model");
+            .map_err(PlanError::InvalidConfig)?;
         let assignment = config.worker_assignment();
-        config
+        Ok(config
             .stages()
             .iter()
             .enumerate()
@@ -592,7 +619,7 @@ impl<'a> Planner<'a> {
                     effective_s: compute_s.max(sync_s) / m as f64,
                 }
             })
-            .collect()
+            .collect())
     }
 
     /// Enumerate a family of candidate configurations for this model and
@@ -661,6 +688,10 @@ impl<'a> Planner<'a> {
     /// evaluator. Misses the asymmetric configurations the DP finds (e.g.
     /// `15-1`); the ablation quantifies the gap. Panics on degenerate
     /// inputs; see [`Planner::try_plan_greedy`] for the checked variant.
+    #[deprecated(
+        since = "0.1.0",
+        note = "panics on degenerate inputs; use try_plan_greedy() on any path a live run depends on"
+    )]
     pub fn plan_greedy(&self) -> Plan {
         self.try_plan_greedy().unwrap_or_else(|e| panic!("{e}"))
     }
@@ -673,7 +704,9 @@ impl<'a> Planner<'a> {
         let workers = self.topo.total_workers();
         let mut best: Option<Plan> = None;
         let mut consider = |config: PipelineConfig| {
-            let plan = self.evaluate(&config);
+            let Ok(plan) = self.try_evaluate(&config) else {
+                return;
+            };
             if best
                 .as_ref()
                 .map(|b| plan.bottleneck_s < b.bottleneck_s)
@@ -815,7 +848,7 @@ mod tests {
             for workers in [2usize, 3, 4] {
                 let topo = flat_topo(workers, 10.0);
                 let planner = Planner::new(&profile, &topo);
-                let plan = planner.plan_flat();
+                let plan = planner.try_plan_flat().unwrap();
                 let bf = brute_force(&planner, workers, topo.link(1));
                 assert!(
                     (plan.bottleneck_s - bf).abs() / bf < 1e-9,
@@ -834,7 +867,7 @@ mod tests {
         profile.layers[2].weight_params = 50_000_000;
         let topo = flat_topo(4, 12.0);
         let planner = Planner::new(&profile, &topo);
-        let plan = planner.plan_flat();
+        let plan = planner.try_plan_flat().unwrap();
         let bf = brute_force(&planner, 4, topo.link(1));
         assert!((plan.bottleneck_s - bf).abs() / bf < 1e-9);
     }
@@ -843,7 +876,7 @@ mod tests {
     fn single_worker_plan_is_whole_model() {
         let profile = zoo::uniform(6, 1e9, 1000, 1000);
         let topo = flat_topo(1, 10.0);
-        let plan = Planner::new(&profile, &topo).plan();
+        let plan = Planner::new(&profile, &topo).try_plan().unwrap();
         assert_eq!(plan.config.num_stages(), 1);
         assert_eq!(plan.config.total_workers(), 1);
     }
@@ -852,7 +885,7 @@ mod tests {
     fn plan_uses_all_workers() {
         for model in [zoo::vgg16(), zoo::resnet50(), zoo::gnmt8()] {
             let topo = ClusterPreset::A.with_servers(4);
-            let plan = Planner::new(&model, &topo).plan();
+            let plan = Planner::new(&model, &topo).try_plan().unwrap();
             assert_eq!(
                 plan.config.total_workers(),
                 16,
@@ -870,7 +903,7 @@ mod tests {
         // ResNet-50 because its weight representations are small and its
         // outputs are large."
         let topo = ClusterPreset::A.with_servers(4);
-        let plan = Planner::new(&zoo::resnet50(), &topo).plan();
+        let plan = Planner::new(&zoo::resnet50(), &topo).try_plan().unwrap();
         assert!(
             plan.config.is_data_parallel(),
             "expected DP, got {}",
@@ -883,7 +916,7 @@ mod tests {
         // Table 1: VGG-16 on 4×4 Cluster-A → 15-1: conv layers heavily
         // replicated, the huge FC layers on a single unreplicated stage.
         let topo = ClusterPreset::A.with_servers(4);
-        let plan = Planner::new(&zoo::vgg16(), &topo).plan_flat();
+        let plan = Planner::new(&zoo::vgg16(), &topo).try_plan_flat().unwrap();
         let stages = plan.config.stages();
         assert!(stages.len() >= 2, "got {}", plan.config);
         let last = stages.last().unwrap();
@@ -909,7 +942,7 @@ mod tests {
     fn awd_lm_prefers_pipeline_over_dp() {
         // §5.2: AWD-LM has 0.41 GB of dense weights → straight pipeline.
         let topo = ClusterPreset::A.with_servers(1);
-        let plan = Planner::new(&zoo::awd_lm(), &topo).plan();
+        let plan = Planner::new(&zoo::awd_lm(), &topo).try_plan().unwrap();
         assert!(
             !plan.config.is_data_parallel(),
             "expected a pipeline, got {}",
@@ -926,8 +959,8 @@ mod tests {
         let topo = ClusterPreset::B.with_servers(1);
         for model in [zoo::vgg16(), zoo::gnmt8()] {
             let planner = Planner::new(&model, &topo);
-            let h = planner.plan();
-            let f = planner.plan_flat();
+            let h = planner.try_plan().unwrap();
+            let f = planner.try_plan_flat().unwrap();
             assert!(
                 (h.bottleneck_s - f.bottleneck_s).abs() / f.bottleneck_s < 1e-9,
                 "{}: hierarchical {} flat {}",
@@ -943,8 +976,8 @@ mod tests {
         let profile = zoo::uniform(8, 2e9, 100_000, 500_000);
         let topo = flat_topo(4, 10.0);
         let planner = Planner::new(&profile, &topo);
-        let plan = planner.plan_flat();
-        let eval = planner.evaluate(&plan.config);
+        let plan = planner.try_plan_flat().unwrap();
+        let eval = planner.try_evaluate(&plan.config).unwrap();
         // evaluate() uses per-link bandwidths; on a flat topology they are
         // identical to the DP's, so predictions should agree closely.
         assert!(
@@ -960,7 +993,7 @@ mod tests {
         let profile = zoo::uniform(8, 2e9, 100_000, 500_000);
         let topo = flat_topo(4, 10.0);
         let planner = Planner::new(&profile, &topo);
-        let plan = planner.plan_flat();
+        let plan = planner.try_plan_flat().unwrap();
         let preds = planner.predicted_stage_times(&plan.config);
         assert_eq!(preds.len(), plan.config.num_stages());
         for (si, p) in preds.iter().enumerate() {
@@ -974,7 +1007,7 @@ mod tests {
         }
         // The slowest predicted stage is the bottleneck evaluate() reports,
         // unless a boundary link dominates.
-        let eval = planner.evaluate(&plan.config);
+        let eval = planner.try_evaluate(&plan.config).unwrap();
         let worst = preds.iter().map(|p| p.effective_s).fold(0.0, f64::max);
         assert!(worst <= eval.bottleneck_s + 1e-12);
     }
@@ -1013,8 +1046,10 @@ mod tests {
         for model in [zoo::vgg16(), zoo::gnmt8(), zoo::awd_lm()] {
             let topo = flat_topo(4, 4.0);
             let planner = Planner::new(&model, &topo);
-            let dp = planner.evaluate(&planner.plan_flat().config);
-            let greedy = planner.plan_greedy();
+            let dp = planner
+                .try_evaluate(&planner.try_plan_flat().unwrap().config)
+                .unwrap();
+            let greedy = planner.try_plan_greedy().unwrap();
             assert!(
                 dp.bottleneck_s <= greedy.bottleneck_s * 1.01,
                 "{}: dp {} vs greedy {}",
@@ -1032,8 +1067,10 @@ mod tests {
         let model = zoo::vgg16();
         let topo = ClusterPreset::A.with_servers(4);
         let planner = Planner::new(&model, &topo);
-        let dp = planner.evaluate(&planner.plan_flat().config);
-        let greedy = planner.plan_greedy();
+        let dp = planner
+            .try_evaluate(&planner.try_plan_flat().unwrap().config)
+            .unwrap();
+        let greedy = planner.try_plan_greedy().unwrap();
         assert!(
             dp.samples_per_sec > 1.2 * greedy.samples_per_sec,
             "dp {} vs greedy {}",
@@ -1047,8 +1084,8 @@ mod tests {
         let profile = zoo::vgg16();
         let t4 = flat_topo(4, 10.0);
         let t8 = flat_topo(8, 10.0);
-        let p4 = Planner::new(&profile, &t4).plan();
-        let p8 = Planner::new(&profile, &t8).plan();
+        let p4 = Planner::new(&profile, &t4).try_plan().unwrap();
+        let p8 = Planner::new(&profile, &t8).try_plan().unwrap();
         assert!(p8.samples_per_sec > p4.samples_per_sec);
     }
 }
@@ -1071,13 +1108,14 @@ mod memory_tests {
         // trigger a split here: compute dominates).
         let profile = zoo::uniform(8, 1e11, 1_000, 200_000_000); // 8 × 800 MB, compute-heavy
         let topo = flat(4);
-        let unconstrained = Planner::new(&profile, &topo).plan_flat();
+        let unconstrained = Planner::new(&profile, &topo).try_plan_flat().unwrap();
         assert!(unconstrained.config.is_data_parallel());
         // 5 GB budget: DP would store 6.4 GB of weights per worker, so a
         // replicated-front split (e.g. 3-1) is required.
         let constrained = Planner::new(&profile, &topo)
             .with_memory_limit(5 << 30)
-            .plan_flat();
+            .try_plan_flat()
+            .unwrap();
         assert!(
             constrained.config.num_stages() >= 2,
             "expected a split, got {}",
@@ -1092,10 +1130,11 @@ mod memory_tests {
     fn feasible_models_unchanged_by_generous_limit() {
         let profile = zoo::vgg16();
         let topo = flat(4);
-        let free = Planner::new(&profile, &topo).plan_flat();
+        let free = Planner::new(&profile, &topo).try_plan_flat().unwrap();
         let limited = Planner::new(&profile, &topo)
             .with_memory_limit(64 << 30)
-            .plan_flat();
+            .try_plan_flat()
+            .unwrap();
         assert_eq!(free.config, limited.config);
     }
 
@@ -1105,17 +1144,19 @@ mod memory_tests {
         let topo = flat(4);
         let plan = Planner::new(&profile, &topo)
             .with_device_memory_limit()
-            .plan();
+            .try_plan()
+            .unwrap();
         plan.config.validate(profile.num_layers()).unwrap();
     }
 
     #[test]
-    #[should_panic(expected = "no feasible partition")]
-    fn impossible_budget_panics() {
+    fn impossible_budget_is_a_typed_error() {
         let profile = zoo::uniform(4, 1e9, 1_000, 500_000_000);
         let topo = flat(2);
-        let _ = Planner::new(&profile, &topo)
+        let err = Planner::new(&profile, &topo)
             .with_memory_limit(1 << 20) // 1 MB: nothing fits
-            .plan_flat();
+            .try_plan_flat()
+            .unwrap_err();
+        assert!(matches!(err, PlanError::InfeasibleMemory { .. }));
     }
 }

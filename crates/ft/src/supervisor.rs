@@ -13,7 +13,7 @@
 
 use crate::plan::{Fault, FaultPlan};
 use pipedream_core::PipelineConfig;
-use pipedream_runtime::checkpoint::latest_complete_point;
+use pipedream_runtime::checkpoint::{latest_complete_point, CheckpointPoint};
 use pipedream_runtime::fault::FaultHook;
 use pipedream_runtime::report::RecoveryRecord;
 use pipedream_runtime::trainer::{try_train_pipeline, TrainOpts};
@@ -52,6 +52,40 @@ impl fmt::Display for SupervisorError {
 }
 
 impl std::error::Error for SupervisorError {}
+
+/// Resume pipeline training from the last complete per-stage checkpoint
+/// in `opts.checkpoint_dir` (§4's restart). `opts.epochs` counts the
+/// *total* logical epochs of the run; the helper sizes the remaining work
+/// from the checkpoint point and lets the runtime's resume machinery do
+/// the restore and dataloader seek. Returns the trained model, the
+/// resumed run's report, and the point it resumed from (`None` when no
+/// checkpoint existed and the run started from scratch).
+///
+/// This is the relaunch primitive shared by [`train_with_recovery`]'s
+/// restart path and the autopilot's repartition / rollback path. `hook`
+/// lets the caller keep a persistent fault (a [`crate::DelayStraggler`]
+/// modelling a degraded host) installed across the relaunch — the
+/// environment does not heal just because the pipeline restarted.
+pub fn resume_training(
+    model: &Sequential,
+    config: &PipelineConfig,
+    dataset: &Dataset,
+    opts: &TrainOpts,
+    hook: Option<Arc<dyn FaultHook>>,
+) -> Result<(Sequential, TrainReport, Option<CheckpointPoint>), SupervisorError> {
+    let dir = opts
+        .checkpoint_dir
+        .as_ref()
+        .ok_or(SupervisorError::MissingCheckpointDir)?;
+    let point = latest_complete_point(dir, config.stages().len());
+    let resume_start = point.map_or(0, |p| p.resume_epoch());
+    let mut resumed_opts = opts.clone();
+    resumed_opts.resume = true;
+    resumed_opts.epochs = opts.epochs.saturating_sub(resume_start);
+    let (trained, report) = try_train_pipeline(model.clone(), config, dataset, &resumed_opts, hook)
+        .map_err(|e| SupervisorError::RestartFailed(e.to_string()))?;
+    Ok((trained, report, point))
+}
 
 /// Train under `plan`, recovering from the injected fault if it brings
 /// the pipeline down.
@@ -111,26 +145,15 @@ pub fn train_with_recovery(
                 .injected_at()
                 .map(|t0| e.detected_at.duration_since(t0).as_secs_f64())
                 .unwrap_or(0.0);
-            let dir = opts
-                .checkpoint_dir
-                .as_ref()
-                .ok_or(SupervisorError::MissingCheckpointDir)?;
-
             // §4: restart every stage from the last training point whose
             // *every* stage checkpoint is intact — an epoch boundary, or a
             // mid-epoch `(epoch, minibatch)` dump when the run used
             // `checkpoint_every`. The runtime's resume machinery does the
             // restore and the dataloader seek; we only size the remaining
             // work.
-            let stages = config.stages().len();
-            let point = latest_complete_point(dir, stages);
+            let (trained, resumed_report, point) =
+                resume_training(model, config, dataset, opts, None)?;
             let resume_start = point.map_or(0, |p| p.resume_epoch());
-            let mut resumed_opts = opts.clone();
-            resumed_opts.resume = true;
-            resumed_opts.epochs = opts.epochs.saturating_sub(resume_start);
-            let (trained, resumed_report) =
-                try_train_pipeline(model.clone(), config, dataset, &resumed_opts, None)
-                    .map_err(|e| SupervisorError::RestartFailed(e.to_string()))?;
             supervisor.instant(pipedream_obs::SpanKind::Recovery);
             if let Some(session) = &opts.obs {
                 session.metrics().counter("faults_recovered_total").inc();

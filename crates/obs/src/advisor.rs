@@ -13,7 +13,7 @@
 //! straggling stage gets more expensive, so the DP moves layers off it
 //! or throws replicas at it).
 
-use pipedream_core::{PipelineConfig, StagePrediction};
+use pipedream_core::{config_fingerprint, PipelineConfig, PlanError, StagePrediction};
 use pipedream_core::{Planner, Schedule};
 use pipedream_hw::Topology;
 use pipedream_model::LayerCosts;
@@ -31,6 +31,12 @@ pub struct ReplanAdvice {
     pub recommended_label: String,
     /// True when the recommendation differs from the current config.
     pub changed: bool,
+    /// `core::fingerprint` of the current pipeline configuration, for
+    /// matching applied plans against recommendations across reports and
+    /// serve-cache entries.
+    pub current_plan_fingerprint: u64,
+    /// `core::fingerprint` of the recommended pipeline configuration.
+    pub recommended_plan_fingerprint: u64,
     /// DP objective (bottleneck seconds/minibatch) of the current config
     /// under measured costs.
     pub current_bottleneck_s: f64,
@@ -85,6 +91,9 @@ pub fn measured_layer_costs(
 /// running configuration. `sim_minibatches` sets the schedule length for
 /// the steady-state throughput simulation (enough to amortize fill/drain;
 /// 48 is plenty for small pipelines).
+///
+/// Panics on degenerate inputs; live-run paths (the autopilot control
+/// loop, the serve daemon) should use [`try_advise_replan`].
 pub fn advise_replan(
     baseline: &LayerCosts,
     topo: &Topology,
@@ -92,13 +101,26 @@ pub fn advise_replan(
     measured_stage_s: &[f64],
     sim_minibatches: u64,
 ) -> ReplanAdvice {
+    try_advise_replan(baseline, topo, current, measured_stage_s, sim_minibatches)
+        .unwrap_or_else(|e| panic!("replan advice failed: {e}"))
+}
+
+/// [`advise_replan`] with validated inputs and typed errors instead of
+/// panics — the entry point for anything a live training run depends on.
+pub fn try_advise_replan(
+    baseline: &LayerCosts,
+    topo: &Topology,
+    current: &PipelineConfig,
+    measured_stage_s: &[f64],
+    sim_minibatches: u64,
+) -> Result<ReplanAdvice, PlanError> {
     let base_planner = Planner::from_costs(baseline.clone(), topo);
-    let predictions = base_planner.predicted_stage_times(current);
+    let predictions = base_planner.try_predicted_stage_times(current)?;
     let measured = measured_layer_costs(baseline, current, &predictions, measured_stage_s);
 
     let planner = Planner::from_costs(measured.clone(), topo);
-    let current_plan = planner.evaluate(current);
-    let best = planner.plan_flat();
+    let current_plan = planner.try_evaluate(current)?;
+    let best = planner.try_plan_flat()?;
     // Only advise a change when the DP objective actually improves;
     // plan_flat can tie with the current config under different labels.
     let (recommended, changed) =
@@ -123,10 +145,12 @@ pub fn advise_replan(
         sim_cur.clone()
     };
 
-    ReplanAdvice {
+    Ok(ReplanAdvice {
         current_label: current.label(),
         recommended_label: recommended.config.label(),
         changed,
+        current_plan_fingerprint: config_fingerprint(current),
+        recommended_plan_fingerprint: config_fingerprint(&recommended.config),
         current_bottleneck_s: current_plan.bottleneck_s,
         recommended_bottleneck_s: recommended.bottleneck_s,
         current_sim_samples_per_sec: sim_cur.samples_per_sec,
@@ -138,7 +162,7 @@ pub fn advise_replan(
         },
         recommended_config: recommended.config,
         measured_costs: measured,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -173,7 +197,9 @@ mod tests {
         let baseline = uniform_costs();
         let config = PipelineConfig::straight(4, &[1]);
         let topo = topo2();
-        let preds = Planner::from_costs(baseline.clone(), &topo).predicted_stage_times(&config);
+        let preds = Planner::from_costs(baseline.clone(), &topo)
+            .try_predicted_stage_times(&config)
+            .unwrap();
         // Stage 0 measured at 3× its prediction, stage 1 on target.
         let measured = measured_layer_costs(
             &baseline,
@@ -192,7 +218,9 @@ mod tests {
         let baseline = uniform_costs();
         let config = PipelineConfig::straight(4, &[1]);
         let topo = topo2();
-        let preds = Planner::from_costs(baseline.clone(), &topo).predicted_stage_times(&config);
+        let preds = Planner::from_costs(baseline.clone(), &topo)
+            .try_predicted_stage_times(&config)
+            .unwrap();
         let measured = measured_layer_costs(&baseline, &config, &preds, &[0.0, 0.0]);
         assert_eq!(measured, baseline);
     }
@@ -202,7 +230,9 @@ mod tests {
         let baseline = uniform_costs();
         let config = PipelineConfig::straight(4, &[1]);
         let topo = topo2();
-        let preds = Planner::from_costs(baseline.clone(), &topo).predicted_stage_times(&config);
+        let preds = Planner::from_costs(baseline.clone(), &topo)
+            .try_predicted_stage_times(&config)
+            .unwrap();
         // Stage 0 straggling at 3×: the balanced 2-2 split is now 9 ms vs
         // 6 ms, so a repartition (or data parallelism) must win.
         let advice = advise_replan(
@@ -222,6 +252,14 @@ mod tests {
             "simulated throughput did not improve: {advice:?}"
         );
         assert!(advice.sim_speedup > 1.0);
+        assert_ne!(
+            advice.current_plan_fingerprint, advice.recommended_plan_fingerprint,
+            "a changed plan must carry a distinct fingerprint"
+        );
+        assert_eq!(
+            advice.recommended_plan_fingerprint,
+            config_fingerprint(&advice.recommended_config)
+        );
     }
 
     #[test]
@@ -229,9 +267,12 @@ mod tests {
         let baseline = uniform_costs();
         let topo = topo2();
         // Run the planner's own choice with on-target measurements.
-        let best = Planner::from_costs(baseline.clone(), &topo).plan_flat();
-        let preds =
-            Planner::from_costs(baseline.clone(), &topo).predicted_stage_times(&best.config);
+        let best = Planner::from_costs(baseline.clone(), &topo)
+            .try_plan_flat()
+            .unwrap();
+        let preds = Planner::from_costs(baseline.clone(), &topo)
+            .try_predicted_stage_times(&best.config)
+            .unwrap();
         let measured: Vec<f64> = preds.iter().map(|p| p.compute_s).collect();
         let advice = advise_replan(&baseline, &topo, &best.config, &measured, 48);
         assert!(!advice.changed, "flapped on a healthy plan: {advice:?}");
@@ -244,7 +285,9 @@ mod tests {
         let baseline = uniform_costs();
         let config = PipelineConfig::straight(4, &[1]);
         let topo = topo2();
-        let preds = Planner::from_costs(baseline.clone(), &topo).predicted_stage_times(&config);
+        let preds = Planner::from_costs(baseline.clone(), &topo)
+            .try_predicted_stage_times(&config)
+            .unwrap();
         let advice = advise_replan(
             &baseline,
             &topo,

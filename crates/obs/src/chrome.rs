@@ -106,6 +106,7 @@ fn kind_from_name(name: &str, mb: u64) -> Option<SpanKind> {
         "stalled" => SpanKind::Stalled,
         "fault" => SpanKind::Fault,
         "recovery" => SpanKind::Recovery,
+        "reconfig" => SpanKind::Reconfig,
         _ => return None,
     })
 }

@@ -50,6 +50,9 @@ pub enum SpanKind {
     Fault,
     /// Recovery from a checkpoint completed (instant event).
     Recovery,
+    /// A live reconfiguration transition (autopilot drain / repartition /
+    /// resume / verdict; instant event on the control track).
+    Reconfig,
 }
 
 impl SpanKind {
@@ -67,6 +70,7 @@ impl SpanKind {
             SpanKind::Stalled => 8,
             SpanKind::Fault => 9,
             SpanKind::Recovery => 10,
+            SpanKind::Reconfig => 11,
         }
     }
 
@@ -97,6 +101,7 @@ impl SpanKind {
             8 => SpanKind::Stalled,
             9 => SpanKind::Fault,
             10 => SpanKind::Recovery,
+            11 => SpanKind::Reconfig,
             _ => return None,
         })
     }
@@ -115,6 +120,7 @@ impl SpanKind {
             SpanKind::Stalled => "stalled",
             SpanKind::Fault => "fault",
             SpanKind::Recovery => "recovery",
+            SpanKind::Reconfig => "reconfig",
         }
     }
 
@@ -125,7 +131,9 @@ impl SpanKind {
             SpanKind::GradSync | SpanKind::RecvWait { .. } | SpanKind::SendWait { .. } => "comm",
             SpanKind::StashPush { .. } | SpanKind::StashPop { .. } => "stash",
             SpanKind::Checkpoint => "checkpoint",
-            SpanKind::Stalled | SpanKind::Fault | SpanKind::Recovery => "fault",
+            SpanKind::Stalled | SpanKind::Fault | SpanKind::Recovery | SpanKind::Reconfig => {
+                "fault"
+            }
         }
     }
 }
@@ -172,6 +180,7 @@ mod tests {
             SpanKind::Stalled,
             SpanKind::Fault,
             SpanKind::Recovery,
+            SpanKind::Reconfig,
         ];
         for k in kinds {
             assert_eq!(SpanKind::from_tag(k.tag(), 7), Some(k));

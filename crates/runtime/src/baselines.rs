@@ -56,6 +56,8 @@ pub fn train_sequential(
             stage_obs: Vec::new(),
             validation: None,
             recovery: None,
+            drained_at: None,
+            reconfig: Vec::new(),
             wall_time_s: started.elapsed().as_secs_f64(),
         },
     )
@@ -149,6 +151,8 @@ pub fn train_bsp_dp(
             stage_obs: Vec::new(),
             validation: None,
             recovery: None,
+            drained_at: None,
+            reconfig: Vec::new(),
             wall_time_s: started.elapsed().as_secs_f64(),
         },
     )
@@ -238,6 +242,8 @@ pub fn train_asp(
             stage_obs: Vec::new(),
             validation: None,
             recovery: None,
+            drained_at: None,
+            reconfig: Vec::new(),
             wall_time_s: started.elapsed().as_secs_f64(),
         },
     )

@@ -130,7 +130,7 @@ fn load_file(path: PathBuf) -> Result<Vec<Tensor>, CheckpointError> {
 /// Ordered by training progress: later epochs beat earlier ones, and
 /// within an epoch the epoch-end dump beats any mid-epoch dump (the
 /// epoch-end dump covers every minibatch of the epoch).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum CheckpointPoint {
     /// Mid-epoch checkpoint taken after within-epoch minibatch `mb` of
     /// `epoch` (file layout `stage{s}_epoch{e}_mb{m}.json`).

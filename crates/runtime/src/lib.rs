@@ -24,6 +24,7 @@
 
 pub mod baselines;
 pub mod checkpoint;
+pub mod control;
 pub mod data;
 pub mod fault;
 pub mod message;
@@ -33,9 +34,14 @@ pub mod trainer;
 pub mod worker;
 
 pub use baselines::{train_asp, train_bsp_dp, train_sequential};
+pub use checkpoint::CheckpointPoint;
+pub use control::RunControl;
 pub use data::TrainData;
 pub use fault::{FaultAction, FaultHook, SendAction, WorkerError};
-pub use report::{EpochStats, RecoveryRecord, StageObsRecord, TrainReport, VersionRecord};
+pub use report::{
+    EpochStats, ReconfigReport, ReconfigVerdict, RecoveryRecord, StageObsRecord, TrainReport,
+    VersionRecord,
+};
 pub use trainer::{
     train_pipeline, try_train_pipeline, LrSchedule, OptimKind, Semantics, TrainError, TrainOpts,
 };

@@ -107,6 +107,71 @@ pub struct RecoveryRecord {
     pub baseline_accuracy: Option<f32>,
 }
 
+/// Verdict of one live reconfiguration's probation window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReconfigVerdict {
+    /// The new plan beat the degraded baseline by the required margin and
+    /// was kept.
+    Committed,
+    /// The new plan failed probation; the run rolled back to the previous
+    /// plan from the same checkpoint.
+    RolledBack,
+}
+
+impl std::fmt::Display for ReconfigVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReconfigVerdict::Committed => write!(f, "Committed"),
+            ReconfigVerdict::RolledBack => write!(f, "RolledBack"),
+        }
+    }
+}
+
+/// What one live reconfiguration did: which plan replaced which, how much
+/// the pipeline stood still, how much work was redone, and whether the
+/// probation window committed the new plan or rolled it back.
+///
+/// Produced by the `pipedream-autopilot` control loop and attached to the
+/// final [`TrainReport`] (one record per reconfiguration attempt).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReconfigReport {
+    /// Compact label of the plan that was running when drift was
+    /// confirmed (e.g. `"1-1-1-1"`).
+    pub old_label: String,
+    /// Compact label of the plan the pipeline switched to.
+    pub new_label: String,
+    /// `core::fingerprint` of the old pipeline configuration.
+    pub old_plan_fingerprint: u64,
+    /// `core::fingerprint` of the applied pipeline configuration —
+    /// matchable against advisor reports and serve-cache entries.
+    pub new_plan_fingerprint: u64,
+    /// Epoch of the consistent checkpoint the pipeline drained to.
+    pub drained_epoch: usize,
+    /// Mid-epoch minibatch of the drain checkpoint (`None` when the drain
+    /// landed exactly on an epoch boundary).
+    pub drained_mb: Option<u64>,
+    /// Wall-clock milliseconds the pipeline was not training: from the
+    /// drain cut completing to the relaunched pipeline's first update.
+    pub downtime_ms: f64,
+    /// Minibatches re-executed because they post-dated the drain
+    /// checkpoint (bounded by the checkpoint interval).
+    pub minibatches_redone: u64,
+    /// Measured throughput (samples/s) under the old plan before the
+    /// reconfiguration — the degraded baseline the new plan must beat.
+    pub throughput_before: f64,
+    /// Throughput across the reconfiguration window itself (drain +
+    /// checkpoint + relaunch), samples/s.
+    pub throughput_during: f64,
+    /// Measured throughput of the new plan over its probation window,
+    /// samples/s.
+    pub throughput_after: f64,
+    /// Relative margin the new plan had to clear (`after ≥ before × (1 +
+    /// margin)` to commit).
+    pub probation_margin: f64,
+    /// Probation outcome.
+    pub verdict: ReconfigVerdict,
+}
+
 /// Output of a training run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TrainReport {
@@ -129,6 +194,12 @@ pub struct TrainReport {
     pub wall_time_s: f64,
     /// Fault-recovery record, when the run survived an injected fault.
     pub recovery: Option<RecoveryRecord>,
+    /// The consistent checkpoint point this run drained to, when a
+    /// [`crate::control::RunControl`] gate cut the run short of its
+    /// scheduled length.
+    pub drained_at: Option<crate::checkpoint::CheckpointPoint>,
+    /// Live-reconfiguration records, one per autopilot attempt.
+    pub reconfig: Vec<ReconfigReport>,
 }
 
 impl TrainReport {

@@ -144,6 +144,12 @@ pub struct TrainOpts {
     /// Record real per-op wall-clock timestamps in the report
     /// ([`TrainReport::op_trace`]).
     pub trace: bool,
+    /// Drain gate for live reconfiguration: when set, the run can be cut
+    /// at a consistent minibatch boundary ([`crate::control::RunControl`])
+    /// — every stage checkpoints at the cut and the report's
+    /// [`TrainReport::drained_at`] names the resumable point. `None` (the
+    /// default) costs one `Option` check per op.
+    pub control: Option<Arc<crate::control::RunControl>>,
     /// Observability session: when set, every worker records typed spans
     /// (forward/backward/sync/stash/checkpoint/waits) into the session's
     /// per-track rings and the coordinator folds run totals into its
@@ -176,6 +182,7 @@ impl Default for TrainOpts {
             resume: false,
             depth: None,
             trace: false,
+            control: None,
             obs: None,
             kernel: Backend::Fast,
         }
@@ -301,6 +308,17 @@ pub fn try_train_pipeline(
     // When resumed mid-epoch, `epochs` counts the remaining passes and the
     // first one is partial: the seeked-past minibatches come off the top.
     let total_mbs = (opts.epochs * data.minibatches_per_epoch() - mb_offset) as u64;
+
+    // Configure the drain gate (if any) with the cut alignment — the lcm
+    // of all replica counts, so a drained run leaves every replica of a
+    // replicated stage with the same number of completed gradient-sync
+    // rounds — and the run length the cut is clamped to.
+    if let Some(gate) = &opts.control {
+        let round = stages
+            .iter()
+            .fold(1u64, |l, s| crate::control::lcm(l, s.replicas as u64));
+        gate.configure(round, total_mbs);
+    }
 
     let schedule = match opts.semantics {
         Semantics::GPipe { microbatches } => Schedule::gpipe(config, total_mbs, microbatches),
@@ -442,6 +460,7 @@ pub fn try_train_pipeline(
             trace_from: opts.trace.then_some((w, started)),
             recorder: recorders[w].clone(),
             hook: hook.clone(),
+            control: opts.control.clone(),
             kernel: opts.kernel,
         };
         handles.push(thread::spawn(move || worker.run()));
@@ -540,6 +559,27 @@ pub fn try_train_pipeline(
     op_trace.sort_by(|a, b| a.start_s.partial_cmp(&b.start_s).unwrap());
     stage_obs.sort_by_key(|o| (o.stage, o.replica));
     per_minibatch.sort_by_key(|&(mb, _)| mb);
+    // A drain that cut the run short of its scheduled length names the
+    // consistent checkpoint point the caller can resume from. A cut at
+    // the natural end means the drain arrived too late to truncate
+    // anything — the run simply completed.
+    let drained_at = opts
+        .control
+        .as_ref()
+        .and_then(|g| g.cut())
+        .filter(|&c| c > 0 && c < total_mbs)
+        .map(|c| {
+            let last = c - 1;
+            let epoch = data.epoch_of(last) + epoch_offset;
+            if data.is_epoch_end(last) {
+                crate::checkpoint::CheckpointPoint::EpochEnd { epoch }
+            } else {
+                crate::checkpoint::CheckpointPoint::MidEpoch {
+                    epoch,
+                    mb: data.mb_in_epoch(last),
+                }
+            }
+        });
     let report = TrainReport {
         per_epoch,
         version_trace,
@@ -549,6 +589,8 @@ pub fn try_train_pipeline(
         validation: None,
         wall_time_s: started.elapsed().as_secs_f64(),
         recovery: None,
+        drained_at,
+        reconfig: Vec::new(),
     };
 
     // Fold run totals into the observability session's registry: overall

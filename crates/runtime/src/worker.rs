@@ -17,6 +17,7 @@
 //! react (§4's failure detection + checkpoint restart).
 
 use crate::checkpoint;
+use crate::control::{RunControl, DRAIN_POLL};
 use crate::data::TrainData;
 use crate::fault::{FaultAction, FaultHook, SendAction, WorkerError};
 use crate::message::{ActMsg, GradMsg, MetricMsg};
@@ -88,6 +89,12 @@ pub struct StageWorker {
     /// Fault-injection hook, if any. `None` in production runs: the
     /// fault-free path costs one `Option` check per op.
     pub hook: Option<Arc<dyn FaultHook>>,
+    /// Drain gate shared across the run, if the caller may cut the run at
+    /// a consistent minibatch boundary (see [`crate::control`]). `None`
+    /// costs one `Option` check per op; when present, channel receives
+    /// poll at [`DRAIN_POLL`] so a worker parked on a cut minibatch wakes
+    /// up and skips it.
+    pub control: Option<Arc<RunControl>>,
     /// Compute-kernel backend this worker selects for its thread before
     /// executing any ops (kernel dispatch is thread-local).
     pub kernel: pipedream_tensor::gemm::Backend,
@@ -122,6 +129,16 @@ struct WorkerState {
     /// Peak updates applied between a minibatch's forward version and its
     /// backward pass (§3.3 staleness).
     staleness_max: u64,
+}
+
+/// Outcome of one channel-receive attempt (see [`StageWorker::recv_step`]).
+enum RecvStep<T> {
+    /// A message arrived (possibly for a different minibatch).
+    Msg(T),
+    /// A drain cut the awaited minibatch; the caller skips its op.
+    Drained,
+    /// The peer's channel disconnected.
+    Lost,
 }
 
 impl StageWorker {
@@ -194,6 +211,19 @@ impl StageWorker {
                     });
                 }
             }
+            // Drain gate: the input stage asks to admit each minibatch's
+            // forward (fixing the cut when a drain is pending); everyone
+            // else skips any op whose minibatch fell at or beyond the cut.
+            if let Some(gate) = &self.control {
+                let skip = match op {
+                    Op::Forward { mb } if self.stage == 0 => !gate.admit(mb),
+                    Op::Forward { mb } | Op::Backward { mb } => gate.skipped(mb),
+                    Op::Flush => false,
+                };
+                if skip {
+                    continue;
+                }
+            }
             let t0 = self
                 .trace_from
                 .map(|(_, start)| (std::time::Instant::now(), start));
@@ -224,6 +254,40 @@ impl StageWorker {
                 }));
             }
         }
+        // A drained run ends here with every stage having processed the
+        // exact same minibatch prefix; replica 0 of each stage dumps a
+        // checkpoint at the cut so the caller gets a consistent (epoch,
+        // mb) state to repartition and resume from. Idempotent with the
+        // periodic checkpoints (atomic rename of identical content).
+        if let Some(gate) = &self.control {
+            if self.replica == 0 {
+                if let (Some(dir), Some(cut)) = (&self.checkpoint_dir, gate.cut()) {
+                    if cut > 0 {
+                        let last = cut - 1;
+                        let epoch = self.data.epoch_of(last) + self.epoch_offset;
+                        let span = self.recorder.begin();
+                        let snap = self.model.snapshot();
+                        if self.data.is_epoch_end(last) {
+                            checkpoint::save_stage(dir, self.stage, epoch, &snap)
+                        } else {
+                            checkpoint::save_stage_at(
+                                dir,
+                                self.stage,
+                                epoch,
+                                self.data.mb_in_epoch(last),
+                                &snap,
+                            )
+                        }
+                        .map_err(|e| WorkerError::CheckpointWrite {
+                            stage: self.stage,
+                            epoch,
+                            message: e.to_string(),
+                        })?;
+                        self.recorder.end(span, SpanKind::Checkpoint);
+                    }
+                }
+            }
+        }
         // Report peak stash depth / staleness so the coordinator can check
         // the §3.3 memory and staleness formulas against a real run.
         let _ = self
@@ -238,78 +302,143 @@ impl StageWorker {
         Ok(self.model)
     }
 
-    fn recv_act(&self, st: &mut WorkerState, mb: u64) -> Result<ActMsg, WorkerError> {
+    /// Receive the activation for `mb`. `Ok(None)` means a drain cut the
+    /// minibatch while this worker was already inside its forward op — the
+    /// op must be skipped (upstream will never send it).
+    fn recv_act(&self, st: &mut WorkerState, mb: u64) -> Result<Option<ActMsg>, WorkerError> {
         if let Some(m) = st.act_buffer.remove(&mb) {
-            return Ok(m);
+            return Ok(Some(m));
         }
         let rx = self.fwd_in.as_ref().expect("non-input stage has fwd_in");
         // The blocking path: record it as a `RecvWait` span (nested inside
         // the surrounding forward span on this worker's track).
         let wait = self.recorder.begin();
         let result = (|| loop {
-            let m = match st.recv_timeout {
-                None => rx.recv().map_err(|_| WorkerError::UpstreamLost {
-                    stage: self.stage,
-                    mb,
-                })?,
-                Some(t) => rx.recv_timeout(t).map_err(|e| match e {
-                    RecvTimeoutError::Timeout => WorkerError::Stalled {
+            match self.recv_step(rx, st.recv_timeout, mb)? {
+                RecvStep::Msg(m) => {
+                    if m.mb == mb {
+                        return Ok(Some(m));
+                    }
+                    st.act_buffer.insert(m.mb, m);
+                }
+                RecvStep::Drained => return Ok(None),
+                RecvStep::Lost => {
+                    return Err(WorkerError::UpstreamLost {
                         stage: self.stage,
                         mb,
-                    },
-                    RecvTimeoutError::Disconnected => WorkerError::UpstreamLost {
-                        stage: self.stage,
-                        mb,
-                    },
-                })?,
-            };
-            if m.mb == mb {
-                return Ok(m);
+                    })
+                }
             }
-            st.act_buffer.insert(m.mb, m);
         })();
         self.recorder.end(wait, SpanKind::RecvWait { mb });
         result
     }
 
-    fn recv_grad(&self, st: &mut WorkerState, mb: u64) -> Result<GradMsg, WorkerError> {
+    /// Receive the gradient for `mb`; `Ok(None)` as in
+    /// [`StageWorker::recv_act`].
+    fn recv_grad(&self, st: &mut WorkerState, mb: u64) -> Result<Option<GradMsg>, WorkerError> {
         if let Some(m) = st.grad_buffer.remove(&mb) {
-            return Ok(m);
+            return Ok(Some(m));
         }
         let rx = self.grad_in.as_ref().expect("non-output stage has grad_in");
         let wait = self.recorder.begin();
         let result = (|| loop {
-            let m = match st.recv_timeout {
-                None => rx.recv().map_err(|_| WorkerError::DownstreamLost {
-                    stage: self.stage,
-                    mb,
-                })?,
-                Some(t) => rx.recv_timeout(t).map_err(|e| match e {
-                    RecvTimeoutError::Timeout => WorkerError::Stalled {
+            match self.recv_step(rx, st.recv_timeout, mb)? {
+                RecvStep::Msg(m) => {
+                    if m.mb == mb {
+                        return Ok(Some(m));
+                    }
+                    st.grad_buffer.insert(m.mb, m);
+                }
+                RecvStep::Drained => return Ok(None),
+                RecvStep::Lost => {
+                    return Err(WorkerError::DownstreamLost {
                         stage: self.stage,
                         mb,
-                    },
-                    RecvTimeoutError::Disconnected => WorkerError::DownstreamLost {
-                        stage: self.stage,
-                        mb,
-                    },
-                })?,
-            };
-            if m.mb == mb {
-                return Ok(m);
+                    })
+                }
             }
-            st.grad_buffer.insert(m.mb, m);
         })();
         self.recorder.end(wait, SpanKind::RecvWait { mb });
         result
+    }
+
+    /// One receive attempt under the combined fault-hook / drain-gate
+    /// timeout policy. Without a gate this is the original behavior:
+    /// block forever (no hook timeout) or fail [`WorkerError::Stalled`]
+    /// after the hook timeout. With a gate installed the wait polls at
+    /// [`DRAIN_POLL`] (capped by any shorter hook timeout) so a drain cut
+    /// can interrupt it; a hook timeout longer than one poll tick still
+    /// fires once the cumulative quiet time reaches it.
+    fn recv_step<T>(
+        &self,
+        rx: &Receiver<T>,
+        hook_timeout: Option<Duration>,
+        mb: u64,
+    ) -> Result<RecvStep<T>, WorkerError> {
+        let Some(gate) = &self.control else {
+            return match hook_timeout {
+                None => match rx.recv() {
+                    Ok(m) => Ok(RecvStep::Msg(m)),
+                    Err(_) => Ok(RecvStep::Lost),
+                },
+                Some(t) => match rx.recv_timeout(t) {
+                    Ok(m) => Ok(RecvStep::Msg(m)),
+                    Err(RecvTimeoutError::Timeout) => Err(WorkerError::Stalled {
+                        stage: self.stage,
+                        mb,
+                    }),
+                    Err(RecvTimeoutError::Disconnected) => Ok(RecvStep::Lost),
+                },
+            };
+        };
+        if gate.skipped(mb) {
+            return Ok(RecvStep::Drained);
+        }
+        let poll = hook_timeout.unwrap_or(DRAIN_POLL).min(DRAIN_POLL);
+        let deadline = hook_timeout.map(|t| std::time::Instant::now() + t);
+        loop {
+            match rx.recv_timeout(poll) {
+                Ok(m) => return Ok(RecvStep::Msg(m)),
+                Err(RecvTimeoutError::Timeout) => {
+                    if gate.skipped(mb) {
+                        return Ok(RecvStep::Drained);
+                    }
+                    if let Some(d) = deadline {
+                        if std::time::Instant::now() >= d {
+                            return Err(WorkerError::Stalled {
+                                stage: self.stage,
+                                mb,
+                            });
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // A drained peer exits after its last admitted op,
+                    // possibly while this worker is already blocked on a
+                    // cut minibatch. Buffered messages are delivered
+                    // before the disconnect is reported, so a clean peer
+                    // exit plus a missing message means the minibatch
+                    // fell past the cut — not a failure.
+                    return if gate.skipped(mb) {
+                        Ok(RecvStep::Drained)
+                    } else {
+                        Ok(RecvStep::Lost)
+                    };
+                }
+            }
+        }
     }
 
     fn forward(&mut self, st: &mut WorkerState, mb: u64) -> Result<(), WorkerError> {
         let (input, mut version_tag) = if self.stage == 0 {
             (self.data.input(mb), 0)
         } else {
-            let msg = self.recv_act(st, mb)?;
-            (msg.data, msg.version_tag)
+            match self.recv_act(st, mb)? {
+                Some(msg) => (msg.data, msg.version_tag),
+                // Drained mid-wait: the minibatch was cut, skip the op.
+                None => return Ok(()),
+            }
         };
 
         // Select the weight version for this forward pass.
@@ -415,11 +544,18 @@ impl StageWorker {
         st.optimizer
             .set_learning_rate(self.lr_schedule.lr_at(self.optim.base_lr(), epoch));
         let grad_out = if self.stage + 1 == self.num_stages {
-            st.pending_loss_grad
-                .remove(&mb)
-                .expect("loss gradient pending from forward")
+            match st.pending_loss_grad.remove(&mb) {
+                Some(g) => g,
+                // The forward op was cut mid-wait by a drain, so no loss
+                // gradient exists; the backward is skipped too.
+                None if self.control.as_ref().is_some_and(|g| g.skipped(mb)) => return Ok(()),
+                None => panic!("loss gradient pending from forward"),
+            }
         } else {
-            self.recv_grad(st, mb)?.data
+            match self.recv_grad(st, mb)? {
+                Some(m) => m.data,
+                None => return Ok(()),
+            }
         };
 
         // Run the backward pass against the weight version the paper's

@@ -297,7 +297,9 @@ mod tests {
     fn hit_after_miss() {
         let cache: ShardedLruCache<String, ()> = ShardedLruCache::new(8, 2);
         let a = cache.get_or_compute(42, || Ok("plan".to_string())).unwrap();
-        let b = cache.get_or_compute(42, || panic!("must not recompute")).unwrap();
+        let b = cache
+            .get_or_compute(42, || panic!("must not recompute"))
+            .unwrap();
         assert_eq!(a, b);
         let s = cache.stats();
         assert_eq!((s.hits, s.misses), (1, 1));

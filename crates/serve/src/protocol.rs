@@ -15,10 +15,10 @@
 //! 400 message, and the daemon never panics on wire input.
 
 use crate::cache::ShardedLruCache;
-use pipedream_core::{
-    fingerprint_plan_request, Plan, PlanError, Planner, PipelineConfig, StagePlan,
-};
 use pipedream_core::schedule::Schedule;
+use pipedream_core::{
+    fingerprint_plan_request, PipelineConfig, Plan, PlanError, Planner, StagePlan,
+};
 use pipedream_hw::{ClusterPreset, Precision, Topology};
 use pipedream_model::{zoo, ModelProfile};
 use pipedream_sim::simulate_pipeline;
@@ -105,8 +105,8 @@ fn zoo_by_name(name: &str) -> Option<ModelProfile> {
 }
 
 fn parse_body(body: &[u8]) -> Result<Value, ApiError> {
-    let text = std::str::from_utf8(body)
-        .map_err(|_| ApiError::bad_request("body is not valid UTF-8"))?;
+    let text =
+        std::str::from_utf8(body).map_err(|_| ApiError::bad_request("body is not valid UTF-8"))?;
     if text.trim().is_empty() {
         return Err(ApiError::bad_request("empty body; expected a JSON object"));
     }
@@ -163,7 +163,7 @@ fn resolve_topology(body: &Value) -> Result<Topology, ApiError> {
         None => 4,
         Some(v) => v
             .as_u64()
-            .filter(|&n| n >= 1 && n <= 1024)
+            .filter(|n| (1..=1024).contains(n))
             .ok_or_else(|| ApiError::bad_request("\"servers\" must be an integer in 1..=1024"))?
             as usize,
     };
@@ -209,13 +209,9 @@ pub fn parse_target(body: &Value) -> Result<PlanTarget, ApiError> {
     };
     let memory_limit = match body.get("memory_limit_bytes") {
         None => None,
-        Some(v) => Some(
-            v.as_u64()
-                .filter(|&n| n >= 1)
-                .ok_or_else(|| {
-                    ApiError::bad_request("\"memory_limit_bytes\" must be a positive integer")
-                })?,
-        ),
+        Some(v) => Some(v.as_u64().filter(|&n| n >= 1).ok_or_else(|| {
+            ApiError::bad_request("\"memory_limit_bytes\" must be a positive integer")
+        })?),
     };
     Ok(PlanTarget {
         profile,
@@ -248,7 +244,9 @@ fn parse_config(body: &Value, key: &str) -> Result<Option<PipelineConfig>, ApiEr
             .map(|x| x.as_u64())
             .collect::<Option<_>>()
             .ok_or_else(|| {
-                ApiError::bad_request(format!("\"{key}\" stage fields must be non-negative integers"))
+                ApiError::bad_request(format!(
+                    "\"{key}\" stage fields must be non-negative integers"
+                ))
             })?;
         if nums[1] < nums[0] {
             return Err(ApiError::bad_request(format!(
@@ -259,12 +257,18 @@ fn parse_config(body: &Value, key: &str) -> Result<Option<PipelineConfig>, ApiEr
         if nums[2] == 0 {
             return Err(ApiError::bad_request("stage replicas must be >= 1"));
         }
-        stages.push(StagePlan::new(nums[0] as usize, nums[1] as usize, nums[2] as usize));
+        stages.push(StagePlan::new(
+            nums[0] as usize,
+            nums[1] as usize,
+            nums[2] as usize,
+        ));
     }
     // Pre-check what `PipelineConfig::new` would assert, so wire input
     // yields a 400 instead of a panic.
     if stages.is_empty() {
-        return Err(ApiError::bad_request(format!("\"{key}\" needs at least one stage")));
+        return Err(ApiError::bad_request(format!(
+            "\"{key}\" needs at least one stage"
+        )));
     }
     if stages[0].first_layer != 0 {
         return Err(ApiError::bad_request("stage 0 must start at layer 0"));
@@ -357,7 +361,7 @@ pub fn handle_simulate(cache: &PlanCache, body: &[u8]) -> Result<Value, ApiError
         None => 4 * config.num_stages().max(1) as u64,
         Some(v) => v
             .as_u64()
-            .filter(|&n| n >= 1 && n <= 10_000)
+            .filter(|n| (1..=10_000).contains(n))
             .ok_or_else(|| {
                 ApiError::bad_request("\"minibatches\" must be an integer in 1..=10000")
             })?,
@@ -378,7 +382,10 @@ pub fn handle_simulate(cache: &PlanCache, body: &[u8]) -> Result<Value, ApiError
     out.insert("per_minibatch_s".into(), Value::Float(sim.per_minibatch_s));
     out.insert("samples_per_sec".into(), Value::Float(sim.samples_per_sec));
     out.insert("comm_bytes".into(), Value::Uint(sim.comm_bytes));
-    out.insert("mean_utilization".into(), Value::Float(sim.mean_utilization));
+    out.insert(
+        "mean_utilization".into(),
+        Value::Float(sim.mean_utilization),
+    );
     out.insert(
         "peak_memory_bytes".into(),
         Value::Uint(sim.peak_memory_bytes.iter().copied().max().unwrap_or(0)),
@@ -478,7 +485,10 @@ mod tests {
         let (v1, computed1) = handle_plan(&cache, inline.as_bytes()).unwrap();
         let (v2, computed2) =
             handle_plan(&cache, br#"{"model": "alexnet", "servers": 1}"#).unwrap();
-        assert!(computed1 && !computed2, "inline and zoo share the cache key");
+        assert!(
+            computed1 && !computed2,
+            "inline and zoo share the cache key"
+        );
         assert_eq!(v1.get("fingerprint"), v2.get("fingerprint"));
         assert_eq!(v1.get("plan"), v2.get("plan"));
     }
@@ -509,7 +519,12 @@ mod tests {
                               "config": [[0, 5, 4]]}"#;
         let v = handle_validate(mismatched).unwrap();
         assert_eq!(v.get("valid"), Some(&Value::Bool(false)));
-        assert!(v.get("reason").unwrap().as_str().unwrap().contains("layers"));
+        assert!(v
+            .get("reason")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("layers"));
 
         // Structurally broken config → 400.
         let broken = br#"{"model": "alexnet", "config": [[2, 5, 1]]}"#;

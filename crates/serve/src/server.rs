@@ -391,7 +391,13 @@ fn serve_connection(
             Err(ReadError::Closed) | Err(ReadError::Io(_)) => return,
             Err(ReadError::Malformed(msg)) => {
                 let body = protocol::error_body(&ApiError::bad_request(msg));
-                http::write_response(&mut write_half, 400, "application/json", body.as_bytes(), false);
+                http::write_response(
+                    &mut write_half,
+                    400,
+                    "application/json",
+                    body.as_bytes(),
+                    false,
+                );
                 return;
             }
             Err(ReadError::TooLarge) => {
@@ -399,7 +405,13 @@ fn serve_connection(
                     status: 413,
                     message: format!("body exceeds {} bytes", http::MAX_BODY_BYTES),
                 });
-                http::write_response(&mut write_half, 413, "application/json", body.as_bytes(), false);
+                http::write_response(
+                    &mut write_half,
+                    413,
+                    "application/json",
+                    body.as_bytes(),
+                    false,
+                );
                 return;
             }
         }
@@ -455,9 +467,7 @@ fn dispatch(
         return (408, protocol::error_body(&err), true);
     }
 
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        route(req, state)
-    }));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(req, state)));
     match result {
         Ok(Ok(body)) => (200, body, true),
         Ok(Err(err)) => (err.status, protocol::error_body(&err), true),

@@ -78,9 +78,7 @@ fn churn_never_exceeds_the_size_bound() {
     for round in 0..4u64 {
         for key in 0..50u64 {
             let k = round * 1000 + key;
-            cache
-                .get_or_compute(k, || Ok(vec![k as u8; 64]))
-                .unwrap();
+            cache.get_or_compute(k, || Ok(vec![k as u8; 64])).unwrap();
             assert!(
                 cache.len() <= cache.capacity(),
                 "round {round} key {key}: {} entries > bound {}",

@@ -99,21 +99,32 @@ fn protocol_errors_are_statuses_not_crashes() {
     let r = c.post("/plan", r#"{"model": "made-up"}"#).unwrap();
     assert_eq!(r.status, 400);
     let v: Value = serde_json::from_str(&r.body).unwrap();
-    assert!(v.get("error").unwrap().as_str().unwrap().contains("unknown model"));
+    assert!(v
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("unknown model"));
     let r = c.post("/plan", "definitely not json").unwrap();
     assert_eq!(r.status, 400);
 
     // Degenerate planner inputs → 400 via the typed PlanError path.
     let r = c
-        .post("/plan", r#"{"profile": {"name": "empty", "layers": [],
-                           "default_batch": 32, "input_elems": 1}, "servers": 1}"#)
+        .post(
+            "/plan",
+            r#"{"profile": {"name": "empty", "layers": [],
+                           "default_batch": 32, "input_elems": 1}, "servers": 1}"#,
+        )
         .unwrap();
     assert_eq!(r.status, 400, "{}", r.body);
     assert!(r.body.contains("no layers"), "{}", r.body);
 
     // Infeasible memory limit → 400, not the CLI's panic.
     let r = c
-        .post("/plan", r#"{"model": "alexnet", "servers": 1, "memory_limit_bytes": 1}"#)
+        .post(
+            "/plan",
+            r#"{"model": "alexnet", "servers": 1, "memory_limit_bytes": 1}"#,
+        )
         .unwrap();
     assert_eq!(r.status, 400, "{}", r.body);
     assert!(r.body.contains("no feasible partition"), "{}", r.body);
@@ -137,7 +148,9 @@ fn metrics_expose_cache_and_latency_series() {
     let addr = server.addr();
     let mut c = Client::connect(addr).unwrap();
     for _ in 0..3 {
-        let r = c.post("/plan", r#"{"model": "alexnet", "servers": 2}"#).unwrap();
+        let r = c
+            .post("/plan", r#"{"model": "alexnet", "servers": 2}"#)
+            .unwrap();
         assert_eq!(r.status, 200);
     }
     let r = c.get("/metrics").unwrap();

@@ -66,7 +66,7 @@ fn main() {
         profile.costs(&device, 32, pipedream::hw::Precision::Fp32),
         &topo,
     );
-    let plan = planner.plan();
+    let plan = planner.try_plan().expect("plan");
     println!(
         "\nplanned configuration: {} ({})",
         plan.config,

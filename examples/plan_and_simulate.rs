@@ -26,7 +26,7 @@ fn main() {
     );
 
     // PipeDream: partition, generate the 1F1B-RR schedule, simulate.
-    let plan = Planner::new(&model, &topo).plan();
+    let plan = Planner::new(&model, &topo).try_plan().expect("plan");
     println!(
         "\nPipeDream config: {} (label {})",
         plan.config,

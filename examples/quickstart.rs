@@ -30,7 +30,7 @@ fn main() {
     let planner = Planner::new(&model, &topo);
 
     // The paper's hierarchical dynamic program (§3.1)…
-    let plan = planner.plan();
+    let plan = planner.try_plan().expect("hierarchical plan");
     println!("hierarchical plan: {}", plan.config);
     println!(
         "  predicted throughput: {:.0} samples/s",
@@ -43,7 +43,7 @@ fn main() {
 
     // …and the worker-granular flat variant, which can express Table 1's
     // exact 15-1 configuration.
-    let flat = planner.plan_flat();
+    let flat = planner.try_plan_flat().expect("flat plan");
     println!("\nflat plan: {} ({})", flat.config, flat.config.label());
     println!(
         "  predicted throughput: {:.0} samples/s",

@@ -15,7 +15,10 @@
 //! * [`runtime`] — a multi-threaded pipeline-parallel training runtime;
 //! * [`convergence`] — statistical-efficiency (accuracy-vs-epoch) models;
 //! * [`obs`] — tracing + metrics for measured runs: per-worker event rings,
-//!   Chrome-trace export, and measured-vs-planned validation.
+//!   Chrome-trace export, and measured-vs-planned validation;
+//! * [`ft`] — fault injection, the recovery supervisor, and stragglers (§4);
+//! * [`autopilot`] — the self-optimizing control plane: applies live replans
+//!   with checkpointed repartition and verified rollback.
 //!
 //! ## Quickstart
 //!
@@ -25,12 +28,14 @@
 //! // Plan VGG-16 on 4 Cluster-A servers (16 V100s) and simulate it.
 //! let profile = pipedream::model::zoo::vgg16();
 //! let topo = ClusterPreset::A.with_servers(4);
-//! let plan = Planner::new(&profile, &topo).plan();
+//! let plan = Planner::new(&profile, &topo).try_plan().unwrap();
 //! println!("config {}", plan.config);
 //! ```
 
+pub use pipedream_autopilot as autopilot;
 pub use pipedream_convergence as convergence;
 pub use pipedream_core as core;
+pub use pipedream_ft as ft;
 pub use pipedream_hw as hw;
 pub use pipedream_model as model;
 pub use pipedream_obs as obs;

@@ -21,7 +21,7 @@ fn plan_schedule_simulate_beats_model_parallelism() {
     let topo = ClusterPreset::A.with_servers(1);
     for model in zoo::all_models() {
         let costs = model.costs(&topo.device, model.default_batch, Precision::Fp32);
-        let plan = Planner::new(&model, &topo).plan();
+        let plan = Planner::new(&model, &topo).try_plan().expect("plan");
         let pp = simulate_pipeline(&costs, &topo, &Schedule::one_f_one_b(&plan.config, 32));
         // Model parallelism over a balanced straight split.
         let planner = Planner::new(&model, &topo);
@@ -58,7 +58,9 @@ fn profiled_model_plans_and_trains_under_that_plan() {
 
     // Slow links make the planner prefer a pipeline over DP.
     let topo = Topology::flat(device, 3, LinkModel::from_gbps(0.5, 1e-4), "slow");
-    let plan = Planner::from_costs(profile.costs(&topo.device, 16, Precision::Fp32), &topo).plan();
+    let plan = Planner::from_costs(profile.costs(&topo.device, 16, Precision::Fp32), &topo)
+        .try_plan()
+        .expect("plan");
     plan.config.validate(6).unwrap();
     assert_eq!(plan.config.total_workers(), 3);
 
@@ -167,7 +169,7 @@ fn facade_prelude_compiles_and_plans() {
     use pipedream::prelude::*;
     let profile = pipedream::model::zoo::vgg16();
     let topo = ClusterPreset::A.with_servers(4);
-    let plan = Planner::new(&profile, &topo).plan();
+    let plan = Planner::new(&profile, &topo).try_plan().expect("plan");
     assert!(plan.samples_per_sec > 0.0);
     assert!(!plan.config.label().is_empty());
 }

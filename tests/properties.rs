@@ -111,7 +111,7 @@ proptest! {
     ) {
         let profile = zoo::uniform(layers, 10f64.powf(flops_exp), 10_000, 100_000);
         let topo = Topology::flat(Device::v100(), workers, LinkModel::from_gbytes(8.0, 1e-5), "p");
-        let plan = Planner::new(&profile, &topo).plan();
+        let plan = Planner::new(&profile, &topo).try_plan().expect("plan");
         prop_assert_eq!(plan.config.total_workers(), workers);
         prop_assert!(plan.config.validate(layers).is_ok());
         let costs = profile.costs(&topo.device, profile.default_batch, Precision::Fp32);
