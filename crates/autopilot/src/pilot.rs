@@ -31,7 +31,9 @@ use pipedream_core::{config_fingerprint, PipelineConfig, PlanError, Planner, Sta
 use pipedream_ft::{resume_training, SupervisorError};
 use pipedream_hw::Topology;
 use pipedream_model::LayerCosts;
-use pipedream_obs::{try_advise_replan, DriftConfig, DriftDetector, LiveProfiler, TraceSession};
+use pipedream_obs::{
+    try_advise_replan_constrained, DriftConfig, DriftDetector, LiveProfiler, TraceSession,
+};
 use pipedream_runtime::checkpoint::{latest_complete_point, CheckpointPoint};
 use pipedream_runtime::control::RunControl;
 use pipedream_runtime::fault::FaultHook;
@@ -67,6 +69,12 @@ pub struct AutopilotOpts {
     /// Bypass the advisor and apply this plan instead — for testing the
     /// probation/rollback machinery with a known-bad plan.
     pub force_plan: Option<PipelineConfig>,
+    /// Per-worker memory budget for replans, in bytes. The advisor only
+    /// recommends partitions whose estimated footprint (under the run's
+    /// `TrainOpts::schedule`) fits, and replans *away* from a plan that
+    /// no longer does; `PlanError::MemoryInfeasible` aborts the replan
+    /// and the incumbent keeps running.
+    pub memory_limit: Option<u64>,
 }
 
 impl Default for AutopilotOpts {
@@ -78,6 +86,7 @@ impl Default for AutopilotOpts {
             probation_margin: 0.05,
             sim_minibatches: 48,
             force_plan: None,
+            memory_limit: None,
         }
     }
 }
@@ -449,13 +458,16 @@ pub fn train_with_autopilot(
         session.metrics().counter("reconfig_attempts_total").inc();
     }
 
-    // --- Replan over measured costs.
-    let advice = try_advise_replan(
+    // --- Replan over measured costs, honoring the run's memory budget
+    // and schedule kind.
+    let advice = try_advise_replan_constrained(
         baseline,
         topo,
         config,
         &observed.measured_stage_s,
         auto.sim_minibatches,
+        auto.memory_limit,
+        opts.schedule,
     )?;
     let mpe = mbs_per_epoch(dataset, opts);
     // The work remaining after the cut must divide evenly into the new

@@ -13,7 +13,7 @@
 //! Experiment ids: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 //! fig12 fig13 fig14 fig15 fig16 fig17 fig18 table1 table2 table3 asp gpipe
 //! opt ablations trend verify sensitivity recovery trace-validate
-//! drift-replan.
+//! drift-replan memory-sweep.
 
 use pipedream_bench::experiments as e;
 use std::fs;
@@ -51,6 +51,7 @@ const ALL: &[&str] = &[
     "recovery",
     "trace-validate",
     "drift-replan",
+    "memory-sweep",
 ];
 
 /// Run one experiment; returns `(title, rendered text, optional CSV,
@@ -87,6 +88,17 @@ fn run_one(
                     applied.reconfig_report_json(),
                 ),
             ]),
+        ));
+    }
+    // memory-sweep saves the full sweep record as JSON next to its table.
+    if id == "memory-sweep" {
+        let r = e::memory_sweep::run(2);
+        return Some((
+            "Memory-efficient schedules: 2BW + recomputation under a hard budget",
+            r.to_string(),
+            Some(r.to_csv()),
+            None,
+            Some(vec![("memory-sweep.json".to_string(), r.sweep_json())]),
         ));
     }
     let out = match id {

@@ -1,0 +1,249 @@
+//! `schedule_bench` — machine-readable memory-schedule benchmark.
+//!
+//! Trains the same 8-layer model on the same 4-stage pipeline once per
+//! `ScheduleKind` (vanilla 1F1B, 2BW, recomputation, 2BW+recomputation)
+//! and writes per-schedule throughput, measured memory gauges, and the
+//! simulator's peak-memory prediction as JSON so CI can gate and diff
+//! them per commit:
+//!
+//! ```text
+//! schedule_bench [OUT.json] [--assert-2bw-max-versions N]
+//!                [--assert-memory-saving]
+//! ```
+//!
+//! CI's `memory-smoke` job runs this with both gates: no 2BW run may
+//! ever hold more than two weight versions at any stage, and the
+//! memory-efficient schedules must actually beat vanilla on the measured
+//! footprint (2BW on weight versions, recomputation on live activation
+//! bytes).
+
+use pipedream_core::schedule::Schedule;
+use pipedream_core::stash::ScheduleKind;
+use pipedream_core::PipelineConfig;
+use pipedream_hw::{Device, LinkModel, Precision, Topology};
+use pipedream_model::profiler::profile_sequential;
+use pipedream_runtime::trainer::train_pipeline;
+use pipedream_runtime::{LrSchedule, OptimKind, Semantics, TrainOpts};
+use pipedream_sim::PipelineSim;
+use pipedream_tensor::data::blobs;
+use pipedream_tensor::init::rng;
+use pipedream_tensor::layers::{Linear, Relu, Tanh};
+use pipedream_tensor::Sequential;
+use serde::Serialize;
+
+fn mlp(seed: u64) -> Sequential {
+    let mut r = rng(seed);
+    Sequential::new("mlp8")
+        .push(Linear::new(8, 32, &mut r))
+        .push(Tanh::new())
+        .push(Linear::new(32, 32, &mut r))
+        .push(Relu::new())
+        .push(Linear::new(32, 32, &mut r))
+        .push(Tanh::new())
+        .push(Linear::new(32, 32, &mut r))
+        .push(Linear::new(32, 4, &mut r))
+}
+
+#[derive(Serialize)]
+struct ScheduleRow {
+    /// Canonical schedule id (`vanilla`, `2bw`, `recompute`,
+    /// `2bw-recompute`).
+    schedule: String,
+    /// Measured training throughput, samples/s.
+    samples_per_s: f64,
+    /// Whole-run wall time, seconds.
+    wall_time_s: f64,
+    /// Final-epoch loss (sanity: the schedule still learns).
+    final_loss: f32,
+    /// Worst-stage gauges from the real run.
+    versions_held_max: usize,
+    stash_depth_max: usize,
+    activation_bytes_max: u64,
+    /// Total recomputation time across stages, ms (0 unless recomputing).
+    recompute_ms: f64,
+    /// Worst-stage measured footprint: versions × stage weight bytes +
+    /// live activation bytes.
+    measured_peak_bytes: u64,
+    /// The simulator's worst-worker peak prediction for this schedule.
+    sim_peak_bytes: u64,
+}
+
+#[derive(Serialize)]
+struct ScheduleBenchReport {
+    model: String,
+    plan: String,
+    stages: usize,
+    epochs: usize,
+    rows: Vec<ScheduleRow>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_schedule.json".to_string();
+    let mut max_versions: Option<usize> = None;
+    let mut assert_saving = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--assert-2bw-max-versions" => {
+                i += 1;
+                max_versions =
+                    Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--assert-2bw-max-versions needs a number");
+                        std::process::exit(2);
+                    }));
+            }
+            "--assert-memory-saving" => assert_saving = true,
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}");
+                std::process::exit(2);
+            }
+            path => out_path = path.to_string(),
+        }
+        i += 1;
+    }
+
+    let epochs = 3;
+    let samples = 256;
+    let data = blobs(samples, 8, 4, 0.6, 7);
+    let config = PipelineConfig::straight(8, &[1, 3, 5]);
+    let topo = Topology::flat(
+        Device::v100(),
+        4,
+        LinkModel::from_gbytes(10.0, 1e-6),
+        "bench",
+    );
+    let mut probe = mlp(41);
+    let (input, _) = data.minibatch(0, 16);
+    let profile = profile_sequential(&mut probe, &input, 1, 2, &Device::v100());
+    let costs = profile.costs(&Device::v100(), 16, Precision::Fp32);
+    let stage_weights: Vec<u64> = config
+        .stages()
+        .iter()
+        .map(|s| {
+            probe.layers()[s.first_layer..=s.last_layer]
+                .iter()
+                .map(|l| l.param_count() as u64 * 4)
+                .sum()
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    for kind in ScheduleKind::all() {
+        let sim = PipelineSim::new(&costs, &topo, &Schedule::one_f_one_b(&config, 32))
+            .with_schedule(kind)
+            .run();
+        let opts = TrainOpts {
+            epochs,
+            batch: 16,
+            optim: OptimKind::Sgd {
+                lr: 0.05,
+                momentum: 0.0,
+            },
+            semantics: Semantics::Stashed,
+            schedule: kind,
+            lr_schedule: LrSchedule::Constant,
+            ..TrainOpts::default()
+        };
+        let (_, report) = train_pipeline(mlp(41), &config, &data, &opts);
+        let measured_peak = report
+            .stage_obs
+            .iter()
+            .map(|o| o.versions_held_max as u64 * stage_weights[o.stage] + o.activation_bytes_max)
+            .max()
+            .unwrap_or(0);
+        rows.push(ScheduleRow {
+            schedule: kind.as_str().to_string(),
+            samples_per_s: (epochs * samples) as f64 / report.wall_time_s.max(1e-9),
+            wall_time_s: report.wall_time_s,
+            final_loss: report.final_loss(),
+            versions_held_max: report
+                .stage_obs
+                .iter()
+                .map(|o| o.versions_held_max)
+                .max()
+                .unwrap_or(0),
+            stash_depth_max: report
+                .stage_obs
+                .iter()
+                .map(|o| o.stash_depth_max)
+                .max()
+                .unwrap_or(0),
+            activation_bytes_max: report
+                .stage_obs
+                .iter()
+                .map(|o| o.activation_bytes_max)
+                .max()
+                .unwrap_or(0),
+            recompute_ms: report.stage_obs.iter().map(|o| o.recompute_us).sum::<u64>() as f64 / 1e3,
+            measured_peak_bytes: measured_peak,
+            sim_peak_bytes: sim.peak_memory_bytes.iter().copied().max().unwrap_or(0),
+        });
+    }
+
+    let report = ScheduleBenchReport {
+        model: "mlp8".to_string(),
+        plan: config.label(),
+        stages: config.num_stages(),
+        epochs,
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+
+    let mut failed = false;
+    if let Some(max) = max_versions {
+        for row in &report.rows {
+            let is_2bw = row.schedule.starts_with("2bw");
+            if is_2bw && row.versions_held_max > max {
+                eprintln!(
+                    "GATE FAILED: {} held {} weight versions > {max}",
+                    row.schedule, row.versions_held_max
+                );
+                failed = true;
+            }
+        }
+    }
+    if assert_saving {
+        let get = |id: &str| report.rows.iter().find(|r| r.schedule == id).unwrap();
+        let vanilla = get("vanilla");
+        if get("2bw").versions_held_max >= vanilla.versions_held_max {
+            eprintln!(
+                "GATE FAILED: 2bw versions {} not below vanilla's {}",
+                get("2bw").versions_held_max,
+                vanilla.versions_held_max
+            );
+            failed = true;
+        }
+        if get("recompute").activation_bytes_max >= vanilla.activation_bytes_max {
+            eprintln!(
+                "GATE FAILED: recompute activations {} B not below vanilla's {} B",
+                get("recompute").activation_bytes_max,
+                vanilla.activation_bytes_max
+            );
+            failed = true;
+        }
+        if get("2bw-recompute").measured_peak_bytes >= vanilla.measured_peak_bytes {
+            eprintln!(
+                "GATE FAILED: 2bw-recompute peak {} B not below vanilla's {} B",
+                get("2bw-recompute").measured_peak_bytes,
+                vanilla.measured_peak_bytes
+            );
+            failed = true;
+        }
+        for row in &report.rows {
+            if !row.final_loss.is_finite() || row.final_loss > 1.0 {
+                eprintln!(
+                    "GATE FAILED: {} final loss {} did not converge",
+                    row.schedule, row.final_loss
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

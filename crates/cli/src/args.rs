@@ -1,6 +1,7 @@
 //! Hand-rolled argument parsing (the workspace's dependency policy excludes
 //! CLI frameworks; the grammar is small enough to parse directly).
 
+use pipedream_core::ScheduleKind;
 use std::collections::HashMap;
 
 /// Usage text shown by `pipedream help`.
@@ -10,6 +11,7 @@ pipedream — generalized pipeline parallelism for DNN training (SOSP '19)
 USAGE:
   pipedream plan     --model <NAME|@profile.json> --cluster <A|B|C> --servers N
                      [--batch N] [--flat] [--memory-limit-gb G] [--json]
+                     [--schedule vanilla|2bw|recompute|2bw-recompute]
                      [--topology @topo.json]
   pipedream simulate --model <NAME|@profile.json> --cluster <A|B|C> --servers N
                      [--config 15-1|straight|dp|auto] [--minibatches N]
@@ -18,6 +20,7 @@ USAGE:
                      [--gpus N] [--fp16] [--json] [--topology @topo.json]
   pipedream train    [--stages N] [--epochs N] [--batch N] [--lr X]
                      [--semantics stashed|naive|vsync|gpipe] [--seed N]
+                     [--schedule vanilla|2bw|recompute|2bw-recompute]
                      [--fault kill:stage=S,mb=N | delay:stage=S,mb=N,ms=M |
                               drop:stage=S,mb=N | corrupt:stage=S,epoch=E]
                      [--checkpoint-dir DIR] [--checkpoint-every K]
@@ -34,7 +37,7 @@ USAGE:
                      [--batch N]
   pipedream help
 
-MODELS: vgg16 resnet50 alexnet gnmt8 gnmt16 awd-lm s2vt, or @file.json with a
+MODELS: vgg16 resnet50 alexnet gnmt8 gnmt16 awd-lm s2vt huge-lm, or @file.json with a
 serialized ModelProfile. TOPOLOGY: @file.json with a serialized Topology
 overrides --cluster/--servers. `train --watch` prints a live status line per
 snapshot window; `top` runs a demo training job under a live ASCII dashboard;
@@ -42,6 +45,12 @@ snapshot window; `top` runs a demo training job under a live ASCII dashboard;
 costs (combine with --model to diff measured against profiled). `serve`
 runs the planning daemon (POST /plan, /simulate, /validate; GET /metrics,
 /healthz) with a sharded plan cache; --for-secs 0 serves until killed.
+`--schedule` selects the memory-efficient execution schedule: `2bw`
+(double-buffered weight updates, ≤ 2 stashed versions), `recompute`
+(drop activation stashes in the forward pass and rebuild them before the
+backward), or `2bw-recompute` (both). For `plan` it changes the memory
+model the partitioner checks `--memory-limit-gb` against; for `train`
+(stashed semantics only) it changes what the workers stash.
 `train --auto-replan` runs under the autopilot: if the live profile drifts
 off-plan, the pipeline drains to a checkpoint, repartitions onto the
 advisor's plan, and resumes — committing or rolling back after a measured
@@ -162,6 +171,8 @@ pub struct PlanArgs {
     pub flat: bool,
     /// Per-worker memory budget in GiB.
     pub memory_limit_gb: Option<f64>,
+    /// Execution schedule the memory model assumes.
+    pub schedule: ScheduleKind,
     /// Emit JSON instead of text.
     pub json: bool,
 }
@@ -207,6 +218,8 @@ pub struct TrainArgs {
     pub lr: f32,
     /// Semantics: stashed | naive | vsync | gpipe.
     pub semantics: String,
+    /// Memory-efficient schedule variant (stashed semantics only).
+    pub schedule: ScheduleKind,
     /// RNG seed.
     pub seed: u64,
     /// Fault-injection spec (e.g. `kill:stage=1,mb=37`), run under the
@@ -283,6 +296,17 @@ fn get<T: std::str::FromStr>(
     }
 }
 
+fn schedule(map: &HashMap<String, String>) -> Result<ScheduleKind, ParseError> {
+    match map.get("schedule") {
+        None => Ok(ScheduleKind::Vanilla1F1B),
+        Some(v) => ScheduleKind::parse(v).ok_or_else(|| {
+            ParseError(format!(
+                "--schedule: '{v}' is not vanilla, 2bw, recompute or 2bw-recompute"
+            ))
+        }),
+    }
+}
+
 fn target(map: &HashMap<String, String>) -> Result<Target, ParseError> {
     let model = map
         .get("model")
@@ -335,6 +359,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         .map_err(|_| ParseError("--memory-limit-gb: not a number".into()))
                 })
                 .transpose()?,
+            schedule: schedule(&map)?,
             json: map.contains_key("json"),
         })),
         "simulate" => Ok(Command::Simulate(SimulateArgs {
@@ -409,6 +434,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 .get("semantics")
                 .cloned()
                 .unwrap_or_else(|| "stashed".into()),
+            schedule: schedule(&map)?,
             seed: get(&map, "seed", 1u64)?,
             fault: map.get("fault").cloned(),
             checkpoint_dir: map.get("checkpoint-dir").cloned(),
@@ -497,6 +523,31 @@ mod tests {
         assert_eq!(a.target.servers, 4);
         assert!(a.flat && a.json);
         assert_eq!(a.memory_limit_gb, Some(16.0));
+        assert_eq!(a.schedule, ScheduleKind::Vanilla1F1B);
+    }
+
+    #[test]
+    fn schedule_flag_parses_on_plan_and_train() {
+        let cmd = parse(&s(&[
+            "plan",
+            "--model",
+            "vgg16",
+            "--schedule",
+            "2bw-recompute",
+        ]))
+        .unwrap();
+        let Command::Plan(a) = cmd else { panic!() };
+        assert_eq!(a.schedule, ScheduleKind::TwoBWRecompute);
+
+        let cmd = parse(&s(&["train", "--schedule", "2bw"])).unwrap();
+        let Command::Train(a) = cmd else { panic!() };
+        assert_eq!(a.schedule, ScheduleKind::TwoBW);
+        let cmd = parse(&s(&["train"])).unwrap();
+        let Command::Train(a) = cmd else { panic!() };
+        assert_eq!(a.schedule, ScheduleKind::Vanilla1F1B);
+
+        assert!(parse(&s(&["train", "--schedule", "3bw"])).is_err());
+        assert!(parse(&s(&["plan", "--model", "vgg16", "--schedule", "x"])).is_err());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::args::{
 };
 use pipedream_autopilot::{train_with_autopilot, AutopilotOpts, AutopilotState};
 use pipedream_core::schedule::Schedule;
-use pipedream_core::{PipelineConfig, Planner};
+use pipedream_core::{PipelineConfig, Planner, ScheduleKind};
 use pipedream_ft::{train_with_recovery, Fault, FaultPlan};
 use pipedream_hw::{ClusterPreset, Device, LinkModel, Precision, Topology};
 use pipedream_model::{profile_sequential, zoo, ModelProfile};
@@ -35,8 +35,9 @@ fn load_model(name: &str) -> Result<ModelProfile, String> {
         "gnmt16" | "gnmt-16" => Ok(zoo::gnmt16()),
         "awd-lm" | "awdlm" | "lm" => Ok(zoo::awd_lm()),
         "s2vt" => Ok(zoo::s2vt()),
+        "huge-lm" | "hugelm" => Ok(zoo::huge_lm()),
         other => Err(format!(
-            "unknown model '{other}' (try vgg16, resnet50, alexnet, gnmt8, gnmt16, awd-lm, s2vt, or @profile.json)"
+            "unknown model '{other}' (try vgg16, resnet50, alexnet, gnmt8, gnmt16, awd-lm, s2vt, huge-lm, or @profile.json)"
         )),
     }
 }
@@ -60,7 +61,8 @@ pub fn plan(a: PlanArgs) -> Result<String, String> {
     let model = load_model(&a.target.model)?;
     let topo = load_topology(&a.target)?;
     let batch = a.batch.unwrap_or(model.default_batch);
-    let mut planner = Planner::with_options(&model, &topo, batch, Precision::Fp32);
+    let mut planner =
+        Planner::with_options(&model, &topo, batch, Precision::Fp32).with_schedule(a.schedule);
     if let Some(gb) = a.memory_limit_gb {
         planner = planner.with_memory_limit((gb * (1u64 << 30) as f64) as u64);
     }
@@ -287,6 +289,12 @@ pub fn train(a: TrainArgs) -> Result<String, String> {
         "gpipe" => Semantics::GPipe { microbatches: 4 },
         other => return Err(format!("unknown semantics '{other}'")),
     };
+    if a.schedule != ScheduleKind::Vanilla1F1B && semantics != Semantics::Stashed {
+        return Err(format!(
+            "--schedule {} requires --semantics stashed",
+            a.schedule
+        ));
+    }
     let (model, config, data) = demo_pipeline(a.stages, a.seed);
     let (train_set, test_set) = data.split(0.25);
     // --fault implies checkpointing so the recovery supervisor has
@@ -322,6 +330,7 @@ pub fn train(a: TrainArgs) -> Result<String, String> {
             momentum: 0.0,
         },
         semantics,
+        schedule: a.schedule,
         lr_schedule: LrSchedule::Constant,
         checkpoint_dir,
         checkpoint_every: a.checkpoint_every,
@@ -824,6 +833,7 @@ mod tests {
             batch: None,
             flat: true,
             memory_limit_gb: None,
+            schedule: ScheduleKind::Vanilla1F1B,
             json: false,
         })
         .unwrap();
@@ -838,6 +848,7 @@ mod tests {
             batch: Some(32),
             flat: false,
             memory_limit_gb: Some(16.0),
+            schedule: ScheduleKind::Vanilla1F1B,
             json: true,
         })
         .unwrap();
@@ -892,6 +903,7 @@ mod tests {
             batch: 16,
             lr: 0.05,
             semantics: "stashed".into(),
+            schedule: ScheduleKind::Vanilla1F1B,
             seed: 3,
             fault: None,
             checkpoint_dir: None,
@@ -918,6 +930,7 @@ mod tests {
             batch: 16,
             lr: 0.05,
             semantics: "stashed".into(),
+            schedule: ScheduleKind::Vanilla1F1B,
             seed: 3,
             fault: Some("kill:stage=1,mb=20".into()),
             checkpoint_dir: Some(dir.to_string_lossy().into_owned()),
@@ -946,6 +959,7 @@ mod tests {
             batch: 16,
             lr: 0.05,
             semantics: "stashed".into(),
+            schedule: ScheduleKind::Vanilla1F1B,
             seed: 3,
             fault: None,
             checkpoint_dir: None,
@@ -992,6 +1006,7 @@ mod tests {
             batch: 16,
             lr: 0.05,
             semantics: "stashed".into(),
+            schedule: ScheduleKind::Vanilla1F1B,
             seed: 3,
             fault: Some("explode:stage=1".into()),
             checkpoint_dir: None,
@@ -1029,6 +1044,7 @@ mod tests {
             batch: 16,
             lr: 0.05,
             semantics: "stashed".into(),
+            schedule: ScheduleKind::Vanilla1F1B,
             seed: 3,
             fault: None,
             checkpoint_dir: None,
@@ -1056,6 +1072,7 @@ mod tests {
             batch: 16,
             lr: 0.05,
             semantics: "stashed".into(),
+            schedule: ScheduleKind::Vanilla1F1B,
             seed: 3,
             fault: None,
             checkpoint_dir: Some(dir.to_string_lossy().into_owned()),
@@ -1083,6 +1100,7 @@ mod tests {
             batch: 16,
             lr: 0.05,
             semantics: "stashed".into(),
+            schedule: ScheduleKind::Vanilla1F1B,
             seed: 3,
             fault: Some("kill:stage=1,mb=5".into()),
             checkpoint_dir: None,
@@ -1110,6 +1128,7 @@ mod tests {
             batch: 16,
             lr: 0.05,
             semantics: "stashed".into(),
+            schedule: ScheduleKind::Vanilla1F1B,
             seed: 3,
             fault: None,
             checkpoint_dir: None,
@@ -1230,6 +1249,7 @@ mod tests {
             batch: None,
             flat: false,
             memory_limit_gb: None,
+            schedule: ScheduleKind::Vanilla1F1B,
             json: false,
         })
         .unwrap_err();

@@ -216,6 +216,7 @@ pub fn fingerprint_plan_request(
     precision: Precision,
     mode: &str,
     memory_limit: Option<u64>,
+    schedule: crate::ScheduleKind,
 ) -> Result<u64, FingerprintError> {
     let mut h = Fingerprinter::new();
     fingerprint_profile(&mut h, profile)?;
@@ -233,6 +234,7 @@ pub fn fingerprint_plan_request(
         }
         None => h.write_bool(false),
     }
+    h.write_str(schedule.as_str());
     Ok(h.finish())
 }
 
@@ -249,7 +251,16 @@ mod tests {
         mode: &str,
         mem: Option<u64>,
     ) -> u64 {
-        fingerprint_plan_request(profile, topo, batch, Precision::Fp32, mode, mem).unwrap()
+        fingerprint_plan_request(
+            profile,
+            topo,
+            batch,
+            Precision::Fp32,
+            mode,
+            mem,
+            crate::ScheduleKind::Vanilla1F1B,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -289,8 +300,29 @@ mod tests {
         assert_ne!(base, fp(&zoo::vgg16(), &topo, 64, "hierarchical", None));
         assert_ne!(base, fp(&zoo::vgg16(), &topo, 64, "flat", Some(16 << 30)));
         assert_ne!(
-            fingerprint_plan_request(&zoo::vgg16(), &topo, 64, Precision::Fp16, "flat", None)
-                .unwrap(),
+            fingerprint_plan_request(
+                &zoo::vgg16(),
+                &topo,
+                64,
+                Precision::Fp16,
+                "flat",
+                None,
+                crate::ScheduleKind::Vanilla1F1B,
+            )
+            .unwrap(),
+            base
+        );
+        assert_ne!(
+            fingerprint_plan_request(
+                &zoo::vgg16(),
+                &topo,
+                64,
+                Precision::Fp32,
+                "flat",
+                None,
+                crate::ScheduleKind::TwoBWRecompute,
+            )
+            .unwrap(),
             base
         );
     }
@@ -321,8 +353,16 @@ mod tests {
         let mut profile = zoo::alexnet();
         profile.layers[2].bwd_factor = f64::NAN;
         let topo = ClusterPreset::A.with_servers(1);
-        let err = fingerprint_plan_request(&profile, &topo, 64, Precision::Fp32, "flat", None)
-            .unwrap_err();
+        let err = fingerprint_plan_request(
+            &profile,
+            &topo,
+            64,
+            Precision::Fp32,
+            "flat",
+            None,
+            crate::ScheduleKind::Vanilla1F1B,
+        )
+        .unwrap_err();
         assert!(err.context.contains("bwd_factor"), "{err}");
         assert!(err.to_string().contains("NaN"), "{err}");
     }

@@ -32,6 +32,7 @@
 //!   on multi-server clusters.
 
 use crate::config::{PipelineConfig, StagePlan};
+use crate::stash::ScheduleKind;
 use pipedream_hw::{allreduce_time, p2p_time, LinkModel, Precision, Topology};
 use pipedream_model::{LayerCosts, ModelProfile};
 use serde::{Deserialize, Serialize};
@@ -71,9 +72,11 @@ pub enum PlanError {
     /// A layer cost is NaN or negative (message names the layer).
     InvalidCosts(String),
     /// No partition satisfies the per-worker memory limit.
-    InfeasibleMemory {
+    MemoryInfeasible {
         /// The budget that nothing fit under, in bytes.
         limit_bytes: u64,
+        /// The schedule kind the memory model assumed.
+        schedule: ScheduleKind,
     },
     /// A configuration handed to the evaluator does not match the model.
     InvalidConfig(String),
@@ -86,10 +89,13 @@ impl std::fmt::Display for PlanError {
             PlanError::NoWorkers => write!(f, "topology has no workers"),
             PlanError::ZeroBatch => write!(f, "per-GPU minibatch size is zero"),
             PlanError::InvalidCosts(msg) => write!(f, "invalid layer costs: {msg}"),
-            PlanError::InfeasibleMemory { limit_bytes } => write!(
+            PlanError::MemoryInfeasible {
+                limit_bytes,
+                schedule,
+            } => write!(
                 f,
                 "no feasible partition: every configuration exceeds the memory limit \
-                 ({limit_bytes} bytes per worker)"
+                 ({limit_bytes} bytes per worker under the {schedule} schedule)"
             ),
             PlanError::InvalidConfig(msg) => {
                 write!(f, "configuration does not match model: {msg}")
@@ -140,6 +146,10 @@ pub struct Planner<'a> {
     /// account … memory capacity of the compute devices"). Stages whose
     /// weight versions + activation stashes cannot fit are infeasible.
     memory_limit: Option<u64>,
+    /// The schedule variant the memory model assumes — 2BW caps weight
+    /// versions at 2, recomputation shrinks the activation stash to O(1),
+    /// so a model infeasible under vanilla stashing may still plan.
+    schedule: ScheduleKind,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -207,6 +217,7 @@ impl<'a> Planner<'a> {
             costs: profile.costs(&topo.device, batch, precision),
             topo,
             memory_limit: None,
+            schedule: ScheduleKind::default(),
         }
     }
 
@@ -217,6 +228,7 @@ impl<'a> Planner<'a> {
             costs,
             topo,
             memory_limit: None,
+            schedule: ScheduleKind::default(),
         }
     }
 
@@ -230,6 +242,19 @@ impl<'a> Planner<'a> {
     pub fn with_memory_limit(mut self, bytes: u64) -> Self {
         self.memory_limit = Some(bytes);
         self
+    }
+
+    /// Plan for a specific schedule variant: the memory model (and so the
+    /// feasible set under [`Planner::with_memory_limit`]) follows the
+    /// kind's stash policy.
+    pub fn with_schedule(mut self, kind: ScheduleKind) -> Self {
+        self.schedule = kind;
+        self
+    }
+
+    /// The schedule variant the memory model assumes.
+    pub fn schedule(&self) -> ScheduleKind {
+        self.schedule
     }
 
     /// The layer costs the planner operates on.
@@ -345,11 +370,13 @@ impl<'a> Planner<'a> {
         }
     }
 
-    /// Exact §3.3 per-worker memory footprint check for a configuration:
-    /// stage `s` stashes `⌈workers-from-s / r_s⌉` weight versions and
-    /// activation sets.
+    /// Exact per-worker memory footprint check for a configuration under
+    /// the planner's schedule kind: vanilla stashing holds
+    /// `⌈workers-from-s / r_s⌉` weight versions and activation sets per
+    /// stage (§3.3); 2BW caps versions at 2 and recomputation shrinks the
+    /// activation stash to stage inputs + one workspace.
     pub fn config_fits_memory(&self, config: &PipelineConfig, limit: u64) -> bool {
-        crate::estimates::memory_footprint(&self.costs, config)
+        crate::estimates::memory_footprint_for(&self.costs, config, self.schedule)
             .iter()
             .all(|m| m.total() <= limit)
     }
@@ -380,7 +407,10 @@ impl<'a> Planner<'a> {
             .filter(|c| self.config_fits_memory(c, limit))
             .filter_map(|c| self.try_evaluate(&c).ok())
             .min_by(|a, b| a.bottleneck_s.partial_cmp(&b.bottleneck_s).unwrap())
-            .ok_or(PlanError::InfeasibleMemory { limit_bytes: limit })
+            .ok_or(PlanError::MemoryInfeasible {
+                limit_bytes: limit,
+                schedule: self.schedule,
+            })
     }
 
     /// Validate the planning inputs once, shared by every entry point:
@@ -658,6 +688,10 @@ impl<'a> Planner<'a> {
         }
         // Two-stage replicated configs k-(W−k): at each split point the
         // compute-proportional replica count, plus the extreme (W−1)-1.
+        // A single worker admits no two-stage split at all.
+        if workers < 2 {
+            return out;
+        }
         for s in 0..n - 1 {
             let head = self.costs.total_compute(0, s);
             let tail = self.costs.total_compute(s + 1, n - 1);
@@ -1157,6 +1191,60 @@ mod memory_tests {
             .with_memory_limit(1 << 20) // 1 MB: nothing fits
             .try_plan_flat()
             .unwrap_err();
-        assert!(matches!(err, PlanError::InfeasibleMemory { .. }));
+        assert!(matches!(err, PlanError::MemoryInfeasible { .. }));
+        assert!(err.to_string().contains("memory limit"), "{err}");
+    }
+
+    #[test]
+    fn two_bw_recompute_unlocks_a_vanilla_infeasible_model() {
+        // The huge-model regime: 8 × 800 MB of weights. Under vanilla
+        // stashing every candidate on 4 workers holds ≥ 8 layer-versions
+        // at its worst stage (in-flight × layers/stage is invariant for a
+        // uniform model) ≈ 6.4 GB, but 2BW caps the depth-4 straight
+        // pipeline's input stage at 2 versions × 2 layers ≈ 3.2 GB.
+        let profile = zoo::uniform(8, 1e11, 1_000, 200_000_000);
+        let topo = flat(4);
+        let limit = 4u64 << 30;
+        let err = Planner::new(&profile, &topo)
+            .with_memory_limit(limit)
+            .try_plan_flat()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PlanError::MemoryInfeasible {
+                    limit_bytes,
+                    schedule: ScheduleKind::Vanilla1F1B,
+                } if limit_bytes == limit
+            ),
+            "{err:?}"
+        );
+        let plan = Planner::new(&profile, &topo)
+            .with_memory_limit(limit)
+            .with_schedule(ScheduleKind::TwoBWRecompute)
+            .try_plan_flat()
+            .expect("2bw-recompute must plan under the same budget");
+        let planner = Planner::new(&profile, &topo).with_schedule(ScheduleKind::TwoBWRecompute);
+        assert!(planner.config_fits_memory(&plan.config, limit));
+    }
+
+    #[test]
+    fn schedule_kind_only_relaxes_the_feasible_set() {
+        // Anything feasible under vanilla stays feasible (and identical)
+        // under the memory-efficient kinds: their footprints are ≤.
+        let profile = zoo::vgg16();
+        let topo = flat(4);
+        let vanilla = Planner::new(&profile, &topo)
+            .with_memory_limit(64 << 30)
+            .try_plan_flat()
+            .unwrap();
+        for kind in ScheduleKind::all() {
+            let plan = Planner::new(&profile, &topo)
+                .with_memory_limit(64 << 30)
+                .with_schedule(kind)
+                .try_plan_flat()
+                .unwrap();
+            assert_eq!(plan.config, vanilla.config, "{kind}");
+        }
     }
 }

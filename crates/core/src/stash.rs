@@ -16,8 +16,93 @@
 //! runtime's trace checker) can assert exactly which version each stage is
 //! expected to use.
 
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// Which memory/staleness schedule variant a stashed pipeline runs.
+///
+/// Vanilla 1F1B (§3.3) stashes one weight version per in-flight minibatch
+/// and keeps every layer's activations until the backward pass. The two
+/// memory-efficient variants ("Memory-Efficient Pipeline-Parallel DNN
+/// Training", Narayanan et al.) relax each axis independently, so they
+/// compose:
+///
+/// * [`ScheduleKind::TwoBW`] — double-buffered weight updates: gradients
+///   are accumulated over fixed groups of minibatches and applied once per
+///   group, and every minibatch of group `g` runs both passes against
+///   generation `g − 1` — so at most **2** weight versions are ever held,
+///   independent of pipeline depth, at a uniform staleness of 1 group
+///   update ([`staleness::two_bw_delay`]).
+/// * [`ScheduleKind::Recompute`] — activation recomputation: each stage
+///   drops its per-layer activation stash right after the forward pass,
+///   keeping only the stage *input*, and re-runs the forward (under the
+///   stashed weight version, so gradients are bit-identical) immediately
+///   before the backward — the activation stash shrinks from O(depth)
+///   minibatches to O(1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ScheduleKind {
+    /// The paper's default: weight stashing, full activation stashes.
+    #[default]
+    Vanilla1F1B,
+    /// Double-buffered weight updates (≤ 2 versions held).
+    TwoBW,
+    /// Drop activations after forward, recompute before backward.
+    Recompute,
+    /// Both memory optimizations at once.
+    TwoBWRecompute,
+}
+
+impl ScheduleKind {
+    /// All four variants, in severity order (for sweeps and benches).
+    pub fn all() -> [ScheduleKind; 4] {
+        [
+            ScheduleKind::Vanilla1F1B,
+            ScheduleKind::TwoBW,
+            ScheduleKind::Recompute,
+            ScheduleKind::TwoBWRecompute,
+        ]
+    }
+
+    /// Does this kind use double-buffered (2BW) weight updates?
+    pub fn uses_two_bw(self) -> bool {
+        matches!(self, ScheduleKind::TwoBW | ScheduleKind::TwoBWRecompute)
+    }
+
+    /// Does this kind recompute activations before the backward pass?
+    pub fn uses_recompute(self) -> bool {
+        matches!(self, ScheduleKind::Recompute | ScheduleKind::TwoBWRecompute)
+    }
+
+    /// Canonical CLI/wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ScheduleKind::Vanilla1F1B => "vanilla",
+            ScheduleKind::TwoBW => "2bw",
+            ScheduleKind::Recompute => "recompute",
+            ScheduleKind::TwoBWRecompute => "2bw-recompute",
+        }
+    }
+
+    /// Parse a CLI/wire spelling (several aliases per variant).
+    pub fn parse(s: &str) -> Option<ScheduleKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "vanilla" | "1f1b" | "vanilla-1f1b" => Some(ScheduleKind::Vanilla1F1B),
+            "2bw" | "twobw" | "two-bw" => Some(ScheduleKind::TwoBW),
+            "recompute" | "recomputation" => Some(ScheduleKind::Recompute),
+            "2bw-recompute" | "twobw-recompute" | "recompute-2bw" => {
+                Some(ScheduleKind::TwoBWRecompute)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ScheduleKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// Weight stash with PipeDream's default semantics.
 ///
@@ -225,6 +310,161 @@ impl<W: Clone> VersionedStore<W> {
     }
 }
 
+/// Weight store for PipeDream-2BW double-buffered updates.
+///
+/// Minibatches are grouped into fixed windows of `group` consecutive ids;
+/// the worker accumulates gradients across a group and applies **one**
+/// update per group, producing a new weight *generation*. Both passes of
+/// every minibatch in group `g` run against generation `(g − 1).max(0)` —
+/// the double buffer — so the update rule is exactly the 2BW paper's
+///
+/// ```text
+/// W(g+1) = W(g) − ν · ∇f(W(g−1))
+/// ```
+///
+/// Feasibility requires `group ≥` the pipeline's in-flight depth: group
+/// `g`'s first forward can only need generation `g − 1` (produced by group
+/// `g − 2`'s update) once group `g − 2` has fully drained, which 1F1B
+/// guarantees when the group spans at least one full in-flight window.
+/// Under that invariant at most **two** generations are ever live: the one
+/// pinned by in-flight minibatches and the latest.
+///
+/// ```
+/// use pipedream_core::stash::TwoBwStash;
+///
+/// let mut s = TwoBwStash::new(2, vec![0.0f32]); // groups of 2 minibatches
+/// assert_eq!(s.begin_forward(0)[0], 0.0);       // group 0 → generation 0
+/// assert_eq!(s.begin_forward(1)[0], 0.0);
+/// s.complete_backward(0);
+/// s.complete_backward(1);
+/// s.apply_update(|w| w[0] = 1.0);               // group 0's update → gen 1
+/// assert_eq!(s.begin_forward(2)[0], 0.0);       // group 1 → generation 0
+/// s.complete_backward(2);
+/// assert!(s.versions_held() <= 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoBwStash<W> {
+    group: u64,
+    generations: BTreeMap<u64, Arc<W>>,
+    latest_gen: u64,
+    in_flight: BTreeMap<u64, u64>,
+}
+
+impl<W: Clone> TwoBwStash<W> {
+    /// Start at generation 0 with the given initial weights and a group
+    /// (gradient-accumulation window) of `group` minibatches.
+    pub fn new(group: usize, initial: W) -> Self {
+        assert!(group >= 1, "2BW group must hold at least one minibatch");
+        let mut generations = BTreeMap::new();
+        generations.insert(0, Arc::new(initial));
+        TwoBwStash {
+            group: group as u64,
+            generations,
+            latest_gen: 0,
+            in_flight: BTreeMap::new(),
+        }
+    }
+
+    /// The gradient-accumulation group size, in minibatches.
+    pub fn group(&self) -> u64 {
+        self.group
+    }
+
+    /// The generation minibatch `mb` must run against: one behind its own
+    /// group (group 0 and 1 both use the initial generation 0).
+    pub fn generation_for_mb(&self, mb: u64) -> u64 {
+        (mb / self.group).saturating_sub(1)
+    }
+
+    /// Pin the double-buffered generation for `mb`'s forward pass and
+    /// return it. Panics if `mb` is already in flight or its generation
+    /// was never produced (a scheduling-invariant violation: the group is
+    /// smaller than the pipeline's in-flight depth).
+    pub fn begin_forward(&mut self, mb: u64) -> Arc<W> {
+        let g = self.generation_for_mb(mb);
+        let w = self.generations.get(&g).unwrap_or_else(|| {
+            panic!(
+                "2BW generation {g} unavailable for minibatch {mb} \
+                 (group {}, latest generation {})",
+                self.group, self.latest_gen
+            )
+        });
+        let w = Arc::clone(w);
+        let prev = self.in_flight.insert(mb, g);
+        assert!(prev.is_none(), "minibatch {mb} already in flight");
+        w
+    }
+
+    /// The pinned generation's weights for `mb`'s backward pass — the same
+    /// version its forward used.
+    pub fn for_backward(&self, mb: u64) -> Arc<W> {
+        let g = self
+            .in_flight
+            .get(&mb)
+            .unwrap_or_else(|| panic!("no pinned generation for minibatch {mb}"));
+        Arc::clone(&self.generations[g])
+    }
+
+    /// The generation id pinned for `mb`.
+    pub fn generation_of(&self, mb: u64) -> u64 {
+        *self
+            .in_flight
+            .get(&mb)
+            .unwrap_or_else(|| panic!("no pinned generation for minibatch {mb}"))
+    }
+
+    /// Complete `mb`'s backward pass: unpin it and collect generations no
+    /// in-flight minibatch needs any more.
+    pub fn complete_backward(&mut self, mb: u64) {
+        self.in_flight
+            .remove(&mb)
+            .unwrap_or_else(|| panic!("no pinned generation for minibatch {mb}"));
+        self.gc();
+    }
+
+    /// Apply one group's accumulated update on the *latest* generation,
+    /// producing a new one; returns the new generation id.
+    pub fn apply_update(&mut self, update: impl FnOnce(&mut W)) -> u64 {
+        let mut w = (*self.generations[&self.latest_gen]).clone();
+        update(&mut w);
+        self.latest_gen += 1;
+        self.generations.insert(self.latest_gen, Arc::new(w));
+        self.gc();
+        self.latest_gen
+    }
+
+    fn gc(&mut self) {
+        // A generation stays live while it is the latest, still pinned, or
+        // still the double buffer of a future minibatch (>= latest − 1 …
+        // covered by the pin rule since groups admit in order).
+        let pinned: std::collections::BTreeSet<u64> = self.in_flight.values().copied().collect();
+        let latest = self.latest_gen;
+        self.generations
+            .retain(|g, _| *g == latest || pinned.contains(g) || *g + 1 == latest);
+    }
+
+    /// The latest weights (what the next group's update builds on).
+    pub fn latest(&self) -> Arc<W> {
+        Arc::clone(&self.generations[&self.latest_gen])
+    }
+
+    /// The latest generation id (= number of group updates applied).
+    pub fn latest_generation(&self) -> u64 {
+        self.latest_gen
+    }
+
+    /// Number of minibatches currently pinned.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Number of *distinct* weight generations held — the 2BW claim is
+    /// that this never exceeds 2.
+    pub fn versions_held(&self) -> usize {
+        self.generations.len()
+    }
+}
+
 /// The paper's staleness formulas (§3.3), for an `n`-stage straight
 /// pipeline with stages indexed from 0.
 pub mod staleness {
@@ -245,6 +485,15 @@ pub mod staleness {
     /// Data parallelism with BSP: no staleness.
     pub fn bsp_delay(_stage: usize, _n: usize) -> usize {
         0
+    }
+
+    /// PipeDream-2BW double-buffered updates: every stage computes group
+    /// `g`'s gradient against generation `g − 1` while generation `g` is
+    /// the latest — a **uniform** delay of exactly 1 group update at every
+    /// stage (the warm-up groups 0 and 1 run at delay 0, before any or
+    /// only one update exists), independent of pipeline depth.
+    pub fn two_bw_delay(_stage: usize, _n: usize) -> usize {
+        1
     }
 }
 
@@ -373,5 +622,86 @@ mod tests {
             assert_eq!(vertical_sync_delay(s, 4), 3);
         }
         assert_eq!(bsp_delay(2, 4), 0);
+        // 2BW: uniform delay 1 regardless of stage or depth.
+        for s in 0..4 {
+            assert_eq!(two_bw_delay(s, 4), 1);
+        }
+        assert_eq!(two_bw_delay(0, 64), 1);
+    }
+
+    #[test]
+    fn schedule_kind_axes_and_spellings() {
+        use ScheduleKind::*;
+        assert!(!Vanilla1F1B.uses_two_bw() && !Vanilla1F1B.uses_recompute());
+        assert!(TwoBW.uses_two_bw() && !TwoBW.uses_recompute());
+        assert!(!Recompute.uses_two_bw() && Recompute.uses_recompute());
+        assert!(TwoBWRecompute.uses_two_bw() && TwoBWRecompute.uses_recompute());
+        // Every canonical spelling parses back to itself.
+        for k in ScheduleKind::all() {
+            assert_eq!(ScheduleKind::parse(k.as_str()), Some(k), "{k}");
+            assert_eq!(ScheduleKind::parse(&k.to_string().to_uppercase()), Some(k));
+        }
+        assert_eq!(ScheduleKind::parse("1f1b"), Some(Vanilla1F1B));
+        assert_eq!(ScheduleKind::parse("twobw"), Some(TwoBW));
+        assert_eq!(ScheduleKind::parse("quantum"), None);
+        assert_eq!(ScheduleKind::default(), Vanilla1F1B);
+    }
+
+    #[test]
+    fn two_bw_holds_at_most_two_generations() {
+        // Group of 4 minibatches on a depth-4 pipeline stage: simulate the
+        // 1F1B interleaving at the input stage (fwd k after bwd k−4) for
+        // many groups and check the two-version bound throughout.
+        let mut s = TwoBwStash::new(4, vec![0u64]);
+        let total = 32u64;
+        let mut next_fwd = 0u64;
+        let mut next_bwd = 0u64;
+        let mut max_held = 0usize;
+        while next_bwd < total {
+            if next_fwd < total && next_fwd < next_bwd + 4 {
+                s.begin_forward(next_fwd);
+                next_fwd += 1;
+            } else {
+                s.complete_backward(next_bwd);
+                next_bwd += 1;
+                if next_bwd.is_multiple_of(4) {
+                    let g = next_bwd / 4 - 1;
+                    s.apply_update(|w| w.push(g));
+                }
+            }
+            max_held = max_held.max(s.versions_held());
+        }
+        assert_eq!(
+            max_held, 2,
+            "2BW must hold exactly 2 generations in steady state"
+        );
+        assert_eq!(s.latest_generation(), total / 4);
+    }
+
+    #[test]
+    fn two_bw_runs_group_g_against_generation_g_minus_one() {
+        // W(g+1) = W(g) − ν∇f(W(g−1)): the generation pinned for group g's
+        // passes must be g−1 (0 for the warm-up groups 0 and 1).
+        let mut s = TwoBwStash::new(2, 0i64);
+        for group in 0..5u64 {
+            for mb in (group * 2)..(group * 2 + 2) {
+                s.begin_forward(mb);
+                assert_eq!(s.generation_of(mb), group.saturating_sub(1));
+                let pinned = s.for_backward(mb);
+                assert_eq!(*pinned, group.saturating_sub(1) as i64 * 10);
+                s.complete_backward(mb);
+            }
+            let g = s.apply_update(|w| *w += 10);
+            assert_eq!(g, group + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "generation 3 unavailable")]
+    fn two_bw_rejects_a_group_ahead_of_its_buffer() {
+        // Minibatch 8 of group 4 needs generation 3, which only exists
+        // after 3 group updates — pinning it fresh is an invariant breach.
+        let mut s = TwoBwStash::new(2, 0u8);
+        s.begin_forward(8);
     }
 }

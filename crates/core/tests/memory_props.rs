@@ -1,0 +1,173 @@
+//! Property-based tests for the memory-constrained planner (§3.1 DP with
+//! a per-worker memory budget) and the per-schedule memory model.
+
+use pipedream_core::estimates::memory_footprint_for;
+use pipedream_core::stash::ScheduleKind;
+use pipedream_core::{config_fingerprint, PlanError, Planner};
+use pipedream_hw::{Device, LinkModel, Precision, Topology};
+use pipedream_model::zoo;
+use proptest::prelude::*;
+
+fn topo(workers: usize) -> Topology {
+    Topology::flat(
+        Device::v100(),
+        workers,
+        LinkModel::from_gbytes(10.0, 1e-6),
+        "prop",
+    )
+}
+
+fn arb_schedule() -> impl Strategy<Value = ScheduleKind> {
+    (0usize..4).prop_map(|i| ScheduleKind::all()[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Soundness: whatever plan the constrained DP emits, every stage of
+    /// it fits the budget under the planner's own memory model.
+    #[test]
+    fn plans_never_exceed_the_memory_limit(
+        layers in 2usize..=10,
+        workers in 1usize..=4,
+        weight_params in 1_000u64..5_000_000,
+        act_elems in 100u64..200_000,
+        limit_mb in 1u64..4_000,
+        kind in arb_schedule(),
+    ) {
+        let profile = zoo::uniform(layers, 1e9, act_elems, weight_params);
+        let t = topo(workers);
+        let limit = limit_mb * (1 << 20);
+        let planner = Planner::with_options(&profile, &t, 16, Precision::Fp32)
+            .with_schedule(kind)
+            .with_memory_limit(limit);
+        match planner.try_plan() {
+            Ok(plan) => {
+                for s in memory_footprint_for(planner.costs(), &plan.config, kind) {
+                    prop_assert!(
+                        s.total() <= limit,
+                        "stage {} uses {} bytes over the {} limit ({kind})",
+                        s.stage, s.total(), limit
+                    );
+                }
+            }
+            // A tight budget is allowed to be infeasible — but only with
+            // the typed error, never a panic or a bogus plan.
+            Err(PlanError::MemoryInfeasible { limit_bytes, schedule }) => {
+                prop_assert_eq!(limit_bytes, limit);
+                prop_assert_eq!(schedule, kind);
+            }
+            Err(e) => prop_assert!(false, "unexpected planner error: {e}"),
+        }
+    }
+
+    /// Tightening the budget to nothing must surface as the typed
+    /// `MemoryInfeasible` — weights alone always exceed a 1-byte budget.
+    #[test]
+    fn zero_budget_is_typed_infeasibility_not_a_panic(
+        layers in 1usize..=8,
+        workers in 1usize..=4,
+        kind in arb_schedule(),
+    ) {
+        let profile = zoo::uniform(layers, 1e9, 1_000, 100_000);
+        let t = topo(workers);
+        let planner = Planner::new(&profile, &t)
+            .with_schedule(kind)
+            .with_memory_limit(1);
+        let err = planner.try_plan().expect_err("1 byte can hold no stage");
+        prop_assert!(
+            matches!(err, PlanError::MemoryInfeasible { limit_bytes: 1, .. }),
+            "wrong error under an impossible budget: {err}"
+        );
+        // And the error's Display names the budget problem.
+        prop_assert!(err.to_string().contains("memory limit"));
+    }
+
+    /// A limit loose enough to admit every candidate filters nothing, so
+    /// the constrained plan must be byte-identical to the unconstrained
+    /// one (same DP, same tie-breaks — checked by fingerprint).
+    #[test]
+    fn relaxed_limit_reproduces_the_unconstrained_plan(
+        layers in 2usize..=10,
+        workers in 1usize..=4,
+        weight_params in 1_000u64..5_000_000,
+        kind in arb_schedule(),
+    ) {
+        let profile = zoo::uniform(layers, 1e9, 10_000, weight_params);
+        let t = topo(workers);
+        let free = Planner::new(&profile, &t)
+            .with_schedule(kind)
+            .try_plan()
+            .expect("unconstrained plan");
+        let capped = Planner::new(&profile, &t)
+            .with_schedule(kind)
+            .with_memory_limit(u64::MAX / 2)
+            .try_plan()
+            .expect("a limit above any footprint filters nothing");
+        prop_assert_eq!(
+            config_fingerprint(&capped.config),
+            config_fingerprint(&free.config),
+            "relaxed limit changed the plan: {} vs {}",
+            capped.config.label(), free.config.label()
+        );
+        prop_assert_eq!(capped.bottleneck_s, free.bottleneck_s);
+    }
+
+    /// The memory model's schedule laws, on every enumerable config:
+    /// 2BW caps the weight term (never above vanilla), recomputation
+    /// leaves the weight term alone, and the combined schedule is never
+    /// above plain recompute on either term.
+    #[test]
+    fn schedule_memory_model_laws(
+        layers in 2usize..=8,
+        workers in 2usize..=4,
+        weight_params in 1_000u64..1_000_000,
+        act_elems in 100u64..100_000,
+    ) {
+        let profile = zoo::uniform(layers, 1e9, act_elems, weight_params);
+        let t = topo(workers);
+        let planner = Planner::with_options(&profile, &t, 16, Precision::Fp32);
+        for config in planner.enumerate_configs() {
+            let van = memory_footprint_for(planner.costs(), &config, ScheduleKind::Vanilla1F1B);
+            let two = memory_footprint_for(planner.costs(), &config, ScheduleKind::TwoBW);
+            let rec = memory_footprint_for(planner.costs(), &config, ScheduleKind::Recompute);
+            let both =
+                memory_footprint_for(planner.costs(), &config, ScheduleKind::TwoBWRecompute);
+            for s in 0..van.len() {
+                prop_assert!(two[s].weight_bytes <= van[s].weight_bytes);
+                prop_assert_eq!(two[s].activation_bytes, van[s].activation_bytes);
+                prop_assert_eq!(rec[s].weight_bytes, van[s].weight_bytes);
+                prop_assert!(both[s].weight_bytes <= rec[s].weight_bytes);
+                prop_assert_eq!(both[s].activation_bytes, rec[s].activation_bytes);
+                prop_assert!(both[s].total() <= rec[s].total());
+            }
+        }
+    }
+
+    /// `config_fits_memory` agrees with the footprint it is defined over.
+    #[test]
+    fn fits_predicate_matches_footprint(
+        layers in 2usize..=8,
+        workers in 2usize..=4,
+        limit_mb in 1u64..2_000,
+        kind in arb_schedule(),
+    ) {
+        let profile = zoo::uniform(layers, 1e9, 10_000, 500_000);
+        let t = topo(workers);
+        let limit = limit_mb * (1 << 20);
+        let planner = Planner::new(&profile, &t).with_schedule(kind);
+        for config in planner.enumerate_configs() {
+            let peak = memory_footprint_for(planner.costs(), &config, kind)
+                .iter()
+                .map(|s| s.total())
+                .max()
+                .unwrap_or(0);
+            prop_assert_eq!(
+                planner.config_fits_memory(&config, limit),
+                peak <= limit,
+                "predicate disagrees with footprint on {} (peak {peak}, limit {limit})",
+                config.label()
+            );
+        }
+    }
+}

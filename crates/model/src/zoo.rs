@@ -348,6 +348,25 @@ pub fn uniform(n: usize, flops: f64, act_elems: u64, weight_params: u64) -> Mode
     }
 }
 
+/// A deliberately weight-heavy language model for memory-schedule
+/// studies: eight transformer-ish blocks of 200 M parameters each
+/// (≈ 6.4 GB of fp32 weights total, ≈ 800 MB per layer) with tiny
+/// activations, so weight *versions* dominate the per-worker footprint.
+/// Under vanilla 1F1B stashing on a 4-worker pipeline every candidate
+/// partition holds ≥ 8 layer-versions at its worst stage; PipeDream-2BW
+/// caps that at 2 versions, which is what makes this model plannable
+/// under budgets where vanilla is `MemoryInfeasible`.
+pub fn huge_lm() -> ModelProfile {
+    ModelProfile {
+        name: "huge-lm".into(),
+        layers: (0..8)
+            .map(|i| LayerProfile::new(format!("block{i}"), 1e11, 1_000, 200_000_000))
+            .collect(),
+        default_batch: 32,
+        input_elems: 1_000,
+    }
+}
+
 /// All seven paper models, in the order they appear in Table 1.
 pub fn all_models() -> Vec<ModelProfile> {
     vec![

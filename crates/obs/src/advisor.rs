@@ -13,11 +13,12 @@
 //! straggling stage gets more expensive, so the DP moves layers off it
 //! or throws replicas at it).
 
+use pipedream_core::estimates::memory_footprint_for;
 use pipedream_core::{config_fingerprint, PipelineConfig, PlanError, StagePrediction};
-use pipedream_core::{Planner, Schedule};
+use pipedream_core::{Planner, Schedule, ScheduleKind};
 use pipedream_hw::Topology;
 use pipedream_model::LayerCosts;
-use pipedream_sim::simulate_pipeline;
+use pipedream_sim::PipelineSim;
 use serde::{Deserialize, Serialize};
 
 /// Outcome of one replan evaluation. Serializable so the recommended
@@ -54,6 +55,10 @@ pub struct ReplanAdvice {
     /// The measured-scaled layer costs the recommendation was planned
     /// from, for reproducibility.
     pub measured_costs: LayerCosts,
+    /// True when the replan was forced by memory pressure: the current
+    /// configuration's estimated footprint exceeds the advisor's budget,
+    /// so the recommendation stands even without a throughput win.
+    pub memory_driven: bool,
 }
 
 /// Scale the baseline per-layer costs so each stage's total compute
@@ -114,33 +119,84 @@ pub fn try_advise_replan(
     measured_stage_s: &[f64],
     sim_minibatches: u64,
 ) -> Result<ReplanAdvice, PlanError> {
+    try_advise_replan_constrained(
+        baseline,
+        topo,
+        current,
+        measured_stage_s,
+        sim_minibatches,
+        None,
+        ScheduleKind::Vanilla1F1B,
+    )
+}
+
+/// Memory- and schedule-aware replan: the repartition DP only considers
+/// candidates whose estimated per-worker footprint fits `memory_limit`
+/// under `schedule` (per `estimates::memory_footprint_for`), and the
+/// throughput simulation charges the schedule's recompute cost. Two ways
+/// a recommendation can differ from plain [`try_advise_replan`]:
+///
+/// * a faster candidate is rejected because it does not fit, and
+/// * when the *current* configuration itself exceeds the budget, the best
+///   fitting plan is recommended even if it is slower (`memory_driven`),
+///   because the alternative is an OOM, not a slowdown.
+///
+/// When no partition fits at all, the planner's typed
+/// [`PlanError::MemoryInfeasible`] surfaces — the caller's cue to retry
+/// under a more memory-efficient [`ScheduleKind`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_advise_replan_constrained(
+    baseline: &LayerCosts,
+    topo: &Topology,
+    current: &PipelineConfig,
+    measured_stage_s: &[f64],
+    sim_minibatches: u64,
+    memory_limit: Option<u64>,
+    schedule: ScheduleKind,
+) -> Result<ReplanAdvice, PlanError> {
     let base_planner = Planner::from_costs(baseline.clone(), topo);
     let predictions = base_planner.try_predicted_stage_times(current)?;
     let measured = measured_layer_costs(baseline, current, &predictions, measured_stage_s);
 
-    let planner = Planner::from_costs(measured.clone(), topo);
+    let mut planner = Planner::from_costs(measured.clone(), topo).with_schedule(schedule);
+    if let Some(bytes) = memory_limit {
+        planner = planner.with_memory_limit(bytes);
+    }
     let current_plan = planner.try_evaluate(current)?;
     let best = planner.try_plan_flat()?;
-    // Only advise a change when the DP objective actually improves;
-    // plan_flat can tie with the current config under different labels.
-    let (recommended, changed) =
-        if best.config != *current && best.bottleneck_s < current_plan.bottleneck_s {
-            (best, true)
-        } else {
-            (current_plan.clone(), false)
-        };
+    let current_oversubscribed = memory_limit.is_some_and(|limit| {
+        memory_footprint_for(&measured, current, schedule)
+            .iter()
+            .any(|s| s.total() > limit)
+    });
+    // Only advise a change when the DP objective actually improves
+    // (plan_flat can tie with the current config under different labels) —
+    // unless the incumbent no longer fits in memory, where any fitting
+    // plan beats an OOM.
+    let memory_driven = current_oversubscribed && best.config != *current;
+    let (recommended, changed) = if best.config != *current
+        && (memory_driven || best.bottleneck_s < current_plan.bottleneck_s)
+    {
+        (best, true)
+    } else {
+        (current_plan.clone(), false)
+    };
 
-    let sim_cur = simulate_pipeline(
+    let sim_cur = PipelineSim::new(
         &measured,
         topo,
         &Schedule::one_f_one_b(current, sim_minibatches),
-    );
+    )
+    .with_schedule(schedule)
+    .run();
     let sim_rec = if changed {
-        simulate_pipeline(
+        PipelineSim::new(
             &measured,
             topo,
             &Schedule::one_f_one_b(&recommended.config, sim_minibatches),
         )
+        .with_schedule(schedule)
+        .run()
     } else {
         sim_cur.clone()
     };
@@ -162,6 +218,7 @@ pub fn try_advise_replan(
         },
         recommended_config: recommended.config,
         measured_costs: measured,
+        memory_driven,
     })
 }
 
@@ -278,6 +335,94 @@ mod tests {
         assert!(!advice.changed, "flapped on a healthy plan: {advice:?}");
         assert_eq!(advice.sim_speedup, 1.0);
         assert_eq!(advice.current_label, advice.recommended_label);
+    }
+
+    #[test]
+    fn memory_pressure_forces_a_replan_and_infeasibility_is_typed() {
+        // Weight-heavy regime so stashed versions dominate: 1 MB of
+        // weights and 1 KB of activations per layer. On 2 workers the
+        // balanced straight split `4-4`... here `2+2` layers peaks at
+        // stage 0 with 2 versions × 2 MB ≈ 4.2 MB; the unbalanced `1+3`
+        // split peaks at stage 1 with 1 version × 3 MB ≈ 3.1 MB.
+        let mut baseline = uniform_costs();
+        for l in &mut baseline.layers {
+            l.weight_bytes = 1 << 20;
+            l.activation_bytes = 1 << 10;
+        }
+        let topo = topo2();
+        let config = PipelineConfig::straight(4, &[1]); // 2 stages, depth 2
+        let preds = Planner::from_costs(baseline.clone(), &topo)
+            .try_predicted_stage_times(&config)
+            .unwrap();
+        let measured: Vec<f64> = preds.iter().map(|p| p.compute_s).collect();
+
+        // Unconstrained (and generously constrained): the healthy plan
+        // is kept.
+        let free = try_advise_replan(&baseline, &topo, &config, &measured, 24).unwrap();
+        assert!(!free.memory_driven && !free.changed);
+        let roomy = try_advise_replan_constrained(
+            &baseline,
+            &topo,
+            &config,
+            &measured,
+            24,
+            Some(1 << 30),
+            ScheduleKind::Vanilla1F1B,
+        )
+        .unwrap();
+        assert_eq!(roomy.recommended_label, free.recommended_label);
+        assert!(!roomy.memory_driven && !roomy.changed);
+
+        // 1 MB fits nothing — the typed error surfaces, no panic.
+        let err = try_advise_replan_constrained(
+            &baseline,
+            &topo,
+            &config,
+            &measured,
+            24,
+            Some(1 << 20),
+            ScheduleKind::Vanilla1F1B,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlanError::MemoryInfeasible { .. }), "{err:?}");
+
+        // 3.3 MB: the incumbent balanced split no longer fits but the
+        // unbalanced one does — the advisor must move off the incumbent
+        // even though the DP objective gets *worse* (3 layers on one
+        // worker), because staying put means an OOM.
+        let squeezed = try_advise_replan_constrained(
+            &baseline,
+            &topo,
+            &config,
+            &measured,
+            24,
+            Some(3_300_000),
+            ScheduleKind::Vanilla1F1B,
+        )
+        .unwrap();
+        assert!(squeezed.memory_driven && squeezed.changed, "{squeezed:?}");
+        assert_ne!(
+            squeezed.recommended_plan_fingerprint,
+            config_fingerprint(&config)
+        );
+
+        // A 1 MB budget stays infeasible even under 2BW + recompute —
+        // one layer's weights alone exceed it — and the error carries
+        // the schedule it was evaluated under.
+        let err2 = try_advise_replan_constrained(
+            &baseline,
+            &topo,
+            &config,
+            &measured,
+            24,
+            Some(1 << 20),
+            ScheduleKind::TwoBWRecompute,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err2, PlanError::MemoryInfeasible { .. }),
+            "{err2:?}"
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub mod metrics;
 pub mod recorder;
 pub mod ring;
 
-pub use advisor::{advise_replan, measured_layer_costs, try_advise_replan, ReplanAdvice};
+pub use advisor::{
+    advise_replan, measured_layer_costs, try_advise_replan, try_advise_replan_constrained,
+    ReplanAdvice,
+};
 pub use analysis::{
     measured_per_minibatch_s, record_pool_metrics, record_snapshot_metrics, stage_times,
     to_timeline, validate, StageTimes, StageValidation, TraceValidation,

@@ -60,8 +60,15 @@ pub struct StageObsRecord {
     /// Peak number of distinct weight snapshots held at once.
     pub versions_held_max: usize,
     /// Peak observed weight-version staleness: updates applied between a
-    /// minibatch's forward version and its backward.
+    /// minibatch's forward version and its backward (group updates under
+    /// 2BW).
     pub staleness_max: u64,
+    /// Peak bytes of live activation state (layer stashes + retained
+    /// recompute inputs + pending loss gradients).
+    pub activation_bytes_max: u64,
+    /// Total microseconds spent in recompute forward passes (recompute
+    /// schedule kinds only; 0 otherwise).
+    pub recompute_us: u64,
 }
 
 /// What happened when a fault was injected and the run recovered (§4).

@@ -10,7 +10,7 @@ use crate::sync::GradSyncGroup;
 use crate::worker::StageWorker;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use pipedream_core::schedule::Schedule;
-use pipedream_core::PipelineConfig;
+use pipedream_core::{PipelineConfig, ScheduleKind};
 use pipedream_tensor::data::Dataset;
 pub use pipedream_tensor::gemm::Backend;
 use pipedream_tensor::{Adam, Layer, Optimizer, Sequential, Sgd};
@@ -123,6 +123,11 @@ pub struct TrainOpts {
     pub optim: OptimKind,
     /// Pipeline semantics.
     pub semantics: Semantics,
+    /// Memory schedule variant: 2BW double-buffered weight updates and/or
+    /// activation recomputation. Composes with [`Semantics::Stashed`]
+    /// only; the default [`ScheduleKind::Vanilla1F1B`] is a no-op for
+    /// every semantics.
+    pub schedule: ScheduleKind,
     /// Per-epoch learning-rate schedule (§5.1).
     pub lr_schedule: LrSchedule,
     /// Per-stage checkpoint directory (§4), if any.
@@ -176,6 +181,7 @@ impl Default for TrainOpts {
                 momentum: 0.0,
             },
             semantics: Semantics::Stashed,
+            schedule: ScheduleKind::Vanilla1F1B,
             lr_schedule: LrSchedule::Constant,
             checkpoint_dir: None,
             checkpoint_every: None,
@@ -329,6 +335,25 @@ pub fn try_train_pipeline(
     };
     schedule.validate().expect("generated schedule is legal");
 
+    // Memory schedule variants compose with weight stashing only: 2BW
+    // replaces the per-minibatch stash and recompute rebuilds the stash the
+    // stashed-version backward consumes.
+    assert!(
+        opts.schedule == ScheduleKind::Vanilla1F1B || opts.semantics == Semantics::Stashed,
+        "schedule kind {} requires Semantics::Stashed",
+        opts.schedule
+    );
+    // 2BW gradient-accumulation group: at least the pipeline's in-flight
+    // depth (so group g's double buffer — generation g−1, produced by
+    // group g−2's update — always exists when pinned), rounded up to a
+    // multiple of every stage's replica count (so each replica contributes
+    // to every full group's gradient-sync round).
+    let replica_lcm = stages
+        .iter()
+        .fold(1u64, |l, s| crate::control::lcm(l, s.replicas as u64));
+    let depth = opts.depth.unwrap_or_else(|| config.noam()).max(1) as u64;
+    let two_bw_group = depth.div_ceil(replica_lcm) * replica_lcm;
+
     // Publish the run's shape up front so live watchers (`train --watch`,
     // `pipedream top`) can compute progress and ETA without waiting for
     // the end-of-run metrics fold.
@@ -441,6 +466,10 @@ pub fn try_train_pipeline(
             model: stage_models[stage].clone(),
             ops: schedule.workers[w].ops.clone(),
             semantics: opts.semantics,
+            schedule_kind: opts.schedule,
+            two_bw_group,
+            stage_replicas: stages[stage].replicas,
+            total_mbs,
             optim: opts.optim,
             fwd_in: if stage == 0 { None } else { fwd_rx[w].take() },
             grad_in: if stage + 1 == stages.len() {
@@ -614,6 +643,15 @@ pub fn try_train_pipeline(
             metrics
                 .gauge(&format!("stage{}_staleness_max", o.stage))
                 .set_max(o.staleness_max as f64);
+            metrics
+                .gauge(&format!("stage{}_versions_held", o.stage))
+                .set_max(o.versions_held_max as f64);
+            metrics
+                .gauge(&format!("stage{}_activation_bytes", o.stage))
+                .set_max(o.activation_bytes_max as f64);
+            metrics
+                .gauge(&format!("stage{}_recompute_ms", o.stage))
+                .set_max(o.recompute_us as f64 / 1000.0);
         }
         let pool_end = pipedream_tensor::pool::global_stats();
         pipedream_obs::record_pool_metrics(

@@ -25,7 +25,7 @@ use crate::sync::GradSyncGroup;
 use crate::trainer::{LrSchedule, OptimKind, Semantics};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use pipedream_core::schedule::Op;
-use pipedream_core::stash::WeightStash;
+use pipedream_core::stash::{ScheduleKind, TwoBwStash, WeightStash};
 use pipedream_obs::{Recorder, SpanKind};
 use pipedream_tensor::{softmax_cross_entropy, Layer, Sequential, Tensor};
 use std::collections::HashMap;
@@ -53,6 +53,16 @@ pub struct StageWorker {
     pub ops: Vec<Op>,
     /// Execution semantics (stashing / naive / vertical sync / GPipe).
     pub semantics: Semantics,
+    /// Memory schedule variant (2BW double-buffered updates, activation
+    /// recomputation). Only meaningful under [`Semantics::Stashed`].
+    pub schedule_kind: ScheduleKind,
+    /// 2BW gradient-accumulation group size, in minibatches (a multiple of
+    /// every stage's replica count, ≥ the pipeline's in-flight depth).
+    pub two_bw_group: u64,
+    /// Replica count of this worker's own stage (group-end detection).
+    pub stage_replicas: usize,
+    /// Total minibatches the run schedules (partial-final-group handling).
+    pub total_mbs: u64,
     /// Optimizer configuration.
     pub optim: OptimKind,
     /// Activations from upstream (None for the input stage).
@@ -105,6 +115,14 @@ struct WorkerState {
     optimizer: Box<dyn pipedream_tensor::Optimizer>,
     /// Stash of weight snapshots per in-flight minibatch (Stashed mode).
     stash: WeightStash<Vec<Tensor>>,
+    /// 2BW double-buffered generation store (replaces `stash` when the
+    /// schedule kind uses 2BW under Stashed semantics).
+    two_bw: Option<TwoBwStash<Vec<Tensor>>>,
+    /// Backward passes accumulated into the current 2BW group.
+    two_bw_grads: u32,
+    /// Recompute: retained stage inputs per in-flight minibatch — the only
+    /// activation state kept between a minibatch's forward and backward.
+    saved_inputs: HashMap<u64, Tensor>,
     /// Vertical sync: retained versions — version id → weights, plus the
     /// highest tag seen (tags are non-decreasing, so older versions can be
     /// dropped once a newer tag appears).
@@ -127,8 +145,16 @@ struct WorkerState {
     /// Peak distinct weight snapshots held at once.
     versions_held_max: usize,
     /// Peak updates applied between a minibatch's forward version and its
-    /// backward pass (§3.3 staleness).
+    /// backward pass (§3.3 staleness). Under 2BW the unit is group
+    /// updates (generations).
     staleness_max: u64,
+    /// Peak bytes of live activation state (layer stashes + retained
+    /// recompute inputs + pending loss gradients), sampled after every
+    /// forward and recompute pass.
+    activation_bytes_max: u64,
+    /// Total microseconds spent re-running forward passes before backward
+    /// (recompute kinds only).
+    recompute_us: u64,
 }
 
 /// Outcome of one channel-receive attempt (see [`StageWorker::recv_step`]).
@@ -181,6 +207,10 @@ impl StageWorker {
         let mut st = WorkerState {
             optimizer: self.optim.build(),
             stash: WeightStash::new(self.model.snapshot()),
+            two_bw: (self.schedule_kind.uses_two_bw() && self.semantics == Semantics::Stashed)
+                .then(|| TwoBwStash::new(self.two_bw_group as usize, self.model.snapshot())),
+            two_bw_grads: 0,
+            saved_inputs: HashMap::new(),
             versions: HashMap::from([(0, self.model.snapshot())]),
             mb_version_tags: HashMap::new(),
             pending_loss_grad: HashMap::new(),
@@ -192,6 +222,8 @@ impl StageWorker {
             stash_depth_max: 0,
             versions_held_max: 0,
             staleness_max: 0,
+            activation_bytes_max: 0,
+            recompute_us: 0,
         };
         let ops = std::mem::take(&mut self.ops);
         for (ops_done, op) in ops.into_iter().enumerate() {
@@ -298,6 +330,8 @@ impl StageWorker {
                 stash_depth_max: st.stash_depth_max,
                 versions_held_max: st.versions_held_max,
                 staleness_max: st.staleness_max,
+                activation_bytes_max: st.activation_bytes_max,
+                recompute_us: st.recompute_us,
             }));
         Ok(self.model)
     }
@@ -441,8 +475,36 @@ impl StageWorker {
             }
         };
 
-        // Select the weight version for this forward pass.
+        // Select the weight version for this forward pass. Under 2BW the
+        // pinned generation may trail the model's latest weights; the pass
+        // runs under the pinned version and the latest are put back after.
+        let mut restore_after: Option<Vec<Tensor>> = None;
         match self.semantics {
+            Semantics::Stashed if st.two_bw.is_some() => {
+                let (pinned, gen, in_flight, held, latest_gen) = {
+                    let s2 = st.two_bw.as_mut().expect("checked");
+                    let pinned = s2.begin_forward(mb);
+                    (
+                        pinned,
+                        s2.generation_of(mb),
+                        s2.in_flight(),
+                        s2.versions_held(),
+                        s2.latest_generation(),
+                    )
+                };
+                self.recorder.instant(SpanKind::StashPush { mb });
+                st.stash_depth_max = st.stash_depth_max.max(in_flight);
+                st.versions_held_max = st.versions_held_max.max(held);
+                if gen != latest_gen {
+                    restore_after = Some(self.model.snapshot());
+                    self.model.restore(&pinned);
+                }
+                let _ = self.metrics.send(MetricMsg::FwdVersion {
+                    stage: self.stage,
+                    mb,
+                    version: gen,
+                });
+            }
             Semantics::Stashed => {
                 // Latest weights; remember them for the backward pass.
                 st.stash.begin_forward(mb);
@@ -495,9 +557,24 @@ impl StageWorker {
         }
 
         let out = self.model.forward(&input, mb);
-        // The stage's layers saved their own copies; the inbound
-        // activation (or dataset minibatch) is dead — pool its buffer.
-        input.recycle();
+        if self.schedule_kind.uses_recompute() && self.semantics == Semantics::Stashed {
+            // Drop the per-layer activation stash now; only the stage
+            // input is retained, from which a second forward pass rebuilds
+            // the stash right before this minibatch's backward.
+            self.model.clear_slot(mb);
+            st.saved_inputs.insert(mb, input);
+        } else {
+            // The stage's layers saved their own copies; the inbound
+            // activation (or dataset minibatch) is dead — pool its buffer.
+            input.recycle();
+        }
+        if let Some(latest) = restore_after.take() {
+            self.model.restore(&latest);
+            for t in latest {
+                t.recycle();
+            }
+        }
+        st.activation_bytes_max = st.activation_bytes_max.max(self.live_activation_bytes(st));
 
         if self.stage + 1 < self.num_stages {
             match self
@@ -561,6 +638,49 @@ impl StageWorker {
         // Run the backward pass against the weight version the paper's
         // semantics prescribe.
         let grad_in = match self.semantics {
+            Semantics::Stashed if st.two_bw.is_some() => {
+                // 2BW: backward under the pinned double-buffered
+                // generation, accumulating the group's gradients; one
+                // update per *full* group (a partial trailing group's
+                // gradients are discarded, like data ending mid-group).
+                let latest = self.model.snapshot();
+                let (pinned, stale) = {
+                    let s2 = st.two_bw.as_ref().expect("checked");
+                    (
+                        s2.for_backward(mb),
+                        s2.latest_generation().saturating_sub(s2.generation_of(mb)),
+                    )
+                };
+                st.staleness_max = st.staleness_max.max(stale);
+                self.model.restore(&pinned);
+                if st.two_bw_grads == 0 {
+                    self.model.zero_grad();
+                }
+                self.recompute_forward(st, mb);
+                let g = self.model.backward(&grad_out, mb);
+                st.two_bw.as_mut().expect("checked").complete_backward(mb);
+                self.recorder.instant(SpanKind::StashPop { mb });
+                st.two_bw_grads += 1;
+                self.model.restore(&latest);
+                for t in latest {
+                    t.recycle();
+                }
+                // Group end for this replica: its next backward minibatch
+                // falls in a later group, or past the end of the run.
+                let group = self.two_bw_group;
+                let next = mb + self.stage_replicas as u64;
+                if next / group > mb / group || next >= self.total_mbs {
+                    if (mb / group + 1) * group <= self.total_mbs {
+                        let scale = 1.0 / st.two_bw_grads as f32;
+                        for p in self.model.params_mut() {
+                            p.grad.scale_inplace(scale);
+                        }
+                        self.apply_update(st, mb)?;
+                    }
+                    st.two_bw_grads = 0;
+                }
+                g
+            }
             Semantics::Stashed => {
                 // Backward with the stashed version, update the latest.
                 let latest = self.model.snapshot();
@@ -573,6 +693,7 @@ impl StageWorker {
                     .max(st.updates.saturating_sub(st.stash.version_for(mb)));
                 self.model.restore(&stashed);
                 self.model.zero_grad();
+                self.recompute_forward(st, mb);
                 let g = self.model.backward(&grad_out, mb);
                 st.stash.complete_backward(mb);
                 self.recorder.instant(SpanKind::StashPop { mb });
@@ -678,6 +799,41 @@ impl StageWorker {
         Ok(())
     }
 
+    /// Bytes of live activation state right now: the layers' per-slot
+    /// stashes plus the retained recompute inputs plus pending loss
+    /// gradients — what the `activation_bytes` obs gauge reports.
+    fn live_activation_bytes(&self, st: &WorkerState) -> u64 {
+        self.model.cached_bytes()
+            + st.saved_inputs
+                .values()
+                .map(|t| t.len() as u64 * 4)
+                .sum::<u64>()
+            + st.pending_loss_grad
+                .values()
+                .map(|t| t.len() as u64 * 4)
+                .sum::<u64>()
+    }
+
+    /// Recompute kinds: rebuild the dropped activation stash by re-running
+    /// the stage forward from the retained input, under the already
+    /// restored stashed weight version — so the subsequent backward is
+    /// bit-identical to vanilla. No-op otherwise.
+    fn recompute_forward(&mut self, st: &mut WorkerState, mb: u64) {
+        if !self.schedule_kind.uses_recompute() {
+            return;
+        }
+        let input = st
+            .saved_inputs
+            .remove(&mb)
+            .unwrap_or_else(|| panic!("no retained input for minibatch {mb}"));
+        let t0 = std::time::Instant::now();
+        let out = self.model.forward(&input, mb);
+        st.recompute_us += t0.elapsed().as_micros() as u64;
+        out.recycle();
+        input.recycle();
+        st.activation_bytes_max = st.activation_bytes_max.max(self.live_activation_bytes(st));
+    }
+
     /// Vertical sync: the version tagged for `mb`'s backward is the same
     /// one its forward used. The forward retained it in `versions`; look it
     /// up by replaying the tag (the forward recorded it via metrics, but
@@ -719,7 +875,12 @@ impl StageWorker {
         match self.semantics {
             Semantics::Stashed => {
                 let snap = self.model.snapshot();
-                st.stash.apply_update(|w| *w = snap);
+                if let Some(s2) = st.two_bw.as_mut() {
+                    s2.apply_update(|w| *w = snap);
+                    st.versions_held_max = st.versions_held_max.max(s2.versions_held());
+                } else {
+                    st.stash.apply_update(|w| *w = snap);
+                }
             }
             Semantics::VerticalSync => {
                 st.versions.insert(st.updates, self.model.snapshot());

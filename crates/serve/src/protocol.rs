@@ -17,7 +17,7 @@
 use crate::cache::ShardedLruCache;
 use pipedream_core::schedule::Schedule;
 use pipedream_core::{
-    fingerprint_plan_request, PipelineConfig, Plan, PlanError, Planner, StagePlan,
+    fingerprint_plan_request, PipelineConfig, Plan, PlanError, Planner, ScheduleKind, StagePlan,
 };
 use pipedream_hw::{ClusterPreset, Precision, Topology};
 use pipedream_model::{zoo, ModelProfile};
@@ -89,6 +89,8 @@ pub struct PlanTarget {
     pub mode: PlanMode,
     /// Optional per-worker memory budget.
     pub memory_limit: Option<u64>,
+    /// Execution schedule the memory model assumes.
+    pub schedule: ScheduleKind,
 }
 
 fn zoo_by_name(name: &str) -> Option<ModelProfile> {
@@ -100,6 +102,7 @@ fn zoo_by_name(name: &str) -> Option<ModelProfile> {
         "gnmt16" | "gnmt-16" => Some(zoo::gnmt16()),
         "awd-lm" | "awdlm" | "lm" => Some(zoo::awd_lm()),
         "s2vt" => Some(zoo::s2vt()),
+        "huge-lm" | "hugelm" => Some(zoo::huge_lm()),
         _ => None,
     }
 }
@@ -213,6 +216,15 @@ pub fn parse_target(body: &Value) -> Result<PlanTarget, ApiError> {
             ApiError::bad_request("\"memory_limit_bytes\" must be a positive integer")
         })?),
     };
+    let schedule = match body.get("schedule") {
+        None => ScheduleKind::Vanilla1F1B,
+        Some(v) => v.as_str().and_then(ScheduleKind::parse).ok_or_else(|| {
+            ApiError::bad_request(
+                "\"schedule\" must be \"vanilla\", \"2bw\", \"recompute\", or \
+                     \"2bw-recompute\"",
+            )
+        })?,
+    };
     Ok(PlanTarget {
         profile,
         topo,
@@ -220,6 +232,7 @@ pub fn parse_target(body: &Value) -> Result<PlanTarget, ApiError> {
         precision,
         mode,
         memory_limit,
+        schedule,
     })
 }
 
@@ -294,6 +307,7 @@ fn run_planner(target: &PlanTarget) -> Result<Plan, ApiError> {
     if let Some(bytes) = target.memory_limit {
         planner = planner.with_memory_limit(bytes);
     }
+    planner = planner.with_schedule(target.schedule);
     let plan = match target.mode {
         PlanMode::Hierarchical => planner.try_plan(),
         PlanMode::Flat => planner.try_plan_flat(),
@@ -310,6 +324,7 @@ fn fingerprint(target: &PlanTarget) -> Result<u64, ApiError> {
         target.precision,
         target.mode.as_str(),
         target.memory_limit,
+        target.schedule,
     )
     .map_err(|e| ApiError::bad_request(e.to_string()))
 }
@@ -415,7 +430,7 @@ pub fn handle_validate(body: &[u8]) -> Result<Value, ApiError> {
             out.insert("valid".into(), Value::Bool(true));
             out.insert("plan".into(), json(&plan)?);
         }
-        Err(e @ (PlanError::InvalidConfig(_) | PlanError::InfeasibleMemory { .. })) => {
+        Err(e @ (PlanError::InvalidConfig(_) | PlanError::MemoryInfeasible { .. })) => {
             out.insert("valid".into(), Value::Bool(false));
             out.insert("reason".into(), Value::String(e.to_string()));
         }
@@ -464,6 +479,8 @@ mod tests {
             br#"{"model": "vgg16", "batch": 0}"#,
             br#"{"model": "vgg16", "precision": "fp8"}"#,
             br#"{"model": "vgg16", "mode": "quantum"}"#,
+            br#"{"model": "vgg16", "schedule": "3bw"}"#,
+            br#"{"model": "vgg16", "memory_limit_bytes": 0}"#,
             br#"{}"#,
             br#"[1, 2, 3]"#,
         ] {
@@ -491,6 +508,31 @@ mod tests {
         );
         assert_eq!(v1.get("fingerprint"), v2.get("fingerprint"));
         assert_eq!(v1.get("plan"), v2.get("plan"));
+    }
+
+    #[test]
+    fn schedule_keys_the_cache_and_relaxes_memory_limits() {
+        let cache = cache();
+        // Same target, different schedules → distinct cache entries.
+        let vanilla = br#"{"model": "alexnet", "servers": 1}"#;
+        let two_bw = br#"{"model": "alexnet", "servers": 1, "schedule": "2bw"}"#;
+        let (v1, c1) = handle_plan(&cache, vanilla).unwrap();
+        let (v2, c2) = handle_plan(&cache, two_bw).unwrap();
+        assert!(c1 && c2, "different schedules must not share a cache key");
+        assert_ne!(v1.get("fingerprint"), v2.get("fingerprint"));
+
+        // huge-lm under a tight budget: vanilla stashing is infeasible,
+        // 2BW + recomputation plans fine.
+        let tight = br#"{"model": "huge-lm", "preset": "a", "servers": 4, "mode": "flat",
+                         "memory_limit_bytes": 4294967296}"#;
+        let err = handle_plan(&cache, tight).unwrap_err();
+        assert_eq!(err.status, 400, "{}", err.message);
+        assert!(err.message.contains("memory"), "{}", err.message);
+        let relaxed = br#"{"model": "huge-lm", "preset": "a", "servers": 4, "mode": "flat",
+                           "memory_limit_bytes": 4294967296,
+                           "schedule": "2bw-recompute"}"#;
+        let (v, _) = handle_plan(&cache, relaxed).unwrap();
+        assert!(v.get("plan").is_some());
     }
 
     #[test]

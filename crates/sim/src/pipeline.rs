@@ -18,10 +18,23 @@
 
 use crate::timeline::{Timeline, WorkKind};
 use pipedream_core::schedule::{Op, Schedule};
+use pipedream_core::ScheduleKind;
 use pipedream_hw::Topology;
 use pipedream_model::LayerCosts;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
 
 /// Result of a pipeline simulation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -73,10 +86,11 @@ pub struct PipelineSim<'a> {
     costs: &'a LayerCosts,
     topo: &'a Topology,
     schedule: &'a Schedule,
-    /// GPipe-style activation recomputation (§2.2): the backward pass
-    /// re-runs the stage's forward to rebuild discarded activation stashes,
-    /// trading compute for memory.
-    recompute_in_backward: bool,
+    /// Memory-efficient schedule variant: recomputation re-runs each
+    /// stage's forward inside the backward pass (trading compute for
+    /// memory), and 2BW coalesces gradient syncs to one per update group
+    /// while capping stashed weight versions at two.
+    kind: ScheduleKind,
     /// Per-worker compute speed multipliers (platform diversity, §2.3):
     /// worker `w`'s op durations are divided by `speed[w]`. Empty = uniform.
     worker_speeds: Vec<f64>,
@@ -100,7 +114,7 @@ impl<'a> PipelineSim<'a> {
             costs,
             topo,
             schedule,
-            recompute_in_backward: false,
+            kind: ScheduleKind::Vanilla1F1B,
             worker_speeds: Vec::new(),
         }
     }
@@ -120,9 +134,22 @@ impl<'a> PipelineSim<'a> {
 
     /// Enable GPipe-style activation recomputation: each backward pass
     /// additionally pays the stage's forward time (and each worker's peak
-    /// activation memory drops to a single microbatch's worth).
+    /// activation memory drops to the stage-input pins plus one working
+    /// set). Composes with 2BW if that was already selected.
     pub fn with_recompute(mut self) -> Self {
-        self.recompute_in_backward = true;
+        self.kind = if self.kind.uses_two_bw() {
+            ScheduleKind::TwoBWRecompute
+        } else {
+            ScheduleKind::Recompute
+        };
+        self
+    }
+
+    /// Simulate under an explicit [`ScheduleKind`]: 2BW variants coalesce
+    /// gradient syncs to one per update group and cap weight versions at
+    /// two; recompute variants pay the forward again in each backward.
+    pub fn with_schedule(mut self, kind: ScheduleKind) -> Self {
+        self.kind = kind;
         self
     }
 
@@ -133,6 +160,11 @@ impl<'a> PipelineSim<'a> {
         let stages = config.stages();
         let num_stages = stages.len();
         let assignment = config.worker_assignment();
+        // 2BW update-group size: the in-flight depth rounded up to a
+        // multiple of every stage's replica count, so each full group's
+        // gradient sync involves all replicas (mirrors the runtime).
+        let replica_lcm = stages.iter().fold(1u64, |l, s| lcm(l, s.replicas as u64));
+        let two_bw_group = (config.noam().max(1) as u64).div_ceil(replica_lcm) * replica_lcm;
 
         // Per-stage durations.
         let fwd_dur: Vec<f64> = stages
@@ -200,7 +232,7 @@ impl<'a> PipelineSim<'a> {
                     let dur = match op {
                         Op::Forward { .. } => fwd_dur[stage],
                         Op::Backward { .. } => {
-                            if self.recompute_in_backward {
+                            if self.kind.uses_recompute() {
                                 // Re-run the forward to rebuild activations.
                                 bwd_dur[stage] + fwd_dur[stage]
                             } else {
@@ -248,7 +280,19 @@ impl<'a> PipelineSim<'a> {
                             // gates the worker's next forward pass, which
                             // needs the updated weights.
                             let replicas = stages[stage].replicas;
-                            if replicas > 1 {
+                            // Under 2BW a replica accumulates gradients
+                            // locally and joins one all_reduce per full
+                            // update group instead of one per minibatch.
+                            let syncs_now = if self.kind.uses_two_bw() {
+                                let next = mb + replicas as u64;
+                                (next / two_bw_group > mb / two_bw_group
+                                    || next >= self.schedule.num_minibatches)
+                                    && (mb / two_bw_group + 1) * two_bw_group
+                                        <= self.schedule.num_minibatches
+                            } else {
+                                true
+                            };
+                            if replicas > 1 && syncs_now {
                                 let sync = self.topo.allreduce_time_spanning(
                                     &assignment[stage],
                                     self.costs.weight_bytes(
@@ -318,23 +362,36 @@ impl<'a> PipelineSim<'a> {
             makespan / n.max(1) as f64
         };
 
-        // Peak memory per worker from the realised in-flight depth. With
-        // recomputation, activation stashes are discarded after the forward
-        // pass, so only one microbatch's activations live at a time.
+        // Peak memory per worker from the realised in-flight depth,
+        // mirroring `pipedream_core::estimates::memory_footprint_for`: 2BW
+        // caps stashed weight versions at two, recomputation swaps the
+        // per-minibatch activation stash for a stage-input pin per
+        // in-flight minibatch plus one full activation working set.
         let peak_memory_bytes = (0..workers)
             .map(|w| {
                 let stage = self.schedule.workers[w].stage;
                 let s = &stages[stage];
-                let versions = self.schedule.peak_in_flight(w).max(1) as u64;
+                let in_flight = self.schedule.peak_in_flight(w).max(1) as u64;
+                let versions = if self.kind.uses_two_bw() {
+                    in_flight.min(2)
+                } else {
+                    in_flight
+                };
                 let weights = self.costs.weight_bytes(s.first_layer, s.last_layer);
                 let acts: u64 = (s.first_layer..=s.last_layer)
                     .map(|l| self.costs.activation_bytes(l))
                     .sum();
-                if self.recompute_in_backward {
-                    versions * weights + acts
+                let input = if s.first_layer == 0 {
+                    self.costs.activation_bytes(0)
                 } else {
-                    versions * (weights + acts)
-                }
+                    self.costs.activation_bytes(s.first_layer - 1)
+                };
+                let act_term = if self.kind.uses_recompute() {
+                    in_flight * input + acts
+                } else {
+                    in_flight * acts
+                };
+                versions * weights + act_term
             })
             .collect();
 
@@ -584,15 +641,63 @@ mod tests {
     #[test]
     fn recompute_trades_time_for_memory() {
         // §2.2: GPipe discards activation stashes and recomputes them,
-        // costing throughput but saving activation memory.
-        let costs = uniform_costs(4);
+        // costing throughput but saving activation memory. Stages must
+        // span several layers for the saving to beat the stage-input pin.
+        let costs = uniform_costs(8);
         let topo = fast_topo(4);
-        let config = PipelineConfig::straight(4, &[0, 1, 2]);
+        let config = PipelineConfig::straight(8, &[1, 3, 5]);
         let schedule = pipedream_core::Schedule::gpipe(&config, 32, 4);
         let plain = simulate_pipeline(&costs, &topo, &schedule);
         let rec = simulate_pipeline_recompute(&costs, &topo, &schedule);
         assert!(rec.per_minibatch_s > plain.per_minibatch_s);
         assert!(rec.peak_memory_bytes[0] < plain.peak_memory_bytes[0]);
+    }
+
+    #[test]
+    fn two_bw_caps_weight_versions_at_two() {
+        // PipeDream-2BW: the input stage of a deep pipeline holds its full
+        // in-flight depth in weight versions under vanilla stashing but
+        // only two generations under double-buffered updates. Activation
+        // stashes are untouched, so the gap is exactly the weight term.
+        let costs = uniform_costs(8);
+        let topo = fast_topo(4);
+        let config = PipelineConfig::straight(8, &[1, 3, 5]);
+        let schedule = pipedream_core::Schedule::one_f_one_b(&config, 32);
+        let vanilla = simulate_pipeline(&costs, &topo, &schedule);
+        let two_bw = PipelineSim::new(&costs, &topo, &schedule)
+            .with_schedule(ScheduleKind::TwoBW)
+            .run();
+        let in_flight = schedule.peak_in_flight(0).max(1) as u64;
+        assert!(in_flight > 2, "deep pipeline expected, got {in_flight}");
+        let weights = costs.weight_bytes(0, 1);
+        assert_eq!(
+            vanilla.peak_memory_bytes[0] - two_bw.peak_memory_bytes[0],
+            (in_flight - 2) * weights
+        );
+        // The drain stage has one minibatch in flight: no difference.
+        assert_eq!(vanilla.peak_memory_bytes[3], two_bw.peak_memory_bytes[3]);
+        // Timing is untouched — 2BW changes what is stashed, not the DAG.
+        assert_eq!(vanilla.timeline, two_bw.timeline);
+    }
+
+    #[test]
+    fn two_bw_coalesces_gradient_syncs() {
+        // A replicated input stage all_reduces once per update group under
+        // 2BW instead of once per backward, shrinking wire traffic.
+        let costs = uniform_costs(4);
+        let topo = fast_topo(5);
+        let config = PipelineConfig::from_counts(&[(1, 2), (1, 1), (1, 1), (1, 1)]);
+        let schedule = pipedream_core::Schedule::one_f_one_b(&config, 32);
+        let vanilla = simulate_pipeline(&costs, &topo, &schedule);
+        let two_bw = PipelineSim::new(&costs, &topo, &schedule)
+            .with_schedule(ScheduleKind::TwoBW)
+            .run();
+        assert!(
+            two_bw.comm_bytes < vanilla.comm_bytes,
+            "2bw {} vs vanilla {}",
+            two_bw.comm_bytes,
+            vanilla.comm_bytes
+        );
     }
 
     #[test]

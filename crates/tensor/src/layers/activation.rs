@@ -55,6 +55,14 @@ macro_rules! activation_layer {
                 self.saved_output.clear();
             }
 
+            fn clear_slot(&mut self, slot: Slot) {
+                self.saved_output.remove(&slot);
+            }
+
+            fn cached_bytes(&self) -> u64 {
+                self.saved_output.values().map(|t| t.len() as u64 * 4).sum()
+            }
+
             fn clone_box(&self) -> Box<dyn Layer> {
                 Box::new(self.clone())
             }
@@ -158,6 +166,14 @@ impl Layer for Softmax {
 
     fn clear_slots(&mut self) {
         self.saved_output.clear();
+    }
+
+    fn clear_slot(&mut self, slot: Slot) {
+        self.saved_output.remove(&slot);
+    }
+
+    fn cached_bytes(&self) -> u64 {
+        self.saved_output.values().map(|t| t.len() as u64 * 4).sum()
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

@@ -87,6 +87,14 @@ impl Layer for Dropout {
         self.saved_mask.clear();
     }
 
+    fn clear_slot(&mut self, slot: Slot) {
+        self.saved_mask.remove(&slot);
+    }
+
+    fn cached_bytes(&self) -> u64 {
+        self.saved_mask.values().map(|m| m.len() as u64 * 4).sum()
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }

@@ -98,6 +98,14 @@ impl Layer for Embedding {
         self.saved_ids.clear();
     }
 
+    fn clear_slot(&mut self, slot: Slot) {
+        self.saved_ids.remove(&slot);
+    }
+
+    fn cached_bytes(&self) -> u64 {
+        self.saved_ids.values().map(|v| v.len() as u64 * 8).sum()
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }

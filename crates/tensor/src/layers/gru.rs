@@ -213,6 +213,22 @@ impl Layer for Gru {
         self.saved.clear();
     }
 
+    fn clear_slot(&mut self, slot: Slot) {
+        self.saved.remove(&slot);
+    }
+
+    fn cached_bytes(&self) -> u64 {
+        self.saved
+            .values()
+            .flatten()
+            .map(|c| {
+                (c.x.len() + c.h_prev.len() + c.r.len() + c.z.len() + c.n.len() + c.pre_hn.len())
+                    as u64
+                    * 4
+            })
+            .sum()
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(Gru {
             name: self.name.clone(),

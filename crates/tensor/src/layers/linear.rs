@@ -119,6 +119,14 @@ impl Layer for Linear {
         self.saved_input.clear();
     }
 
+    fn clear_slot(&mut self, slot: Slot) {
+        self.saved_input.remove(&slot);
+    }
+
+    fn cached_bytes(&self) -> u64 {
+        self.saved_input.values().map(|t| t.len() as u64 * 4).sum()
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }

@@ -251,6 +251,20 @@ impl Layer for Lstm {
         self.saved.clear();
     }
 
+    fn clear_slot(&mut self, slot: Slot) {
+        self.saved.remove(&slot);
+    }
+
+    fn cached_bytes(&self) -> u64 {
+        self.saved
+            .values()
+            .flatten()
+            .map(|c| {
+                (c.x.len() + c.h_prev.len() + c.c_prev.len() + c.gates.len() + c.c.len()) as u64 * 4
+            })
+            .sum()
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(Lstm {
             name: self.name.clone(),
@@ -325,6 +339,14 @@ impl Layer for SeqLast {
 
     fn clear_slots(&mut self) {
         self.saved_shape.clear();
+    }
+
+    fn clear_slot(&mut self, slot: Slot) {
+        self.saved_shape.remove(&slot);
+    }
+
+    fn cached_bytes(&self) -> u64 {
+        self.saved_shape.values().map(|s| s.len() as u64 * 8).sum()
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

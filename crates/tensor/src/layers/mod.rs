@@ -95,6 +95,20 @@ pub trait Layer: Send {
     /// Drop all cached per-slot state (e.g. after a pipeline flush).
     fn clear_slots(&mut self);
 
+    /// Drop the cached state of a single in-flight minibatch without
+    /// touching the others. Activation recomputation calls this right
+    /// after a forward pass; the stash is rebuilt by a second forward
+    /// just before the slot's backward. Stateless layers inherit the
+    /// no-op.
+    fn clear_slot(&mut self, _slot: Slot) {}
+
+    /// Bytes of per-slot forward state currently cached — the live
+    /// activation stash the runtime's memory gauges report. Stateless
+    /// layers hold nothing.
+    fn cached_bytes(&self) -> u64 {
+        0
+    }
+
     /// Number of scalar parameters.
     fn param_count(&self) -> usize {
         self.params().iter().map(|p| p.value.len()).sum()
@@ -310,6 +324,16 @@ impl Layer for Sequential {
         for l in &mut self.layers {
             l.clear_slots();
         }
+    }
+
+    fn clear_slot(&mut self, slot: Slot) {
+        for l in &mut self.layers {
+            l.clear_slot(slot);
+        }
+    }
+
+    fn cached_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.cached_bytes()).sum()
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

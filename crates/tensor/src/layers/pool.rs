@@ -95,6 +95,17 @@ impl Layer for MaxPool2d {
         self.saved.clear();
     }
 
+    fn clear_slot(&mut self, slot: Slot) {
+        self.saved.remove(&slot);
+    }
+
+    fn cached_bytes(&self) -> u64 {
+        self.saved
+            .values()
+            .map(|(s, idx)| (s.len() + idx.len()) as u64 * 8)
+            .sum()
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
@@ -198,6 +209,14 @@ impl Layer for AvgPool2d {
         self.saved_shape.clear();
     }
 
+    fn clear_slot(&mut self, slot: Slot) {
+        self.saved_shape.remove(&slot);
+    }
+
+    fn cached_bytes(&self) -> u64 {
+        self.saved_shape.values().map(|s| s.len() as u64 * 8).sum()
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
@@ -261,6 +280,14 @@ impl Layer for Reshape {
         self.saved_shape.clear();
     }
 
+    fn clear_slot(&mut self, slot: Slot) {
+        self.saved_shape.remove(&slot);
+    }
+
+    fn cached_bytes(&self) -> u64 {
+        self.saved_shape.values().map(|s| s.len() as u64 * 8).sum()
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
@@ -311,6 +338,14 @@ impl Layer for Flatten {
 
     fn clear_slots(&mut self) {
         self.saved_shape.clear();
+    }
+
+    fn clear_slot(&mut self, slot: Slot) {
+        self.saved_shape.remove(&slot);
+    }
+
+    fn cached_bytes(&self) -> u64 {
+        self.saved_shape.values().map(|s| s.len() as u64 * 8).sum()
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {
