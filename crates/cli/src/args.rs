@@ -16,18 +16,22 @@ USAGE:
   pipedream simulate --model <NAME|@profile.json> --cluster <A|B|C> --servers N
                      [--config 15-1|straight|dp|auto] [--minibatches N]
                      [--timeline] [--json] [--topology @topo.json]
+                     [--trace out.json]
   pipedream dp       --model <NAME|@profile.json> --cluster <A|B|C> --servers N
                      [--gpus N] [--fp16] [--json] [--topology @topo.json]
   pipedream train    [--stages N] [--epochs N] [--batch N] [--lr X]
                      [--semantics stashed|naive|vsync|gpipe] [--seed N]
                      [--schedule vanilla|2bw|recompute|2bw-recompute]
                      [--fault kill:stage=S,mb=N | delay:stage=S,mb=N,ms=M |
-                              drop:stage=S,mb=N | corrupt:stage=S,epoch=E]
+                              drop:stage=S,mb=N | corrupt:stage=S,epoch=E |
+                              straggle:stage=S,ms=M]
                      [--checkpoint-dir DIR] [--checkpoint-every K]
                      [--report file.json] [--trace out.json] [--metrics]
                      [--timeline] [--watch] [--auto-replan]
   pipedream top      [--stages N] [--epochs N] [--batch N] [--seed N]
                      [--refresh-ms M] [--auto-replan]
+  pipedream analyze  <trace.json> [--top N] [--what-if stage=S,speedup=F]
+                     [--sim sim_trace.json] [--json]
   pipedream serve    [--addr HOST:PORT] [--threads N] [--queue N]
                      [--cache N] [--shards N] [--deadline-ms M]
                      [--for-secs S]
@@ -58,6 +62,12 @@ probation window (requires --checkpoint-dir, or a temp dir is used).
 `top --auto-replan` runs the same autopilot demo and adds a control-plane
 status line (state-machine position, reconfiguration attempts / commits /
 rollbacks, last downtime) to every dashboard frame.
+`analyze` reconstructs the per-minibatch dependency DAG of a saved Chrome
+trace (from `train --trace` or `simulate --trace`), ranks stages by their
+critical-path share with per-cause bubble attribution, and predicts the
+end-to-end gain of speeding a stage up (`--what-if stage=2,speedup=0.3`);
+`--sim` diffs the measured critical path against a simulated trace's,
+stage by stage.
 ";
 
 /// A parsed subcommand.
@@ -79,8 +89,25 @@ pub enum Command {
     Export(ExportArgs),
     /// `pipedream inspect …`
     Inspect(InspectArgs),
+    /// `pipedream analyze …`
+    Analyze(AnalyzeArgs),
     /// `pipedream help`
     Help,
+}
+
+/// Arguments for `analyze`: offline critical-path analysis of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeArgs {
+    /// Chrome trace to analyze (from `train --trace` or `simulate --trace`).
+    pub trace: String,
+    /// Rows to show in the ranked bottleneck report.
+    pub top: usize,
+    /// What-if estimate: speed stage S up by fraction F in (0, 1].
+    pub what_if: Option<(usize, f64)>,
+    /// Simulated trace to diff the measured critical path against.
+    pub sim: Option<String>,
+    /// Emit JSON instead of text.
+    pub json: bool,
 }
 
 /// Arguments for `inspect`.
@@ -190,6 +217,9 @@ pub struct SimulateArgs {
     pub timeline: bool,
     /// Emit JSON instead of text.
     pub json: bool,
+    /// Write the simulated run as a Chrome trace to this path; the output
+    /// uses the same schema as `train --trace` so `analyze` accepts both.
+    pub trace: Option<String>,
 }
 
 /// Arguments for `dp`.
@@ -307,6 +337,25 @@ fn schedule(map: &HashMap<String, String>) -> Result<ScheduleKind, ParseError> {
     }
 }
 
+/// `stage=S,speedup=F` — the what-if spec for `analyze`.
+fn parse_what_if(v: &str) -> Result<(usize, f64), ParseError> {
+    let mut stage = None;
+    let mut speedup = None;
+    for part in v.split(',') {
+        match part.split_once('=') {
+            Some(("stage", s)) => stage = s.trim().parse::<usize>().ok(),
+            Some(("speedup", s)) => speedup = s.trim().parse::<f64>().ok(),
+            _ => {}
+        }
+    }
+    match (stage, speedup) {
+        (Some(s), Some(f)) if f > 0.0 && f <= 1.0 => Ok((s, f)),
+        _ => Err(ParseError(
+            "--what-if: expected stage=S,speedup=F with 0 < F ≤ 1".into(),
+        )),
+    }
+}
+
 fn target(map: &HashMap<String, String>) -> Result<Target, ParseError> {
     let model = map
         .get("model")
@@ -339,7 +388,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         return Ok(Command::Help);
     };
     let rest = &args[1..];
-    let (map, _bare) = flags(rest)?;
+    let (map, bare) = flags(rest)?;
     match sub.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "plan" => Ok(Command::Plan(PlanArgs {
@@ -368,6 +417,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             minibatches: get(&map, "minibatches", 48u64)?,
             timeline: map.contains_key("timeline"),
             json: map.contains_key("json"),
+            trace: map.get("trace").cloned(),
         })),
         "dp" => Ok(Command::Dp(DpArgs {
             target: target(&map)?,
@@ -473,6 +523,22 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 ));
             }
             Ok(Command::Serve(a))
+        }
+        "analyze" => {
+            let trace = bare
+                .first()
+                .cloned()
+                .or_else(|| map.get("trace").cloned())
+                .ok_or_else(|| {
+                    ParseError("analyze needs a trace path: pipedream analyze <trace.json>".into())
+                })?;
+            Ok(Command::Analyze(AnalyzeArgs {
+                trace,
+                top: get(&map, "top", 8usize)?,
+                what_if: map.get("what-if").map(|v| parse_what_if(v)).transpose()?,
+                sim: map.get("sim").cloned(),
+                json: map.contains_key("json"),
+            }))
         }
         "top" => Ok(Command::Top(TopArgs {
             stages: get(&map, "stages", 4usize)?,
@@ -733,5 +799,67 @@ mod tests {
     #[test]
     fn unknown_subcommand_rejected() {
         assert!(parse(&s(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn analyze_takes_positional_trace() {
+        let cmd = parse(&s(&["analyze", "/tmp/run.json"])).unwrap();
+        let Command::Analyze(a) = cmd else { panic!() };
+        assert_eq!(a.trace, "/tmp/run.json");
+        assert_eq!(a.top, 8);
+        assert_eq!(a.what_if, None);
+        assert_eq!(a.sim, None);
+        assert!(!a.json);
+        // --trace works as an alias for the positional form.
+        let cmd = parse(&s(&["analyze", "--trace", "/tmp/run.json"])).unwrap();
+        let Command::Analyze(a) = cmd else { panic!() };
+        assert_eq!(a.trace, "/tmp/run.json");
+        // No trace at all is an error.
+        assert!(parse(&s(&["analyze"])).is_err());
+    }
+
+    #[test]
+    fn analyze_what_if_and_sim_parse() {
+        let cmd = parse(&s(&[
+            "analyze",
+            "/tmp/run.json",
+            "--what-if",
+            "stage=2,speedup=0.3",
+            "--sim",
+            "/tmp/sim.json",
+            "--top",
+            "3",
+            "--json",
+        ]))
+        .unwrap();
+        let Command::Analyze(a) = cmd else { panic!() };
+        assert_eq!(a.what_if, Some((2, 0.3)));
+        assert_eq!(a.sim.as_deref(), Some("/tmp/sim.json"));
+        assert_eq!(a.top, 3);
+        assert!(a.json);
+        // Malformed or out-of-range what-if specs are rejected.
+        assert!(parse(&s(&["analyze", "t.json", "--what-if", "stage=2"])).is_err());
+        assert!(parse(&s(&["analyze", "t.json", "--what-if", "stage=2,speedup=0"])).is_err());
+        assert!(parse(&s(&[
+            "analyze",
+            "t.json",
+            "--what-if",
+            "stage=2,speedup=1.5"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn simulate_trace_flag_parses() {
+        let cmd = parse(&s(&[
+            "simulate",
+            "--model",
+            "vgg16",
+            "--trace",
+            "/tmp/sim.json",
+        ]))
+        .unwrap();
+        let Command::Simulate(a) = cmd else { panic!() };
+        assert_eq!(a.trace.as_deref(), Some("/tmp/sim.json"));
     }
 }

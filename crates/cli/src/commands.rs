@@ -1,16 +1,20 @@
 //! Subcommand implementations.
 
 use crate::args::{
-    DpArgs, ExportArgs, InspectArgs, PlanArgs, ServeArgs, SimulateArgs, Target, TopArgs, TrainArgs,
+    AnalyzeArgs, DpArgs, ExportArgs, InspectArgs, PlanArgs, ServeArgs, SimulateArgs, Target,
+    TopArgs, TrainArgs,
 };
 use pipedream_autopilot::{train_with_autopilot, AutopilotOpts, AutopilotState};
 use pipedream_core::schedule::Schedule;
 use pipedream_core::{PipelineConfig, Planner, ScheduleKind};
-use pipedream_ft::{train_with_recovery, Fault, FaultPlan};
+use pipedream_ft::{train_with_recovery, DelayStraggler, Fault, FaultPlan};
 use pipedream_hw::{ClusterPreset, Device, LinkModel, Precision, Topology};
 use pipedream_model::{profile_sequential, zoo, ModelProfile};
-use pipedream_obs::{parse_chrome_trace, render_live_dashboard, render_live_status, LiveProfiler};
-use pipedream_runtime::trainer::evaluate;
+use pipedream_obs::{
+    analyze_trace, parse_chrome_trace, render_live_dashboard, render_live_status, sim_to_snapshot,
+    what_if, BubbleCause, CriticalPathReport, LiveProfiler,
+};
+use pipedream_runtime::trainer::{evaluate, try_train_pipeline};
 use pipedream_runtime::{train_pipeline, LrSchedule, OptimKind, Semantics, TrainOpts};
 use pipedream_sim::{render_timeline, simulate_dp, simulate_pipeline};
 use pipedream_tensor::data::{blobs, Dataset};
@@ -167,10 +171,22 @@ pub fn simulate(a: SimulateArgs) -> Result<String, String> {
     let costs = model.costs(&topo.device, model.default_batch, Precision::Fp32);
     let schedule = Schedule::one_f_one_b(&config, a.minibatches);
     let r = simulate_pipeline(&costs, &topo, &schedule);
+    let mut trace_note = None;
+    if let Some(path) = &a.trace {
+        // Same schema `train --trace` writes, so `analyze` accepts both and
+        // can diff a simulated critical path against a measured one.
+        let snap = sim_to_snapshot(&r, &config);
+        let json = pipedream_obs::render_chrome_trace(&snap);
+        fs::write(path, json).map_err(|e| format!("--trace {path}: {e}"))?;
+        trace_note = Some(format!("wrote simulated Chrome trace to {path}"));
+    }
     if a.json {
         return serde_json::to_string_pretty(&r).map_err(|e| e.to_string());
     }
     let mut out = String::new();
+    if let Some(note) = trace_note {
+        let _ = writeln!(out, "{note}");
+    }
     let _ = writeln!(
         out,
         "config {} on {} workers",
@@ -277,6 +293,28 @@ impl Watcher {
     }
 }
 
+/// `straggle:stage=S,ms=M` — a persistent [`DelayStraggler`] on every
+/// forward send from `stage`, for exercising `analyze` and `top` against
+/// a continuously degraded run (a one-shot `delay:` fault fires once).
+fn parse_straggler(spec: &str) -> Result<DelayStraggler, String> {
+    let body = spec.strip_prefix("straggle:").unwrap_or(spec);
+    let mut stage = None;
+    let mut ms = None;
+    for part in body.split(',') {
+        match part.split_once('=') {
+            Some(("stage", v)) => stage = v.parse::<usize>().ok(),
+            Some(("ms", v)) => ms = v.parse::<u64>().ok(),
+            _ => {}
+        }
+    }
+    match (stage, ms) {
+        (Some(s), Some(m)) if m > 0 => {
+            Ok(DelayStraggler::new(s, std::time::Duration::from_millis(m)))
+        }
+        _ => Err("expected straggle:stage=S,ms=M with ms ≥ 1".into()),
+    }
+}
+
 /// `pipedream train`.
 pub fn train(a: TrainArgs) -> Result<String, String> {
     if !(2..=8).contains(&a.stages) {
@@ -341,23 +379,30 @@ pub fn train(a: TrainArgs) -> Result<String, String> {
         ..TrainOpts::default()
     };
     let mut fault_fired = true;
+    let mut straggler: Option<Arc<DelayStraggler>> = None;
     let (mut trained, report) = if a.auto_replan {
         // A fault under the autopilot rides along as a plain hook: only
         // delay faults make sense (the autopilot reconfigures around a
         // degraded-but-alive pipeline; crashes need the recovery
         // supervisor).
-        let plan = match &a.fault {
-            None => None,
+        let mut plan = None;
+        match &a.fault {
+            None => {}
+            Some(spec) if spec.starts_with("straggle:") => {
+                straggler = Some(Arc::new(
+                    parse_straggler(spec).map_err(|e| format!("--fault: {e}"))?,
+                ));
+            }
             Some(spec) => {
-                let plan = Arc::new(FaultPlan::parse(spec).map_err(|e| format!("--fault: {e}"))?);
-                if !matches!(plan.fault(), Fault::Delay { .. }) {
+                let p = Arc::new(FaultPlan::parse(spec).map_err(|e| format!("--fault: {e}"))?);
+                if !matches!(p.fault(), Fault::Delay { .. }) {
                     return Err(
-                        "--auto-replan combines only with delay:… faults; use kill/drop/corrupt \
-                         without --auto-replan for the recovery supervisor"
+                        "--auto-replan combines only with delay:… or straggle:… faults; use \
+                         kill/drop/corrupt without --auto-replan for the recovery supervisor"
                             .into(),
                     );
                 }
-                Some(plan)
+                plan = Some(p);
             }
         };
         // The autopilot re-plans over the measured-vs-profiled gap, so it
@@ -381,7 +426,12 @@ pub fn train(a: TrainArgs) -> Result<String, String> {
         let auto = AutopilotOpts::default();
         let hook = plan
             .clone()
-            .map(|p| p as Arc<dyn pipedream_runtime::fault::FaultHook>);
+            .map(|p| p as Arc<dyn pipedream_runtime::fault::FaultHook>)
+            .or_else(|| {
+                straggler
+                    .clone()
+                    .map(|s| s as Arc<dyn pipedream_runtime::fault::FaultHook>)
+            });
         let result = train_with_autopilot(
             &model, &config, &train_set, &opts, &costs, &topo, &auto, hook,
         )
@@ -389,10 +439,22 @@ pub fn train(a: TrainArgs) -> Result<String, String> {
         if let Some(p) = &plan {
             fault_fired = p.fired();
         }
+        if let Some(s) = &straggler {
+            fault_fired = s.times_fired() > 0;
+        }
         result
     } else {
         match &a.fault {
             None => train_pipeline(model, &config, &train_set, &opts),
+            Some(spec) if spec.starts_with("straggle:") => {
+                let hook = Arc::new(parse_straggler(spec).map_err(|e| format!("--fault: {e}"))?);
+                straggler = Some(hook.clone());
+                let result =
+                    try_train_pipeline(model, &config, &train_set, &opts, Some(hook.clone()))
+                        .map_err(|e| e.to_string())?;
+                fault_fired = hook.times_fired() > 0;
+                result
+            }
             Some(spec) => {
                 let plan = Arc::new(FaultPlan::parse(spec).map_err(|e| format!("--fault: {e}"))?);
                 let result = train_with_recovery(&model, &config, &train_set, &opts, plan.clone())
@@ -416,6 +478,22 @@ pub fn train(a: TrainArgs) -> Result<String, String> {
         "trained {}-stage pipeline ({:?}) for {} epochs on 4-class blobs",
         a.stages, semantics, a.epochs
     );
+    if let Some(hook) = &straggler {
+        if fault_fired {
+            let _ = writeln!(
+                out,
+                "injected persistent straggler on stage {}: {} forward send(s) delayed",
+                hook.stage(),
+                hook.times_fired()
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "straggler on stage {} never fired; training ran clean",
+                hook.stage()
+            );
+        }
+    }
     if let Some(rec) = &report.recovery {
         if fault_fired {
             let _ = writeln!(
@@ -497,8 +575,16 @@ pub fn train(a: TrainArgs) -> Result<String, String> {
             let _ = writeln!(out, "\n{}", render_timeline(&timeline, 100));
         }
         if let Some(path) = &a.trace {
-            let json = pipedream_obs::render_chrome_trace(&snap);
-            fs::write(path, json).map_err(|e| format!("--trace {path}: {e}"))?;
+            // Stream track-by-track straight to disk: the full document is
+            // never materialised in memory, so big runs trace flat.
+            let file = fs::File::create(path).map_err(|e| format!("--trace {path}: {e}"))?;
+            let mut w = std::io::BufWriter::new(file);
+            pipedream_obs::write_chrome_trace_session(session, &mut w)
+                .and_then(|()| {
+                    use std::io::Write as _;
+                    w.flush()
+                })
+                .map_err(|e| format!("--trace {path}: {e}"))?;
             let _ = writeln!(
                 out,
                 "wrote Chrome trace to {path} (load in Perfetto or chrome://tracing)"
@@ -613,6 +699,23 @@ fn autopilot_status_line(m: &pipedream_obs::MetricsRegistry) -> String {
     line
 }
 
+/// One-line memory-schedule status from the gauges the trainer publishes:
+/// the active [`ScheduleKind`], the worst per-stage weight-version
+/// residency, and the total recompute time spent so far.
+fn schedule_status_line(m: &pipedream_obs::MetricsRegistry, stages: usize) -> String {
+    let kind = ScheduleKind::all()
+        .get(m.gauge("train_schedule_kind").get() as usize)
+        .map(|k| k.as_str())
+        .unwrap_or("?");
+    let mut versions_max = 0.0f64;
+    let mut recompute_ms = 0.0f64;
+    for s in 0..stages {
+        versions_max = versions_max.max(m.gauge(&format!("stage{s}_versions_held")).get());
+        recompute_ms += m.gauge(&format!("stage{s}_recompute_ms")).get();
+    }
+    format!("schedule={kind}  versions_held_max={versions_max:.0}  recompute={recompute_ms:.1} ms")
+}
+
 /// `pipedream top`: run the demo training pipeline with tracing on and
 /// repaint a live per-stage dashboard (EWMA/percentile compute, busy /
 /// comm / bubble split, stash depth, recent-window ASCII timeline) every
@@ -679,6 +782,11 @@ pub fn top(a: TopArgs) -> Result<String, String> {
         let live = profiler.sample();
         let snap = session.snapshot();
         let mut frame = render_live_dashboard(&live, &snap, 2.0, 100);
+        let _ = write!(
+            frame,
+            "\n{}",
+            schedule_status_line(session.metrics(), a.stages)
+        );
         if a.auto_replan {
             let _ = write!(frame, "\n{}", autopilot_status_line(session.metrics()));
         }
@@ -691,6 +799,11 @@ pub fn top(a: TopArgs) -> Result<String, String> {
     let live = profiler.sample();
     let snap = session.snapshot();
     let mut out = render_live_dashboard(&live, &snap, 2.0, 100);
+    let _ = writeln!(
+        out,
+        "\n{}",
+        schedule_status_line(session.metrics(), a.stages)
+    );
     if a.auto_replan {
         let _ = writeln!(out, "\n{}", autopilot_status_line(session.metrics()));
         for rec in &report.reconfig {
@@ -715,6 +828,154 @@ pub fn top(a: TopArgs) -> Result<String, String> {
         report.wall_time_s,
         report.per_epoch.last().map(|e| e.loss).unwrap_or(f32::NAN)
     );
+    Ok(out)
+}
+
+fn load_trace_report(
+    path: &str,
+) -> Result<(pipedream_obs::TraceSnapshot, CriticalPathReport), String> {
+    let json = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let snap = parse_chrome_trace(&json).map_err(|e| format!("{path}: {e}"))?;
+    let report = analyze_trace(&snap);
+    Ok((snap, report))
+}
+
+/// `pipedream analyze`: offline critical-path analysis of a recorded
+/// Chrome trace (`train --trace` or `simulate --trace`). Ranks stages by
+/// critical-path share, attributes every non-compute nanosecond to a
+/// typed bubble cause, optionally predicts the end-to-end gain of
+/// speeding one stage up, and optionally diffs the measured critical
+/// path against a simulated trace's, stage by stage.
+pub fn analyze(a: AnalyzeArgs) -> Result<String, String> {
+    let (snap, report) = load_trace_report(&a.trace)?;
+    let prediction = a.what_if.map(|(stage, frac)| what_if(&report, stage, frac));
+    let sim = a
+        .sim
+        .as_deref()
+        .map(load_trace_report)
+        .transpose()?
+        .map(|(_, r)| r);
+
+    if a.json {
+        let mut doc = serde_json::Map::new();
+        doc.insert(
+            "report".into(),
+            serde_json::to_value(&report).map_err(|e| e.to_string())?,
+        );
+        if let Some(w) = &prediction {
+            doc.insert(
+                "what_if".into(),
+                serde_json::to_value(w).map_err(|e| e.to_string())?,
+            );
+        }
+        if let Some(s) = &sim {
+            doc.insert(
+                "sim_report".into(),
+                serde_json::to_value(s).map_err(|e| e.to_string())?,
+            );
+        }
+        return serde_json::to_string_pretty(&serde_json::Value::Object(doc))
+            .map_err(|e| e.to_string());
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: wall {:.2} ms, {} minibatch(es) ({:.3} ms/minibatch), {} track(s) over {} stage(s)",
+        a.trace,
+        report.wall_s * 1e3,
+        report.minibatches,
+        report.per_minibatch_s * 1e3,
+        snap.tracks.len(),
+        report.per_stage.len(),
+    );
+
+    let _ = writeln!(out, "\nranked by critical-path share:");
+    let wall = report.wall_s.max(f64::MIN_POSITIVE);
+    for (i, c) in report.ranked().into_iter().take(a.top).enumerate() {
+        let bubble = c
+            .breakdown
+            .top_bubble()
+            .map(|(cause, s)| format!("  top bubble: {} {:.2} ms", cause.name(), s * 1e3))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "  #{} stage {}  {:>9.2} ms on the critical path ({:>5.1}% of wall){}",
+            i + 1,
+            c.stage,
+            c.seconds * 1e3,
+            c.seconds / wall * 100.0,
+            bubble
+        );
+    }
+
+    let _ = writeln!(out, "\nper-stage attribution (causes sum to wall):");
+    for s in &report.per_stage {
+        let causes: Vec<String> = BubbleCause::ALL
+            .iter()
+            .filter_map(|&cause| {
+                let v = s.breakdown.get(cause);
+                (v > 0.0).then(|| format!("{} {:.2}", cause.name(), v * 1e3))
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "  stage {}: {}  [service {:.3} ms/mb over {} track(s)]",
+            s.stage,
+            causes.join(" | "),
+            s.service_per_mb_s * 1e3,
+            s.tracks
+        );
+    }
+
+    if let Some(w) = &prediction {
+        let _ = writeln!(
+            out,
+            "\nwhat-if: speed stage {} up by {:.0}% -> {:.3} ms/minibatch becomes {:.3} \
+             (predicted gain {:.1}%)",
+            w.stage,
+            w.speedup_frac * 100.0,
+            w.baseline_per_mb_s * 1e3,
+            w.predicted_per_mb_s * 1e3,
+            w.predicted_gain_frac * 100.0,
+        );
+    }
+
+    if let Some(sim) = &sim {
+        let _ = writeln!(
+            out,
+            "\nsim diff vs {} (sim wall {:.2} ms, measured {:.2} ms):",
+            a.sim.as_deref().unwrap_or(""),
+            sim.wall_s * 1e3,
+            report.wall_s * 1e3,
+        );
+        let _ = writeln!(
+            out,
+            "  {:<6} {:>15} {:>15} {:>10}",
+            "stage", "measured-cp ms", "sim-cp ms", "delta ms"
+        );
+        let cp_of = |r: &CriticalPathReport, stage: usize| {
+            r.critical_path
+                .iter()
+                .find(|c| c.stage == stage)
+                .map(|c| c.seconds)
+                .unwrap_or(0.0)
+        };
+        let stages = report.per_stage.len().max(sim.per_stage.len());
+        for stage in 0..stages {
+            let m = cp_of(&report, stage);
+            let s = cp_of(sim, stage);
+            let _ = writeln!(
+                out,
+                "  {:<6} {:>15.2} {:>15.2} {:>+10.2}",
+                stage,
+                m * 1e3,
+                s * 1e3,
+                (m - s) * 1e3
+            );
+        }
+    }
+
     Ok(out)
 }
 
@@ -864,6 +1125,7 @@ mod tests {
             minibatches: 24,
             timeline: true,
             json: false,
+            trace: None,
         })
         .unwrap();
         assert!(out.contains("throughput"));
@@ -878,6 +1140,7 @@ mod tests {
             minibatches: 8,
             timeline: false,
             json: false,
+            trace: None,
         })
         .unwrap_err();
         assert!(err.contains("workers"), "{err}");
@@ -1189,6 +1452,10 @@ mod tests {
         .unwrap();
         assert!(out.contains("ewma/mb"), "{out}");
         assert!(out.contains("bubble%"), "{out}");
+        // PR 8 memory-schedule gauges surface on every frame.
+        assert!(out.contains("schedule=vanilla"), "{out}");
+        assert!(out.contains("versions_held_max="), "{out}");
+        assert!(out.contains("recompute="), "{out}");
         assert!(out.contains("done: 2 epoch(s)"), "{out}");
         assert!(!out.contains("autopilot:"), "{out}");
     }
@@ -1210,6 +1477,181 @@ mod tests {
         assert!(out.contains("reconfigs="), "{out}");
         assert!(!out.contains("state=unknown"), "{out}");
         assert!(out.contains("done: 2 epoch(s)"), "{out}");
+    }
+
+    #[test]
+    fn simulate_trace_feeds_analyze() {
+        let dir = std::env::temp_dir().join(format!("pd-cli-simtrace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sim.json");
+        let out = simulate(SimulateArgs {
+            target: Target {
+                servers: 1,
+                ..target("alexnet")
+            },
+            config: "straight".into(),
+            minibatches: 16,
+            timeline: false,
+            json: false,
+            trace: Some(path.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        assert!(out.contains("wrote simulated Chrome trace"), "{out}");
+        let report = analyze(AnalyzeArgs {
+            trace: path.to_string_lossy().into_owned(),
+            top: 8,
+            what_if: None,
+            sim: None,
+            json: false,
+        })
+        .unwrap();
+        assert!(report.contains("ranked by critical-path share"), "{report}");
+        assert!(report.contains("#1 stage "), "{report}");
+        assert!(report.contains("16 minibatch(es)"), "{report}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn analyze_measured_trace_with_what_if_and_sim_diff() {
+        let dir = std::env::temp_dir().join(format!("pd-cli-analyze-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let measured = dir.join("run.json");
+        train(TrainArgs {
+            stages: 2,
+            epochs: 2,
+            batch: 16,
+            lr: 0.05,
+            semantics: "stashed".into(),
+            schedule: ScheduleKind::Vanilla1F1B,
+            seed: 3,
+            fault: None,
+            checkpoint_dir: None,
+            checkpoint_every: None,
+            report: None,
+            trace: Some(measured.to_string_lossy().into_owned()),
+            metrics: false,
+            timeline: false,
+            watch: false,
+            auto_replan: false,
+        })
+        .unwrap();
+        let sim_path = dir.join("sim.json");
+        simulate(SimulateArgs {
+            target: Target {
+                servers: 1,
+                ..target("alexnet")
+            },
+            config: "straight".into(),
+            minibatches: 16,
+            timeline: false,
+            json: false,
+            trace: Some(sim_path.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        let out = analyze(AnalyzeArgs {
+            trace: measured.to_string_lossy().into_owned(),
+            top: 8,
+            what_if: Some((0, 0.5)),
+            sim: Some(sim_path.to_string_lossy().into_owned()),
+            json: false,
+        })
+        .unwrap();
+        assert!(out.contains("per-stage attribution"), "{out}");
+        assert!(out.contains("what-if: speed stage 0 up by 50%"), "{out}");
+        assert!(out.contains("sim diff vs"), "{out}");
+        assert!(out.contains("measured-cp ms"), "{out}");
+        // JSON mode round-trips through serde.
+        let json = analyze(AnalyzeArgs {
+            trace: measured.to_string_lossy().into_owned(),
+            top: 8,
+            what_if: Some((0, 0.5)),
+            sim: None,
+            json: true,
+        })
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(v.get("report").is_some());
+        assert!(v.get("what_if").is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn train_straggle_fault_traces_and_tops_analyze() {
+        let dir = std::env::temp_dir().join(format!("pd-cli-straggle-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("straggle.json");
+        let out = train(TrainArgs {
+            stages: 3,
+            epochs: 3,
+            batch: 16,
+            lr: 0.05,
+            semantics: "stashed".into(),
+            schedule: ScheduleKind::Vanilla1F1B,
+            seed: 3,
+            fault: Some("straggle:stage=1,ms=3".into()),
+            checkpoint_dir: None,
+            checkpoint_every: None,
+            report: None,
+            trace: Some(path.to_string_lossy().into_owned()),
+            metrics: false,
+            timeline: false,
+            watch: false,
+            auto_replan: false,
+        })
+        .unwrap();
+        assert!(
+            out.contains("injected persistent straggler on stage 1"),
+            "{out}"
+        );
+        let report = analyze(AnalyzeArgs {
+            trace: path.to_string_lossy().into_owned(),
+            top: 3,
+            what_if: Some((1, 0.3)),
+            sim: None,
+            json: false,
+        })
+        .unwrap();
+        assert!(report.contains("#1 stage 1"), "{report}");
+        assert!(report.contains("wait_upstream"), "{report}");
+        assert!(
+            report.contains("what-if: speed stage 1 up by 30%"),
+            "{report}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+        // Malformed specs are rejected up front.
+        assert!(train(TrainArgs {
+            stages: 2,
+            epochs: 1,
+            batch: 16,
+            lr: 0.05,
+            semantics: "stashed".into(),
+            schedule: ScheduleKind::Vanilla1F1B,
+            seed: 3,
+            fault: Some("straggle:stage=1".into()),
+            checkpoint_dir: None,
+            checkpoint_every: None,
+            report: None,
+            trace: None,
+            metrics: false,
+            timeline: false,
+            watch: false,
+            auto_replan: false,
+        })
+        .unwrap_err()
+        .contains("--fault"));
+    }
+
+    #[test]
+    fn analyze_missing_file_is_friendly() {
+        let err = analyze(AnalyzeArgs {
+            trace: "/nonexistent/trace.json".into(),
+            top: 8,
+            what_if: None,
+            sim: None,
+            json: false,
+        })
+        .unwrap_err();
+        assert!(err.contains("/nonexistent/trace.json"), "{err}");
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //!   `/metrics` (Prometheus) and `/healthz`;
 //! * `top` — live per-stage dashboard over a demo training run;
 //! * `inspect` — per-layer profile tables, including measured ones
-//!   replayed offline from a recorded Chrome trace (`--from-trace`).
+//!   replayed offline from a recorded Chrome trace (`--from-trace`);
+//! * `analyze` — critical-path analysis of a recorded trace: ranked
+//!   bottleneck report with typed bubble attribution, an Amdahl-style
+//!   what-if estimator, and a stage-by-stage diff against a simulated
+//!   trace (`simulate --trace`).
 
 pub mod args;
 pub mod commands;
@@ -32,6 +36,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
         Command::Serve(a) => commands::serve(a),
         Command::Export(a) => commands::export(a),
         Command::Inspect(a) => commands::inspect(a),
+        Command::Analyze(a) => commands::analyze(a),
         Command::Top(a) => commands::top(a),
         Command::Help => Ok(args::USAGE.to_string()),
     }

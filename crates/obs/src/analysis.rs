@@ -299,11 +299,7 @@ mod tests {
     const MS: u64 = 1_000_000;
 
     fn span(kind: SpanKind, start_ms: u64, end_ms: u64) -> Event {
-        Event {
-            kind,
-            start_ns: start_ms * MS,
-            end_ns: end_ms * MS,
-        }
+        Event::span(kind, start_ms * MS, end_ms * MS)
     }
 
     /// Two stages, one track each: stage 0 does 4 fwd/bwd pairs with the

@@ -3,21 +3,36 @@
 //! Produces the JSON Array Format variant of the Trace Event spec inside a
 //! `{"traceEvents": [...]}` envelope, loadable in `chrome://tracing` and
 //! Perfetto. One thread (`tid`) per track: a `thread_name` metadata event
-//! names it, complete (`"ph":"X"`) events carry the spans, and instant
-//! (`"ph":"i"`) events mark faults/recoveries. Timestamps are microseconds
+//! names it, complete (`"ph":"X"`) events carry the spans, instant
+//! (`"ph":"i"`) events mark faults/recoveries, and **flow events**
+//! (`"ph":"s"`/`"f"`) draw the causal arrows between tracks — activation
+//! send→recv, gradient send→recv, stash push→pop, allreduce
+//! deposit→release, and recompute→backward. Timestamps are microseconds
 //! with nanosecond precision kept in the fraction.
 //!
+//! Flow events are *derived* from the span identities at export time, not
+//! recorded: the ring stays allocation-free and the arrows are a pure
+//! function of the snapshot, so re-exporting a parsed trace reproduces
+//! them byte-for-byte.
+//!
 //! The document is built by hand rather than through a serializer so the
-//! byte output is deterministic for golden-file tests.
+//! byte output is deterministic for golden-file tests, and it is written
+//! track-by-track through [`write_chrome_trace`] so a long many-stage run
+//! never holds every track's event vector (or the whole document) in
+//! memory at once — only the current track plus a compact flow-endpoint
+//! index.
 //!
 //! [`parse_chrome_trace`] is the inverse: it reads an exported document
-//! back into a [`TraceSnapshot`] so the live-profiler aggregation can run
-//! offline over a saved `--trace out.json` (`pipedream inspect
-//! --from-trace`).
+//! back into a [`TraceSnapshot`] so the live-profiler aggregation and the
+//! critical-path analyzer can run offline over a saved `--trace out.json`
+//! (`pipedream inspect --from-trace`, `pipedream analyze`). Flow events
+//! are skipped on parse (they are re-derived on the next render).
 
 use crate::event::{Event, SpanKind};
-use crate::recorder::{TraceSnapshot, TrackEvents};
+use crate::recorder::{TraceSession, TraceSnapshot, TrackEvents};
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
+use std::io::{self, Write};
 
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -39,57 +54,274 @@ fn us(ns: u64) -> String {
     format!("{}.{:03}", ns / 1_000, ns % 1_000)
 }
 
-/// Render a snapshot as a Chrome trace_event JSON document.
-pub fn render_chrome_trace(snap: &TraceSnapshot) -> String {
-    let mut out = String::from("{\"traceEvents\":[\n");
+/// One endpoint of a derived flow arrow.
+#[derive(Debug, Clone, Copy)]
+struct FlowPoint {
+    tid: usize,
+    stage: usize,
+    mb: u64,
+    epoch: u32,
+    ts_ns: u64,
+}
+
+/// Cross-track flow pairing state, fed one track at a time. Only compact
+/// endpoint tuples are retained, never whole tracks.
+#[derive(Default)]
+struct FlowIndex {
+    /// Forward-span ends on stage tracks (activation producers).
+    fwd_ends: Vec<FlowPoint>,
+    /// Backward-span ends on stage tracks (gradient producers).
+    bwd_ends: Vec<FlowPoint>,
+    /// Arrival binding per forward span: the first `RecvWait{mb}` nested
+    /// inside it, else the span start. Keyed (stage, mb), first wins.
+    recv_in_fwd: HashMap<(usize, u64), FlowPoint>,
+    /// Same for backward spans.
+    recv_in_bwd: HashMap<(usize, u64), FlowPoint>,
+    /// Same-track stash push→pop pairs.
+    stash: Vec<(FlowPoint, FlowPoint)>,
+    /// Same-track recompute-end→backward-start pairs.
+    recompute: Vec<(FlowPoint, FlowPoint)>,
+    /// Allreduce rounds keyed (stage, mb): latest deposit + all releases.
+    sync: BTreeMap<(usize, u64), (Option<FlowPoint>, Vec<FlowPoint>)>,
+}
+
+impl FlowIndex {
+    fn index_track(&mut self, tid: usize, track: &TrackEvents) {
+        let Some(stage) = track.stage else {
+            return; // supervisor/control tracks carry no dataflow
+        };
+        // Per-minibatch lookup tables for containment / succession checks.
+        let mut recvs: HashMap<u64, Vec<&Event>> = HashMap::new();
+        let mut pops: HashMap<u64, Vec<&Event>> = HashMap::new();
+        let mut bwds: HashMap<u64, Vec<&Event>> = HashMap::new();
+        for ev in &track.events {
+            match ev.kind {
+                SpanKind::RecvWait { mb } => recvs.entry(mb).or_default().push(ev),
+                SpanKind::StashPop { mb } => pops.entry(mb).or_default().push(ev),
+                SpanKind::Bwd { mb } => bwds.entry(mb).or_default().push(ev),
+                _ => {}
+            }
+        }
+        let point = |mb: u64, epoch: u32, ts_ns: u64| FlowPoint {
+            tid,
+            stage,
+            mb,
+            epoch,
+            ts_ns,
+        };
+        for ev in &track.events {
+            match ev.kind {
+                SpanKind::Fwd { mb } if !ev.is_instant() => {
+                    self.fwd_ends.push(point(mb, ev.epoch, ev.end_ns));
+                    let bind = recvs
+                        .get(&mb)
+                        .and_then(|rs| {
+                            rs.iter()
+                                .find(|r| r.start_ns >= ev.start_ns && r.end_ns <= ev.end_ns)
+                        })
+                        .map(|r| r.start_ns)
+                        .unwrap_or(ev.start_ns);
+                    self.recv_in_fwd
+                        .entry((stage, mb))
+                        .or_insert(point(mb, ev.epoch, bind));
+                }
+                SpanKind::Bwd { mb } if !ev.is_instant() => {
+                    self.bwd_ends.push(point(mb, ev.epoch, ev.end_ns));
+                    let bind = recvs
+                        .get(&mb)
+                        .and_then(|rs| {
+                            rs.iter()
+                                .find(|r| r.start_ns >= ev.start_ns && r.end_ns <= ev.end_ns)
+                        })
+                        .map(|r| r.start_ns)
+                        .unwrap_or(ev.start_ns);
+                    self.recv_in_bwd
+                        .entry((stage, mb))
+                        .or_insert(point(mb, ev.epoch, bind));
+                }
+                SpanKind::StashPush { mb } => {
+                    if let Some(pop) = pops
+                        .get(&mb)
+                        .and_then(|ps| ps.iter().find(|p| p.start_ns >= ev.start_ns))
+                    {
+                        self.stash.push((
+                            point(mb, ev.epoch, ev.start_ns),
+                            point(mb, ev.epoch, pop.start_ns),
+                        ));
+                    }
+                }
+                SpanKind::Recompute { mb } if !ev.is_instant() => {
+                    if let Some(bwd) = bwds
+                        .get(&mb)
+                        .and_then(|bs| bs.iter().find(|b| b.start_ns >= ev.end_ns))
+                    {
+                        self.recompute.push((
+                            point(mb, ev.epoch, ev.end_ns),
+                            point(mb, ev.epoch, bwd.start_ns),
+                        ));
+                    }
+                }
+                SpanKind::SyncDeposit { mb } => {
+                    let entry = self.sync.entry((stage, mb)).or_default();
+                    let p = point(mb, ev.epoch, ev.start_ns);
+                    // The round completes at the *last* deposit.
+                    if entry.0.map(|d| d.ts_ns < p.ts_ns).unwrap_or(true) {
+                        entry.0 = Some(p);
+                    }
+                }
+                SpanKind::SyncRelease { mb } => {
+                    self.sync.entry((stage, mb)).or_default().1.push(point(
+                        mb,
+                        ev.epoch,
+                        ev.start_ns,
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Render every paired flow as `(s_line, f_line)` event pairs, in a
+    /// deterministic order.
+    fn render_lines(&self) -> Vec<String> {
+        let fmt = |name: &str, ph: &str, id: &str, p: &FlowPoint| {
+            let bp = if ph == "f" { ",\"bp\":\"e\"" } else { "" };
+            format!(
+                "{{\"name\":\"{name}\",\"cat\":\"flow\",\"ph\":\"{ph}\"{bp},\"id\":\"{id}\",\
+                 \"ts\":{},\"pid\":0,\"tid\":{}}}",
+                us(p.ts_ns),
+                p.tid
+            )
+        };
+        let mut out = Vec::new();
+        for p in &self.fwd_ends {
+            if let Some(c) = self.recv_in_fwd.get(&(p.stage + 1, p.mb)) {
+                let id = format!("act:e{}:mb{}:s{}", p.epoch, p.mb, p.stage);
+                out.push(fmt("act", "s", &id, p));
+                out.push(fmt("act", "f", &id, c));
+            }
+        }
+        for p in &self.bwd_ends {
+            if p.stage == 0 {
+                continue;
+            }
+            if let Some(c) = self.recv_in_bwd.get(&(p.stage - 1, p.mb)) {
+                let id = format!("grad:e{}:mb{}:s{}", p.epoch, p.mb, p.stage);
+                out.push(fmt("grad", "s", &id, p));
+                out.push(fmt("grad", "f", &id, c));
+            }
+        }
+        for (push, pop) in &self.stash {
+            let id = format!("stash:t{}:e{}:mb{}", push.tid, push.epoch, push.mb);
+            out.push(fmt("stash", "s", &id, push));
+            out.push(fmt("stash", "f", &id, pop));
+        }
+        for ((stage, mb), (deposit, releases)) in &self.sync {
+            let (Some(d), false) = (deposit, releases.is_empty()) else {
+                continue;
+            };
+            let id = format!("sync:s{stage}:e{}:mb{mb}", d.epoch);
+            out.push(fmt("sync", "s", &id, d));
+            for r in releases {
+                out.push(fmt("sync", "f", &id, r));
+            }
+        }
+        for (rec, bwd) in &self.recompute {
+            let id = format!("recompute:t{}:e{}:mb{}", rec.tid, rec.epoch, rec.mb);
+            out.push(fmt("recompute", "s", &id, rec));
+            out.push(fmt("recompute", "f", &id, bwd));
+        }
+        out
+    }
+}
+
+fn event_line(tid: usize, ev: &Event) -> String {
+    let name = ev.kind.name();
+    let cat = ev.kind.category();
+    let args = match (ev.kind.minibatch(), ev.epoch) {
+        (Some(mb), 0) => format!(",\"args\":{{\"mb\":{mb}}}"),
+        (Some(mb), e) => format!(",\"args\":{{\"mb\":{mb},\"epoch\":{e}}}"),
+        (None, 0) => String::new(),
+        (None, e) => format!(",\"args\":{{\"epoch\":{e}}}"),
+    };
+    if ev.is_instant() {
+        format!(
+            "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\
+             \"ts\":{},\"pid\":0,\"tid\":{tid}{args}}}",
+            us(ev.start_ns)
+        )
+    } else {
+        format!(
+            "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{},\
+             \"dur\":{},\"pid\":0,\"tid\":{tid}{args}}}",
+            us(ev.start_ns),
+            us(ev.end_ns - ev.start_ns)
+        )
+    }
+}
+
+/// Write a Chrome trace document incrementally: each track is serialized
+/// and released before the next is pulled from the iterator, so peak
+/// memory is one track's events plus the compact flow index — not the
+/// whole snapshot and not the whole document.
+pub fn write_chrome_trace<W: Write>(
+    tracks: impl IntoIterator<Item = TrackEvents>,
+    out: &mut W,
+) -> io::Result<()> {
+    out.write_all(b"{\"traceEvents\":[\n")?;
     let mut first = true;
-    let mut push = |line: String, first: &mut bool| {
+    let sep = |out: &mut W, first: &mut bool| -> io::Result<()> {
         if !*first {
-            out.push_str(",\n");
+            out.write_all(b",\n")?;
         }
         *first = false;
-        out.push_str(&line);
+        Ok(())
     };
-    for (tid, track) in snap.tracks.iter().enumerate() {
-        push(
+    let mut flows = FlowIndex::default();
+    for (tid, track) in tracks.into_iter().enumerate() {
+        sep(out, &mut first)?;
+        out.write_all(
             format!(
                 "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
                  \"args\":{{\"name\":\"{}\"}}}}",
                 escape(&track.name)
-            ),
-            &mut first,
-        );
+            )
+            .as_bytes(),
+        )?;
         for ev in &track.events {
-            let name = ev.kind.name();
-            let cat = ev.kind.category();
-            let args = match ev.kind.minibatch() {
-                Some(mb) => format!(",\"args\":{{\"mb\":{mb}}}"),
-                None => String::new(),
-            };
-            if ev.is_instant() {
-                push(
-                    format!(
-                        "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\
-                         \"ts\":{},\"pid\":0,\"tid\":{tid}{args}}}",
-                        us(ev.start_ns)
-                    ),
-                    &mut first,
-                );
-            } else {
-                push(
-                    format!(
-                        "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{},\
-                         \"dur\":{},\"pid\":0,\"tid\":{tid}{args}}}",
-                        us(ev.start_ns),
-                        us(ev.end_ns - ev.start_ns)
-                    ),
-                    &mut first,
-                );
-            }
+            sep(out, &mut first)?;
+            out.write_all(event_line(tid, ev).as_bytes())?;
         }
+        flows.index_track(tid, &track);
     }
-    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
-    out
+    for line in flows.render_lines() {
+        sep(out, &mut first)?;
+        out.write_all(line.as_bytes())?;
+    }
+    out.write_all(b"\n],\"displayTimeUnit\":\"ms\"}\n")?;
+    Ok(())
+}
+
+/// Stream a live session to `out`, snapshotting one track at a time
+/// (bounded memory: at most one track's event vector is live at once).
+pub fn write_chrome_trace_session<W: Write>(session: &TraceSession, out: &mut W) -> io::Result<()> {
+    let mut next = 0;
+    write_chrome_trace(
+        std::iter::from_fn(move || {
+            let t = session.track_snapshot(next);
+            next += 1;
+            t
+        }),
+        out,
+    )
+}
+
+/// Render a snapshot as a Chrome trace_event JSON document (buffered
+/// convenience over [`write_chrome_trace`]; byte-identical output).
+pub fn render_chrome_trace(snap: &TraceSnapshot) -> String {
+    let mut buf = Vec::new();
+    write_chrome_trace(snap.tracks.iter().cloned(), &mut buf).expect("in-memory write");
+    String::from_utf8(buf).expect("exporter writes UTF-8")
 }
 
 /// Span kind from its exported name + optional `args.mb` payload.
@@ -107,6 +339,10 @@ fn kind_from_name(name: &str, mb: u64) -> Option<SpanKind> {
         "fault" => SpanKind::Fault,
         "recovery" => SpanKind::Recovery,
         "reconfig" => SpanKind::Reconfig,
+        "recompute" => SpanKind::Recompute { mb },
+        "sync_deposit" => SpanKind::SyncDeposit { mb },
+        "sync_release" => SpanKind::SyncRelease { mb },
+        "opt_step" => SpanKind::OptStep { mb },
         _ => return None,
     })
 }
@@ -122,7 +358,9 @@ fn ns_from_us(us: f64) -> u64 {
 /// `tid`); a stage index is recovered from the `stageN.` name prefix the
 /// runtime uses, leaving supervisor/coordinator tracks stage-less.
 /// Unrecognized event names are skipped (a trace may come from a newer
-/// build), but a document without `traceEvents` is an error.
+/// build), flow events (`ph` `"s"`/`"t"`/`"f"`) are skipped because they
+/// are re-derived on render, but a document without `traceEvents` is an
+/// error.
 pub fn parse_chrome_trace(doc: &str) -> Result<TraceSnapshot, String> {
     let v: serde_json::Value =
         serde_json::from_str(doc).map_err(|e| format!("invalid JSON: {e}"))?;
@@ -170,6 +408,11 @@ pub fn parse_chrome_trace(doc: &str) -> Result<TraceSnapshot, String> {
                 let Some(kind) = kind_from_name(name, mb) else {
                     continue;
                 };
+                let epoch = ev
+                    .get("args")
+                    .and_then(|a| a.get("epoch"))
+                    .and_then(|e| e.as_u64())
+                    .unwrap_or(0) as u32;
                 let ts = ev.get("ts").and_then(|t| t.as_f64()).unwrap_or(0.0);
                 let start_ns = ns_from_us(ts);
                 let end_ns = if ph == "X" {
@@ -181,9 +424,10 @@ pub fn parse_chrome_trace(doc: &str) -> Result<TraceSnapshot, String> {
                     kind,
                     start_ns,
                     end_ns,
+                    epoch,
                 });
             }
-            _ => {}
+            _ => {} // flow ("s"/"t"/"f") and other phases: derived, not stored
         }
     }
     Ok(TraceSnapshot {
@@ -207,32 +451,33 @@ mod tests {
                     name: "stage0.replica0".into(),
                     stage: Some(0),
                     events: vec![
-                        Event {
-                            kind: SpanKind::Fwd { mb: 0 },
-                            start_ns: 1_500,
-                            end_ns: 11_500,
-                        },
-                        Event {
-                            kind: SpanKind::Bwd { mb: 0 },
-                            start_ns: 20_000,
-                            end_ns: 45_250,
-                        },
+                        Event::span(SpanKind::Fwd { mb: 0 }, 1_500, 11_500),
+                        Event::span(SpanKind::Bwd { mb: 0 }, 25_000, 45_250),
                         Event {
                             kind: SpanKind::Checkpoint,
                             start_ns: 50_000,
                             end_ns: 60_000,
+                            epoch: 1,
                         },
+                    ],
+                    dropped: 0,
+                },
+                TrackEvents {
+                    name: "stage1.replica0".into(),
+                    stage: Some(1),
+                    events: vec![
+                        Event::span(SpanKind::Fwd { mb: 0 }, 11_900, 18_000),
+                        Event::span(SpanKind::RecvWait { mb: 0 }, 12_000, 13_000),
+                        Event::span(SpanKind::StashPush { mb: 0 }, 14_000, 14_000),
+                        Event::span(SpanKind::Bwd { mb: 0 }, 21_000, 24_000),
+                        Event::span(SpanKind::StashPop { mb: 0 }, 21_500, 21_500),
                     ],
                     dropped: 0,
                 },
                 TrackEvents {
                     name: "supervisor".into(),
                     stage: None,
-                    events: vec![Event {
-                        kind: SpanKind::Fault,
-                        start_ns: 70_000,
-                        end_ns: 70_000,
-                    }],
+                    events: vec![Event::span(SpanKind::Fault, 70_000, 70_000)],
                     dropped: 0,
                 },
             ],
@@ -244,8 +489,8 @@ mod tests {
         let doc = render_chrome_trace(&sample());
         let v: serde_json::Value = serde_json::from_str(&doc).expect("valid JSON");
         let events = v.get("traceEvents").unwrap().as_array().unwrap();
-        // 2 metadata + 3 spans + 1 instant.
-        assert_eq!(events.len(), 6);
+        // 3 metadata + 6 spans + 3 instants + 3 derived flows × 2 endpoints.
+        assert_eq!(events.len(), 18);
         let f = |i: usize, k: &str| events[i].get(k).unwrap().clone();
         assert_eq!(f(0, "ph").as_str(), Some("M"));
         assert_eq!(
@@ -255,11 +500,29 @@ mod tests {
         assert_eq!(f(1, "ph").as_str(), Some("X"));
         assert_eq!(f(1, "name").as_str(), Some("fwd"));
         assert_eq!(f(1, "args").get("mb").unwrap().as_u64(), Some(0));
-        assert_eq!(f(5, "ph").as_str(), Some("i"));
-        assert_eq!(f(5, "name").as_str(), Some("fault"));
         // µs timestamps: 1500 ns → 1.5 µs.
         assert_eq!(f(1, "ts").as_f64(), Some(1.5));
         assert_eq!(f(1, "dur").as_f64(), Some(10.0));
+        // The epoch-1 checkpoint carries its epoch.
+        assert_eq!(f(3, "name").as_str(), Some("checkpoint"));
+        assert_eq!(f(3, "args").get("epoch").unwrap().as_u64(), Some(1));
+        // Flow events close the document: act (fwd@0 → recv@1), grad
+        // (bwd@1 → bwd-start@0), stash (push → pop on stage 1).
+        let flows: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(|c| c.as_str()) == Some("flow"))
+            .collect();
+        assert_eq!(flows.len(), 6);
+        assert_eq!(flows[0].get("name").unwrap().as_str(), Some("act"));
+        assert_eq!(flows[0].get("ph").unwrap().as_str(), Some("s"));
+        assert_eq!(flows[0].get("ts").unwrap().as_f64(), Some(11.5));
+        assert_eq!(flows[1].get("ph").unwrap().as_str(), Some("f"));
+        assert_eq!(flows[1].get("bp").unwrap().as_str(), Some("e"));
+        assert_eq!(flows[1].get("ts").unwrap().as_f64(), Some(12.0));
+        assert_eq!(flows[1].get("tid").unwrap().as_u64(), Some(1));
+        assert_eq!(flows[2].get("name").unwrap().as_str(), Some("grad"));
+        assert_eq!(flows[4].get("name").unwrap().as_str(), Some("stash"));
+        assert_eq!(flows[0].get("id"), flows[1].get("id"));
     }
 
     #[test]
@@ -275,15 +538,142 @@ mod tests {
         let snap = sample();
         let doc = render_chrome_trace(&snap);
         let back = parse_chrome_trace(&doc).expect("parses");
-        assert_eq!(back.tracks.len(), 2);
+        assert_eq!(back.tracks.len(), 3);
         assert_eq!(back.tracks[0].name, "stage0.replica0");
         assert_eq!(back.tracks[0].stage, Some(0));
-        assert_eq!(back.tracks[1].name, "supervisor");
-        assert_eq!(back.tracks[1].stage, None);
-        // Every span survives with nanosecond-exact times (the export
-        // keeps the ns remainder in the µs fraction).
-        assert_eq!(back.tracks[0].events, snap.tracks[0].events);
-        assert_eq!(back.tracks[1].events, snap.tracks[1].events);
+        assert_eq!(back.tracks[1].stage, Some(1));
+        assert_eq!(back.tracks[2].name, "supervisor");
+        assert_eq!(back.tracks[2].stage, None);
+        // Every span survives with nanosecond-exact times and epochs (the
+        // export keeps the ns remainder in the µs fraction).
+        for (b, s) in back.tracks.iter().zip(snap.tracks.iter()) {
+            assert_eq!(b.events, s.events);
+        }
+        // And the re-render (flows re-derived) is byte-identical.
+        assert_eq!(render_chrome_trace(&back), doc);
+    }
+
+    #[test]
+    fn sync_and_recompute_flows_are_derived() {
+        let snap = TraceSnapshot {
+            tracks: vec![
+                TrackEvents {
+                    name: "stage0.replica0".into(),
+                    stage: Some(0),
+                    events: vec![
+                        Event::span(SpanKind::SyncDeposit { mb: 4 }, 1_000, 1_000),
+                        Event::span(SpanKind::SyncRelease { mb: 4 }, 3_000, 3_000),
+                        Event::span(SpanKind::Recompute { mb: 4 }, 4_000, 5_000),
+                        Event::span(SpanKind::Bwd { mb: 4 }, 5_000, 9_000),
+                    ],
+                    dropped: 0,
+                },
+                TrackEvents {
+                    name: "stage0.replica1".into(),
+                    stage: Some(0),
+                    events: vec![
+                        Event::span(SpanKind::SyncDeposit { mb: 4 }, 2_000, 2_000),
+                        Event::span(SpanKind::SyncRelease { mb: 4 }, 3_100, 3_100),
+                    ],
+                    dropped: 0,
+                },
+            ],
+        };
+        let doc = render_chrome_trace(&snap);
+        let v: serde_json::Value = serde_json::from_str(&doc).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let sync: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.get("name").and_then(|n| n.as_str()) == Some("sync")
+                    && e.get("cat").and_then(|c| c.as_str()) == Some("flow")
+            })
+            .collect();
+        // One "s" at the round-completing (latest) deposit + two "f"s.
+        assert_eq!(sync.len(), 3);
+        assert_eq!(sync[0].get("ph").unwrap().as_str(), Some("s"));
+        assert_eq!(sync[0].get("ts").unwrap().as_f64(), Some(2.0));
+        assert_eq!(sync[0].get("tid").unwrap().as_u64(), Some(1));
+        assert!(sync[1..]
+            .iter()
+            .all(|e| e.get("ph").and_then(|p| p.as_str()) == Some("f")));
+        let rec: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.get("name").and_then(|n| n.as_str()) == Some("recompute")
+                    && e.get("cat").and_then(|c| c.as_str()) == Some("flow")
+            })
+            .collect();
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec[0].get("ts").unwrap().as_f64(), Some(5.0));
+        assert_eq!(rec[1].get("ts").unwrap().as_f64(), Some(5.0));
+        // Round-trip stays byte-faithful with flows present.
+        let back = parse_chrome_trace(&doc).unwrap();
+        assert_eq!(render_chrome_trace(&back), doc);
+    }
+
+    #[test]
+    fn streaming_writer_is_incremental_and_byte_identical() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let snap = sample();
+        let buffered = render_chrome_trace(&snap);
+
+        // Shared sink the lazy iterator can inspect mid-stream.
+        #[derive(Clone)]
+        struct SharedSink(Rc<RefCell<Vec<u8>>>);
+        impl Write for SharedSink {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = SharedSink(Rc::new(RefCell::new(Vec::new())));
+        let probe = Rc::clone(&sink.0);
+        let tracks: Vec<TrackEvents> = snap.tracks.clone();
+        let mut i = 0;
+        let lazy = std::iter::from_fn(move || {
+            if i > 0 {
+                // Bounded memory: track i-1 must be fully serialized to the
+                // sink *before* track i is pulled — the writer never
+                // buffers all tracks (or the whole document) first.
+                let so_far = String::from_utf8(probe.borrow().clone()).unwrap();
+                assert!(
+                    so_far.contains(&format!("\"name\":\"{}\"", tracks[i - 1].name)),
+                    "track {} pulled before track {} was written",
+                    i,
+                    i - 1
+                );
+            }
+            let t = tracks.get(i).cloned();
+            i += 1;
+            t
+        });
+        let mut out = sink.clone();
+        write_chrome_trace(lazy, &mut out).unwrap();
+        let streamed = String::from_utf8(sink.0.borrow().clone()).unwrap();
+        assert_eq!(streamed, buffered);
+    }
+
+    #[test]
+    fn session_streaming_matches_snapshot_render() {
+        let session = TraceSession::with_capacity(16);
+        let r0 = session.stage_recorder("stage0.replica0", 0);
+        let r1 = session.stage_recorder("stage1.replica0", 1);
+        let s = r0.begin();
+        r0.end_in_epoch(s, SpanKind::Fwd { mb: 0 }, 0);
+        let s = r1.begin();
+        r1.end_in_epoch(s, SpanKind::Fwd { mb: 0 }, 0);
+        let mut buf = Vec::new();
+        write_chrome_trace_session(&session, &mut buf).unwrap();
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            render_chrome_trace(&session.snapshot())
+        );
     }
 
     #[test]

@@ -1,0 +1,835 @@
+//! Per-minibatch dependency-DAG reconstruction, critical-path extraction,
+//! and typed bubble attribution.
+//!
+//! The aggregate busy/comm/bubble fractions of [`crate::analysis`] say a
+//! stage idled; they cannot say *which dependency* put that idle time on
+//! the end-to-end critical path. This module reconstructs the dependency
+//! DAG the 1F1B schedule actually executed — from any
+//! [`TraceSnapshot`], live or parsed back from a Chrome trace, measured
+//! or simulated — and produces two exact accountings:
+//!
+//! 1. **Per-stage wall-clock attribution**: every nanosecond of every
+//!    stage track is assigned a [`BubbleCause`] (compute, upstream wait,
+//!    backpressure, grad-sync, recompute, 2BW group barrier, optimizer
+//!    step, checkpoint, fault injection, fill/drain, idle). The causes of
+//!    a track sum to the run's wall clock *by construction* — the
+//!    accounting is an exact partition of `[0, wall]` done in integer
+//!    nanoseconds, which the tests pin.
+//! 2. **Critical-path attribution**: walking binding predecessors
+//!    backward from the last span to finish (the same-track predecessor
+//!    or the cross-stage data producer, whichever ended later), the run's
+//!    makespan telescopes into per-stage, per-cause critical-path
+//!    segments that also sum exactly to wall clock. A stage's share of
+//!    the critical path is the honest measure of how much it bottlenecks
+//!    the run — speeding up anything else cannot help.
+//!
+//! [`what_if`] turns the attribution into an Amdahl-style estimator:
+//! scale one stage's per-minibatch service time and predict the
+//! end-to-end steady-state gain, validated against the discrete-event
+//! simulator in the integration tests.
+
+use crate::analysis::measured_per_minibatch_s;
+use crate::event::SpanKind;
+use crate::recorder::{TraceSnapshot, TrackEvents};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Where a slice of a stage's wall clock went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BubbleCause {
+    /// Useful forward/backward compute — not a bubble.
+    Compute,
+    /// Blocked on an upstream activation or downstream gradient arriving
+    /// (`recv_wait` spans): the sender is the bottleneck.
+    WaitUpstream,
+    /// Blocked (or throttled) sending to a peer (`send_wait` spans) —
+    /// includes injected send delays, which stall the sender's clock.
+    Backpressure,
+    /// Gradient all-reduce rendezvous across stage replicas.
+    GradSync,
+    /// Re-running the forward pass to rebuild dropped activations
+    /// (recompute schedules).
+    Recompute,
+    /// 2BW update-group barrier: the coalesced grad-sync a double-buffered
+    /// schedule pays once per group instead of once per minibatch.
+    TwoBwBarrier,
+    /// Optimizer step applying the update.
+    OptimizerStep,
+    /// Checkpoint writes.
+    Checkpoint,
+    /// Fault-injection stalls (`stalled` spans, gaps around `fault`
+    /// instants).
+    Injection,
+    /// Pipeline fill/drain: idle before a track's first span or after its
+    /// last one.
+    FillDrain,
+    /// Interior idle not attributable to any recorded dependency.
+    Idle,
+}
+
+impl BubbleCause {
+    /// Every cause, in display order.
+    pub const ALL: [BubbleCause; 11] = [
+        BubbleCause::Compute,
+        BubbleCause::WaitUpstream,
+        BubbleCause::Backpressure,
+        BubbleCause::GradSync,
+        BubbleCause::Recompute,
+        BubbleCause::TwoBwBarrier,
+        BubbleCause::OptimizerStep,
+        BubbleCause::Checkpoint,
+        BubbleCause::Injection,
+        BubbleCause::FillDrain,
+        BubbleCause::Idle,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BubbleCause::Compute => "compute",
+            BubbleCause::WaitUpstream => "wait_upstream",
+            BubbleCause::Backpressure => "backpressure",
+            BubbleCause::GradSync => "grad_sync",
+            BubbleCause::Recompute => "recompute",
+            BubbleCause::TwoBwBarrier => "2bw_barrier",
+            BubbleCause::OptimizerStep => "optimizer_step",
+            BubbleCause::Checkpoint => "checkpoint",
+            BubbleCause::Injection => "injection",
+            BubbleCause::FillDrain => "fill_drain",
+            BubbleCause::Idle => "idle",
+        }
+    }
+
+    /// Whether this cause is dead time rather than useful work.
+    pub fn is_bubble(self) -> bool {
+        !matches!(self, BubbleCause::Compute)
+    }
+}
+
+/// Nanoseconds per cause; an exact partition of some wall-clock interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CauseBreakdown {
+    /// Useful compute time (seconds). The remaining fields are bubbles.
+    pub compute_s: f64,
+    /// Upstream/downstream receive waits.
+    pub wait_upstream_s: f64,
+    /// Send-side stalls (including injected delays).
+    pub backpressure_s: f64,
+    /// Replica gradient-sync rendezvous.
+    pub grad_sync_s: f64,
+    /// Activation recomputation.
+    pub recompute_s: f64,
+    /// 2BW update-group barriers.
+    pub two_bw_barrier_s: f64,
+    /// Optimizer steps.
+    pub optimizer_step_s: f64,
+    /// Checkpoint writes.
+    pub checkpoint_s: f64,
+    /// Fault-injection stalls.
+    pub injection_s: f64,
+    /// Pipeline fill/drain idle.
+    pub fill_drain_s: f64,
+    /// Unattributed interior idle.
+    pub idle_s: f64,
+}
+
+impl CauseBreakdown {
+    /// Add `seconds` to one cause bucket.
+    pub fn add(&mut self, cause: BubbleCause, seconds: f64) {
+        *self.slot(cause) += seconds;
+    }
+
+    /// Seconds attributed to `cause`.
+    pub fn get(&self, cause: BubbleCause) -> f64 {
+        match cause {
+            BubbleCause::Compute => self.compute_s,
+            BubbleCause::WaitUpstream => self.wait_upstream_s,
+            BubbleCause::Backpressure => self.backpressure_s,
+            BubbleCause::GradSync => self.grad_sync_s,
+            BubbleCause::Recompute => self.recompute_s,
+            BubbleCause::TwoBwBarrier => self.two_bw_barrier_s,
+            BubbleCause::OptimizerStep => self.optimizer_step_s,
+            BubbleCause::Checkpoint => self.checkpoint_s,
+            BubbleCause::Injection => self.injection_s,
+            BubbleCause::FillDrain => self.fill_drain_s,
+            BubbleCause::Idle => self.idle_s,
+        }
+    }
+
+    fn slot(&mut self, cause: BubbleCause) -> &mut f64 {
+        match cause {
+            BubbleCause::Compute => &mut self.compute_s,
+            BubbleCause::WaitUpstream => &mut self.wait_upstream_s,
+            BubbleCause::Backpressure => &mut self.backpressure_s,
+            BubbleCause::GradSync => &mut self.grad_sync_s,
+            BubbleCause::Recompute => &mut self.recompute_s,
+            BubbleCause::TwoBwBarrier => &mut self.two_bw_barrier_s,
+            BubbleCause::OptimizerStep => &mut self.optimizer_step_s,
+            BubbleCause::Checkpoint => &mut self.checkpoint_s,
+            BubbleCause::Injection => &mut self.injection_s,
+            BubbleCause::FillDrain => &mut self.fill_drain_s,
+            BubbleCause::Idle => &mut self.idle_s,
+        }
+    }
+
+    /// Sum across every cause.
+    pub fn total_s(&self) -> f64 {
+        BubbleCause::ALL.iter().map(|&c| self.get(c)).sum()
+    }
+
+    /// Sum across bubble (non-compute) causes.
+    pub fn bubble_s(&self) -> f64 {
+        self.total_s() - self.compute_s
+    }
+
+    /// Largest bubble bucket, if any time was lost at all.
+    pub fn top_bubble(&self) -> Option<(BubbleCause, f64)> {
+        BubbleCause::ALL
+            .iter()
+            .filter(|c| c.is_bubble())
+            .map(|&c| (c, self.get(c)))
+            .filter(|&(_, s)| s > 0.0)
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Accumulate another breakdown into this one.
+    pub fn merge(&mut self, other: &CauseBreakdown) {
+        for c in BubbleCause::ALL {
+            self.add(c, other.get(c));
+        }
+    }
+}
+
+/// One stage's exact wall-clock accounting, summed over replica tracks.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageAttribution {
+    /// Pipeline stage index.
+    pub stage: usize,
+    /// Replica tracks contributing (breakdown totals `wall × tracks`).
+    pub tracks: usize,
+    /// Where the stage's time went.
+    pub breakdown: CauseBreakdown,
+    /// Backward passes completed across the stage's replicas.
+    pub minibatches: u64,
+    /// Effective per-minibatch *service* time: work only this stage can
+    /// absorb (compute + send stalls + recompute + optimizer + checkpoint)
+    /// divided by minibatches and replica count — the quantity the
+    /// Amdahl what-if scales.
+    pub service_per_mb_s: f64,
+}
+
+/// One stage's share of the run's critical path.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpContribution {
+    /// Pipeline stage index.
+    pub stage: usize,
+    /// Critical-path seconds owned by this stage.
+    pub seconds: f64,
+    /// What the stage was doing during its critical-path segments.
+    pub breakdown: CauseBreakdown,
+}
+
+/// The full causal analysis of one trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CriticalPathReport {
+    /// Wall clock of the trace (latest event end), seconds.
+    pub wall_s: f64,
+    /// Minibatches completed (max across stages).
+    pub minibatches: u64,
+    /// Measured steady-state seconds per minibatch (middle-half slope of
+    /// stage-0 backward completions).
+    pub per_minibatch_s: f64,
+    /// Exact per-stage wall-clock attribution.
+    pub per_stage: Vec<StageAttribution>,
+    /// Per-stage critical-path share, indexed by stage (unranked; the
+    /// seconds sum to `wall_s`).
+    pub critical_path: Vec<CpContribution>,
+    /// Spans on the critical path.
+    pub cp_nodes: usize,
+}
+
+impl CriticalPathReport {
+    /// Stages ranked by critical-path share, biggest bottleneck first.
+    pub fn ranked(&self) -> Vec<&CpContribution> {
+        let mut v: Vec<&CpContribution> = self.critical_path.iter().collect();
+        v.sort_by(|a, b| b.seconds.total_cmp(&a.seconds).then(a.stage.cmp(&b.stage)));
+        v
+    }
+
+    /// The stage owning the largest critical-path share.
+    pub fn bottleneck_stage(&self) -> Option<usize> {
+        self.ranked().first().map(|c| c.stage)
+    }
+
+    /// Per-stage attribution entry.
+    pub fn stage(&self, stage: usize) -> Option<&StageAttribution> {
+        self.per_stage.iter().find(|s| s.stage == stage)
+    }
+}
+
+/// Amdahl-style prediction for speeding up one stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WhatIf {
+    /// Stage being hypothetically sped up.
+    pub stage: usize,
+    /// Fractional service-time reduction applied (0.3 = 30% faster).
+    pub speedup_frac: f64,
+    /// Measured steady-state seconds per minibatch before the change.
+    pub baseline_per_mb_s: f64,
+    /// Predicted steady-state seconds per minibatch after the change.
+    pub predicted_per_mb_s: f64,
+    /// Predicted end-to-end gain: `1 - predicted/baseline`.
+    pub predicted_gain_frac: f64,
+}
+
+/// How one toplevel span (or the gap before it) spends its time.
+struct Node {
+    stage: usize,
+    kind: SpanKind,
+    start_ns: u64,
+    end_ns: u64,
+    /// `(start, end, cause)` pieces tiling `[start_ns, end_ns]` exactly.
+    pieces: Vec<(u64, u64, BubbleCause)>,
+}
+
+fn cause_of(kind: SpanKind, two_bw: bool) -> Option<BubbleCause> {
+    Some(match kind {
+        SpanKind::Fwd { .. } | SpanKind::Bwd { .. } => BubbleCause::Compute,
+        SpanKind::RecvWait { .. } => BubbleCause::WaitUpstream,
+        SpanKind::SendWait { .. } => BubbleCause::Backpressure,
+        SpanKind::GradSync => {
+            if two_bw {
+                BubbleCause::TwoBwBarrier
+            } else {
+                BubbleCause::GradSync
+            }
+        }
+        SpanKind::Recompute { .. } => BubbleCause::Recompute,
+        SpanKind::OptStep { .. } => BubbleCause::OptimizerStep,
+        SpanKind::Checkpoint => BubbleCause::Checkpoint,
+        SpanKind::Stalled => BubbleCause::Injection,
+        // Instant bookkeeping events carry no duration.
+        SpanKind::StashPush { .. }
+        | SpanKind::StashPop { .. }
+        | SpanKind::SyncDeposit { .. }
+        | SpanKind::SyncRelease { .. }
+        | SpanKind::Fault
+        | SpanKind::Recovery
+        | SpanKind::Reconfig => return None,
+    })
+}
+
+/// Partition a stage track into toplevel spans, each pre-sliced into
+/// `(start, end, cause)` pieces: nested spans get their own cause, the
+/// uncovered remainder inherits the toplevel span's cause.
+fn build_nodes(stage: usize, track: &TrackEvents) -> Vec<Node> {
+    // A sparse optimizer-step cadence (2BW gradient accumulation, GPipe
+    // flush) means the per-group grad-sync is a *group barrier*, not a
+    // per-minibatch rendezvous.
+    let bwds = track
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, SpanKind::Bwd { .. }))
+        .count();
+    let opts = track
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, SpanKind::OptStep { .. }))
+        .count();
+    let two_bw = opts > 0 && opts * 2 <= bwds;
+
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut spans: Vec<_> = track.events.iter().filter(|e| !e.is_instant()).collect();
+    // At equal starts the enclosing (longer) span must be toplevel —
+    // simulated traces emit a Fwd/Bwd and its nested RecvWait with the
+    // same start timestamp.
+    spans.sort_by(|a, b| a.start_ns.cmp(&b.start_ns).then(b.end_ns.cmp(&a.end_ns)));
+    let mut i = 0;
+    while i < spans.len() {
+        let top = spans[i];
+        let top_cause = cause_of(top.kind, two_bw).unwrap_or(BubbleCause::Idle);
+        let mut pieces: Vec<(u64, u64, BubbleCause)> = Vec::new();
+        let mut covered = top.start_ns;
+        let mut j = i + 1;
+        while j < spans.len() && spans[j].start_ns < top.end_ns {
+            let nested = spans[j];
+            if let Some(cause) = cause_of(nested.kind, two_bw) {
+                let s = nested.start_ns.max(covered);
+                let e = nested.end_ns.min(top.end_ns);
+                if e > s {
+                    if s > covered {
+                        pieces.push((covered, s, top_cause));
+                    }
+                    pieces.push((s, e, cause));
+                    covered = e;
+                }
+            }
+            j += 1;
+        }
+        if top.end_ns > covered {
+            pieces.push((covered, top.end_ns, top_cause));
+        }
+        nodes.push(Node {
+            stage,
+            kind: top.kind,
+            start_ns: top.start_ns,
+            end_ns: top.end_ns,
+            pieces,
+        });
+        i = j;
+    }
+    nodes
+}
+
+/// Clip a node's pieces to `[from, to]` and accumulate into `out`
+/// (nanosecond-exact).
+fn add_pieces(out: &mut CauseBreakdown, node: &Node, from: u64, to: u64) {
+    for &(s, e, cause) in &node.pieces {
+        let cs = s.max(from);
+        let ce = e.min(to);
+        if ce > cs {
+            out.add(cause, (ce - cs) as f64 * 1e-9);
+        }
+    }
+}
+
+/// Reconstruct the dependency DAG of a trace, attribute every nanosecond
+/// of every stage track to a [`BubbleCause`], and extract the critical
+/// path. Works on measured snapshots, parsed Chrome traces, and simulated
+/// snapshots ([`crate::simtrace`]) alike.
+pub fn analyze_trace(snap: &TraceSnapshot) -> CriticalPathReport {
+    let wall_ns = snap
+        .tracks
+        .iter()
+        .flat_map(|t| t.events.iter().map(|e| e.end_ns))
+        .max()
+        .unwrap_or(0);
+    let wall_s = wall_ns as f64 * 1e-9;
+    let num_stages = snap
+        .tracks
+        .iter()
+        .filter_map(|t| t.stage)
+        .max()
+        .map(|s| s + 1)
+        .unwrap_or(0);
+
+    // Fault instants anywhere in the run mark surrounding gaps as
+    // injection-caused rather than plain idle.
+    let fault_instants: Vec<u64> = snap
+        .tracks
+        .iter()
+        .flat_map(|t| t.events.iter())
+        .filter(|e| e.is_instant() && matches!(e.kind, SpanKind::Fault | SpanKind::Stalled))
+        .map(|e| e.start_ns)
+        .collect();
+
+    let mut per_stage: Vec<StageAttribution> = (0..num_stages)
+        .map(|stage| StageAttribution {
+            stage,
+            ..StageAttribution::default()
+        })
+        .collect();
+    let mut all_nodes: Vec<Node> = Vec::new();
+    let mut tracks_of_node: Vec<Vec<usize>> = vec![Vec::new(); snap.tracks.len()];
+
+    for (ti, track) in snap.tracks.iter().enumerate() {
+        let Some(stage) = track.stage else { continue };
+        let nodes = build_nodes(stage, track);
+        let st = &mut per_stage[stage];
+        st.tracks += 1;
+        st.minibatches += track
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, SpanKind::Bwd { .. }) && !e.is_instant())
+            .count() as u64;
+        // Exact per-track accounting: [0, first) fill, pieces, interior
+        // gaps, (last, wall] drain.
+        let mut cursor = 0u64;
+        for node in &nodes {
+            if node.start_ns > cursor {
+                let gap_cause = if fault_instants
+                    .iter()
+                    .any(|&f| f >= cursor && f <= node.start_ns)
+                {
+                    BubbleCause::Injection
+                } else if cursor == 0 {
+                    BubbleCause::FillDrain
+                } else {
+                    BubbleCause::Idle
+                };
+                st.breakdown
+                    .add(gap_cause, (node.start_ns - cursor) as f64 * 1e-9);
+            }
+            add_pieces(&mut st.breakdown, node, node.start_ns, node.end_ns);
+            cursor = cursor.max(node.end_ns);
+        }
+        if wall_ns > cursor {
+            st.breakdown
+                .add(BubbleCause::FillDrain, (wall_ns - cursor) as f64 * 1e-9);
+        }
+        let base = all_nodes.len();
+        tracks_of_node[ti] = (base..base + nodes.len()).collect();
+        all_nodes.extend(nodes);
+    }
+
+    for st in &mut per_stage {
+        if st.minibatches > 0 && st.tracks > 0 {
+            let b = &st.breakdown;
+            let service = b.compute_s
+                + b.backpressure_s
+                + b.recompute_s
+                + b.optimizer_step_s
+                + b.checkpoint_s;
+            st.service_per_mb_s = service / st.minibatches as f64 / st.tracks as f64;
+        }
+    }
+
+    // Producer lookup: (stage, mb) → node ids of its Fwd / Bwd spans.
+    let mut by_fwd: HashMap<(usize, u64), Vec<usize>> = HashMap::new();
+    let mut by_bwd: HashMap<(usize, u64), Vec<usize>> = HashMap::new();
+    for (id, n) in all_nodes.iter().enumerate() {
+        match n.kind {
+            SpanKind::Fwd { mb } => by_fwd.entry((n.stage, mb)).or_default().push(id),
+            SpanKind::Bwd { mb } => by_bwd.entry((n.stage, mb)).or_default().push(id),
+            _ => {}
+        }
+    }
+    let last_stage = num_stages.saturating_sub(1);
+    // Node id → its same-track predecessor.
+    let mut prev_on_track: HashMap<usize, usize> = HashMap::new();
+    for ids in &tracks_of_node {
+        for w in ids.windows(2) {
+            prev_on_track.insert(w[1], w[0]);
+        }
+    }
+
+    let mut critical_path: Vec<CpContribution> = (0..num_stages)
+        .map(|stage| CpContribution {
+            stage,
+            ..CpContribution::default()
+        })
+        .collect();
+    let mut cp_nodes = 0usize;
+
+    if let Some(start) = (0..all_nodes.len()).max_by_key(|&i| (all_nodes[i].end_ns, i)) {
+        let mut visited: HashSet<usize> = HashSet::new();
+        let mut cur = start;
+        let mut steps = 0usize;
+        loop {
+            visited.insert(cur);
+            cp_nodes += 1;
+            steps += 1;
+            let node = &all_nodes[cur];
+            // Binding predecessor: whoever released this span last — the
+            // previous span on the same worker, or the cross-stage data
+            // producer (Fwd feeds the next stage's Fwd; Bwd feeds the
+            // previous stage's Bwd; the last stage's Bwd follows its own
+            // Fwd).
+            let producer = match node.kind {
+                SpanKind::Fwd { mb } if node.stage > 0 => by_fwd.get(&(node.stage - 1, mb)),
+                SpanKind::Bwd { mb } if node.stage < last_stage => {
+                    by_bwd.get(&(node.stage + 1, mb))
+                }
+                SpanKind::Bwd { mb } => by_fwd.get(&(node.stage, mb)),
+                _ => None,
+            }
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(|&id| all_nodes[id].end_ns <= node.end_ns && !visited.contains(&id))
+            .max_by_key(|&id| all_nodes[id].end_ns);
+            let same_track = prev_on_track
+                .get(&cur)
+                .copied()
+                .filter(|id| !visited.contains(id));
+            let pred = [producer, same_track]
+                .into_iter()
+                .flatten()
+                .max_by_key(|&id| all_nodes[id].end_ns);
+
+            let from = pred.map(|id| all_nodes[id].end_ns).unwrap_or(0);
+            let cp = &mut critical_path[node.stage];
+            // Slack before the span started: fill at the chain's origin,
+            // scheduler idle elsewhere (injection if a fault sits inside).
+            if node.start_ns > from {
+                let cause = if fault_instants
+                    .iter()
+                    .any(|&f| f >= from && f <= node.start_ns)
+                {
+                    BubbleCause::Injection
+                } else if pred.is_none() {
+                    BubbleCause::FillDrain
+                } else {
+                    BubbleCause::Idle
+                };
+                cp.seconds += (node.start_ns - from) as f64 * 1e-9;
+                cp.breakdown
+                    .add(cause, (node.start_ns - from) as f64 * 1e-9);
+            }
+            let seg_from = from.max(node.start_ns).min(node.end_ns);
+            cp.seconds += (node.end_ns - seg_from) as f64 * 1e-9;
+            add_pieces(&mut cp.breakdown, node, seg_from, node.end_ns);
+
+            match pred {
+                Some(p) if steps <= all_nodes.len() => cur = p,
+                _ => break,
+            }
+        }
+    }
+
+    CriticalPathReport {
+        wall_s,
+        minibatches: per_stage.iter().map(|s| s.minibatches).max().unwrap_or(0),
+        per_minibatch_s: measured_per_minibatch_s(snap),
+        per_stage,
+        critical_path,
+        cp_nodes,
+    }
+}
+
+/// Amdahl-style what-if: shrink `stage`'s per-minibatch service time by
+/// `speedup_frac` and predict the steady-state per-minibatch time. The
+/// pipeline's steady-state rate is set by its slowest stage, so the
+/// prediction moves only by however much the *maximum* service time
+/// moves — speeding up a non-bottleneck stage predicts (correctly) no
+/// gain.
+pub fn what_if(report: &CriticalPathReport, stage: usize, speedup_frac: f64) -> WhatIf {
+    let services: Vec<f64> = report
+        .per_stage
+        .iter()
+        .map(|s| s.service_per_mb_s)
+        .collect();
+    let old_max = services.iter().copied().fold(0.0f64, f64::max);
+    // Steady state can't outrun the bottleneck stage's service time, and
+    // short traces have no reliable slope at all — the service bound is
+    // the floor of the baseline.
+    let baseline = report.per_minibatch_s.max(old_max);
+    let mut adjusted = services;
+    if let Some(s) = adjusted.get_mut(stage) {
+        *s *= 1.0 - speedup_frac;
+    }
+    let new_max = adjusted.iter().copied().fold(0.0f64, f64::max);
+    let predicted = (baseline - (old_max - new_max)).max(new_max).max(0.0);
+    WhatIf {
+        stage,
+        speedup_frac,
+        baseline_per_mb_s: baseline,
+        predicted_per_mb_s: predicted,
+        predicted_gain_frac: if baseline > 0.0 {
+            1.0 - predicted / baseline
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    const MS: u64 = 1_000_000;
+
+    fn span(kind: SpanKind, start_ms: u64, end_ms: u64) -> Event {
+        Event::span(kind, start_ms * MS, end_ms * MS)
+    }
+
+    /// Hand-built 3-stage trace with known bubble causes. Stage 1 is a
+    /// straggler: every forward carries a 6 ms injected send delay
+    /// (send_wait nested in fwd), keeping stage 1 continuously busy
+    /// (2 ms compute + 6 ms delay per forward) while stage 2 starves
+    /// between minibatches and stage 0 idles awaiting gradients.
+    ///
+    /// Layout (ms), 4 minibatches, fwd/bwd 2 ms everywhere, wall 44:
+    ///   stage0: fwd_k [2k, 2k+2]; bwd0 34-38 (recv_wait 34-36),
+    ///           bwd_k [36+2k, 38+2k] for k≥1
+    ///   stage1: fwd_k [2+8k, 10+8k] (send_wait [4+8k, 10+8k]),
+    ///           bwd_k [34+2k, 36+2k]
+    ///   stage2: fwd0 10-12, bwd0 12-14; for k≥1 fwd_k [6+8k, 12+8k]
+    ///           (recv_wait [6+8k, 10+8k]), bwd_k [12+8k, 14+8k]
+    fn straggler_snap() -> TraceSnapshot {
+        use crate::recorder::TrackEvents;
+        let mut s0 = vec![
+            span(SpanKind::Bwd { mb: 0 }, 34, 38),
+            span(SpanKind::RecvWait { mb: 0 }, 34, 36),
+        ];
+        let mut s1 = Vec::new();
+        let mut s2 = vec![
+            span(SpanKind::Fwd { mb: 0 }, 10, 12),
+            span(SpanKind::Bwd { mb: 0 }, 12, 14),
+        ];
+        for k in 0..4u64 {
+            s0.push(span(SpanKind::Fwd { mb: k }, 2 * k, 2 * k + 2));
+            if k >= 1 {
+                s0.push(span(SpanKind::Bwd { mb: k }, 36 + 2 * k, 38 + 2 * k));
+                s2.push(span(SpanKind::Fwd { mb: k }, 6 + 8 * k, 12 + 8 * k));
+                s2.push(span(SpanKind::RecvWait { mb: k }, 6 + 8 * k, 10 + 8 * k));
+                s2.push(span(SpanKind::Bwd { mb: k }, 12 + 8 * k, 14 + 8 * k));
+            }
+            s1.push(span(SpanKind::Fwd { mb: k }, 2 + 8 * k, 10 + 8 * k));
+            s1.push(span(SpanKind::SendWait { mb: k }, 4 + 8 * k, 10 + 8 * k));
+            s1.push(span(SpanKind::Bwd { mb: k }, 34 + 2 * k, 36 + 2 * k));
+        }
+        for events in [&mut s0, &mut s1, &mut s2] {
+            events.sort_by_key(|e| (e.start_ns, e.end_ns));
+        }
+        TraceSnapshot {
+            tracks: vec![
+                TrackEvents {
+                    name: "stage0.replica0".into(),
+                    stage: Some(0),
+                    events: s0,
+                    dropped: 0,
+                },
+                TrackEvents {
+                    name: "stage1.replica0".into(),
+                    stage: Some(1),
+                    events: s1,
+                    dropped: 0,
+                },
+                TrackEvents {
+                    name: "stage2.replica0".into(),
+                    stage: Some(2),
+                    events: s2,
+                    dropped: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn attribution_is_an_exact_partition_of_wall_clock() {
+        let report = analyze_trace(&straggler_snap());
+        assert!((report.wall_s - 0.044).abs() < 1e-12);
+        for st in &report.per_stage {
+            assert_eq!(st.tracks, 1);
+            let total = st.breakdown.total_s();
+            assert!(
+                (total - report.wall_s).abs() < 1e-9,
+                "stage {} attribution {total} != wall {}",
+                st.stage,
+                report.wall_s
+            );
+        }
+        // And the critical path tiles wall clock exactly too.
+        let cp_total: f64 = report.critical_path.iter().map(|c| c.seconds).sum();
+        assert!((cp_total - report.wall_s).abs() < 1e-9, "cp {cp_total}");
+        let cp_breakdown: f64 = report
+            .critical_path
+            .iter()
+            .map(|c| c.breakdown.total_s())
+            .sum();
+        assert!((cp_breakdown - report.wall_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn golden_causes_on_the_hand_built_trace() {
+        let report = analyze_trace(&straggler_snap());
+        let ms = 1e-3;
+        // Stage 0: 8 ms fwd + 8 ms bwd compute, 2 ms nested recv_wait,
+        // 26 ms interior idle (8→34), 0 fill/drain (its first span starts
+        // at 0 and its last ends at wall).
+        let s0 = &report.per_stage[0].breakdown;
+        assert!((s0.compute_s - 16.0 * ms).abs() < 1e-9);
+        assert!((s0.wait_upstream_s - 2.0 * ms).abs() < 1e-9);
+        assert!((s0.idle_s - 26.0 * ms).abs() < 1e-9);
+        assert!((s0.fill_drain_s - 0.0).abs() < 1e-9);
+        // Stage 1 (the straggler): 4 × 6 ms injected send delay reads as
+        // backpressure; compute is fwd(4×2)+bwd(4×2)=16 ms; 2 ms fill +
+        // 2 ms drain; zero interior idle — it never stops working.
+        let s1 = &report.per_stage[1].breakdown;
+        assert!((s1.backpressure_s - 24.0 * ms).abs() < 1e-9);
+        assert!((s1.compute_s - 16.0 * ms).abs() < 1e-9);
+        assert!((s1.fill_drain_s - 4.0 * ms).abs() < 1e-9);
+        assert!((s1.idle_s - 0.0).abs() < 1e-12);
+        // Stage 2 (downstream of the straggler): starves 4 ms per
+        // minibatch on upstream, plus 10 ms fill + 6 ms drain.
+        let s2 = &report.per_stage[2].breakdown;
+        assert_eq!(s2.top_bubble().unwrap().0, BubbleCause::FillDrain);
+        assert!((s2.wait_upstream_s - 12.0 * ms).abs() < 1e-9);
+        // Excluding fill/drain (warmup), wait_upstream dominates stage 2's
+        // interior bubbles.
+        assert!(s2.wait_upstream_s >= s2.idle_s.max(s2.backpressure_s));
+        // The straggler stage owns the largest critical-path share.
+        assert_eq!(report.bottleneck_stage(), Some(1));
+        let ranked = report.ranked();
+        assert_eq!(ranked[0].stage, 1);
+        assert!(ranked[0].seconds > ranked[1].seconds);
+        // Stage 1's critical-path time is dominated by its own
+        // backpressure + compute, i.e. the injected delay is on the path.
+        let cp1 = &report.critical_path[1];
+        assert!(cp1.breakdown.backpressure_s > 0.0);
+        // Services: stage 1 is the bottleneck service too.
+        let svc: Vec<f64> = report
+            .per_stage
+            .iter()
+            .map(|s| s.service_per_mb_s)
+            .collect();
+        assert!(svc[1] > svc[0] && svc[1] > svc[2], "{svc:?}");
+    }
+
+    #[test]
+    fn what_if_scales_only_the_bottleneck() {
+        let report = analyze_trace(&straggler_snap());
+        // Removing stage 1's delay (6 of 10 ms service → 60% faster).
+        let w = what_if(&report, 1, 6.0 / 10.0);
+        assert!(w.predicted_per_mb_s < w.baseline_per_mb_s);
+        assert!(w.predicted_gain_frac > 0.0);
+        // Speeding up a non-bottleneck stage predicts no gain.
+        let w0 = what_if(&report, 0, 0.5);
+        assert!(w0.predicted_gain_frac.abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_bw_barrier_reclassifies_sparse_sync() {
+        use crate::recorder::TrackEvents;
+        // 4 backwards, 1 optimizer step → 2BW cadence: grad_sync reads as
+        // a group barrier.
+        let snap = TraceSnapshot {
+            tracks: vec![TrackEvents {
+                name: "stage0.replica0".into(),
+                stage: Some(0),
+                events: vec![
+                    span(SpanKind::Bwd { mb: 0 }, 0, 4),
+                    span(SpanKind::Bwd { mb: 1 }, 4, 8),
+                    span(SpanKind::Bwd { mb: 2 }, 8, 12),
+                    span(SpanKind::Bwd { mb: 3 }, 12, 20),
+                    span(SpanKind::GradSync, 14, 18),
+                    span(SpanKind::OptStep { mb: 3 }, 18, 20),
+                ],
+                dropped: 0,
+            }],
+        };
+        let report = analyze_trace(&snap);
+        let b = &report.per_stage[0].breakdown;
+        assert!((b.two_bw_barrier_s - 4e-3).abs() < 1e-9);
+        assert!((b.grad_sync_s - 0.0).abs() < 1e-12);
+        assert!((b.optimizer_step_s - 2e-3).abs() < 1e-9);
+        // Dense opt-step cadence keeps GradSync as GradSync.
+        let snap2 = TraceSnapshot {
+            tracks: vec![TrackEvents {
+                name: "stage0.replica0".into(),
+                stage: Some(0),
+                events: vec![
+                    span(SpanKind::Bwd { mb: 0 }, 0, 8),
+                    span(SpanKind::GradSync, 2, 4),
+                    span(SpanKind::OptStep { mb: 0 }, 6, 8),
+                ],
+                dropped: 0,
+            }],
+        };
+        let b2 = &analyze_trace(&snap2).per_stage[0].breakdown;
+        assert!((b2.grad_sync_s - 2e-3).abs() < 1e-9);
+        assert!((b2.two_bw_barrier_s - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_harmless() {
+        let report = analyze_trace(&TraceSnapshot::default());
+        assert_eq!(report.wall_s, 0.0);
+        assert!(report.per_stage.is_empty());
+        assert_eq!(report.bottleneck_stage(), None);
+        let w = what_if(&report, 0, 0.5);
+        assert_eq!(w.predicted_gain_frac, 0.0);
+    }
+}

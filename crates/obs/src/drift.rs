@@ -455,16 +455,8 @@ mod tests {
             name: name.into(),
             stage: Some(0),
             events: vec![
-                Event {
-                    kind: SpanKind::Bwd { mb: 0 },
-                    start_ns: 0,
-                    end_ns: bwd_ms * ms,
-                },
-                Event {
-                    kind: SpanKind::Bwd { mb: 1 },
-                    start_ns: 10 * ms,
-                    end_ns: (10 + bwd_ms) * ms,
-                },
+                Event::span(SpanKind::Bwd { mb: 0 }, 0, bwd_ms * ms),
+                Event::span(SpanKind::Bwd { mb: 1 }, 10 * ms, (10 + bwd_ms) * ms),
             ],
             dropped: 0,
         };

@@ -53,6 +53,29 @@ pub enum SpanKind {
     /// A live reconfiguration transition (autopilot drain / repartition /
     /// resume / verdict; instant event on the control track).
     Reconfig,
+    /// Re-running the forward pass under the stashed weights to rebuild
+    /// dropped activations before a backward (recompute schedules, §5.13).
+    Recompute {
+        /// Minibatch being recomputed.
+        mb: u64,
+    },
+    /// This replica deposited its gradients into the allreduce rendezvous
+    /// (instant event; pairs with [`SpanKind::SyncRelease`]).
+    SyncDeposit {
+        /// Minibatch whose gradients were deposited.
+        mb: u64,
+    },
+    /// The allreduce round completed and released the averaged gradients
+    /// to this replica (instant event).
+    SyncRelease {
+        /// Minibatch whose averaged gradients were released.
+        mb: u64,
+    },
+    /// Optimizer step applying the (averaged) gradients to the weights.
+    OptStep {
+        /// Minibatch whose update was applied.
+        mb: u64,
+    },
 }
 
 impl SpanKind {
@@ -71,6 +94,10 @@ impl SpanKind {
             SpanKind::Fault => 9,
             SpanKind::Recovery => 10,
             SpanKind::Reconfig => 11,
+            SpanKind::Recompute { .. } => 12,
+            SpanKind::SyncDeposit { .. } => 13,
+            SpanKind::SyncRelease { .. } => 14,
+            SpanKind::OptStep { .. } => 15,
         }
     }
 
@@ -82,7 +109,11 @@ impl SpanKind {
             | SpanKind::StashPush { mb }
             | SpanKind::StashPop { mb }
             | SpanKind::RecvWait { mb }
-            | SpanKind::SendWait { mb } => Some(mb),
+            | SpanKind::SendWait { mb }
+            | SpanKind::Recompute { mb }
+            | SpanKind::SyncDeposit { mb }
+            | SpanKind::SyncRelease { mb }
+            | SpanKind::OptStep { mb } => Some(mb),
             _ => None,
         }
     }
@@ -102,6 +133,10 @@ impl SpanKind {
             9 => SpanKind::Fault,
             10 => SpanKind::Recovery,
             11 => SpanKind::Reconfig,
+            12 => SpanKind::Recompute { mb },
+            13 => SpanKind::SyncDeposit { mb },
+            14 => SpanKind::SyncRelease { mb },
+            15 => SpanKind::OptStep { mb },
             _ => return None,
         })
     }
@@ -121,14 +156,25 @@ impl SpanKind {
             SpanKind::Fault => "fault",
             SpanKind::Recovery => "recovery",
             SpanKind::Reconfig => "reconfig",
+            SpanKind::Recompute { .. } => "recompute",
+            SpanKind::SyncDeposit { .. } => "sync_deposit",
+            SpanKind::SyncRelease { .. } => "sync_release",
+            SpanKind::OptStep { .. } => "opt_step",
         }
     }
 
     /// Chrome-trace category used by the exporters.
     pub fn category(self) -> &'static str {
         match self {
-            SpanKind::Fwd { .. } | SpanKind::Bwd { .. } => "compute",
-            SpanKind::GradSync | SpanKind::RecvWait { .. } | SpanKind::SendWait { .. } => "comm",
+            SpanKind::Fwd { .. }
+            | SpanKind::Bwd { .. }
+            | SpanKind::Recompute { .. }
+            | SpanKind::OptStep { .. } => "compute",
+            SpanKind::GradSync
+            | SpanKind::RecvWait { .. }
+            | SpanKind::SendWait { .. }
+            | SpanKind::SyncDeposit { .. }
+            | SpanKind::SyncRelease { .. } => "comm",
             SpanKind::StashPush { .. } | SpanKind::StashPop { .. } => "stash",
             SpanKind::Checkpoint => "checkpoint",
             SpanKind::Stalled | SpanKind::Fault | SpanKind::Recovery | SpanKind::Reconfig => {
@@ -148,9 +194,24 @@ pub struct Event {
     pub start_ns: u64,
     /// End, nanoseconds since session start.
     pub end_ns: u64,
+    /// Training epoch the span belongs to. Together with the kind's
+    /// minibatch and the track's (stage, replica), this completes the
+    /// `(epoch, minibatch, stage, replica)` span identity the causal
+    /// analyzer keys on. Tracks that predate epoch tagging record 0.
+    pub epoch: u32,
 }
 
 impl Event {
+    /// A span with epoch 0 (supervisor/control tracks, tests).
+    pub fn span(kind: SpanKind, start_ns: u64, end_ns: u64) -> Event {
+        Event {
+            kind,
+            start_ns,
+            end_ns,
+            epoch: 0,
+        }
+    }
+
     /// Span duration in seconds.
     pub fn duration_s(&self) -> f64 {
         self.end_ns.saturating_sub(self.start_ns) as f64 * 1e-9
@@ -181,6 +242,10 @@ mod tests {
             SpanKind::Fault,
             SpanKind::Recovery,
             SpanKind::Reconfig,
+            SpanKind::Recompute { mb: 7 },
+            SpanKind::SyncDeposit { mb: 7 },
+            SpanKind::SyncRelease { mb: 7 },
+            SpanKind::OptStep { mb: 7 },
         ];
         for k in kinds {
             assert_eq!(SpanKind::from_tag(k.tag(), 7), Some(k));
@@ -190,18 +255,10 @@ mod tests {
 
     #[test]
     fn duration_and_instant() {
-        let e = Event {
-            kind: SpanKind::GradSync,
-            start_ns: 1_000,
-            end_ns: 2_500,
-        };
+        let e = Event::span(SpanKind::GradSync, 1_000, 2_500);
         assert!((e.duration_s() - 1.5e-6).abs() < 1e-15);
         assert!(!e.is_instant());
-        let i = Event {
-            kind: SpanKind::Fault,
-            start_ns: 5,
-            end_ns: 5,
-        };
+        let i = Event::span(SpanKind::Fault, 5, 5);
         assert!(i.is_instant());
     }
 }

@@ -38,12 +38,14 @@
 pub mod advisor;
 pub mod analysis;
 pub mod chrome;
+pub mod critical_path;
 pub mod drift;
 pub mod event;
 pub mod live;
 pub mod metrics;
 pub mod recorder;
 pub mod ring;
+pub mod simtrace;
 
 pub use advisor::{
     advise_replan, measured_layer_costs, try_advise_replan, try_advise_replan_constrained,
@@ -53,7 +55,13 @@ pub use analysis::{
     measured_per_minibatch_s, record_pool_metrics, record_snapshot_metrics, stage_times,
     to_timeline, validate, StageTimes, StageValidation, TraceValidation,
 };
-pub use chrome::{parse_chrome_trace, render_chrome_trace};
+pub use chrome::{
+    parse_chrome_trace, render_chrome_trace, write_chrome_trace, write_chrome_trace_session,
+};
+pub use critical_path::{
+    analyze_trace, what_if, BubbleCause, CauseBreakdown, CpContribution, CriticalPathReport,
+    StageAttribution, WhatIf,
+};
 pub use drift::{
     detect_replica_lag, DriftConfig, DriftDetector, DriftReport, ReplicaLag, StageDrift,
 };
@@ -65,3 +73,4 @@ pub use live::{
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use recorder::{Recorder, SpanStart, TraceSession, TraceSnapshot, TrackEvents};
 pub use ring::EventRing;
+pub use simtrace::sim_to_snapshot;

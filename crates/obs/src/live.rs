@@ -497,6 +497,7 @@ fn tail_window(snap: &TraceSnapshot, window_s: f64) -> TraceSnapshot {
                         kind: e.kind,
                         start_ns: e.start_ns.max(from_ns) - from_ns,
                         end_ns: e.end_ns - from_ns,
+                        epoch: e.epoch,
                     })
                     .collect(),
             })
@@ -512,11 +513,7 @@ mod tests {
     const MS: u64 = 1_000_000;
 
     fn span(kind: SpanKind, start_ms: u64, end_ms: u64) -> Event {
-        Event {
-            kind,
-            start_ns: start_ms * MS,
-            end_ns: end_ms * MS,
-        }
+        Event::span(kind, start_ms * MS, end_ms * MS)
     }
 
     /// Stage 0 completes a minibatch every 10 ms: fwd 3 ms (1 ms nested

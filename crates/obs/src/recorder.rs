@@ -97,22 +97,35 @@ impl TraceSession {
 
     /// Snapshot every track's retained events, oldest first per track.
     pub fn snapshot(&self) -> TraceSnapshot {
-        let tracks = self.tracks.lock();
         TraceSnapshot {
-            tracks: tracks
-                .iter()
-                .map(|t| {
-                    let (mut events, dropped) = t.ring.snapshot();
-                    events.sort_by_key(|e| e.start_ns);
-                    TrackEvents {
-                        name: t.name.clone(),
-                        stage: t.stage,
-                        events,
-                        dropped,
-                    }
-                })
+            tracks: (0..self.track_count())
+                .filter_map(|i| self.track_snapshot(i))
                 .collect(),
         }
+    }
+
+    /// Number of registered tracks right now.
+    pub fn track_count(&self) -> usize {
+        self.tracks.lock().len()
+    }
+
+    /// Snapshot a single track by registration index, without touching the
+    /// other rings — the streaming trace writer drains one track at a time
+    /// so only one track's events are materialized at once.
+    pub fn track_snapshot(&self, index: usize) -> Option<TrackEvents> {
+        let (name, stage, ring) = {
+            let tracks = self.tracks.lock();
+            let t = tracks.get(index)?;
+            (t.name.clone(), t.stage, Arc::clone(&t.ring))
+        };
+        let (mut events, dropped) = ring.snapshot();
+        events.sort_by_key(|e| e.start_ns);
+        Some(TrackEvents {
+            name,
+            stage,
+            events,
+            dropped,
+        })
     }
 }
 
@@ -127,6 +140,16 @@ pub struct TrackEvents {
     pub events: Vec<Event>,
     /// Events lost to the ring's drop-oldest policy.
     pub dropped: u64,
+}
+
+impl TrackEvents {
+    /// Replica id recovered from the `…replicaM` naming convention the
+    /// trainer uses for stage-worker tracks (`stage{N}.replica{M}`);
+    /// `None` for supervisor/control tracks.
+    pub fn replica(&self) -> Option<usize> {
+        let idx = self.name.rfind("replica")?;
+        self.name[idx + "replica".len()..].parse().ok()
+    }
 }
 
 /// A point-in-time extraction of every track in a session.
@@ -184,28 +207,43 @@ impl Recorder {
         }
     }
 
-    /// Complete a span started with [`Recorder::begin`].
+    /// Complete a span started with [`Recorder::begin`], tagged epoch 0.
     #[inline]
     pub fn end(&self, start: SpanStart, kind: SpanKind) {
+        self.end_in_epoch(start, kind, 0);
+    }
+
+    /// Complete a span started with [`Recorder::begin`], tagged with the
+    /// training epoch it belongs to.
+    #[inline]
+    pub fn end_in_epoch(&self, start: SpanStart, kind: SpanKind, epoch: u32) {
         if let Some(inner) = &self.0 {
             let now = inner.t0.elapsed().as_nanos() as u64;
             inner.ring.push(Event {
                 kind,
                 start_ns: start.0,
                 end_ns: now.max(start.0),
+                epoch,
             });
         }
     }
 
-    /// Record an instant (zero-duration) event.
+    /// Record an instant (zero-duration) event, tagged epoch 0.
     #[inline]
     pub fn instant(&self, kind: SpanKind) {
+        self.instant_in_epoch(kind, 0);
+    }
+
+    /// Record an instant event tagged with its training epoch.
+    #[inline]
+    pub fn instant_in_epoch(&self, kind: SpanKind, epoch: u32) {
         if let Some(inner) = &self.0 {
             let now = inner.t0.elapsed().as_nanos() as u64;
             inner.ring.push(Event {
                 kind,
                 start_ns: now,
                 end_ns: now,
+                epoch,
             });
         }
     }
@@ -254,6 +292,43 @@ mod tests {
         assert_eq!(snap.tracks[1].name, "supervisor");
         assert!(snap.tracks[1].events[0].is_instant());
         assert!(snap.span_s() > 0.0);
+    }
+
+    #[test]
+    fn epoch_tagged_recording_and_replica_parsing() {
+        let session = TraceSession::with_capacity(8);
+        let r = session.stage_recorder("stage2.replica1", 2);
+        let s = r.begin();
+        r.end_in_epoch(s, SpanKind::Bwd { mb: 5 }, 3);
+        r.instant_in_epoch(SpanKind::SyncDeposit { mb: 5 }, 3);
+        let snap = session.snapshot();
+        let track = &snap.tracks[0];
+        assert_eq!(track.replica(), Some(1));
+        assert_eq!(track.events[0].epoch, 3);
+        assert_eq!(track.events[1].epoch, 3);
+        // Non-worker tracks have no replica.
+        let sup = session.recorder("supervisor");
+        sup.instant(SpanKind::Fault);
+        let snap = session.snapshot();
+        assert_eq!(snap.tracks[1].replica(), None);
+        assert_eq!(snap.tracks[1].events[0].epoch, 0);
+    }
+
+    #[test]
+    fn per_track_snapshot_matches_full_snapshot() {
+        let session = TraceSession::with_capacity(8);
+        let a = session.stage_recorder("stage0.replica0", 0);
+        let b = session.recorder("supervisor");
+        a.instant(SpanKind::StashPush { mb: 1 });
+        b.instant(SpanKind::Recovery);
+        assert_eq!(session.track_count(), 2);
+        let full = session.snapshot();
+        for i in 0..session.track_count() {
+            let one = session.track_snapshot(i).unwrap();
+            assert_eq!(one.name, full.tracks[i].name);
+            assert_eq!(one.events, full.tracks[i].events);
+        }
+        assert!(session.track_snapshot(99).is_none());
     }
 
     #[test]

@@ -33,6 +33,7 @@ struct Slot {
     mb: AtomicU64,
     start_ns: AtomicU64,
     end_ns: AtomicU64,
+    epoch: AtomicU64,
 }
 
 /// Fixed-capacity drop-oldest ring of [`Event`]s, safe for concurrent
@@ -79,6 +80,7 @@ impl EventRing {
             .store(ev.kind.minibatch().unwrap_or(0), Ordering::Relaxed);
         slot.start_ns.store(ev.start_ns, Ordering::Relaxed);
         slot.end_ns.store(ev.end_ns, Ordering::Relaxed);
+        slot.epoch.store(ev.epoch as u64, Ordering::Relaxed);
         slot.seq.store(claim + 1, Ordering::Release);
     }
 
@@ -99,6 +101,7 @@ impl EventRing {
             let mb = slot.mb.load(Ordering::Relaxed);
             let start_ns = slot.start_ns.load(Ordering::Relaxed);
             let end_ns = slot.end_ns.load(Ordering::Relaxed);
+            let epoch = slot.epoch.load(Ordering::Relaxed);
             if slot.seq.load(Ordering::Acquire) != claim + 1 {
                 continue; // rewritten while we read
             }
@@ -107,6 +110,7 @@ impl EventRing {
                     kind,
                     start_ns,
                     end_ns,
+                    epoch: epoch as u32,
                 });
             }
         }
@@ -122,11 +126,20 @@ mod tests {
     use std::thread;
 
     fn ev(mb: u64, start_ns: u64) -> Event {
-        Event {
-            kind: SpanKind::Fwd { mb },
-            start_ns,
-            end_ns: start_ns + 10,
-        }
+        Event::span(SpanKind::Fwd { mb }, start_ns, start_ns + 10)
+    }
+
+    #[test]
+    fn epoch_survives_the_ring() {
+        let r = EventRing::new(4);
+        r.push(Event {
+            kind: SpanKind::Bwd { mb: 3 },
+            start_ns: 10,
+            end_ns: 20,
+            epoch: 7,
+        });
+        let (events, _) = r.snapshot();
+        assert_eq!(events[0].epoch, 7);
     }
 
     #[test]

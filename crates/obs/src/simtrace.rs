@@ -1,0 +1,168 @@
+//! Bridge from the discrete-event simulator to the observability trace
+//! schema.
+//!
+//! [`sim_to_snapshot`] converts a [`SimResult`] into the *same*
+//! [`TraceSnapshot`] shape the runtime records, so everything downstream
+//! — the Chrome exporter, [`crate::critical_path::analyze_trace`], the
+//! `pipedream analyze` CLI — works identically on simulated and measured
+//! runs, and a simulated critical path can be diffed against a measured
+//! one stage by stage.
+//!
+//! Mapping rules:
+//!
+//! * Worker `w` becomes track `stage{s}.replica{r}` via
+//!   [`PipelineConfig::stage_of_worker`] — the exact names the runtime
+//!   uses, so `TrackEvents::stage`/`replica()` parse the same way.
+//! * `Forward(mb)`/`Backward(mb)` intervals become `Fwd`/`Bwd` spans. The
+//!   idle gap *before* each op is folded into the span with a nested
+//!   `RecvWait` covering it: in the simulator a worker that is not
+//!   computing is blocked on its input dependency, which is precisely
+//!   what the runtime's receive wait measures. This keeps the simulated
+//!   schema indistinguishable from the measured one for the analyzer.
+//! * `Sync` becomes a `GradSync` span, `Checkpoint` a `Checkpoint` span,
+//!   `Stall` a `Stalled` span; `Flush` carries no work and is dropped.
+//! * The communication timeline is intentionally *not* emitted as spans:
+//!   its intervals overlap the compute rows they feed and would corrupt
+//!   the per-track toplevel partition. Transfer latency is already
+//!   visible as the downstream stage's `RecvWait`.
+
+use crate::event::{Event, SpanKind};
+use crate::recorder::{TraceSnapshot, TrackEvents};
+use pipedream_core::config::PipelineConfig;
+use pipedream_sim::{SimResult, WorkKind};
+
+/// Seconds → integer nanoseconds, clamped at zero.
+fn ns(seconds: f64) -> u64 {
+    (seconds * 1e9).round().max(0.0) as u64
+}
+
+/// Convert a simulation result into the runtime's trace schema. Tracks
+/// are named `stage{s}.replica{r}` and sorted by worker id, matching a
+/// live [`crate::recorder::TraceSession`] snapshot of the same config.
+pub fn sim_to_snapshot(result: &SimResult, config: &PipelineConfig) -> TraceSnapshot {
+    let mut tracks = Vec::with_capacity(result.timeline.per_worker.len());
+    for (w, intervals) in result.timeline.per_worker.iter().enumerate() {
+        let (stage, replica) = config.stage_of_worker(w);
+        let mut events: Vec<Event> = Vec::with_capacity(intervals.len() * 2);
+        let mut prev_end = 0.0f64;
+        for iv in intervals {
+            let (start_ns, end_ns) = (ns(iv.start), ns(iv.end));
+            match iv.kind {
+                WorkKind::Forward(mb) | WorkKind::Backward(mb) => {
+                    // Extend the span back over the wait that preceded it;
+                    // a nested RecvWait accounts the blocked portion.
+                    let gap_ns = ns(prev_end.min(iv.start));
+                    let kind = match iv.kind {
+                        WorkKind::Forward(_) => SpanKind::Fwd { mb },
+                        _ => SpanKind::Bwd { mb },
+                    };
+                    if gap_ns < start_ns {
+                        events.push(Event::span(kind, gap_ns, end_ns));
+                        events.push(Event::span(SpanKind::RecvWait { mb }, gap_ns, start_ns));
+                    } else {
+                        events.push(Event::span(kind, start_ns, end_ns));
+                    }
+                }
+                WorkKind::Sync => events.push(Event::span(SpanKind::GradSync, start_ns, end_ns)),
+                WorkKind::Checkpoint => {
+                    events.push(Event::span(SpanKind::Checkpoint, start_ns, end_ns))
+                }
+                WorkKind::Stall => events.push(Event::span(SpanKind::Stalled, start_ns, end_ns)),
+                WorkKind::Flush => {}
+            }
+            prev_end = prev_end.max(iv.end);
+        }
+        events.sort_by_key(|e| (e.start_ns, e.end_ns));
+        tracks.push(TrackEvents {
+            name: format!("stage{stage}.replica{replica}"),
+            stage: Some(stage),
+            events,
+            dropped: 0,
+        });
+    }
+    TraceSnapshot { tracks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::{parse_chrome_trace, render_chrome_trace};
+    use crate::critical_path::analyze_trace;
+    use pipedream_hw::{Device, LinkModel, Precision, Topology};
+    use pipedream_model::zoo;
+    use pipedream_sim::pipeline::PipelineSim;
+
+    fn sim_snapshot(minibatches: u64) -> (TraceSnapshot, SimResult) {
+        let costs = zoo::uniform(4, 1e9, 1000, 1000).costs(&Device::v100(), 32, Precision::Fp32);
+        let config = PipelineConfig::from_counts(&[(2, 1), (2, 1)]);
+        let topo = Topology::flat(Device::v100(), 2, LinkModel::new(1e12, 1e-6), "flat");
+        let sched = pipedream_core::Schedule::one_f_one_b(&config, minibatches);
+        let result = PipelineSim::new(&costs, &topo, &sched).run();
+        (sim_to_snapshot(&result, &config), result)
+    }
+
+    #[test]
+    fn sim_tracks_match_runtime_naming_and_schema() {
+        let (snap, result) = sim_snapshot(6);
+        assert_eq!(snap.tracks.len(), 2);
+        assert_eq!(snap.tracks[0].name, "stage0.replica0");
+        assert_eq!(snap.tracks[0].stage, Some(0));
+        assert_eq!(snap.tracks[0].replica(), Some(0));
+        assert_eq!(snap.tracks[1].name, "stage1.replica0");
+        // Every minibatch appears as Fwd and Bwd on both stages.
+        for t in &snap.tracks {
+            for mb in 0..6u64 {
+                assert!(t
+                    .events
+                    .iter()
+                    .any(|e| matches!(e.kind, SpanKind::Fwd { mb: m } if m == mb)));
+                assert!(t
+                    .events
+                    .iter()
+                    .any(|e| matches!(e.kind, SpanKind::Bwd { mb: m } if m == mb)));
+            }
+        }
+        // Stage 1 blocks on stage 0's first activation: a nested RecvWait.
+        assert!(snap.tracks[1]
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, SpanKind::RecvWait { .. })));
+        // Wall clock of the trace matches the simulated makespan.
+        let wall_ns = snap
+            .tracks
+            .iter()
+            .flat_map(|t| t.events.iter().map(|e| e.end_ns))
+            .max()
+            .unwrap();
+        assert!((wall_ns as f64 * 1e-9 - result.makespan).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sim_trace_round_trips_through_chrome_format() {
+        let (snap, _) = sim_snapshot(4);
+        let doc = render_chrome_trace(&snap);
+        let back = parse_chrome_trace(&doc).expect("sim trace parses");
+        assert_eq!(render_chrome_trace(&back), doc);
+        assert_eq!(back.tracks.len(), snap.tracks.len());
+    }
+
+    #[test]
+    fn analyzer_runs_unchanged_on_sim_traces() {
+        let (snap, result) = sim_snapshot(8);
+        let report = analyze_trace(&snap);
+        assert!((report.wall_s - result.makespan).abs() < 1e-6);
+        // Exact attribution holds for synthesized traces too.
+        for st in &report.per_stage {
+            assert!(
+                (st.breakdown.total_s() - report.wall_s).abs() < 1e-6,
+                "stage {} total {} wall {}",
+                st.stage,
+                st.breakdown.total_s(),
+                report.wall_s
+            );
+        }
+        let cp: f64 = report.critical_path.iter().map(|c| c.seconds).sum();
+        assert!((cp - report.wall_s).abs() < 1e-6);
+        assert_eq!(report.minibatches, 8);
+    }
+}

@@ -20,21 +20,9 @@ fn workload_event(i: u64) -> Event {
     let mb = i / 3;
     let t = mb * 10 * MS;
     match i % 3 {
-        0 => Event {
-            kind: SpanKind::Fwd { mb },
-            start_ns: t,
-            end_ns: t + 3 * MS,
-        },
-        1 => Event {
-            kind: SpanKind::RecvWait { mb },
-            start_ns: t + MS,
-            end_ns: t + 2 * MS,
-        },
-        _ => Event {
-            kind: SpanKind::Bwd { mb },
-            start_ns: t + 4 * MS,
-            end_ns: t + 8 * MS,
-        },
+        0 => Event::span(SpanKind::Fwd { mb }, t, t + 3 * MS),
+        1 => Event::span(SpanKind::RecvWait { mb }, t + MS, t + 2 * MS),
+        _ => Event::span(SpanKind::Bwd { mb }, t + 4 * MS, t + 8 * MS),
     }
 }
 

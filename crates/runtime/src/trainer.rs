@@ -366,6 +366,14 @@ pub fn try_train_pipeline(
         metrics
             .gauge("train_num_stages")
             .set(config.num_stages() as f64);
+        // Index into ScheduleKind::all(); dashboards map it back to the
+        // canonical name.
+        metrics.gauge("train_schedule_kind").set(
+            ScheduleKind::all()
+                .iter()
+                .position(|k| *k == opts.schedule)
+                .unwrap_or(0) as f64,
+        );
     }
 
     // Split the model into per-stage chunks, cloned per replica.

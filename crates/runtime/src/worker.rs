@@ -263,13 +263,15 @@ impl StageWorker {
                 Op::Forward { mb } => {
                     let span = self.recorder.begin();
                     let r = self.forward(&mut st, mb);
-                    self.recorder.end(span, SpanKind::Fwd { mb });
+                    self.recorder
+                        .end_in_epoch(span, SpanKind::Fwd { mb }, self.trace_epoch(mb));
                     r?
                 }
                 Op::Backward { mb } => {
                     let span = self.recorder.begin();
                     let r = self.backward(&mut st, mb);
-                    self.recorder.end(span, SpanKind::Bwd { mb });
+                    self.recorder
+                        .end_in_epoch(span, SpanKind::Bwd { mb }, self.trace_epoch(mb));
                     r?
                 }
                 Op::Flush => self.flush(&mut st)?,
@@ -315,7 +317,8 @@ impl StageWorker {
                             epoch,
                             message: e.to_string(),
                         })?;
-                        self.recorder.end(span, SpanKind::Checkpoint);
+                        self.recorder
+                            .end_in_epoch(span, SpanKind::Checkpoint, epoch as u32);
                     }
                 }
             }
@@ -364,7 +367,8 @@ impl StageWorker {
                 }
             }
         })();
-        self.recorder.end(wait, SpanKind::RecvWait { mb });
+        self.recorder
+            .end_in_epoch(wait, SpanKind::RecvWait { mb }, self.trace_epoch(mb));
         result
     }
 
@@ -393,8 +397,18 @@ impl StageWorker {
                 }
             }
         })();
-        self.recorder.end(wait, SpanKind::RecvWait { mb });
+        self.recorder
+            .end_in_epoch(wait, SpanKind::RecvWait { mb }, self.trace_epoch(mb));
         result
+    }
+
+    /// Epoch identity for a minibatch's trace spans (0 for synthetic ids
+    /// like the GPipe flush's `u64::MAX`).
+    fn trace_epoch(&self, mb: u64) -> u32 {
+        if mb == u64::MAX {
+            return 0;
+        }
+        (self.data.epoch_of(mb) + self.epoch_offset) as u32
     }
 
     /// One receive attempt under the combined fault-hook / drain-gate
@@ -492,7 +506,8 @@ impl StageWorker {
                         s2.latest_generation(),
                     )
                 };
-                self.recorder.instant(SpanKind::StashPush { mb });
+                self.recorder
+                    .instant_in_epoch(SpanKind::StashPush { mb }, self.trace_epoch(mb));
                 st.stash_depth_max = st.stash_depth_max.max(in_flight);
                 st.versions_held_max = st.versions_held_max.max(held);
                 if gen != latest_gen {
@@ -508,7 +523,8 @@ impl StageWorker {
             Semantics::Stashed => {
                 // Latest weights; remember them for the backward pass.
                 st.stash.begin_forward(mb);
-                self.recorder.instant(SpanKind::StashPush { mb });
+                self.recorder
+                    .instant_in_epoch(SpanKind::StashPush { mb }, self.trace_epoch(mb));
                 st.stash_depth_max = st.stash_depth_max.max(st.stash.in_flight());
                 st.versions_held_max = st.versions_held_max.max(st.stash.versions_held());
                 let _ = self.metrics.send(MetricMsg::FwdVersion {
@@ -583,7 +599,18 @@ impl StageWorker {
                 .map_or(SendAction::Deliver, |h| h.on_forward_send(self.stage, mb))
             {
                 SendAction::Deliver => {}
-                SendAction::Delay(d) => std::thread::sleep(d),
+                SendAction::Delay(d) => {
+                    // An injected straggler delay stalls this worker's send
+                    // path; record it so the analyzer can attribute the
+                    // downstream wait to this stage's backpressure.
+                    let stall = self.recorder.begin();
+                    std::thread::sleep(d);
+                    self.recorder.end_in_epoch(
+                        stall,
+                        SpanKind::SendWait { mb },
+                        self.trace_epoch(mb),
+                    );
+                }
                 SendAction::Drop => return Ok(()), // lost on the wire
             }
             let dst = (mb % self.fwd_out.len() as u64) as usize;
@@ -659,7 +686,8 @@ impl StageWorker {
                 self.recompute_forward(st, mb);
                 let g = self.model.backward(&grad_out, mb);
                 st.two_bw.as_mut().expect("checked").complete_backward(mb);
-                self.recorder.instant(SpanKind::StashPop { mb });
+                self.recorder
+                    .instant_in_epoch(SpanKind::StashPop { mb }, self.trace_epoch(mb));
                 st.two_bw_grads += 1;
                 self.model.restore(&latest);
                 for t in latest {
@@ -696,7 +724,8 @@ impl StageWorker {
                 self.recompute_forward(st, mb);
                 let g = self.model.backward(&grad_out, mb);
                 st.stash.complete_backward(mb);
-                self.recorder.instant(SpanKind::StashPop { mb });
+                self.recorder
+                    .instant_in_epoch(SpanKind::StashPop { mb }, self.trace_epoch(mb));
                 self.model.restore(&latest);
                 for t in latest {
                     t.recycle();
@@ -771,7 +800,8 @@ impl StageWorker {
                             message: e.to_string(),
                         }
                     })?;
-                    self.recorder.end(span, SpanKind::Checkpoint);
+                    self.recorder
+                        .end_in_epoch(span, SpanKind::Checkpoint, ckpt_epoch as u32);
                     if let Some(hook) = &self.hook {
                         hook.on_checkpoint_written(
                             &checkpoint::stage_path(dir, self.stage, ckpt_epoch),
@@ -791,7 +821,8 @@ impl StageWorker {
                                 message: e.to_string(),
                             },
                         )?;
-                        self.recorder.end(span, SpanKind::Checkpoint);
+                        self.recorder
+                            .end_in_epoch(span, SpanKind::Checkpoint, ckpt_epoch as u32);
                     }
                 }
             }
@@ -827,7 +858,10 @@ impl StageWorker {
             .remove(&mb)
             .unwrap_or_else(|| panic!("no retained input for minibatch {mb}"));
         let t0 = std::time::Instant::now();
+        let span = self.recorder.begin();
         let out = self.model.forward(&input, mb);
+        self.recorder
+            .end_in_epoch(span, SpanKind::Recompute { mb }, self.trace_epoch(mb));
         st.recompute_us += t0.elapsed().as_micros() as u64;
         out.recycle();
         input.recycle();
@@ -854,8 +888,13 @@ impl StageWorker {
     /// [`WorkerError::SyncStalled`], cascading teardown exactly like a
     /// channel disconnect.
     fn apply_update(&mut self, st: &mut WorkerState, mb: u64) -> Result<(), WorkerError> {
+        let epoch = self.trace_epoch(mb);
         if let Some(sync) = &self.sync {
             let grads: Vec<Tensor> = self.model.params().iter().map(|p| p.grad.clone()).collect();
+            // Deposit/release instants bracket the rendezvous so the trace
+            // can link this replica's contribution to the round completing.
+            self.recorder
+                .instant_in_epoch(SpanKind::SyncDeposit { mb }, epoch);
             let avg =
                 sync.allreduce(self.replica, grads)
                     .map_err(|e| WorkerError::SyncStalled {
@@ -864,11 +903,14 @@ impl StageWorker {
                         mb,
                         reason: e.to_string(),
                     })?;
+            self.recorder
+                .instant_in_epoch(SpanKind::SyncRelease { mb }, epoch);
             for (p, g) in self.model.params_mut().into_iter().zip(avg) {
                 p.grad.copy_from(&g);
                 g.recycle();
             }
         }
+        let opt_span = self.recorder.begin();
         let mut params = self.model.params_mut();
         st.optimizer.step(&mut params);
         st.updates += 1;
@@ -887,6 +929,8 @@ impl StageWorker {
             }
             _ => {}
         }
+        self.recorder
+            .end_in_epoch(opt_span, SpanKind::OptStep { mb }, epoch);
         Ok(())
     }
 
